@@ -1,0 +1,458 @@
+// Benchmarks: one testing.B benchmark per table and figure of the
+// thesis's evaluation sections (see DESIGN.md's experiment index), plus
+// the ablation benches for the design decisions DESIGN.md calls out and
+// micro-benchmarks of the public API. Each benchmark regenerates its
+// experiment at a reduced-but-representative scale; `go run
+// ./cmd/experiments` prints the same rows at full scale.
+package keysearch
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/expt"
+)
+
+// benchEnvs caches the shared experiment environments across benchmarks.
+var benchEnvs struct {
+	once    sync.Once
+	movie   *expt.Env
+	music   *expt.Env
+	movieIn []datagen.Intent
+	musicIn []datagen.Intent
+	ambIn   []datagen.Intent
+	fb      *expt.FreebaseEnv
+	fbIn    []expt.FreebaseIntent
+	err     error
+}
+
+func envs(b *testing.B) (movie, music *expt.Env, movieIn, musicIn, ambIn []datagen.Intent, fb *expt.FreebaseEnv, fbIn []expt.FreebaseIntent) {
+	b.Helper()
+	benchEnvs.once.Do(func() {
+		benchEnvs.movie, benchEnvs.err = expt.NewMovieEnv(expt.Small, 1)
+		if benchEnvs.err != nil {
+			return
+		}
+		benchEnvs.music, benchEnvs.err = expt.NewMusicEnv(expt.Small, 1)
+		if benchEnvs.err != nil {
+			return
+		}
+		benchEnvs.movieIn = datagen.MovieWorkload(benchEnvs.movie.DB,
+			datagen.WorkloadConfig{Queries: 25, MultiConceptFraction: 0.7, Seed: 2})
+		benchEnvs.musicIn = datagen.MusicWorkload(benchEnvs.music.DB,
+			datagen.WorkloadConfig{Queries: 20, MultiConceptFraction: 0.6, Seed: 3})
+		benchEnvs.ambIn, benchEnvs.err = expt.PickAmbiguousIntents(benchEnvs.movie, benchEnvs.movieIn, 10)
+		if benchEnvs.err != nil {
+			return
+		}
+		benchEnvs.fb, benchEnvs.err = expt.NewFreebaseEnv(8, 12, 4)
+		if benchEnvs.err != nil {
+			return
+		}
+		benchEnvs.fbIn = expt.FreebaseWorkload(benchEnvs.fb, 20, 5)
+	})
+	if benchEnvs.err != nil {
+		b.Fatal(benchEnvs.err)
+	}
+	return benchEnvs.movie, benchEnvs.music, benchEnvs.movieIn, benchEnvs.musicIn,
+		benchEnvs.ambIn, benchEnvs.fb, benchEnvs.fbIn
+}
+
+// ---- Chapter 3 ----
+
+func BenchmarkFig3_5_ProbabilityEstimates(b *testing.B) {
+	movie, _, movieIn, _, _, _, _ := envs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Fig3_5(movie, movieIn, 0.2, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3_6_ConstructionVsRanking(b *testing.B) {
+	movie, _, movieIn, _, _, _, _ := envs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Fig3_6(movie, movieIn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3_7_Usability(b *testing.B) {
+	movie, _, movieIn, _, _, _, _ := envs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := expt.Fig3_7(movie, movieIn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3_2_GreedyVsDBSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := expt.Table3_2([]int{5, 20}, []int{20}, 3, 2, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3_3_GreedyVsKeywords(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := expt.Table3_3([]int{2, 4}, []int{20}, 10, 2, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3_4_BruteForceVsGreedy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := expt.Table3_4([][2]int{{12, 6}, {16, 8}}, 5, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Chapter 4 ----
+
+func BenchmarkTable4_1_DiversificationExample(b *testing.B) {
+	movie, _, _, _, amb, _, _ := envs(b)
+	if len(amb) == 0 {
+		b.Skip("no ambiguous intents")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Table4_1(movie, amb[0], 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4_1_ProbabilityRatio(b *testing.B) {
+	movie, _, _, _, amb, _, _ := envs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Fig4_1(movie, amb, 25); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4_2_AlphaNDCGW(b *testing.B) {
+	movie, _, _, _, amb, _, _ := envs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := expt.Fig4_2(movie, amb, []float64{0, 0.99}, 5, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4_3_WSRecall(b *testing.B) {
+	movie, _, _, _, amb, _, _ := envs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := expt.Fig4_3(movie, amb, 5, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4_4_RelevanceVsNovelty(b *testing.B) {
+	movie, _, _, _, amb, _, _ := envs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := expt.Fig4_4(movie, amb, []float64{1, 0.5, 0}, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Chapter 5 ----
+
+func BenchmarkTable5_1_FreeQTranscript(b *testing.B) {
+	_, _, _, _, _, fb, fbIn := envs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done := false
+		for _, in := range fbIn {
+			if _, err := expt.Table5_1(fb, in); err == nil {
+				done = true
+				break
+			}
+		}
+		if !done {
+			b.Fatal("no resolvable transcript intent")
+		}
+	}
+}
+
+func BenchmarkTable5_2_WorkloadComplexity(b *testing.B) {
+	_, _, _, _, _, fb, fbIn := envs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		expt.Table5_2(fb, fbIn)
+	}
+}
+
+func BenchmarkTable5_3_OntologySizes(b *testing.B) {
+	_, _, _, _, _, fb, _ := envs(b)
+	cfgs := []datagen.YAGOConfig{
+		{BackboneDepth: 2, BackboneBranch: 2, Seed: 1},
+		{BackboneDepth: 4, BackboneBranch: 3, Seed: 1},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		expt.Table5_3(fb, cfgs)
+	}
+}
+
+func BenchmarkFig5_2_QCOEfficiency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := expt.Fig5_2([]int{4, 8}, 10, 4, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5_4_FreebaseInteractionCost(b *testing.B) {
+	_, _, _, _, _, fb, fbIn := envs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, _, err := expt.Fig5_4_5(fb, fbIn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5_5_FreebaseResponseTime(b *testing.B) {
+	// Figure 5.5 shares the measurement loop with Figure 5.4; this bench
+	// isolates the per-step option generation cost of a FreeQ session.
+	_, _, _, _, _, fb, fbIn := envs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, rows55, _, _, err := expt.Fig5_4_5(fb, fbIn[:10])
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = rows55
+	}
+}
+
+// ---- Chapter 6 ----
+
+func BenchmarkTable6_1_CategoryDistribution(b *testing.B) {
+	_, _, _, _, _, fb, _ := envs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		expt.Table6_1(fb)
+	}
+}
+
+func BenchmarkTable6_2_InstanceDistribution(b *testing.B) {
+	_, _, _, _, _, fb, _ := envs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		expt.Table6_2(fb)
+	}
+}
+
+func BenchmarkFig6_2_SharedInstances(b *testing.B) {
+	_, _, _, _, _, fb, _ := envs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		expt.Fig6_2(fb)
+	}
+}
+
+func BenchmarkFig6_3_Matching(b *testing.B) {
+	_, _, _, _, _, fb, _ := envs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		expt.Fig6_3(fb, 0.5, 5)
+	}
+}
+
+func BenchmarkTable6_3_YagoFStats(b *testing.B) {
+	_, _, _, _, _, fb, _ := envs(b)
+	matches, _ := expt.Fig6_3(fb, 0.5, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		expt.Table6_3(fb, matches)
+	}
+}
+
+func BenchmarkFig6_4_MatchingQuality(b *testing.B) {
+	_, _, _, _, _, fb, _ := envs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		expt.Fig6_4(fb, []float64{0.2, 0.5, 0.8})
+	}
+}
+
+// ---- Ablations (design decisions called out in DESIGN.md) ----
+
+func BenchmarkAblationThreshold(b *testing.B) {
+	movie, _, _, _, amb, _, _ := envs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.AblationThreshold(movie, amb, []int{10, 20, 30}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationOptionPolicy(b *testing.B) {
+	movie, _, _, _, amb, _, _ := envs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.AblationOptionPolicy(movie, amb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSmoothing(b *testing.B) {
+	movie, _, _, _, amb, _, _ := envs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.AblationSmoothing(movie, amb, []float64{0.5, 1, 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationDivqEarlyStop(b *testing.B) {
+	movie, _, _, _, amb, _, _ := envs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.AblationDivqEarlyStop(movie, amb, 5, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationOntologyFanout(b *testing.B) {
+	_, _, _, _, _, fb, fbIn := envs(b)
+	n := len(fbIn)
+	if n > 10 {
+		n = 10
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.AblationOntologyFanout(fb, fbIn[:n], []int{2, 4}, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Public API micro-benchmarks ----
+
+var apiOnce struct {
+	sync.Once
+	sys *System
+	q   string
+	err error
+}
+
+func apiSystem(b *testing.B) (*System, string) {
+	b.Helper()
+	apiOnce.Do(func() {
+		apiOnce.sys, apiOnce.err = DemoMovies(7)
+		if apiOnce.err != nil {
+			return
+		}
+		qs := apiOnce.sys.SampleQueries(1)
+		if len(qs) == 0 {
+			apiOnce.q = "hanks"
+		} else {
+			apiOnce.q = qs[0]
+		}
+	})
+	if apiOnce.err != nil {
+		b.Fatal(apiOnce.err)
+	}
+	return apiOnce.sys, apiOnce.q
+}
+
+func BenchmarkAPISearch(b *testing.B) {
+	sys, q := apiSystem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Search(q, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAPIDiversify(b *testing.B) {
+	sys, q := apiSystem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Diversify(q, 5, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAPIConstructSession(b *testing.B) {
+	sys, q := apiSystem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess, err := sys.Construct(q, ConstructionConfig{StopAtRemaining: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for !sess.Done() {
+			question, ok := sess.Next()
+			if !ok {
+				break
+			}
+			sess.Reject(question)
+		}
+	}
+}
+
+func BenchmarkAPIBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := DemoMovies(int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationDataVsSchema compares the §2.2 families end to end.
+func BenchmarkAblationDataVsSchema(b *testing.B) {
+	movie, _, movieIn, _, _, _, _ := envs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.AblationDataVsSchema(movie, movieIn[:10]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAPISearchTrees measures the data-based baseline via the public
+// API.
+func BenchmarkAPISearchTrees(b *testing.B) {
+	sys, q := apiSystem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.SearchTrees(q, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3_1_ExampleTasks regenerates the user-study task table.
+func BenchmarkTable3_1_ExampleTasks(b *testing.B) {
+	movie, _, movieIn, _, _, _, _ := envs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := expt.Table3_1(movie, movieIn, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,329 @@
+// Command experiments regenerates every table and figure of the thesis's
+// evaluation sections as text output (see DESIGN.md for the experiment
+// index and EXPERIMENTS.md for the recorded shapes).
+//
+// Usage:
+//
+//	go run ./cmd/experiments            # run everything at default scale
+//	go run ./cmd/experiments -run fig3.5,table3.2
+//	go run ./cmd/experiments -full      # headline scale (slower)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/datagen"
+	"repro/internal/expt"
+)
+
+var (
+	runFlag = flag.String("run", "", "comma-separated experiment ids (e.g. fig3.5,table6.3); empty = all")
+	full    = flag.Bool("full", false, "run at headline scale (slower)")
+	seed    = flag.Int64("seed", 1, "master seed")
+)
+
+func main() {
+	flag.Parse()
+	want := map[string]bool{}
+	for _, id := range strings.Split(*runFlag, ",") {
+		id = strings.TrimSpace(strings.ToLower(id))
+		if id != "" {
+			want[id] = true
+		}
+	}
+	all := len(want) == 0
+	sel := func(id string) bool { return all || want[id] }
+
+	scale := expt.Small
+	queries := 40
+	simReps := 5
+	if *full {
+		scale = expt.Full
+		queries = 100
+		simReps = 20
+	}
+
+	movie, err := expt.NewMovieEnv(scale, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	music, err := expt.NewMusicEnv(scale, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	movieIntents := datagen.MovieWorkload(movie.DB, datagen.WorkloadConfig{
+		Queries: queries, MultiConceptFraction: 0.7, Seed: *seed + 1,
+	})
+	musicIntents := datagen.MusicWorkload(music.DB, datagen.WorkloadConfig{
+		Queries: queries * 3 / 4, MultiConceptFraction: 0.6, Seed: *seed + 2,
+	})
+
+	// ---- Chapter 3 ----
+	if sel("table3.1") {
+		_, table, err := expt.Table3_1(movie, movieIntents, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(table)
+	}
+	if sel("fig3.5") {
+		for _, cfg := range []struct {
+			env     *expt.Env
+			intents []datagen.Intent
+			skew    float64
+		}{{movie, movieIntents, 0.2}, {music, musicIntents, 0.85}} {
+			res, err := expt.Fig3_5(cfg.env, cfg.intents, cfg.skew, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(res.Table)
+		}
+	}
+	if sel("fig3.6") {
+		for _, cfg := range []struct {
+			env     *expt.Env
+			intents []datagen.Intent
+		}{{movie, movieIntents}, {music, musicIntents}} {
+			res, err := expt.Fig3_6(cfg.env, cfg.intents)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(res.Table)
+		}
+	}
+	if sel("fig3.7") {
+		_, table, err := expt.Fig3_7(movie, movieIntents)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(table)
+	}
+	if sel("table3.2") {
+		sizes := []int{5, 10, 20, 40, 80}
+		if !*full {
+			sizes = []int{5, 10, 20, 40}
+		}
+		_, table, err := expt.Table3_2(sizes, []int{10, 20, 30}, 3, simReps, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(table)
+	}
+	if sel("table3.3") {
+		counts := []int{2, 4, 6, 8, 10}
+		if !*full {
+			counts = []int{2, 4, 6}
+		}
+		_, table, err := expt.Table3_3(counts, []int{10, 20, 30}, 10, simReps, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(table)
+	}
+	if sel("table3.4") {
+		_, table, err := expt.Table3_4(
+			[][2]int{{8, 4}, {12, 6}, {16, 8}, {20, 10}, {24, 12}}, 20, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(table)
+	}
+
+	// ---- Chapter 4 ----
+	var ambMovie, ambMusic []datagen.Intent
+	if sel("table4.1") || sel("fig4.1") || sel("fig4.2") || sel("fig4.3") || sel("fig4.4") || sel("ablation") {
+		ambMovie, err = expt.PickAmbiguousIntents(movie, movieIntents, 25)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ambMusic, err = expt.PickAmbiguousIntents(music, musicIntents, 25)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if sel("table4.1") && len(ambMovie) > 0 {
+		table, err := expt.Table4_1(movie, ambMovie[0], 0.1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(table)
+	}
+	if sel("fig4.1") {
+		for _, cfg := range []struct {
+			env *expt.Env
+			in  []datagen.Intent
+		}{{movie, ambMovie}, {music, ambMusic}} {
+			res, err := expt.Fig4_1(cfg.env, cfg.in, 25)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(res.Table)
+		}
+	}
+	if sel("fig4.2") {
+		for _, cfg := range []struct {
+			env *expt.Env
+			in  []datagen.Intent
+		}{{movie, ambMovie}, {music, ambMusic}} {
+			_, table, err := expt.Fig4_2(cfg.env, cfg.in, []float64{0, 0.5, 0.99}, 6, 0.1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(table)
+		}
+	}
+	if sel("fig4.3") {
+		for _, cfg := range []struct {
+			env *expt.Env
+			in  []datagen.Intent
+		}{{movie, ambMovie}, {music, ambMusic}} {
+			_, table, err := expt.Fig4_3(cfg.env, cfg.in, 6, 0.1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(table)
+		}
+	}
+	if sel("fig4.4") {
+		_, table, err := expt.Fig4_4(movie, ambMovie,
+			[]float64{1.0, 0.75, 0.5, 0.25, 0.0}, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(table)
+	}
+
+	// ---- Chapter 5 ----
+	needFB := sel("table5.1") || sel("table5.2") || sel("table5.3") ||
+		sel("fig5.4") || sel("fig5.5") || sel("table6.1") || sel("table6.2") ||
+		sel("fig6.2") || sel("fig6.3") || sel("table6.3") || sel("fig6.4") || sel("ablation")
+	var fbEnv *expt.FreebaseEnv
+	var fbIntents []expt.FreebaseIntent
+	if needFB {
+		domains, tables := 20, 20
+		if *full {
+			domains, tables = 350, 20 // 350×(20+1) = 7,350 tables
+		}
+		fbEnv, err = expt.NewFreebaseEnv(domains, tables, *seed+3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fbQueries := queries
+		if *full {
+			// The attribute-level IQP arm costs thousands of interactions
+			// per query at 7,000+ tables (the point of Figure 5.4); bound
+			// the workload so the comparison completes in minutes.
+			fbQueries = 30
+		}
+		fbIntents = expt.FreebaseWorkload(fbEnv, fbQueries, *seed+4)
+	}
+	if sel("table5.1") {
+		for _, in := range fbIntents {
+			table, err := expt.Table5_1(fbEnv, in)
+			if err == nil {
+				fmt.Println(table)
+				break
+			}
+		}
+	}
+	if sel("table5.2") {
+		_, table := expt.Table5_2(fbEnv, fbIntents)
+		fmt.Println(table)
+	}
+	if sel("table5.3") {
+		_, table := expt.Table5_3(fbEnv, []datagen.YAGOConfig{
+			{BackboneDepth: 2, BackboneBranch: 2, Seed: *seed},
+			{BackboneDepth: 3, BackboneBranch: 3, Seed: *seed},
+			{BackboneDepth: 4, BackboneBranch: 3, Seed: *seed},
+			{BackboneDepth: 5, BackboneBranch: 4, Seed: *seed},
+		})
+		fmt.Println(table)
+	}
+	if sel("fig5.2") {
+		domainCounts := []int{5, 10, 20, 40}
+		if *full {
+			domainCounts = []int{5, 20, 80, 350}
+		}
+		_, table, err := expt.Fig5_2(domainCounts, 20, 10, *seed+5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(table)
+	}
+	if sel("fig5.4") || sel("fig5.5") {
+		_, _, t54, t55, err := expt.Fig5_4_5(fbEnv, fbIntents)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(t54)
+		fmt.Println(t55)
+	}
+
+	// ---- Chapter 6 ----
+	if sel("table6.1") {
+		fmt.Println(expt.Table6_1(fbEnv))
+	}
+	if sel("table6.2") {
+		fmt.Println(expt.Table6_2(fbEnv))
+	}
+	if sel("fig6.2") {
+		_, table := expt.Fig6_2(fbEnv)
+		fmt.Println(table)
+	}
+	if sel("fig6.3") || sel("table6.3") {
+		ms, table := expt.Fig6_3(fbEnv, 0.5, 10)
+		fmt.Println(table)
+		if sel("table6.3") {
+			_, t63 := expt.Table6_3(fbEnv, ms)
+			fmt.Println(t63)
+		}
+	}
+	if sel("fig6.4") {
+		_, table := expt.Fig6_4(fbEnv, []float64{0.05, 0.2, 0.4, 0.6, 0.8, 0.95})
+		fmt.Println(table)
+	}
+
+	// ---- Ablations ----
+	if sel("ablation") {
+		t1, err := expt.AblationOptionPolicy(movie, ambMovie)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(t1)
+		t2, err := expt.AblationSmoothing(movie, ambMovie, []float64{0.25, 0.5, 1, 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(t2)
+		t3, err := expt.AblationThreshold(movie, ambMovie, []int{10, 20, 30})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(t3)
+		t4, err := expt.AblationDivqEarlyStop(movie, ambMovie, 5, 0.1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(t4)
+		t5, err := expt.AblationOntologyFanout(fbEnv, fbIntents[:min(20, len(fbIntents))], []int{2, 3, 5}, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(t5)
+		t6, err := expt.AblationDataVsSchema(movie, ambMovie)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(t6)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

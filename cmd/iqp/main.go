@@ -1,0 +1,126 @@
+// Command iqp is an interactive incremental query construction shell over
+// the bundled synthetic movie database — the IQP interface of Chapter 3
+// as a terminal program.
+//
+// Usage:
+//
+//	go run ./cmd/iqp [-seed N] [-music]
+//
+// Type a keyword query; the system shows the top-ranked structured
+// interpretations and then asks yes/no questions (y/n, or q to give up)
+// until at most three candidates remain.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	keysearch "repro"
+)
+
+func main() {
+	seed := flag.Int64("seed", 7, "dataset generator seed")
+	music := flag.Bool("music", false, "use the music (lyrics) dataset instead of movies")
+	sql := flag.Bool("sql", false, "also print the SQL equivalent of each candidate query")
+	flag.Parse()
+	showSQL = *sql
+
+	var sys *keysearch.System
+	var err error
+	if *music {
+		sys, err = keysearch.DemoMusic(*seed)
+	} else {
+		sys, err = keysearch.DemoMovies(*seed)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d tables, %d rows, %d query templates\n",
+		sys.NumTables(), sys.NumRows(), sys.NumTemplates())
+	fmt.Printf("try keywords such as: %s\n\n", strings.Join(sys.SampleQueries(6), ", "))
+
+	in := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("keywords> ")
+		if !in.Scan() {
+			return
+		}
+		line := strings.TrimSpace(in.Text())
+		if line == "" || line == "quit" || line == "exit" {
+			return
+		}
+		runQuery(sys, in, line)
+	}
+}
+
+// showSQL toggles SQL rendering of candidates (-sql).
+var showSQL bool
+
+func runQuery(sys *keysearch.System, in *bufio.Scanner, q string) {
+	ranked, err := sys.Search(q, 5)
+	if err != nil {
+		fmt.Printf("  %v\n", err)
+		return
+	}
+	fmt.Println("  top interpretations:")
+	for i, r := range ranked {
+		fmt.Printf("    %d. P=%.3f  %s\n", i+1, r.Probability, r.Query)
+	}
+
+	sess, err := sys.Construct(q, keysearch.ConstructionConfig{StopAtRemaining: 3})
+	if err != nil {
+		fmt.Printf("  %v\n", err)
+		return
+	}
+	for !sess.Done() {
+		question, ok := sess.Next()
+		if !ok {
+			break
+		}
+		fmt.Printf("  %s (y/n/q)? ", question.Text)
+		if !in.Scan() {
+			return
+		}
+		switch strings.ToLower(strings.TrimSpace(in.Text())) {
+		case "y", "yes":
+			sess.Accept(question)
+		case "q", "quit":
+			return
+		default:
+			sess.Reject(question)
+		}
+	}
+	fmt.Printf("  after %d answers, the candidate queries are:\n", sess.Steps())
+	for i, r := range sess.Candidates() {
+		fmt.Printf("    %d. P=%.3f  %s\n", i+1, r.Probability, r.Query)
+		if showSQL {
+			if stmt, err := r.SQL(); err == nil {
+				fmt.Printf("        SQL: %s\n", stmt)
+			}
+		}
+		rows, err := r.Rows(3)
+		if err != nil {
+			continue
+		}
+		for _, row := range rows {
+			fmt.Printf("        %s\n", renderRow(row))
+		}
+	}
+}
+
+func renderRow(row map[string]string) string {
+	var parts []string
+	for k, v := range row {
+		if strings.HasSuffix(k, ".name") || strings.HasSuffix(k, ".title") {
+			parts = append(parts, fmt.Sprintf("%s=%q", k, v))
+		}
+	}
+	if len(parts) == 0 {
+		return fmt.Sprintf("%v", row)
+	}
+	return strings.Join(parts, " ")
+}

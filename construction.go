@@ -1,0 +1,82 @@
+package keysearch
+
+import (
+	"repro/internal/core"
+	"repro/internal/query"
+)
+
+// Question is one query construction option presented to the user during
+// incremental construction ("Is «hanks» an actor's name?").
+type Question struct {
+	// Text is the human-readable question.
+	Text string
+
+	opt query.Option
+}
+
+// Construction is an interactive incremental query construction session
+// (the IQP interface of Chapter 3): the system asks questions, the user
+// accepts or rejects them, and the candidate structured queries narrow
+// until the intended one is isolated.
+type Construction struct {
+	s    *System
+	sess *core.Session
+}
+
+// ConstructionConfig tunes a construction session.
+type ConstructionConfig struct {
+	// Threshold is the greedy hierarchy-expansion threshold (default 20).
+	Threshold int
+	// StopAtRemaining ends construction when at most this many candidate
+	// queries remain (default 5).
+	StopAtRemaining int
+}
+
+// Construct starts an incremental construction session for the keyword
+// query.
+func (s *System) Construct(keywords string, cfg ConstructionConfig) (*Construction, error) {
+	c, _, err := s.candidatesFor(keywords)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := core.NewSession(s.model, c, core.SessionConfig{
+		Threshold:       cfg.Threshold,
+		StopAtRemaining: cfg.StopAtRemaining,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Construction{s: s, sess: sess}, nil
+}
+
+// Done reports whether construction has converged to at most
+// StopAtRemaining candidates.
+func (c *Construction) Done() bool { return c.sess.Done() }
+
+// Steps returns the number of questions answered so far — the interaction
+// cost of the session.
+func (c *Construction) Steps() int { return c.sess.Steps() }
+
+// Next returns the next question, or ok=false when no question can narrow
+// the candidates further (pick from Candidates instead).
+func (c *Construction) Next() (Question, bool) {
+	opt, ok := c.sess.NextOption()
+	if !ok {
+		return Question{}, false
+	}
+	return Question{Text: opt.Describe(), opt: opt}, true
+}
+
+// Accept confirms that the question's interpretation is part of the
+// intended query.
+func (c *Construction) Accept(q Question) { c.sess.Accept(q.opt) }
+
+// Reject states that the question's interpretation is not part of the
+// intended query.
+func (c *Construction) Reject(q Question) { c.sess.Reject(q.opt) }
+
+// Candidates returns the currently remaining structured queries, ranked
+// by probability (empty until the interpretation space is materialised).
+func (c *Construction) Candidates() []Result {
+	return c.s.wrap(c.sess.Remaining())
+}

@@ -1,0 +1,80 @@
+package keysearch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/datagraph"
+)
+
+// TupleTree is one result of the data-based search baseline: a minimal
+// joining tree of tuples connecting all keywords (Section 2.2.2).
+type TupleTree struct {
+	// Weight is the number of joins (edges) in the tree; smaller is
+	// considered more relevant.
+	Weight int
+	// Rows maps "table#row" identifiers to the tuple's values per column
+	// ("table.column" keys, as in Result.Rows).
+	Rows []map[string]string
+}
+
+// SearchTrees runs the data-based (BANKS-style) baseline: keyword search
+// directly on the tuple graph, without query interpretation. It
+// complements Search (the schema-based pipeline) for comparing the two
+// families of Section 2.2 on the same data.
+func (s *System) SearchTrees(keywords string, k int) ([]TupleTree, error) {
+	if !s.built {
+		return nil, fmt.Errorf("keysearch: call Build before searching")
+	}
+	toks := parse(keywords)
+	if len(toks) == 0 {
+		return nil, fmt.Errorf("keysearch: empty keyword query")
+	}
+	if s.dgraph == nil {
+		s.dgraph = datagraph.Build(s.db)
+	}
+	trees, err := s.dgraph.Search(toks, datagraph.Options{K: k})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TupleTree, 0, len(trees))
+	for _, tr := range trees {
+		tt := TupleTree{Weight: tr.Weight}
+		nodes := append([]datagraph.Node(nil), tr.Nodes...)
+		sort.Slice(nodes, func(i, j int) bool {
+			if nodes[i].Table != nodes[j].Table {
+				return nodes[i].Table < nodes[j].Table
+			}
+			return nodes[i].Row < nodes[j].Row
+		})
+		for _, n := range nodes {
+			t := s.db.Table(n.Table)
+			tuple, ok := t.Row(n.Row)
+			if !ok {
+				continue
+			}
+			row := map[string]string{}
+			for ci, col := range t.Schema.Columns {
+				row[n.Table+"."+col.Name] = tuple.Values[ci]
+			}
+			tt.Rows = append(tt.Rows, row)
+		}
+		out = append(out, tt)
+	}
+	return out, nil
+}
+
+// String renders the tuple tree compactly for demos.
+func (t TupleTree) String() string {
+	parts := make([]string, 0, len(t.Rows))
+	for _, row := range t.Rows {
+		for k, v := range row {
+			if strings.HasSuffix(k, ".name") || strings.HasSuffix(k, ".title") {
+				parts = append(parts, fmt.Sprintf("%s=%q", k, v))
+			}
+		}
+	}
+	sort.Strings(parts)
+	return fmt.Sprintf("tree(w=%d): %s", t.Weight, strings.Join(parts, " "))
+}

@@ -1,0 +1,111 @@
+package keysearch_test
+
+import (
+	"fmt"
+	"log"
+
+	keysearch "repro"
+)
+
+// buildExampleSystem loads the running example of the paper: an ambiguous
+// "london" that is both an actor and a movie-title word.
+func buildExampleSystem() *keysearch.System {
+	sys, err := keysearch.New([]keysearch.Table{
+		{
+			Name:       "actor",
+			Columns:    []keysearch.Column{{Name: "id"}, {Name: "name", Text: true}},
+			PrimaryKey: "id",
+		},
+		{
+			Name:       "movie",
+			Columns:    []keysearch.Column{{Name: "id"}, {Name: "title", Text: true}, {Name: "year", Text: true}},
+			PrimaryKey: "id",
+		},
+		{
+			Name:    "acts",
+			Columns: []keysearch.Column{{Name: "actor_id"}, {Name: "movie_id"}},
+			ForeignKeys: []keysearch.ForeignKey{
+				{Column: "actor_id", RefTable: "actor", RefColumn: "id"},
+				{Column: "movie_id", RefTable: "movie", RefColumn: "id"},
+			},
+		},
+	}, keysearch.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows := [][]string{
+		{"actor", "a1", "Jack London"},
+		{"actor", "a2", "Tom Hanks"},
+		{"movie", "m1", "London Boulevard", "2010"},
+		{"movie", "m2", "The Terminal", "2004"},
+		{"acts", "a1", "m1"},
+		{"acts", "a2", "m2"},
+	}
+	for _, r := range rows {
+		if err := sys.Insert(r[0], r[1:]...); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := sys.Build(); err != nil {
+		log.Fatal(err)
+	}
+	return sys
+}
+
+// ExampleSystem_Search shows keyword-to-structured-query translation: the
+// ambiguous keyword is returned with every reading, ranked by
+// probability.
+func ExampleSystem_Search() {
+	sys := buildExampleSystem()
+	results, err := sys.Search("london", 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		fmt.Println(r.Query)
+	}
+	// Output:
+	// σ_{london}⊂name(actor)
+	// σ_{london}⊂title(movie)
+}
+
+// ExampleSystem_Construct drives an interactive construction session with
+// scripted answers: rejecting the actor reading leaves the movie reading.
+func ExampleSystem_Construct() {
+	sys := buildExampleSystem()
+	sess, err := sys.Construct("london", keysearch.ConstructionConfig{StopAtRemaining: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for !sess.Done() {
+		q, ok := sess.Next()
+		if !ok {
+			break
+		}
+		fmt.Println(q.Text)
+		sess.Reject(q) // scripted user: "no, not that reading"
+	}
+	for _, c := range sess.Candidates() {
+		fmt.Println("remaining:", c.Query)
+	}
+	// Output:
+	// "london" is a value of actor.name
+	// remaining: σ_{london}⊂title(movie)
+}
+
+// ExampleResult_Rows executes the top interpretation of a two-keyword
+// query and prints the joined row.
+func ExampleResult_Rows() {
+	sys := buildExampleSystem()
+	results, err := sys.Search("hanks terminal", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, err := results[0].Rows(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rows[0]["actor.name"], "/", rows[0]["movie.title"])
+	// Output:
+	// Tom Hanks / The Terminal
+}

@@ -1,0 +1,120 @@
+// Freebase: ontology-accelerated query construction over a very large
+// flat schema (the FreeQ workflow of Chapter 5).
+//
+// The demo knowledge base has hundreds of entity tables across many
+// domains. A keyword occurring in dozens of tables makes attribute-level
+// questions useless; class-level questions ("Is «walton» one of these
+// kinds of entities?") cut the space exponentially. The example compares
+// the two sessions question by question.
+//
+//	go run ./examples/freebase
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	keysearch "repro"
+)
+
+func main() {
+	kb, err := keysearch.DemoKnowledgeBase(12, 15, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kb.MapGroundTruth()
+	sys := kb.System
+	fmt.Printf("knowledge base: %d tables, %d rows, ontology of %d classes\n\n",
+		sys.NumTables(), sys.NumRows(), kb.Ontology.NumClasses())
+
+	// Find a keyword occurring in many tables.
+	queries := sys.SampleQueries(200)
+	best, bestN := "", 0
+	for _, q := range queries {
+		rs, err := sys.Search(q, 0)
+		if err != nil {
+			continue
+		}
+		if len(rs) > bestN {
+			best, bestN = q, len(rs)
+		}
+	}
+	if best == "" {
+		log.Fatal("no wide keyword found")
+	}
+	fmt.Printf("keyword query: %q — %d possible interpretations\n", best, bestN)
+
+	// The scripted user's informational need is NOT the most likely
+	// reading: pick the lowest-ranked interpretation that lives in a
+	// concept table — exactly the case ranking alone cannot serve.
+	all, err := sys.Search(best, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	intendedTable := ""
+	for i := len(all) - 1; i >= 0; i-- {
+		if _, ok := kb.Concepts[all[i].Tables[0]]; ok {
+			intendedTable = all[i].Tables[0]
+			break
+		}
+	}
+	if intendedTable == "" {
+		log.Fatal("no concept-table interpretation found")
+	}
+	fmt.Printf("user's intent: the %s reading (a low-ranked interpretation)\n\n", intendedTable)
+
+	// FreeQ session with ontology questions.
+	osess, err := sys.ConstructWithOntology(best, kb.Ontology,
+		keysearch.ConstructionConfig{StopAtRemaining: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("ontology-based construction:")
+	for !osess.Done() {
+		q, ok := osess.Next()
+		if !ok {
+			break
+		}
+		accept := false
+		for _, t := range q.TargetTables {
+			if t == intendedTable {
+				accept = true
+			}
+		}
+		kind := "attribute"
+		if q.IsClassQuestion {
+			kind = "class"
+		}
+		answer := "no"
+		if accept {
+			answer = "yes"
+		}
+		fmt.Printf("  Q%d (%s): %s -> %s (space: %d)\n",
+			osess.Steps()+1, kind, q.Text, answer, osess.SpaceSize())
+		if accept {
+			osess.Accept(q)
+		} else {
+			osess.Reject(q)
+		}
+	}
+	fmt.Printf("FreeQ isolated the intent in %d questions\n\n", osess.Steps())
+
+	// Attribute-level (IQP) session for comparison.
+	psess, err := kb.ConstructPlain(best, keysearch.ConstructionConfig{StopAtRemaining: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for !psess.Done() {
+		q, ok := psess.Next()
+		if !ok {
+			break
+		}
+		if strings.Contains(q.Text, intendedTable+".") {
+			psess.Accept(q)
+		} else {
+			psess.Reject(q)
+		}
+	}
+	fmt.Printf("attribute-level construction needed %d questions\n", psess.Steps())
+}

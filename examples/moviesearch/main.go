@@ -1,0 +1,99 @@
+// Moviesearch: incremental query construction over the bundled synthetic
+// movie database (the IQP workflow of Chapter 3).
+//
+// A keyword query is ambiguous across actors, directors, titles and
+// roles. The construction session asks yes/no questions; this example
+// scripts a user whose intent is "the keyword is an actor's name" and
+// shows how few questions isolate the intended structured query.
+//
+//	go run ./examples/moviesearch
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	keysearch "repro"
+)
+
+func main() {
+	sys, err := keysearch.DemoMovies(7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("movie database: %d tables, %d rows, %d query templates\n\n",
+		sys.NumTables(), sys.NumRows(), sys.NumTemplates())
+
+	// Pick the most ambiguous keyword pair from the data itself: a person
+	// token plus a title word makes the query genuinely multi-reading.
+	queries := sys.SampleQueries(40)
+	if len(queries) < 2 {
+		log.Fatal("no ambiguous sample queries found")
+	}
+	q, bestN := "", 0
+	for i := 0; i < len(queries); i++ {
+		for j := i + 1; j < len(queries) && j < i+6; j++ {
+			cand := queries[i] + " " + queries[j]
+			rs, err := sys.Search(cand, 0)
+			if err != nil {
+				continue
+			}
+			if len(rs) > bestN {
+				q, bestN = cand, len(rs)
+			}
+		}
+	}
+	if q == "" {
+		q = queries[0]
+	}
+	fmt.Printf("keyword query: %q (%d interpretations)\n", q, bestN)
+
+	ranked, err := sys.Search(q, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntop ranked interpretations before construction:")
+	for i, r := range ranked {
+		fmt.Printf("  %d. P=%.3f  %s\n", i+1, r.Probability, r.Query)
+	}
+
+	// Interactive construction: our scripted user wants the actor-name
+	// reading and answers accordingly.
+	sess, err := sys.Construct(q, keysearch.ConstructionConfig{StopAtRemaining: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nconstruction session (user intends: actor name):")
+	for !sess.Done() {
+		question, ok := sess.Next()
+		if !ok {
+			break
+		}
+		accept := strings.Contains(question.Text, "actor.name")
+		answer := "no"
+		if accept {
+			answer = "yes"
+		}
+		fmt.Printf("  Q%d: %s -> %s\n", sess.Steps()+1, question.Text, answer)
+		if accept {
+			sess.Accept(question)
+		} else {
+			sess.Reject(question)
+		}
+	}
+
+	fmt.Printf("\nafter %d questions, remaining candidate queries:\n", sess.Steps())
+	for i, r := range sess.Candidates() {
+		fmt.Printf("  %d. P=%.3f  %s\n", i+1, r.Probability, r.Query)
+		rows, err := r.Rows(3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, row := range rows {
+			if name, ok := row["actor.name"]; ok {
+				fmt.Printf("       actor: %s\n", name)
+			}
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Quickstart: define a schema, load rows, and run keyword search.
+//
+// This is the minimal end-to-end use of the library: an ambiguous keyword
+// query ("london") is translated into its ranked structured
+// interpretations, and the top interpretation's results are printed.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	keysearch "repro"
+)
+
+func main() {
+	schema := []keysearch.Table{
+		{
+			Name:       "actor",
+			Columns:    []keysearch.Column{{Name: "id"}, {Name: "name", Text: true}},
+			PrimaryKey: "id",
+		},
+		{
+			Name:       "movie",
+			Columns:    []keysearch.Column{{Name: "id"}, {Name: "title", Text: true}, {Name: "year", Text: true}},
+			PrimaryKey: "id",
+		},
+		{
+			Name:    "acts",
+			Columns: []keysearch.Column{{Name: "actor_id"}, {Name: "movie_id"}, {Name: "role", Text: true}},
+			ForeignKeys: []keysearch.ForeignKey{
+				{Column: "actor_id", RefTable: "actor", RefColumn: "id"},
+				{Column: "movie_id", RefTable: "movie", RefColumn: "id"},
+			},
+		},
+	}
+	sys, err := keysearch.New(schema, keysearch.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rows := [][]string{
+		{"actor", "a1", "Tom Hanks"},
+		{"actor", "a2", "Jack London"},
+		{"movie", "m1", "The Terminal", "2004"},
+		{"movie", "m2", "London Boulevard", "2010"},
+		{"acts", "a1", "m1", "Viktor Navorski"},
+		{"acts", "a2", "m2", "Mitchel"},
+	}
+	for _, r := range rows {
+		if err := sys.Insert(r[0], r[1:]...); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := sys.Build(); err != nil {
+		log.Fatal(err)
+	}
+
+	const q = "london"
+	fmt.Printf("keyword query: %q\n\n", q)
+	results, err := sys.Search(q, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("ranked interpretations:")
+	for i, r := range results {
+		fmt.Printf("  %d. P=%.3f  %s\n", i+1, r.Probability, r.Query)
+	}
+
+	fmt.Println("\nresults of the top interpretation:")
+	top, err := results[0].Rows(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range top {
+		fmt.Printf("  %v\n", row)
+	}
+}

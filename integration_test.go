@@ -1,0 +1,169 @@
+package keysearch
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEndToEndMovieDemo drives the complete pipeline on the bundled movie
+// dataset: for a batch of data-derived ambiguous keywords it checks that
+// (1) every ranked interpretation is well-formed and executable,
+// (2) executed results actually contain the keyword,
+// (3) construction can isolate every single one of the top readings, and
+// (4) diversification returns a subset of the ranked readings.
+func TestEndToEndMovieDemo(t *testing.T) {
+	sys, err := DemoMovies(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := sys.SampleQueries(12)
+	if len(queries) < 5 {
+		t.Fatalf("too few sample queries: %d", len(queries))
+	}
+	for _, q := range queries {
+		ranked, err := sys.Search(q, 6)
+		if err != nil {
+			t.Fatalf("Search(%q): %v", q, err)
+		}
+		if len(ranked) < 2 {
+			continue // not ambiguous after all
+		}
+		// (1)+(2): execute each interpretation; any returned row must
+		// contain the keyword in the bound attribute.
+		for _, r := range ranked {
+			rows, err := r.Rows(3)
+			if err != nil {
+				t.Fatalf("Rows(%q / %s): %v", q, r.Query, err)
+			}
+			for _, row := range rows {
+				hit := false
+				for _, v := range row {
+					for _, tok := range strings.Fields(strings.ToLower(v)) {
+						if strings.Trim(tok, ".,!?") == q {
+							hit = true
+						}
+					}
+				}
+				if !hit {
+					t.Fatalf("result of %q via %s lacks the keyword: %v", q, r.Query, row)
+				}
+			}
+		}
+		// (3): construction can isolate each of the top readings.
+		for _, target := range ranked[:minInt(3, len(ranked))] {
+			sess, err := sys.Construct(q, ConstructionConfig{StopAtRemaining: 1})
+			if err != nil {
+				t.Fatalf("Construct(%q): %v", q, err)
+			}
+			guard := 0
+			for !sess.Done() && guard < 100 {
+				question, ok := sess.Next()
+				if !ok {
+					break
+				}
+				guard++
+				// Oracle: accept iff the question's attribute appears as
+				// a predicate of the target's rendering — the question
+				// text says `… a value of director.name`, the rendering
+				// says `σ_{…}⊂name(director)`.
+				accept := false
+				if parts := strings.SplitN(attrIn(question.Text), ".", 2); len(parts) == 2 {
+					accept = strings.Contains(target.Query, parts[1]+"("+parts[0])
+				}
+				if accept {
+					sess.Accept(question)
+				} else {
+					sess.Reject(question)
+				}
+			}
+			found := false
+			for _, c := range sess.Candidates() {
+				if c.Query == target.Query {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("construction of %q lost target %s", q, target.Query)
+			}
+		}
+		// (4): diversification returns a subset of the full ranking.
+		div, err := sys.Diversify(q, 4, 0.1)
+		if err != nil {
+			t.Fatalf("Diversify(%q): %v", q, err)
+		}
+		all, err := sys.Search(q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		known := map[string]bool{}
+		for _, r := range all {
+			known[r.Query] = true
+		}
+		for _, r := range div {
+			if !known[r.Query] {
+				t.Fatalf("diversified foreign interpretation: %v", r.Query)
+			}
+		}
+	}
+}
+
+// attrIn extracts the "table.column" fragment of a question text.
+func attrIn(text string) string {
+	fields := strings.Fields(text)
+	for _, f := range fields {
+		if strings.Count(f, ".") == 1 && !strings.HasPrefix(f, ".") {
+			return f
+		}
+	}
+	return text
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestEndToEndMusicDemo exercises the 5-table chain schema end to end:
+// artist+song multi-concept queries require the full chain join.
+func TestEndToEndMusicDemo(t *testing.T) {
+	sys, err := DemoMusic(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := sys.SampleQueries(8)
+	for _, q := range queries {
+		ranked, err := sys.Search(q, 5)
+		if err != nil || len(ranked) == 0 {
+			t.Fatalf("Search(%q): %v", q, err)
+		}
+		for _, r := range ranked {
+			if _, err := r.Rows(2); err != nil {
+				t.Fatalf("Rows(%q): %v", q, err)
+			}
+		}
+	}
+	// The 5-table chain template must exist in the catalogue: verify a
+	// chain interpretation can be produced for an artist+song pair.
+	found := false
+	for i := 0; i < len(queries) && !found; i++ {
+		for j := 0; j < len(queries) && !found; j++ {
+			if i == j {
+				continue
+			}
+			ranked, err := sys.Search(queries[i]+" "+queries[j], 0)
+			if err != nil {
+				continue
+			}
+			for _, r := range ranked {
+				if len(r.Tables) == 5 {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Skip("no 5-table chain interpretation found for this seed (workload-dependent)")
+	}
+}

@@ -1,0 +1,335 @@
+// Package core implements IQP — the probabilistic incremental query
+// construction system of Chapter 3. It provides:
+//
+//   - query construction plans as binary decision trees over an
+//     interpretation space (Definition 3.5.8), their interaction cost
+//     (Definition 3.5.9 / Equation 3.1), and the brute-force minimum-plan
+//     algorithm (Algorithm 3.1) over abstract spaces;
+//   - the greedy, information-gain-driven interactive construction session
+//     (Algorithm 3.2, Equations 3.11–3.13) over real interpretation spaces
+//     with lazy query-hierarchy expansion (Section 3.5.3);
+//   - the simulated user (accept/reject oracle plus the human time model
+//     calibrated against the user study of Section 3.8.4); and
+//   - the synthetic scalability simulation of Section 3.8.5.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// PlanItem is one complete query interpretation of an abstract
+// interpretation space, identified by Key and carrying its probability
+// P(leaf) of being the user's intent.
+type PlanItem struct {
+	Key  string
+	Prob float64
+}
+
+// PlanOption is one query construction option over an abstract space:
+// Subsumes is the bitmask of the items it subsumes (bit i ↔ item i).
+// Abstract spaces are limited to 64 items, which covers the plan-quality
+// experiment of Table 3.4 (8–24 interpretations).
+type PlanOption struct {
+	Key      string
+	Subsumes uint64
+}
+
+// PlanSpace bundles items and options.
+type PlanSpace struct {
+	Items   []PlanItem
+	Options []PlanOption
+}
+
+// Validate checks the space is well-formed for planning.
+func (s *PlanSpace) Validate() error {
+	if len(s.Items) == 0 {
+		return fmt.Errorf("core: empty plan space")
+	}
+	if len(s.Items) > 64 {
+		return fmt.Errorf("core: abstract plan spaces support at most 64 items, got %d", len(s.Items))
+	}
+	total := 0.0
+	for _, it := range s.Items {
+		if it.Prob < 0 {
+			return fmt.Errorf("core: negative probability for %s", it.Key)
+		}
+		total += it.Prob
+	}
+	if total <= 0 {
+		return fmt.Errorf("core: zero total probability")
+	}
+	return nil
+}
+
+// fullMask returns the bitmask covering all items.
+func (s *PlanSpace) fullMask() uint64 {
+	if len(s.Items) == 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(len(s.Items))) - 1
+}
+
+// PlanNode is one node of a query construction plan (binary decision
+// tree, Definition 3.5.8). Leaf nodes have OptionIdx < 0.
+type PlanNode struct {
+	// Set is the bitmask of interpretations represented by this node.
+	Set uint64
+	// OptionIdx is the option decided at this node, or -1 at leaves.
+	OptionIdx int
+	// Accept/Reject are the children reached by accepting/rejecting.
+	Accept, Reject *PlanNode
+}
+
+// Plan is a complete query construction plan with its expected
+// interaction cost under the space's probabilities.
+type Plan struct {
+	Root *PlanNode
+	Cost float64
+}
+
+// planKey memoises subproblems of the brute-force search on the set of
+// remaining interpretations. Options are a function of the set (an option
+// is useful only while it splits the set), so the set alone identifies the
+// subproblem.
+type planner struct {
+	space *PlanSpace
+	memo  map[uint64]memoEntry
+	// probs[i] = P(item i); condProb uses renormalisation over the set.
+	probs []float64
+}
+
+type memoEntry struct {
+	cost   float64
+	option int // -1 for leaves / unsplittable sets
+}
+
+// OptimalPlan runs the brute-force Algorithm 3.1 (with memoisation over
+// interpretation subsets) and returns a minimum query construction plan
+// and its interaction cost (Definition 3.5.10).
+//
+// When a multi-item set cannot be split by any remaining option, the plan
+// degenerates to a ranked list over that set: the user examines the items
+// in descending probability, which costs Σ_i rank(i)·P(i|set) — the
+// ranked-list special case of Section 3.5.5.
+func OptimalPlan(space *PlanSpace) (*Plan, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	p := &planner{
+		space: space,
+		memo:  make(map[uint64]memoEntry),
+		probs: make([]float64, len(space.Items)),
+	}
+	for i, it := range space.Items {
+		p.probs[i] = it.Prob
+	}
+	full := space.fullMask()
+	cost := p.solve(full)
+	root := p.buildTree(full)
+	return &Plan{Root: root, Cost: cost}, nil
+}
+
+// mass returns the total probability of a set.
+func (p *planner) mass(set uint64) float64 {
+	total := 0.0
+	for set != 0 {
+		i := bits.TrailingZeros64(set)
+		total += p.probs[i]
+		set &= set - 1
+	}
+	return total
+}
+
+// rankedListCost is the expected number of evaluations when scanning the
+// set as a probability-ranked list (1-based ranks), conditioned on the set.
+func (p *planner) rankedListCost(set uint64) float64 {
+	type pair struct{ prob float64 }
+	var items []float64
+	for s := set; s != 0; s &= s - 1 {
+		i := bits.TrailingZeros64(s)
+		items = append(items, p.probs[i])
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(items)))
+	total := 0.0
+	for _, pr := range items {
+		total += pr
+	}
+	if total == 0 {
+		return 0
+	}
+	cost := 0.0
+	for r, pr := range items {
+		cost += float64(r+1) * (pr / total)
+	}
+	_ = pair{}
+	return cost
+}
+
+func (p *planner) solve(set uint64) float64 {
+	n := bits.OnesCount64(set)
+	if n <= 1 {
+		return 0
+	}
+	if e, ok := p.memo[set]; ok {
+		return e.cost
+	}
+	mass := p.mass(set)
+	// The user can always fall back to scanning the ranked query window
+	// (the ranked-list QCP of Section 3.5.5), so that cost upper-bounds
+	// every subproblem.
+	best := p.rankedListCost(set)
+	bestOpt := -1
+	for oi, opt := range p.space.Options {
+		in := set & opt.Subsumes
+		out := set &^ opt.Subsumes
+		if in == 0 || out == 0 {
+			continue // does not split this set
+		}
+		pin := 0.0
+		if mass > 0 {
+			pin = p.mass(in) / mass
+		}
+		// Lemma 3.7.1: Cost = P(R)·Cost(accept) + P(¬R)·Cost(reject) + 1.
+		c := pin*p.solve(in) + (1-pin)*p.solve(out) + 1
+		if c < best {
+			best = c
+			bestOpt = oi
+		}
+	}
+	p.memo[set] = memoEntry{cost: best, option: bestOpt}
+	return best
+}
+
+// buildTree reconstructs the optimal plan tree from the memo table.
+func (p *planner) buildTree(set uint64) *PlanNode {
+	node := &PlanNode{Set: set, OptionIdx: -1}
+	if bits.OnesCount64(set) <= 1 {
+		return node
+	}
+	e := p.memo[set]
+	if e.option < 0 {
+		return node // ranked-list leaf
+	}
+	node.OptionIdx = e.option
+	opt := p.space.Options[e.option]
+	node.Accept = p.buildTree(set & opt.Subsumes)
+	node.Reject = p.buildTree(set &^ opt.Subsumes)
+	return node
+}
+
+// PlanCost evaluates the expected interaction cost of an arbitrary plan
+// tree under the space's probabilities (Equation 3.1), treating
+// multi-item leaves as ranked lists.
+func PlanCost(space *PlanSpace, root *PlanNode) float64 {
+	probs := make([]float64, len(space.Items))
+	for i, it := range space.Items {
+		probs[i] = it.Prob
+	}
+	p := &planner{space: space, probs: probs}
+	total := p.mass(space.fullMask())
+	if total == 0 {
+		return 0
+	}
+	var walk func(n *PlanNode, depth float64) float64
+	walk = func(n *PlanNode, depth float64) float64 {
+		if n == nil {
+			return 0
+		}
+		if n.OptionIdx < 0 {
+			mass := p.mass(n.Set)
+			if bits.OnesCount64(n.Set) <= 1 {
+				return depth * mass / total
+			}
+			// Ranked-list leaf: depth so far plus expected scan cost.
+			return (depth + p.rankedListCost(n.Set)) * mass / total
+		}
+		return walk(n.Accept, depth+1) + walk(n.Reject, depth+1)
+	}
+	return walk(root, 0)
+}
+
+// GreedyPlan builds a query construction plan with the greedy
+// information-gain policy of Algorithm 3.2 applied to an abstract space
+// (the configuration of the plan-quality comparison, Table 3.4: the
+// threshold is at least the space size, so the hierarchy is fully
+// expanded and the only difference from the brute force is the one-step
+// option choice). Returns the plan and its cost.
+func GreedyPlan(space *PlanSpace) (*Plan, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	probs := make([]float64, len(space.Items))
+	for i, it := range space.Items {
+		probs[i] = it.Prob
+	}
+	p := &planner{space: space, probs: probs}
+	var build func(set uint64) *PlanNode
+	build = func(set uint64) *PlanNode {
+		node := &PlanNode{Set: set, OptionIdx: -1}
+		if bits.OnesCount64(set) <= 1 {
+			return node
+		}
+		bestOpt := -1
+		bestIG := math.Inf(-1)
+		h := p.setEntropy(set)
+		for oi, opt := range p.space.Options {
+			in := set & opt.Subsumes
+			out := set &^ opt.Subsumes
+			if in == 0 || out == 0 {
+				continue
+			}
+			ig := h - p.conditionalEntropy(set, opt.Subsumes)
+			if ig > bestIG {
+				bestIG = ig
+				bestOpt = oi
+			}
+		}
+		if bestOpt < 0 {
+			return node
+		}
+		opt := p.space.Options[bestOpt]
+		node.OptionIdx = bestOpt
+		node.Accept = build(set & opt.Subsumes)
+		node.Reject = build(set &^ opt.Subsumes)
+		return node
+	}
+	root := build(space.fullMask())
+	return &Plan{Root: root, Cost: PlanCost(space, root)}, nil
+}
+
+// setEntropy is H(I) of Equation 3.12 over the set, with probabilities
+// renormalised to the set.
+func (p *planner) setEntropy(set uint64) float64 {
+	mass := p.mass(set)
+	if mass <= 0 {
+		return 0
+	}
+	h := 0.0
+	for s := set; s != 0; s &= s - 1 {
+		i := bits.TrailingZeros64(s)
+		pr := p.probs[i] / mass
+		if pr > 0 {
+			h -= pr * math.Log2(pr)
+		}
+	}
+	return h
+}
+
+// conditionalEntropy is H(I|O) — the expected entropy after learning
+// whether the option subsumes the intended interpretation:
+// P(O)·H(I|accept) + P(¬O)·H(I|reject). Equation 3.13 evaluates the
+// subsumed branch; we use the full conditional expectation, which is the
+// quantity the information gain of Equation 3.11 requires.
+func (p *planner) conditionalEntropy(set, subsumes uint64) float64 {
+	in := set & subsumes
+	out := set &^ subsumes
+	mass := p.mass(set)
+	if mass <= 0 {
+		return 0
+	}
+	pin := p.mass(in) / mass
+	return pin*p.setEntropy(in) + (1-pin)*p.setEntropy(out)
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// halfSplitSpace builds the Table 3.4 configuration: n items with random
+// probabilities, m options each subsuming a random half of the items.
+func halfSplitSpace(rng *rand.Rand, items, options int) *PlanSpace {
+	s := &PlanSpace{}
+	total := 0.0
+	probs := make([]float64, items)
+	for i := range probs {
+		probs[i] = rng.Float64() + 1e-6
+		total += probs[i]
+	}
+	for i := 0; i < items; i++ {
+		s.Items = append(s.Items, PlanItem{Key: fmt.Sprintf("q%d", i), Prob: probs[i] / total})
+	}
+	for o := 0; o < options; o++ {
+		perm := rng.Perm(items)
+		var mask uint64
+		for _, i := range perm[:items/2] {
+			mask |= 1 << uint(i)
+		}
+		s.Options = append(s.Options, PlanOption{Key: fmt.Sprintf("o%d", o), Subsumes: mask})
+	}
+	return s
+}
+
+func TestPlanSpaceValidate(t *testing.T) {
+	if err := (&PlanSpace{}).Validate(); err == nil {
+		t.Fatal("empty space accepted")
+	}
+	big := &PlanSpace{Items: make([]PlanItem, 65)}
+	for i := range big.Items {
+		big.Items[i] = PlanItem{Key: fmt.Sprintf("q%d", i), Prob: 1}
+	}
+	if err := big.Validate(); err == nil {
+		t.Fatal(">64 items accepted")
+	}
+	neg := &PlanSpace{Items: []PlanItem{{Key: "a", Prob: -1}}}
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negative probability accepted")
+	}
+	zero := &PlanSpace{Items: []PlanItem{{Key: "a", Prob: 0}}}
+	if err := zero.Validate(); err == nil {
+		t.Fatal("zero-mass space accepted")
+	}
+}
+
+func TestOptimalPlanSingleItem(t *testing.T) {
+	s := &PlanSpace{Items: []PlanItem{{Key: "only", Prob: 1}}}
+	p, err := OptimalPlan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cost != 0 {
+		t.Fatalf("single-item cost = %v, want 0", p.Cost)
+	}
+	if p.Root.OptionIdx != -1 {
+		t.Fatal("single item should be a leaf")
+	}
+}
+
+func TestOptimalPlanTwoItems(t *testing.T) {
+	s := &PlanSpace{
+		Items: []PlanItem{
+			{Key: "a", Prob: 0.5},
+			{Key: "b", Prob: 0.5},
+		},
+		Options: []PlanOption{{Key: "o", Subsumes: 0b01}},
+	}
+	p, err := OptimalPlan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One question resolves the space: cost 1 regardless of answer.
+	if math.Abs(p.Cost-1) > 1e-12 {
+		t.Fatalf("two-item cost = %v, want 1", p.Cost)
+	}
+	if p.Root.OptionIdx != 0 || p.Root.Accept == nil || p.Root.Reject == nil {
+		t.Fatal("plan tree malformed")
+	}
+}
+
+func TestOptimalPlanBalancedEightItems(t *testing.T) {
+	// 8 uniform items with a perfect binary option hierarchy: log2(8)=3.
+	s := &PlanSpace{}
+	for i := 0; i < 8; i++ {
+		s.Items = append(s.Items, PlanItem{Key: fmt.Sprintf("q%d", i), Prob: 0.125})
+	}
+	masks := []uint64{0x0F, 0x33, 0x55}
+	for i, m := range masks {
+		s.Options = append(s.Options, PlanOption{Key: fmt.Sprintf("bit%d", i), Subsumes: m})
+	}
+	p, err := OptimalPlan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Cost-3) > 1e-9 {
+		t.Fatalf("balanced cost = %v, want 3", p.Cost)
+	}
+}
+
+func TestOptimalPlanSkewedFavoursRankedStyle(t *testing.T) {
+	// One dominant item: the optimal plan asks about it first, giving cost
+	// close to 1 for the dominant mass.
+	s := &PlanSpace{
+		Items: []PlanItem{
+			{Key: "likely", Prob: 0.97},
+			{Key: "rare1", Prob: 0.02},
+			{Key: "rare2", Prob: 0.01},
+		},
+		Options: []PlanOption{
+			{Key: "isLikely", Subsumes: 0b001},
+			{Key: "isRare1", Subsumes: 0b010},
+		},
+	}
+	p, err := OptimalPlan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Options[p.Root.OptionIdx].Key != "isLikely" {
+		t.Fatalf("skewed plan should decide the dominant item first, got %s",
+			s.Options[p.Root.OptionIdx].Key)
+	}
+	// Cost ≈ 0.97·1 + 0.03·2 = 1.03.
+	if math.Abs(p.Cost-1.03) > 1e-9 {
+		t.Fatalf("cost = %v, want 1.03", p.Cost)
+	}
+}
+
+func TestUnsplittableFallsBackToRankedList(t *testing.T) {
+	s := &PlanSpace{
+		Items: []PlanItem{
+			{Key: "a", Prob: 0.7},
+			{Key: "b", Prob: 0.2},
+			{Key: "c", Prob: 0.1},
+		},
+		// No options at all.
+	}
+	p, err := OptimalPlan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ranked-list cost: 1·0.7 + 2·0.2 + 3·0.1 = 1.4.
+	if math.Abs(p.Cost-1.4) > 1e-9 {
+		t.Fatalf("ranked-list cost = %v, want 1.4", p.Cost)
+	}
+	if p.Root.OptionIdx != -1 {
+		t.Fatal("unsplittable root should be a ranked-list leaf")
+	}
+}
+
+func TestPlanCostMatchesSolverCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		s := halfSplitSpace(rng, 12, 6)
+		p, err := OptimalPlan(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := PlanCost(s, p.Root); math.Abs(got-p.Cost) > 1e-9 {
+			t.Fatalf("PlanCost = %v, solver said %v", got, p.Cost)
+		}
+	}
+}
+
+// TestGreedyNearOptimal reproduces the Table 3.4 claim: greedy plan cost
+// is only slightly worse than brute force (within a few percent).
+func TestGreedyNearOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	configs := []struct{ items, options int }{
+		{8, 4}, {12, 6}, {16, 8}, {20, 10}, {24, 12},
+	}
+	for _, c := range configs {
+		var optSum, grdSum float64
+		const reps = 10
+		for r := 0; r < reps; r++ {
+			s := halfSplitSpace(rng, c.items, c.options)
+			op, err := OptimalPlan(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gp, err := GreedyPlan(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gp.Cost < op.Cost-1e-9 {
+				t.Fatalf("greedy beat brute force: %v < %v (items=%d)", gp.Cost, op.Cost, c.items)
+			}
+			optSum += op.Cost
+			grdSum += gp.Cost
+		}
+		ratio := grdSum / optSum
+		if ratio > 1.10 {
+			t.Fatalf("greedy/optimal ratio %.3f exceeds 10%% at items=%d", ratio, c.items)
+		}
+	}
+}
+
+func TestGreedyPlanValidates(t *testing.T) {
+	if _, err := GreedyPlan(&PlanSpace{}); err == nil {
+		t.Fatal("empty space accepted by greedy")
+	}
+}
+
+// Property: optimal cost is monotone — it never exceeds the ranked-list
+// cost, and never exceeds the greedy cost.
+func TestOptimalCostBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := halfSplitSpace(rng, 6+rng.Intn(10), 3+rng.Intn(5))
+		op, err := OptimalPlan(s)
+		if err != nil {
+			return false
+		}
+		gp, err := GreedyPlan(s)
+		if err != nil {
+			return false
+		}
+		if op.Cost > gp.Cost+1e-9 {
+			return false
+		}
+		// Ranked-list upper bound over the full space.
+		p := &planner{space: s, probs: make([]float64, len(s.Items))}
+		for i, it := range s.Items {
+			p.probs[i] = it.Prob
+		}
+		return op.Cost <= p.rankedListCost(s.fullMask())+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntropyHelpers(t *testing.T) {
+	s := &PlanSpace{
+		Items: []PlanItem{
+			{Key: "a", Prob: 0.5}, {Key: "b", Prob: 0.5},
+		},
+	}
+	p := &planner{space: s, probs: []float64{0.5, 0.5}}
+	if h := p.setEntropy(0b11); math.Abs(h-1) > 1e-12 {
+		t.Fatalf("setEntropy = %v, want 1", h)
+	}
+	if h := p.setEntropy(0b01); h != 0 {
+		t.Fatalf("singleton entropy = %v", h)
+	}
+	// A perfect split halves the entropy to zero conditional entropy.
+	if ce := p.conditionalEntropy(0b11, 0b01); ce != 0 {
+		t.Fatalf("conditionalEntropy of perfect split = %v", ce)
+	}
+}

@@ -1,0 +1,405 @@
+package datagen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/invindex"
+	"repro/internal/relstore"
+)
+
+func TestPools(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := NewPools(rng, 50)
+	if len(p.Surnames) != 50 {
+		t.Fatalf("surname pool = %d", len(p.Surnames))
+	}
+	name := p.PersonName()
+	if len(strings.Fields(name)) != 2 {
+		t.Fatalf("PersonName = %q", name)
+	}
+	title := p.Title(1.0)
+	if title == "" {
+		t.Fatal("empty title")
+	}
+	y := p.Year()
+	if len(y) != 4 {
+		t.Fatalf("Year = %q", y)
+	}
+	if n := len(strings.Fields(p.Sentence(6))); n != 6 {
+		t.Fatalf("Sentence words = %d", n)
+	}
+	// Zipf skew: the most common surname should dominate a large sample.
+	counts := map[string]int{}
+	for i := 0; i < 2000; i++ {
+		counts[p.Surname()]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 200 {
+		t.Fatalf("surname distribution not skewed enough: max=%d", max)
+	}
+}
+
+func TestIMDBDeterministic(t *testing.T) {
+	cfg := IMDBConfig{Movies: 50, Actors: 40, Directors: 10, Companies: 5, Seed: 7}
+	db1, err := IMDB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := IMDB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db1.NumRows() != db2.NumRows() {
+		t.Fatal("IMDB not deterministic in row count")
+	}
+	a1, _ := db1.Table("actor").Value(0, "name")
+	a2, _ := db2.Table("actor").Value(0, "name")
+	if a1 != a2 {
+		t.Fatalf("IMDB not deterministic: %q vs %q", a1, a2)
+	}
+}
+
+func TestIMDBShape(t *testing.T) {
+	db, err := IMDB(IMDBConfig{Movies: 30, Actors: 20, Directors: 5, Companies: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumTables() != 7 {
+		t.Fatalf("IMDB tables = %d, want 7", db.NumTables())
+	}
+	for _, name := range []string{"actor", "director", "movie", "company", "acts", "directs", "produced_by"} {
+		if db.Table(name) == nil {
+			t.Fatalf("missing table %s", name)
+		}
+	}
+	if db.Table("movie").Len() != 30 {
+		t.Fatalf("movies = %d", db.Table("movie").Len())
+	}
+	// Every movie has a director and a company.
+	if db.Table("directs").Len() != 30 || db.Table("produced_by").Len() != 30 {
+		t.Fatal("directs/produced_by cardinality wrong")
+	}
+	// FK integrity: every acts row references existing actor and movie.
+	acts := db.Table("acts")
+	for _, row := range acts.Rows() {
+		aid, _ := acts.Value(row.RowID, "actor_id")
+		if len(db.Table("actor").LookupEqual("id", aid)) != 1 {
+			t.Fatalf("dangling actor_id %s", aid)
+		}
+	}
+}
+
+func TestIMDBAmbiguity(t *testing.T) {
+	db, err := IMDB(IMDBConfig{Movies: 300, Actors: 200, Directors: 50, Companies: 20,
+		NameInTitleProb: 0.4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := invindex.Build(db)
+	// There must exist surname tokens occurring both in person names and
+	// in movie titles — the ambiguity the experiments rely on.
+	ambiguous := 0
+	// Scan actor-name tokens for title collisions.
+	actor := db.Table("actor")
+	seen := map[string]bool{}
+	for _, row := range actor.Rows() {
+		name, _ := actor.Value(row.RowID, "name")
+		for _, tok := range relstore.Tokenize(name) {
+			if seen[tok] {
+				continue
+			}
+			seen[tok] = true
+			inTitle := false
+			for _, p := range ix.Lookup(tok) {
+				if p.Attr.String() == "movie.title" {
+					inTitle = true
+				}
+			}
+			if inTitle {
+				ambiguous++
+			}
+		}
+	}
+	if ambiguous < 5 {
+		t.Fatalf("too little cross-attribute ambiguity: %d shared tokens", ambiguous)
+	}
+}
+
+func TestLyricsShape(t *testing.T) {
+	db, err := Lyrics(LyricsConfig{Artists: 20, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumTables() != 5 {
+		t.Fatalf("Lyrics tables = %d, want 5", db.NumTables())
+	}
+	for _, name := range []string{"artist", "album", "song", "artist_album", "album_song"} {
+		if db.Table(name) == nil {
+			t.Fatalf("missing table %s", name)
+		}
+	}
+	if db.Table("artist").Len() != 20 {
+		t.Fatalf("artists = %d", db.Table("artist").Len())
+	}
+	// The chain is navigable: every album_song references an existing
+	// album that an artist owns.
+	as := db.Table("album_song")
+	aa := db.Table("artist_album")
+	for _, row := range as.Rows() {
+		alid, _ := as.Value(row.RowID, "album_id")
+		if len(aa.LookupEqual("album_id", alid)) == 0 {
+			t.Fatalf("album %s has no artist", alid)
+		}
+	}
+}
+
+func TestMovieWorkload(t *testing.T) {
+	db, err := IMDB(IMDBConfig{Movies: 100, Actors: 60, Directors: 15, Companies: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := invindex.Build(db)
+	intents := MovieWorkload(db, WorkloadConfig{Queries: 40, MultiConceptFraction: 0.5, Seed: 9})
+	if len(intents) != 40 {
+		t.Fatalf("intents = %d", len(intents))
+	}
+	mc := 0
+	for _, in := range intents {
+		if len(in.Keywords) != len(in.Attrs) {
+			t.Fatalf("keyword/attr length mismatch: %v", in)
+		}
+		if in.MultiConcept {
+			mc++
+		}
+		// Ground truth must be realisable: each keyword occurs in its
+		// intended attribute.
+		for i, kw := range in.Keywords {
+			parts := strings.SplitN(in.Attrs[i], ".", 2)
+			attr := invindex.AttrRef{Table: parts[0], Column: parts[1]}
+			if ix.TermCount(kw, attr) == 0 {
+				t.Fatalf("keyword %q does not occur in intended attr %s", kw, in.Attrs[i])
+			}
+		}
+	}
+	if mc == 0 || mc == len(intents) {
+		t.Fatalf("multi-concept mix degenerate: %d/%d", mc, len(intents))
+	}
+}
+
+func TestMusicWorkload(t *testing.T) {
+	db, err := Lyrics(LyricsConfig{Artists: 40, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := invindex.Build(db)
+	intents := MusicWorkload(db, WorkloadConfig{Queries: 20, MultiConceptFraction: 0.5, Seed: 9})
+	if len(intents) != 20 {
+		t.Fatalf("intents = %d", len(intents))
+	}
+	for _, in := range intents {
+		for i, kw := range in.Keywords {
+			parts := strings.SplitN(in.Attrs[i], ".", 2)
+			attr := invindex.AttrRef{Table: parts[0], Column: parts[1]}
+			if ix.TermCount(kw, attr) == 0 {
+				t.Fatalf("keyword %q does not occur in intended attr %s", kw, in.Attrs[i])
+			}
+		}
+	}
+}
+
+func TestTemplateLog(t *testing.T) {
+	log := TemplateLog(16, 1000, 0.85, 3)
+	total := 0
+	max := 0
+	for _, c := range log {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if total != 1000 {
+		t.Fatalf("log total = %d", total)
+	}
+	if max < 850 {
+		t.Fatalf("skew not honoured: max = %d", max)
+	}
+	if len(TemplateLog(0, 100, 0.5, 1)) != 0 {
+		t.Fatal("degenerate log should be empty")
+	}
+}
+
+func TestConceptSpace(t *testing.T) {
+	cs := NewConceptSpace(10, 5, 50, 1)
+	if len(cs.Names) != 10 {
+		t.Fatalf("concepts = %d", len(cs.Names))
+	}
+	for _, name := range cs.Names {
+		pool := cs.Instances[name]
+		if len(pool) < 5 {
+			t.Fatalf("pool of %s too small: %d", name, len(pool))
+		}
+		// Instance ids are namespaced by concept (globally unique).
+		for _, inst := range pool {
+			if !strings.HasPrefix(inst, name+"/") {
+				t.Fatalf("instance %q not namespaced", inst)
+			}
+		}
+	}
+	if cs.TotalInstances() < 50 {
+		t.Fatalf("TotalInstances = %d", cs.TotalInstances())
+	}
+}
+
+func TestFreebase(t *testing.T) {
+	cs := NewConceptSpace(12, 20, 100, 1)
+	fd, err := Freebase(cs, FreebaseConfig{Domains: 4, TablesPerDomain: 6, RowsPerTable: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 domains × (1 hub + 6 tables) = 28 tables.
+	if fd.DB.NumTables() != 28 {
+		t.Fatalf("tables = %d, want 28", fd.DB.NumTables())
+	}
+	if len(fd.Domains) != 4 {
+		t.Fatalf("domains = %v", fd.Domains)
+	}
+	for table, concept := range fd.ConceptOf {
+		insts := fd.InstancesOf[table]
+		if len(insts) == 0 {
+			t.Fatalf("table %s has no instances", table)
+		}
+		for _, inst := range insts {
+			if !strings.HasPrefix(inst, concept+"/") {
+				t.Fatalf("table %s instance %q not from concept %s", table, inst, concept)
+			}
+		}
+		if fd.DomainOf[table] == "" {
+			t.Fatalf("table %s has no domain", table)
+		}
+	}
+	// Rows carry the instance as primary key.
+	for table, insts := range fd.InstancesOf {
+		tb := fd.DB.Table(table)
+		if tb.Len() != len(insts) {
+			t.Fatalf("table %s rows=%d instances=%d", table, tb.Len(), len(insts))
+		}
+	}
+}
+
+func TestYAGO(t *testing.T) {
+	cs := NewConceptSpace(8, 20, 60, 1)
+	o := YAGO(cs, YAGOConfig{BackboneDepth: 3, BackboneBranch: 2, WikiCategoriesPerConcept: 2, Seed: 5})
+	// Backbone: 1 + 2 + 4 + 8 = 15, plus 8 concepts, plus ≤16 wiki cats.
+	if o.NumClasses() < 15+8 {
+		t.Fatalf("classes = %d", o.NumClasses())
+	}
+	// Concept classes exist and carry instances.
+	for _, concept := range cs.Names {
+		id, ok := o.ByName("wordnet_" + concept)
+		if !ok {
+			t.Fatalf("concept class for %s missing", concept)
+		}
+		if o.DirectInstanceCount(id) == 0 {
+			t.Fatalf("concept class %s has no instances", concept)
+		}
+		// Coverage below 100%: some concept instances are not in YAGO.
+		if o.DirectInstanceCount(id) > len(cs.Instances[concept]) {
+			t.Fatalf("class %s has more instances than the pool", concept)
+		}
+	}
+	// Backbone classes have no direct instances.
+	for id := 0; id < 15; id++ {
+		c, _ := o.Class(id)
+		if strings.HasPrefix(c.Name, "wordnet_c") || c.ID == 0 {
+			if o.DirectInstanceCount(id) != 0 {
+				t.Fatalf("backbone class %s has instances", c.Name)
+			}
+		}
+	}
+	// Wiki categories are leaves under concepts.
+	found := false
+	for _, leaf := range o.Leaves() {
+		c, _ := o.Class(leaf)
+		if strings.HasPrefix(c.Name, "wikicategory_") {
+			found = true
+			if o.DirectInstanceCount(leaf) == 0 {
+				t.Fatalf("wiki category %s empty", c.Name)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no wiki categories generated")
+	}
+}
+
+func TestYAGOFreebaseOverlap(t *testing.T) {
+	cs := NewConceptSpace(10, 30, 80, 1)
+	fd, err := Freebase(cs, FreebaseConfig{Domains: 3, TablesPerDomain: 5, RowsPerTable: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := YAGO(cs, YAGOConfig{CoverageProb: 0.9, Seed: 3})
+	// A Freebase table's instances must overlap strongly with its true
+	// concept's YAGO class.
+	for table, concept := range fd.ConceptOf {
+		cid, ok := o.ByName("wordnet_" + concept)
+		if !ok {
+			t.Fatalf("no class for %s", concept)
+		}
+		members := map[string]bool{}
+		for _, inst := range o.DirectInstances(cid) {
+			members[inst] = true
+		}
+		overlap := 0
+		for _, inst := range fd.InstancesOf[table] {
+			if members[inst] {
+				overlap++
+			}
+		}
+		frac := float64(overlap) / float64(len(fd.InstancesOf[table]))
+		if frac < 0.5 {
+			t.Fatalf("table %s overlaps its true class only %.2f", table, frac)
+		}
+	}
+}
+
+func TestIntentString(t *testing.T) {
+	in := Intent{Keywords: []string{"a", "b"}, Attrs: []string{"t.x", "t.y"}}
+	s := in.String()
+	if !strings.Contains(s, "a") || !strings.Contains(s, "t.x") {
+		t.Fatalf("Intent.String = %q", s)
+	}
+}
+
+func TestGeneratorDefaults(t *testing.T) {
+	// Zero-value configs fill sensible defaults and still generate.
+	if _, err := IMDB(IMDBConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lyrics(LyricsConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	cs := NewConceptSpace(0, 0, 0, 1) // all defaults
+	if len(cs.Names) == 0 {
+		t.Fatal("default concept space empty")
+	}
+	if _, err := Freebase(cs, FreebaseConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	o := YAGO(cs, YAGOConfig{})
+	if o.NumClasses() == 0 {
+		t.Fatal("default YAGO empty")
+	}
+	cfg := WorkloadConfig{MultiConceptFraction: -1}
+	cfg.defaults()
+	if cfg.MultiConceptFraction != 0.5 || cfg.Queries != 50 {
+		t.Fatalf("workload defaults = %+v", cfg)
+	}
+}

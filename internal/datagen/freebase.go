@@ -1,0 +1,170 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/relstore"
+)
+
+// ConceptSpace is the shared world of entity concepts and instances that
+// both the synthetic Freebase and the synthetic YAGO draw from. The
+// instance overlap between the two datasets — the basis of the YAGO+F
+// matching of Chapter 6 — exists because both sample from these pools
+// (standing in for the Wikipedia origin both real datasets share).
+type ConceptSpace struct {
+	// Names lists concept identifiers ("concept_000", ...).
+	Names []string
+	// Instances maps a concept to its instance identifiers.
+	Instances map[string][]string
+}
+
+// NewConceptSpace creates numConcepts concepts with Zipf-distributed pool
+// sizes between minPool and maxPool.
+func NewConceptSpace(numConcepts, minPool, maxPool int, seed int64) *ConceptSpace {
+	if numConcepts <= 0 {
+		numConcepts = 40
+	}
+	if minPool <= 0 {
+		minPool = 10
+	}
+	if maxPool < minPool {
+		maxPool = minPool * 20
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cs := &ConceptSpace{Instances: make(map[string][]string)}
+	zipf := rand.NewZipf(rng, 1.3, 1, uint64(maxPool-minPool))
+	for c := 0; c < numConcepts; c++ {
+		name := fmt.Sprintf("concept_%03d", c)
+		cs.Names = append(cs.Names, name)
+		n := minPool + int(zipf.Uint64())
+		pool := make([]string, n)
+		for i := range pool {
+			pool[i] = fmt.Sprintf("%s/inst_%05d", name, i)
+		}
+		cs.Instances[name] = pool
+	}
+	return cs
+}
+
+// TotalInstances returns the total instance count across concepts.
+func (cs *ConceptSpace) TotalInstances() int {
+	n := 0
+	for _, p := range cs.Instances {
+		n += len(p)
+	}
+	return n
+}
+
+// FreebaseConfig scales the synthetic Freebase: a very large, flat,
+// heterogeneous schema (Chapter 5 evaluates on >7,000 tables in >100
+// domains).
+type FreebaseConfig struct {
+	Domains         int
+	TablesPerDomain int
+	// RowsPerTable bounds rows sampled per table (small: the experiments
+	// stress schema scale, not data scale).
+	RowsPerTable int
+	Seed         int64
+}
+
+func (c *FreebaseConfig) defaults() {
+	if c.Domains <= 0 {
+		c.Domains = 10
+	}
+	if c.TablesPerDomain <= 0 {
+		c.TablesPerDomain = 20
+	}
+	if c.RowsPerTable <= 0 {
+		c.RowsPerTable = 12
+	}
+}
+
+// FreebaseData bundles the generated database with its ground truth.
+type FreebaseData struct {
+	DB *relstore.Database
+	// Domains lists domain names.
+	Domains []string
+	// DomainOf maps table name -> domain.
+	DomainOf map[string]string
+	// ConceptOf maps table name -> the ground-truth concept the table's
+	// rows were sampled from (the matching gold standard of Figure 6.4).
+	ConceptOf map[string]string
+	// InstancesOf maps table name -> the instance identifiers of its rows.
+	InstancesOf map[string][]string
+}
+
+// Freebase builds the flat multi-domain database: every table is an
+// entity table (id, name, notes) whose rows are instances of one concept
+// from the shared space. Tables within a domain are chained by foreign
+// keys to a per-domain hub table, giving the big flat schema graph whose
+// QCOs are uninformative without an ontology layer (Section 5.5).
+func Freebase(cs *ConceptSpace, cfg FreebaseConfig) (*FreebaseData, error) {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pools := NewPools(rng, 0)
+	db := relstore.NewDatabase("freebase")
+	fd := &FreebaseData{
+		DB:          db,
+		DomainOf:    make(map[string]string),
+		ConceptOf:   make(map[string]string),
+		InstancesOf: make(map[string][]string),
+	}
+	for d := 0; d < cfg.Domains; d++ {
+		domain := fmt.Sprintf("domain%03d", d)
+		fd.Domains = append(fd.Domains, domain)
+		hubName := domain + "_topic"
+		hub, err := db.CreateTable(&relstore.TableSchema{
+			Name:       hubName,
+			Columns:    []relstore.Column{{Name: "id"}, {Name: "name", Indexed: true}},
+			PrimaryKey: "id",
+		})
+		if err != nil {
+			return nil, err
+		}
+		fd.DomainOf[hubName] = domain
+		if _, err := hub.Insert(domain+"_root", title(pools.Word())+" Topics"); err != nil {
+			return nil, err
+		}
+		for t := 0; t < cfg.TablesPerDomain; t++ {
+			concept := cs.Names[rng.Intn(len(cs.Names))]
+			tableName := fmt.Sprintf("%s_t%03d", domain, t)
+			tb, err := db.CreateTable(&relstore.TableSchema{
+				Name: tableName,
+				Columns: []relstore.Column{
+					{Name: "id"},
+					{Name: "name", Indexed: true},
+					{Name: "notes", Indexed: true},
+					{Name: "topic_id"},
+				},
+				PrimaryKey: "id",
+				ForeignKeys: []relstore.ForeignKey{
+					{Column: "topic_id", RefTable: hubName, RefColumn: "id"},
+				},
+			})
+			if err != nil {
+				return nil, err
+			}
+			fd.DomainOf[tableName] = domain
+			fd.ConceptOf[tableName] = concept
+			pool := cs.Instances[concept]
+			n := cfg.RowsPerTable
+			if n > len(pool) {
+				n = len(pool)
+			}
+			perm := rng.Perm(len(pool))[:n]
+			for _, pi := range perm {
+				inst := pool[pi]
+				name := title(pools.First()) + " " + title(pools.Surname())
+				if _, err := tb.Insert(inst, name, pools.Sentence(4), domain+"_root"); err != nil {
+					return nil, err
+				}
+				fd.InstancesOf[tableName] = append(fd.InstancesOf[tableName], inst)
+			}
+		}
+	}
+	if err := db.ValidateRefs(); err != nil {
+		return nil, err
+	}
+	return fd, nil
+}

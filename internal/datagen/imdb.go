@@ -1,0 +1,285 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/relstore"
+)
+
+// IMDBConfig scales the synthetic IMDB-style database. The schema follows
+// Section 3.8.1 (seven tables: movies, actors, directors and their
+// relationships plus production companies).
+type IMDBConfig struct {
+	Movies    int
+	Actors    int
+	Directors int
+	Companies int
+	// ActsPerMovie is the average cast size.
+	ActsPerMovie int
+	// NameInTitleProb is the probability that a movie title contains a
+	// person-surname token, creating cross-attribute ambiguity.
+	NameInTitleProb float64
+	Seed            int64
+}
+
+func (c *IMDBConfig) defaults() {
+	if c.Movies <= 0 {
+		c.Movies = 400
+	}
+	if c.Actors <= 0 {
+		c.Actors = 300
+	}
+	if c.Directors <= 0 {
+		c.Directors = 80
+	}
+	if c.Companies <= 0 {
+		c.Companies = 40
+	}
+	if c.ActsPerMovie <= 0 {
+		c.ActsPerMovie = 3
+	}
+	if c.NameInTitleProb <= 0 {
+		c.NameInTitleProb = 0.25
+	}
+}
+
+// IMDB builds the movie database. Tables:
+//
+//	actor(id, name)                  director(id, name)
+//	movie(id, title, year)           company(id, name)
+//	acts(actor_id, movie_id, role)   directs(director_id, movie_id)
+//	produced_by(movie_id, company_id)
+func IMDB(cfg IMDBConfig) (*relstore.Database, error) {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pools := NewPools(rng, 0)
+	db := relstore.NewDatabase("imdb")
+
+	actor, err := db.CreateTable(&relstore.TableSchema{
+		Name:       "actor",
+		Columns:    []relstore.Column{{Name: "id"}, {Name: "name", Indexed: true}},
+		PrimaryKey: "id",
+	})
+	if err != nil {
+		return nil, err
+	}
+	director, err := db.CreateTable(&relstore.TableSchema{
+		Name:       "director",
+		Columns:    []relstore.Column{{Name: "id"}, {Name: "name", Indexed: true}},
+		PrimaryKey: "id",
+	})
+	if err != nil {
+		return nil, err
+	}
+	movie, err := db.CreateTable(&relstore.TableSchema{
+		Name:       "movie",
+		Columns:    []relstore.Column{{Name: "id"}, {Name: "title", Indexed: true}, {Name: "year", Indexed: true}},
+		PrimaryKey: "id",
+	})
+	if err != nil {
+		return nil, err
+	}
+	company, err := db.CreateTable(&relstore.TableSchema{
+		Name:       "company",
+		Columns:    []relstore.Column{{Name: "id"}, {Name: "name", Indexed: true}},
+		PrimaryKey: "id",
+	})
+	if err != nil {
+		return nil, err
+	}
+	acts, err := db.CreateTable(&relstore.TableSchema{
+		Name:    "acts",
+		Columns: []relstore.Column{{Name: "actor_id"}, {Name: "movie_id"}, {Name: "role", Indexed: true}},
+		ForeignKeys: []relstore.ForeignKey{
+			{Column: "actor_id", RefTable: "actor", RefColumn: "id"},
+			{Column: "movie_id", RefTable: "movie", RefColumn: "id"},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	directs, err := db.CreateTable(&relstore.TableSchema{
+		Name:    "directs",
+		Columns: []relstore.Column{{Name: "director_id"}, {Name: "movie_id"}},
+		ForeignKeys: []relstore.ForeignKey{
+			{Column: "director_id", RefTable: "director", RefColumn: "id"},
+			{Column: "movie_id", RefTable: "movie", RefColumn: "id"},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	producedBy, err := db.CreateTable(&relstore.TableSchema{
+		Name:    "produced_by",
+		Columns: []relstore.Column{{Name: "movie_id"}, {Name: "company_id"}},
+		ForeignKeys: []relstore.ForeignKey{
+			{Column: "movie_id", RefTable: "movie", RefColumn: "id"},
+			{Column: "company_id", RefTable: "company", RefColumn: "id"},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for i := 0; i < cfg.Actors; i++ {
+		if _, err := actor.Insert(fmt.Sprintf("a%d", i), pools.PersonName()); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < cfg.Directors; i++ {
+		if _, err := director.Insert(fmt.Sprintf("d%d", i), pools.PersonName()); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < cfg.Companies; i++ {
+		name := title(pools.Word()) + " " + []string{"Pictures", "Films", "Studios", "Entertainment"}[rng.Intn(4)]
+		if _, err := company.Insert(fmt.Sprintf("c%d", i), name); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < cfg.Movies; i++ {
+		if _, err := movie.Insert(fmt.Sprintf("m%d", i), pools.Title(cfg.NameInTitleProb), pools.Year()); err != nil {
+			return nil, err
+		}
+		cast := 1 + rng.Intn(cfg.ActsPerMovie*2-1)
+		for j := 0; j < cast; j++ {
+			aid := fmt.Sprintf("a%d", rng.Intn(cfg.Actors))
+			role := title(pools.First()) + " " + title(pools.Surname())
+			if _, err := acts.Insert(aid, fmt.Sprintf("m%d", i), role); err != nil {
+				return nil, err
+			}
+		}
+		did := fmt.Sprintf("d%d", rng.Intn(cfg.Directors))
+		if _, err := directs.Insert(did, fmt.Sprintf("m%d", i)); err != nil {
+			return nil, err
+		}
+		cid := fmt.Sprintf("c%d", rng.Intn(cfg.Companies))
+		if _, err := producedBy.Insert(fmt.Sprintf("m%d", i), cid); err != nil {
+			return nil, err
+		}
+	}
+	if err := db.ValidateRefs(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// LyricsConfig scales the synthetic Lyrics database (five tables with the
+// chain schema Artist ⋈ ArtistAlbum ⋈ Album ⋈ AlbumSong ⋈ Song of
+// Section 3.8.3).
+type LyricsConfig struct {
+	Artists        int
+	AlbumsPerArt   int
+	SongsPerAlbum  int
+	NameInSongProb float64
+	Seed           int64
+}
+
+func (c *LyricsConfig) defaults() {
+	if c.Artists <= 0 {
+		c.Artists = 150
+	}
+	if c.AlbumsPerArt <= 0 {
+		c.AlbumsPerArt = 2
+	}
+	if c.SongsPerAlbum <= 0 {
+		c.SongsPerAlbum = 5
+	}
+	if c.NameInSongProb <= 0 {
+		c.NameInSongProb = 0.2
+	}
+}
+
+// Lyrics builds the music database. Tables:
+//
+//	artist(id, name)        album(id, title, year)      song(id, title, text)
+//	artist_album(artist_id, album_id)   album_song(album_id, song_id)
+func Lyrics(cfg LyricsConfig) (*relstore.Database, error) {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pools := NewPools(rng, 0)
+	db := relstore.NewDatabase("lyrics")
+
+	artist, err := db.CreateTable(&relstore.TableSchema{
+		Name:       "artist",
+		Columns:    []relstore.Column{{Name: "id"}, {Name: "name", Indexed: true}},
+		PrimaryKey: "id",
+	})
+	if err != nil {
+		return nil, err
+	}
+	album, err := db.CreateTable(&relstore.TableSchema{
+		Name:       "album",
+		Columns:    []relstore.Column{{Name: "id"}, {Name: "title", Indexed: true}, {Name: "year", Indexed: true}},
+		PrimaryKey: "id",
+	})
+	if err != nil {
+		return nil, err
+	}
+	song, err := db.CreateTable(&relstore.TableSchema{
+		Name:       "song",
+		Columns:    []relstore.Column{{Name: "id"}, {Name: "title", Indexed: true}, {Name: "text", Indexed: true}},
+		PrimaryKey: "id",
+	})
+	if err != nil {
+		return nil, err
+	}
+	artistAlbum, err := db.CreateTable(&relstore.TableSchema{
+		Name:    "artist_album",
+		Columns: []relstore.Column{{Name: "artist_id"}, {Name: "album_id"}},
+		ForeignKeys: []relstore.ForeignKey{
+			{Column: "artist_id", RefTable: "artist", RefColumn: "id"},
+			{Column: "album_id", RefTable: "album", RefColumn: "id"},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	albumSong, err := db.CreateTable(&relstore.TableSchema{
+		Name:    "album_song",
+		Columns: []relstore.Column{{Name: "album_id"}, {Name: "song_id"}},
+		ForeignKeys: []relstore.ForeignKey{
+			{Column: "album_id", RefTable: "album", RefColumn: "id"},
+			{Column: "song_id", RefTable: "song", RefColumn: "id"},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	songID := 0
+	albumID := 0
+	for a := 0; a < cfg.Artists; a++ {
+		aid := fmt.Sprintf("ar%d", a)
+		if _, err := artist.Insert(aid, pools.PersonName()); err != nil {
+			return nil, err
+		}
+		nAlbums := 1 + rng.Intn(cfg.AlbumsPerArt*2-1)
+		for b := 0; b < nAlbums; b++ {
+			alid := fmt.Sprintf("al%d", albumID)
+			albumID++
+			if _, err := album.Insert(alid, pools.Title(0.1), pools.Year()); err != nil {
+				return nil, err
+			}
+			if _, err := artistAlbum.Insert(aid, alid); err != nil {
+				return nil, err
+			}
+			nSongs := 1 + rng.Intn(cfg.SongsPerAlbum*2-1)
+			for s := 0; s < nSongs; s++ {
+				sid := fmt.Sprintf("s%d", songID)
+				songID++
+				if _, err := song.Insert(sid, pools.Title(cfg.NameInSongProb), pools.Sentence(8)); err != nil {
+					return nil, err
+				}
+				if _, err := albumSong.Insert(alid, sid); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := db.ValidateRefs(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}

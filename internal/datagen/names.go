@@ -1,0 +1,144 @@
+// Package datagen generates the deterministic synthetic datasets and
+// workloads of the reproduction, substituting for the crawls and query
+// logs the thesis evaluates on (see DESIGN.md for the substitution
+// rationale):
+//
+//   - IMDB — a 7-table movie database with the schema of Section 3.8.1,
+//   - Lyrics — the 5-table chain-schema music database of Section 3.8.1,
+//   - Freebase — a flat, very large multi-domain schema (Chapter 5),
+//   - YAGO — a large class taxonomy with instances (Chapter 6), and
+//   - keyword-query workloads with ground-truth intents standing in for
+//     the MSN/AOL query-log extractions.
+//
+// Every generator is seeded and fully deterministic: the same config
+// yields byte-identical databases.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// syllables used to synthesise person surnames; combined pairs give a pool
+// of ~1k distinct surnames with realistic token shapes.
+var surnameSyllables = []string{
+	"han", "cru", "gar", "lon", "ber", "wil", "har", "mor", "fis", "wal",
+	"tor", "ken", "del", "ros", "mar", "lan", "ves", "cor", "bal", "dun",
+	"fer", "gil", "hol", "jen", "kal", "lom", "mun", "nor", "pel", "quin",
+	"ric", "sal",
+}
+
+var surnameSuffixes = []string{
+	"ks", "ise", "cia", "don", "son", "ton", "man", "ley", "der", "ner",
+	"ran", "dal", "vis", "mer", "low", "ard",
+}
+
+var firstNames = []string{
+	"tom", "jack", "mary", "anna", "james", "lucy", "peter", "nina",
+	"colin", "andy", "laura", "david", "ella", "frank", "grace", "henry",
+	"iris", "karl", "lena", "marc", "nora", "oscar", "paula", "ralph",
+	"sara", "tim", "ursula", "victor", "wendy", "yara", "zack", "boris",
+}
+
+// commonWords feed titles, plots and lyrics; deliberately overlapping with
+// nothing else.
+var commonWords = []string{
+	"the", "night", "day", "love", "dark", "light", "river", "sky",
+	"terminal", "road", "fire", "ice", "dream", "shadow", "storm", "heart",
+	"city", "ocean", "moon", "sun", "star", "ghost", "king", "queen",
+	"silent", "broken", "golden", "hidden", "lost", "last", "first",
+	"blue", "red", "black", "white", "green", "winter", "summer",
+	"return", "rise", "fall", "escape", "secret", "journey", "edge",
+}
+
+// Pools bundles the deterministic token pools of one dataset.
+type Pools struct {
+	Surnames []string
+	Firsts   []string
+	Words    []string
+	rng      *rand.Rand
+	surZipf  *rand.Zipf
+	wordZipf *rand.Zipf
+}
+
+// NewPools builds pools with the given surname-pool size. Sampling is
+// Zipfian so a few names/words dominate — the frequency skew that makes
+// ATF informative and keyword queries ambiguous.
+func NewPools(rng *rand.Rand, surnamePool int) *Pools {
+	if surnamePool <= 0 {
+		surnamePool = 400
+	}
+	p := &Pools{Firsts: firstNames, Words: commonWords, rng: rng}
+	seen := make(map[string]bool)
+	for _, a := range surnameSyllables {
+		for _, b := range surnameSuffixes {
+			s := a + b
+			if !seen[s] {
+				seen[s] = true
+				p.Surnames = append(p.Surnames, s)
+			}
+			if len(p.Surnames) >= surnamePool {
+				break
+			}
+		}
+		if len(p.Surnames) >= surnamePool {
+			break
+		}
+	}
+	p.surZipf = rand.NewZipf(rng, 1.2, 1, uint64(len(p.Surnames)-1))
+	p.wordZipf = rand.NewZipf(rng, 1.1, 1, uint64(len(p.Words)-1))
+	return p
+}
+
+// Surname samples a Zipf-distributed surname.
+func (p *Pools) Surname() string { return p.Surnames[p.surZipf.Uint64()] }
+
+// First samples a uniform first name.
+func (p *Pools) First() string { return p.Firsts[p.rng.Intn(len(p.Firsts))] }
+
+// PersonName samples "First Surname".
+func (p *Pools) PersonName() string {
+	return title(p.First()) + " " + title(p.Surname())
+}
+
+// Word samples a Zipf-distributed common word.
+func (p *Pools) Word() string { return p.Words[p.wordZipf.Uint64()] }
+
+// Title samples a 1–3 word title. With probability nameProb one word is a
+// surname from the person pool — the cross-attribute ambiguity that makes
+// keyword queries like "london" genuinely ambiguous (a person or a
+// title), as in the thesis's running examples.
+func (p *Pools) Title(nameProb float64) string {
+	n := 1 + p.rng.Intn(3)
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = p.Word()
+	}
+	if p.rng.Float64() < nameProb {
+		parts[p.rng.Intn(n)] = p.Surname()
+	}
+	for i := range parts {
+		parts[i] = title(parts[i])
+	}
+	return strings.Join(parts, " ")
+}
+
+// Year samples a year in 1950–2023.
+func (p *Pools) Year() string { return fmt.Sprintf("%d", 1950+p.rng.Intn(74)) }
+
+// Sentence samples an n-word sentence of common words.
+func (p *Pools) Sentence(n int) string {
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = p.Word()
+	}
+	return strings.Join(parts, " ")
+}
+
+func title(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}

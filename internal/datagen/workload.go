@@ -1,0 +1,212 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/relstore"
+)
+
+// Intent is one workload query with its ground truth: the keywords the
+// simulated user types and, per keyword, the attribute ("table.column")
+// the user intends it to match. Intents substitute for the manually
+// assessed query-log extractions of Sections 3.8.1 and 4.6.1.
+type Intent struct {
+	Keywords []string
+	// Attrs[i] names the intended attribute of Keywords[i].
+	Attrs []string
+	// MultiConcept marks queries combining two different entity concepts
+	// (the "mc" query class of Section 4.6.1).
+	MultiConcept bool
+}
+
+// String renders the intent compactly.
+func (in Intent) String() string {
+	return fmt.Sprintf("%v -> %v", in.Keywords, in.Attrs)
+}
+
+// WorkloadConfig tunes workload sampling.
+type WorkloadConfig struct {
+	// Queries is the number of intents to generate.
+	Queries int
+	// MultiConceptFraction is the share of multi-concept queries
+	// (0.5 reproduces the sc/mc split of Section 4.6.1).
+	MultiConceptFraction float64
+	Seed                 int64
+}
+
+func (c *WorkloadConfig) defaults() {
+	if c.Queries <= 0 {
+		c.Queries = 50
+	}
+	if c.MultiConceptFraction < 0 {
+		c.MultiConceptFraction = 0.5
+	}
+}
+
+// tokenOf returns a random informative token (≥3 chars, not a stop word)
+// of a random row's value of the attribute, or "".
+func tokenOf(rng *rand.Rand, db *relstore.Database, table, column string) string {
+	t := db.Table(table)
+	if t == nil || t.Len() == 0 {
+		return ""
+	}
+	for attempt := 0; attempt < 20; attempt++ {
+		row, ok := t.Row(rng.Intn(t.Len()))
+		if !ok {
+			continue
+		}
+		ci := t.Schema.ColumnIndex(column)
+		if ci < 0 {
+			return ""
+		}
+		toks := relstore.Tokenize(row.Values[ci])
+		if len(toks) == 0 {
+			continue
+		}
+		tok := toks[rng.Intn(len(toks))]
+		if len(tok) >= 3 && tok != "the" {
+			return tok
+		}
+	}
+	return ""
+}
+
+// MovieWorkload samples intents against an IMDB-style database:
+// single-concept queries are person names or movie titles; multi-concept
+// queries combine an actor/director name token with a movie title token
+// and optionally a year — the movie-actor pattern that the thesis's
+// pruned query log yielded (Section 3.8.1).
+func MovieWorkload(db *relstore.Database, cfg WorkloadConfig) []Intent {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var out []Intent
+	for len(out) < cfg.Queries {
+		multi := rng.Float64() < cfg.MultiConceptFraction
+		var in Intent
+		if !multi {
+			switch rng.Intn(3) {
+			case 0: // full actor name (two keywords, one attribute)
+				tok1 := tokenOf(rng, db, "actor", "name")
+				tok2 := tokenOf(rng, db, "actor", "name")
+				if tok1 == "" || tok2 == "" || tok1 == tok2 {
+					continue
+				}
+				in = Intent{Keywords: []string{tok1, tok2},
+					Attrs: []string{"actor.name", "actor.name"}}
+			case 1: // movie title word
+				tok := tokenOf(rng, db, "movie", "title")
+				if tok == "" {
+					continue
+				}
+				in = Intent{Keywords: []string{tok}, Attrs: []string{"movie.title"}}
+			default: // director surname
+				tok := tokenOf(rng, db, "director", "name")
+				if tok == "" {
+					continue
+				}
+				in = Intent{Keywords: []string{tok}, Attrs: []string{"director.name"}}
+			}
+		} else {
+			person := "actor"
+			if rng.Float64() < 0.3 {
+				person = "director"
+			}
+			ptok := tokenOf(rng, db, person, "name")
+			mtok := tokenOf(rng, db, "movie", "title")
+			if ptok == "" || mtok == "" || ptok == mtok {
+				continue
+			}
+			in = Intent{
+				Keywords:     []string{ptok, mtok},
+				Attrs:        []string{person + ".name", "movie.title"},
+				MultiConcept: true,
+			}
+			seen := map[string]bool{ptok: true, mtok: true}
+			add := func(tok, attr string) {
+				if tok != "" && !seen[tok] {
+					seen[tok] = true
+					in.Keywords = append(in.Keywords, tok)
+					in.Attrs = append(in.Attrs, attr)
+				}
+			}
+			// Longer queries (the thesis workload averages four terms):
+			// a second person-name token, a role token, and/or a year.
+			if rng.Float64() < 0.6 {
+				add(tokenOf(rng, db, person, "name"), person+".name")
+			}
+			if rng.Float64() < 0.4 && db.Table("acts") != nil {
+				add(tokenOf(rng, db, "acts", "role"), "acts.role")
+			}
+			if rng.Float64() < 0.4 {
+				add(tokenOf(rng, db, "movie", "year"), "movie.year")
+			}
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+// MusicWorkload samples intents against a Lyrics-style database: artist
+// names, song titles, and the artist+song multi-concept combination that
+// requires the full five-table chain join (the "mariah carey emotions"
+// pattern of Section 3.8.3).
+func MusicWorkload(db *relstore.Database, cfg WorkloadConfig) []Intent {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var out []Intent
+	for len(out) < cfg.Queries {
+		multi := rng.Float64() < cfg.MultiConceptFraction
+		var in Intent
+		if !multi {
+			if rng.Intn(2) == 0 {
+				tok1 := tokenOf(rng, db, "artist", "name")
+				tok2 := tokenOf(rng, db, "artist", "name")
+				if tok1 == "" || tok2 == "" || tok1 == tok2 {
+					continue
+				}
+				in = Intent{Keywords: []string{tok1, tok2},
+					Attrs: []string{"artist.name", "artist.name"}}
+			} else {
+				tok := tokenOf(rng, db, "song", "title")
+				if tok == "" {
+					continue
+				}
+				in = Intent{Keywords: []string{tok}, Attrs: []string{"song.title"}}
+			}
+		} else {
+			atok := tokenOf(rng, db, "artist", "name")
+			stok := tokenOf(rng, db, "song", "title")
+			if atok == "" || stok == "" || atok == stok {
+				continue
+			}
+			in = Intent{
+				Keywords:     []string{atok, stok},
+				Attrs:        []string{"artist.name", "song.title"},
+				MultiConcept: true,
+			}
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+// TemplateLog simulates a query log over a template catalogue by
+// recording usage counts with the given skew: the Lyrics log of
+// Section 3.8.2 is dominated by one five-table template (frequency 0.85),
+// while the IMDB log is near-uniform. skew is the fraction of the log
+// going to the single most-used template; the rest is spread uniformly.
+func TemplateLog(numTemplates, totalQueries int, skew float64, seed int64) map[int]int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make(map[int]int)
+	if numTemplates == 0 || totalQueries == 0 {
+		return out
+	}
+	head := int(float64(totalQueries) * skew)
+	favourite := rng.Intn(numTemplates)
+	out[favourite] = head
+	for i := 0; i < totalQueries-head; i++ {
+		out[rng.Intn(numTemplates)]++
+	}
+	return out
+}

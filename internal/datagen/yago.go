@@ -1,0 +1,115 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ontology"
+)
+
+// YAGOConfig scales the synthetic YAGO ontology (Chapter 6): a WordNet-
+// like taxonomic backbone whose leaves carry most instances, plus a large
+// number of fine-grained Wikipedia-category-style leaf classes. The real
+// YAGO has >360,000 classes; the generator keeps the structural shape at
+// a configurable scale.
+type YAGOConfig struct {
+	// BackboneDepth is the depth of the taxonomic backbone tree.
+	BackboneDepth int
+	// BackboneBranch is the branching factor of the backbone.
+	BackboneBranch int
+	// WikiCategoriesPerConcept is the number of fine-grained leaf
+	// categories attached under each concept class.
+	WikiCategoriesPerConcept int
+	// CoverageProb is the probability that a concept instance is also an
+	// instance of the YAGO concept class (instance overlap with Freebase).
+	CoverageProb float64
+	Seed         int64
+}
+
+func (c *YAGOConfig) defaults() {
+	if c.BackboneDepth <= 0 {
+		c.BackboneDepth = 4
+	}
+	if c.BackboneBranch <= 0 {
+		c.BackboneBranch = 3
+	}
+	if c.WikiCategoriesPerConcept <= 0 {
+		c.WikiCategoriesPerConcept = 3
+	}
+	if c.CoverageProb <= 0 {
+		c.CoverageProb = 0.8
+	}
+}
+
+// YAGO builds the ontology over the shared concept space:
+//
+//   - a backbone tree of abstract classes ("wordnet_xxx") with no direct
+//     instances (mirroring Table 6.1/6.2: upper WordNet classes are
+//     instance-poor);
+//   - one concept class per ConceptSpace concept, attached to a random
+//     backbone leaf, holding CoverageProb of the concept's instances; and
+//   - per concept, several small "wikicategory" leaf classes partitioning
+//     a sample of the concept's instances (mirroring the observation that
+//     most YAGO instances live in fine-grained leaf categories).
+func YAGO(cs *ConceptSpace, cfg YAGOConfig) *ontology.Ontology {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	o := ontology.New("wordnet_entity")
+
+	// Backbone.
+	level := []int{o.Root()}
+	id := 0
+	for d := 0; d < cfg.BackboneDepth; d++ {
+		var next []int
+		for _, parent := range level {
+			for b := 0; b < cfg.BackboneBranch; b++ {
+				id++
+				c, err := o.AddClass(fmt.Sprintf("wordnet_c%05d", id), parent)
+				if err != nil {
+					continue
+				}
+				next = append(next, c)
+			}
+		}
+		level = next
+	}
+	backboneLeaves := level
+
+	// Concept classes + wiki categories.
+	for _, concept := range cs.Names {
+		parent := backboneLeaves[rng.Intn(len(backboneLeaves))]
+		cid, err := o.AddClass("wordnet_"+concept, parent)
+		if err != nil {
+			continue
+		}
+		pool := cs.Instances[concept]
+		var members []string
+		for _, inst := range pool {
+			if rng.Float64() < cfg.CoverageProb {
+				o.AddInstance(cid, inst)
+				members = append(members, inst)
+			}
+		}
+		// Wikipedia-category leaves: fine partitions of the members.
+		for w := 0; w < cfg.WikiCategoriesPerConcept && len(members) > 0; w++ {
+			wid, err := o.AddClass(fmt.Sprintf("wikicategory_%s_%02d", concept, w), cid)
+			if err != nil {
+				continue
+			}
+			// Each category holds a random slice of the concept members.
+			n := 1 + rng.Intn(maxInt(1, len(members)/cfg.WikiCategoriesPerConcept))
+			perm := rng.Perm(len(members))[:n]
+			for _, pi := range perm {
+				o.AddInstance(wid, members[pi])
+			}
+		}
+	}
+	return o
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,250 @@
+package datagraph
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/relstore"
+)
+
+func movieDB(t *testing.T) *relstore.Database {
+	t.Helper()
+	db := relstore.NewDatabase("movies")
+	must := func(s *relstore.TableSchema) *relstore.Table {
+		tb, err := db.CreateTable(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb
+	}
+	actor := must(&relstore.TableSchema{
+		Name:       "actor",
+		Columns:    []relstore.Column{{Name: "id"}, {Name: "name", Indexed: true}},
+		PrimaryKey: "id",
+	})
+	movie := must(&relstore.TableSchema{
+		Name:       "movie",
+		Columns:    []relstore.Column{{Name: "id"}, {Name: "title", Indexed: true}},
+		PrimaryKey: "id",
+	})
+	acts := must(&relstore.TableSchema{
+		Name:    "acts",
+		Columns: []relstore.Column{{Name: "actor_id"}, {Name: "movie_id"}},
+		ForeignKeys: []relstore.ForeignKey{
+			{Column: "actor_id", RefTable: "actor", RefColumn: "id"},
+			{Column: "movie_id", RefTable: "movie", RefColumn: "id"},
+		},
+	})
+	ins := func(tb *relstore.Table, vals ...string) {
+		t.Helper()
+		if _, err := tb.Insert(vals...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ins(actor, "a1", "Tom Hanks")
+	ins(actor, "a2", "Tom Cruise")
+	ins(movie, "m1", "The Terminal")
+	ins(movie, "m2", "Vanilla Sky")
+	ins(acts, "a1", "m1")
+	ins(acts, "a2", "m2")
+	return db
+}
+
+func TestBuildGraphShape(t *testing.T) {
+	g := Build(movieDB(t))
+	if g.NumNodes() != 6 {
+		t.Fatalf("nodes = %d, want 6", g.NumNodes())
+	}
+	// Each acts row has 2 edges: 4 total.
+	if g.NumEdges() != 4 {
+		t.Fatalf("edges = %d, want 4", g.NumEdges())
+	}
+	hanks := g.Containing("hanks")
+	if len(hanks) != 1 || hanks[0] != (Node{Table: "actor", Row: 0}) {
+		t.Fatalf("Containing(hanks) = %v", hanks)
+	}
+	if len(g.Containing("HANKS")) != 1 {
+		t.Fatal("containment should be case-insensitive")
+	}
+	if g.Containing("zzz") != nil {
+		t.Fatal("unknown term should have no nodes")
+	}
+	if g.Containing("") != nil {
+		t.Fatal("empty term should have no nodes")
+	}
+}
+
+// TestBackwardExpandingSearch reproduces the canonical §2.2.2 example:
+// "hanks terminal" connects Tom Hanks to The Terminal through the acts
+// tuple — a 3-node joining tree.
+func TestBackwardExpandingSearch(t *testing.T) {
+	g := Build(movieDB(t))
+	trees, err := g.Search([]string{"hanks", "terminal"}, Options{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) == 0 {
+		t.Fatal("no result trees")
+	}
+	best := trees[0]
+	if best.Weight != 2 || len(best.Nodes) != 3 {
+		t.Fatalf("best tree = %+v, want the 3-node acts join", best)
+	}
+	if !g.ContainsAll(best, []string{"hanks", "terminal"}) {
+		t.Fatal("best tree does not contain both keywords")
+	}
+	if !g.Connected(best) {
+		t.Fatal("best tree not connected")
+	}
+	// Cross pair with no connection inside MaxWeight: hanks + sky share no
+	// movie.
+	trees, err = g.Search([]string{"hanks", "sky"}, Options{K: 5, MaxWeight: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != 0 {
+		t.Fatalf("hanks+sky should not connect within weight 3: %v", trees)
+	}
+}
+
+func TestSearchSingleKeyword(t *testing.T) {
+	g := Build(movieDB(t))
+	trees, err := g.Search([]string{"tom"}, Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both Toms are singleton trees of weight 0.
+	if len(trees) != 2 {
+		t.Fatalf("trees = %v", trees)
+	}
+	for _, tr := range trees {
+		if tr.Weight != 0 || len(tr.Nodes) != 1 {
+			t.Fatalf("singleton expected: %+v", tr)
+		}
+	}
+}
+
+func TestSearchAndSemantics(t *testing.T) {
+	g := Build(movieDB(t))
+	// An absent keyword empties the result (AND semantics).
+	trees, err := g.Search([]string{"hanks", "zzz"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trees != nil {
+		t.Fatalf("absent keyword should empty the result: %v", trees)
+	}
+	if _, err := g.Search(nil, Options{}); err == nil {
+		t.Fatal("empty query accepted")
+	}
+}
+
+func TestSearchOrderedByWeight(t *testing.T) {
+	db, err := datagen.IMDB(datagen.IMDBConfig{
+		Movies: 120, Actors: 80, Directors: 20, Companies: 10, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(db)
+	// Pick two tokens from a joined pair to guarantee a connection.
+	actor := db.Table("actor")
+	acts := db.Table("acts")
+	movie := db.Table("movie")
+	arow, _ := acts.Row(0)
+	aidIdx := acts.Schema.ColumnIndex("actor_id")
+	midIdx := acts.Schema.ColumnIndex("movie_id")
+	actorRows := actor.LookupEqual("id", arow.Values[aidIdx])
+	movieRows := movie.LookupEqual("id", arow.Values[midIdx])
+	aname, _ := actor.Value(actorRows[0], "name")
+	mtitle, _ := movie.Value(movieRows[0], "title")
+	kw1 := relstore.Tokenize(aname)[1]
+	kw2 := relstore.Tokenize(mtitle)[0]
+	trees, err := g.Search([]string{kw1, kw2}, Options{K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) == 0 {
+		t.Fatalf("no trees for %q %q", kw1, kw2)
+	}
+	for i, tr := range trees {
+		if i > 0 && tr.Weight < trees[i-1].Weight {
+			t.Fatal("trees not ordered by weight")
+		}
+		if !g.ContainsAll(tr, []string{kw1, kw2}) {
+			t.Fatalf("tree misses keywords: %+v", tr)
+		}
+		if !g.Connected(tr) {
+			t.Fatalf("tree not connected: %+v", tr)
+		}
+		if tr.Weight > 6 {
+			t.Fatalf("MaxWeight default violated: %+v", tr)
+		}
+	}
+	// No duplicate trees.
+	seen := map[string]bool{}
+	for _, tr := range trees {
+		if seen[tr.Key()] {
+			t.Fatalf("duplicate tree %s", tr.Key())
+		}
+		seen[tr.Key()] = true
+	}
+}
+
+// TestAgreesWithSchemaBasedExecution: the data-based best tree matches
+// the schema-based join result on the canonical example — the §2.2.3
+// equivalence of the two families on simple queries.
+func TestAgreesWithSchemaBasedExecution(t *testing.T) {
+	db := movieDB(t)
+	g := Build(db)
+	trees, err := g.Search([]string{"hanks", "terminal"}, Options{K: 1})
+	if err != nil || len(trees) != 1 {
+		t.Fatalf("search: %v / %d trees", err, len(trees))
+	}
+	plan := &relstore.JoinPlan{
+		Nodes: []relstore.JoinNode{
+			{Table: "actor", Predicates: []relstore.Predicate{{Column: "name", Keywords: []string{"hanks"}}}},
+			{Table: "acts"},
+			{Table: "movie", Predicates: []relstore.Predicate{{Column: "title", Keywords: []string{"terminal"}}}},
+		},
+		Edges: []relstore.JoinEdge{
+			{From: 1, To: 0, FromColumn: "actor_id", ToColumn: "id"},
+			{From: 1, To: 2, FromColumn: "movie_id", ToColumn: "id"},
+		},
+	}
+	jtts, err := db.Execute(plan, relstore.ExecuteOptions{})
+	if err != nil || len(jtts) != 1 {
+		t.Fatalf("execute: %v / %d", err, len(jtts))
+	}
+	// The schema-based JTT's tuples are exactly the data-based tree's nodes.
+	want := map[Node]bool{}
+	for i, node := range plan.Nodes {
+		want[Node{Table: node.Table, Row: jtts[0].Rows[i]}] = true
+	}
+	for _, n := range trees[0].Nodes {
+		if !want[n] {
+			t.Fatalf("data-based tree node %v not in schema-based result", n)
+		}
+	}
+	if len(trees[0].Nodes) != len(want) {
+		t.Fatalf("tree size %d vs JTT size %d", len(trees[0].Nodes), len(want))
+	}
+}
+
+func TestMaxVisitedSafetyValve(t *testing.T) {
+	db, err := datagen.IMDB(datagen.IMDBConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(db)
+	// A tiny expansion budget must terminate quickly and cleanly.
+	if _, err := g.Search([]string{"the"}, Options{K: 1000, MaxVisited: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeString(t *testing.T) {
+	if (Node{Table: "actor", Row: 3}).String() != "actor#3" {
+		t.Fatal("Node.String")
+	}
+}

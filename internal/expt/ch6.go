@@ -1,0 +1,104 @@
+package expt
+
+import (
+	"fmt"
+
+	"repro/internal/yagof"
+)
+
+// Table6_1 reports the distribution of categories in the synthetic YAGO
+// (Table 6.1).
+func Table6_1(env *FreebaseEnv) *Table {
+	bands := yagof.CategoryDistribution(env.Onto)
+	t := &Table{
+		Title:   "Table 6.1: distribution of categories in YAGO",
+		Headers: []string{"kind", "classes", "with instances"},
+	}
+	for _, b := range bands {
+		t.AddRow(b.Kind, b.Classes, b.WithInstances)
+	}
+	return t
+}
+
+// Table6_2 reports the distribution of instances across class-size bands
+// (Table 6.2).
+func Table6_2(env *FreebaseEnv) *Table {
+	bands := yagof.InstanceDistribution(env.Onto)
+	t := &Table{
+		Title:   "Table 6.2: distribution of instances in YAGO",
+		Headers: []string{"instances/class", "classes", "instances"},
+	}
+	for _, b := range bands {
+		t.AddRow(b.Label, b.Classes, b.Instances)
+	}
+	return t
+}
+
+// Fig6_2 reports the shared-instance distribution across Freebase domains
+// (Figure 6.2).
+func Fig6_2(env *FreebaseEnv) ([]yagof.DomainOverlap, *Table) {
+	rows := yagof.SharedInstancesByDomain(env.Onto, env.FD.InstancesOf, env.FD.DomainOf)
+	t := &Table{
+		Title:   "Figure 6.2: distribution of shared instances in Freebase",
+		Headers: []string{"domain", "tables", "instances", "shared", "fraction"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Domain, r.Tables, r.Instances, r.Shared, r.SharedFraction())
+	}
+	return rows, t
+}
+
+// Fig6_3 runs the matcher at one threshold and prints example matches
+// (the matching illustration of Figure 6.3 / Section 6.5).
+func Fig6_3(env *FreebaseEnv, threshold float64, examples int) ([]yagof.Match, *Table) {
+	matches := yagof.MatchTables(env.Onto, env.FD.InstancesOf,
+		yagof.MatchConfig{Threshold: threshold, ConceptClassesOnly: true})
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 6.3: matching YAGO and Freebase concepts (threshold %.2f)", threshold),
+		Headers: []string{"table", "matched class", "score"},
+	}
+	for i, m := range matches {
+		if i >= examples {
+			t.Notes = append(t.Notes, fmt.Sprintf("... and %d more matches", len(matches)-examples))
+			break
+		}
+		t.AddRow(m.Table, m.ClassName, m.Score)
+	}
+	return matches, t
+}
+
+// Table6_3 characterises the YAGO+F structure resulting from the matching
+// (Table 6.3).
+func Table6_3(env *FreebaseEnv, matches []yagof.Match) (yagof.Stats, *Table) {
+	st := yagof.Characterize(env.Onto, matches, len(env.FD.InstancesOf))
+	t := &Table{
+		Title:   "Table 6.3: categories and instances in YAGO+F",
+		Headers: []string{"statistic", "value"},
+	}
+	t.AddRow("classes", st.Classes)
+	t.AddRow("classes with tables", st.ClassesWithTables)
+	t.AddRow("matched tables", st.MatchedTables)
+	t.AddRow("unmatched tables", st.UnmatchedTables)
+	t.AddRow("mean match score", st.MeanScore)
+	for d, n := range st.DepthHistogram {
+		if n > 0 {
+			t.AddRow(fmt.Sprintf("matched tables at depth %d", d), n)
+		}
+	}
+	return st, t
+}
+
+// Fig6_4 sweeps the match threshold and reports matching quality against
+// the generator's gold standard (Figure 6.4).
+func Fig6_4(env *FreebaseEnv, thresholds []float64) ([]yagof.Quality, *Table) {
+	quality := yagof.EvaluateMatching(env.Onto, env.FD.InstancesOf, env.FD.ConceptOf,
+		thresholds, yagof.MatchConfig{ConceptClassesOnly: true})
+	t := &Table{
+		Title:   "Figure 6.4: matching quality vs threshold",
+		Headers: []string{"threshold", "matched", "correct", "precision", "recall", "F1"},
+	}
+	for _, q := range quality {
+		t.AddRow(q.Threshold, q.Matched, q.Correct, q.Precision, q.Recall, q.F1)
+	}
+	return quality, t
+}

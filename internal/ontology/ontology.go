@@ -1,0 +1,243 @@
+// Package ontology models the class hierarchies used by FreeQ (the
+// abstract ontology layer over a database schema, Chapter 5) and by the
+// YAGO+F matching (Chapter 6): a rooted DAG-free taxonomy of named
+// classes, each optionally carrying a set of instance identifiers and a
+// set of database tables mapped to it.
+package ontology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Class is one concept of the taxonomy.
+type Class struct {
+	ID   int
+	Name string
+	// Parent is the parent class ID, or -1 at the root.
+	Parent int
+	// Depth is the distance from the root (root = 0).
+	Depth int
+}
+
+// Ontology is a rooted tree of classes with instance and table
+// annotations.
+type Ontology struct {
+	classes  []Class
+	children map[int][]int
+	byName   map[string]int
+
+	// instances per class (direct members, not inherited).
+	instances map[int]map[string]bool
+	// tables mapped to a class (the schema layer of FreeQ / YAGO+F).
+	tables map[int][]string
+}
+
+// New creates an ontology with a single root class of the given name.
+func New(rootName string) *Ontology {
+	o := &Ontology{
+		children:  make(map[int][]int),
+		byName:    make(map[string]int),
+		instances: make(map[int]map[string]bool),
+		tables:    make(map[int][]string),
+	}
+	o.classes = append(o.classes, Class{ID: 0, Name: rootName, Parent: -1, Depth: 0})
+	o.byName[rootName] = 0
+	return o
+}
+
+// Root returns the root class ID (always 0).
+func (o *Ontology) Root() int { return 0 }
+
+// AddClass adds a class under the given parent and returns its ID.
+func (o *Ontology) AddClass(name string, parent int) (int, error) {
+	if parent < 0 || parent >= len(o.classes) {
+		return 0, fmt.Errorf("ontology: parent %d does not exist", parent)
+	}
+	if _, dup := o.byName[name]; dup {
+		return 0, fmt.Errorf("ontology: class %q already exists", name)
+	}
+	id := len(o.classes)
+	o.classes = append(o.classes, Class{
+		ID: id, Name: name, Parent: parent, Depth: o.classes[parent].Depth + 1,
+	})
+	o.children[parent] = append(o.children[parent], id)
+	o.byName[name] = id
+	return id, nil
+}
+
+// NumClasses returns the number of classes including the root.
+func (o *Ontology) NumClasses() int { return len(o.classes) }
+
+// Class returns the class record by ID.
+func (o *Ontology) Class(id int) (Class, bool) {
+	if id < 0 || id >= len(o.classes) {
+		return Class{}, false
+	}
+	return o.classes[id], true
+}
+
+// ByName returns the ID of the named class.
+func (o *Ontology) ByName(name string) (int, bool) {
+	id, ok := o.byName[name]
+	return id, ok
+}
+
+// Children returns the direct subclasses.
+func (o *Ontology) Children(id int) []int {
+	out := make([]int, len(o.children[id]))
+	copy(out, o.children[id])
+	return out
+}
+
+// IsLeaf reports whether the class has no subclasses.
+func (o *Ontology) IsLeaf(id int) bool { return len(o.children[id]) == 0 }
+
+// Leaves returns all leaf class IDs in ascending order.
+func (o *Ontology) Leaves() []int {
+	var out []int
+	for _, c := range o.classes {
+		if o.IsLeaf(c.ID) {
+			out = append(out, c.ID)
+		}
+	}
+	return out
+}
+
+// Ancestors returns the path from the class's parent up to the root.
+func (o *Ontology) Ancestors(id int) []int {
+	var out []int
+	for {
+		c, ok := o.Class(id)
+		if !ok || c.Parent < 0 {
+			return out
+		}
+		out = append(out, c.Parent)
+		id = c.Parent
+	}
+}
+
+// Subtree returns the class and all descendants (preorder).
+func (o *Ontology) Subtree(id int) []int {
+	var out []int
+	stack := []int{id}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, v)
+		kids := o.children[v]
+		for i := len(kids) - 1; i >= 0; i-- {
+			stack = append(stack, kids[i])
+		}
+	}
+	return out
+}
+
+// AddInstance records an instance as a direct member of the class.
+func (o *Ontology) AddInstance(class int, instance string) {
+	set := o.instances[class]
+	if set == nil {
+		set = make(map[string]bool)
+		o.instances[class] = set
+	}
+	set[instance] = true
+}
+
+// DirectInstances returns the class's direct instances, sorted.
+func (o *Ontology) DirectInstances(class int) []string {
+	set := o.instances[class]
+	out := make([]string, 0, len(set))
+	for i := range set {
+		out = append(out, i)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DirectInstanceCount returns the number of direct instances.
+func (o *Ontology) DirectInstanceCount(class int) int { return len(o.instances[class]) }
+
+// InstancesBelow returns the union of direct instances over the class's
+// subtree, sorted.
+func (o *Ontology) InstancesBelow(class int) []string {
+	set := make(map[string]bool)
+	for _, id := range o.Subtree(class) {
+		for i := range o.instances[id] {
+			set[i] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for i := range set {
+		out = append(out, i)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalInstances returns the number of distinct instances in the whole
+// ontology.
+func (o *Ontology) TotalInstances() int {
+	set := make(map[string]bool)
+	for _, m := range o.instances {
+		for i := range m {
+			set[i] = true
+		}
+	}
+	return len(set)
+}
+
+// MapTable attaches a database table to a class (the YAGO+F structure of
+// Chapter 6 / the FreeQ ontology layer of Chapter 5).
+func (o *Ontology) MapTable(class int, table string) {
+	o.tables[class] = append(o.tables[class], table)
+}
+
+// TablesAt returns the tables mapped directly to the class, in mapping
+// order.
+func (o *Ontology) TablesAt(class int) []string {
+	out := make([]string, len(o.tables[class]))
+	copy(out, o.tables[class])
+	return out
+}
+
+// TablesBelow returns all tables mapped within the class's subtree.
+func (o *Ontology) TablesBelow(class int) []string {
+	var out []string
+	for _, id := range o.Subtree(class) {
+		out = append(out, o.tables[id]...)
+	}
+	return out
+}
+
+// ClassOfTable returns the (first) class a table is mapped to, or -1.
+func (o *Ontology) ClassOfTable(table string) int {
+	for id, ts := range o.tables {
+		for _, t := range ts {
+			if t == table {
+				return id
+			}
+		}
+	}
+	return -1
+}
+
+// MaxDepth returns the maximum class depth.
+func (o *Ontology) MaxDepth() int {
+	max := 0
+	for _, c := range o.classes {
+		if c.Depth > max {
+			max = c.Depth
+		}
+	}
+	return max
+}
+
+// CountByDepth returns the number of classes at each depth (index =
+// depth), the distribution reported in Table 6.1.
+func (o *Ontology) CountByDepth() []int {
+	out := make([]int, o.MaxDepth()+1)
+	for _, c := range o.classes {
+		out[c.Depth]++
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package ontology
+
+import (
+	"reflect"
+	"testing"
+)
+
+// small builds: root → (person → (actor, director), work → (film)).
+func small(t *testing.T) (*Ontology, map[string]int) {
+	t.Helper()
+	o := New("entity")
+	ids := map[string]int{"entity": 0}
+	add := func(name string, parent string) {
+		id, err := o.AddClass(name, ids[parent])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[name] = id
+	}
+	add("person", "entity")
+	add("work", "entity")
+	add("actor", "person")
+	add("director", "person")
+	add("film", "work")
+	return o, ids
+}
+
+func TestAddClassValidation(t *testing.T) {
+	o := New("root")
+	if _, err := o.AddClass("x", 99); err == nil {
+		t.Fatal("bad parent accepted")
+	}
+	if _, err := o.AddClass("a", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.AddClass("a", 0); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+}
+
+func TestHierarchyNavigation(t *testing.T) {
+	o, ids := small(t)
+	if o.NumClasses() != 6 {
+		t.Fatalf("NumClasses = %d", o.NumClasses())
+	}
+	if o.Root() != 0 {
+		t.Fatal("root id")
+	}
+	c, ok := o.Class(ids["actor"])
+	if !ok || c.Name != "actor" || c.Depth != 2 || c.Parent != ids["person"] {
+		t.Fatalf("actor class = %+v", c)
+	}
+	if _, ok := o.Class(-1); ok {
+		t.Fatal("negative id resolved")
+	}
+	if id, ok := o.ByName("film"); !ok || id != ids["film"] {
+		t.Fatal("ByName failed")
+	}
+	if _, ok := o.ByName("ghost"); ok {
+		t.Fatal("unknown name resolved")
+	}
+	kids := o.Children(ids["person"])
+	if !reflect.DeepEqual(kids, []int{ids["actor"], ids["director"]}) {
+		t.Fatalf("Children = %v", kids)
+	}
+	if !o.IsLeaf(ids["actor"]) || o.IsLeaf(ids["person"]) {
+		t.Fatal("IsLeaf wrong")
+	}
+	leaves := o.Leaves()
+	if len(leaves) != 3 {
+		t.Fatalf("Leaves = %v", leaves)
+	}
+	anc := o.Ancestors(ids["actor"])
+	if !reflect.DeepEqual(anc, []int{ids["person"], 0}) {
+		t.Fatalf("Ancestors = %v", anc)
+	}
+	if len(o.Ancestors(0)) != 0 {
+		t.Fatal("root has ancestors")
+	}
+	sub := o.Subtree(ids["person"])
+	if !reflect.DeepEqual(sub, []int{ids["person"], ids["actor"], ids["director"]}) {
+		t.Fatalf("Subtree = %v", sub)
+	}
+	if o.MaxDepth() != 2 {
+		t.Fatalf("MaxDepth = %d", o.MaxDepth())
+	}
+	if got := o.CountByDepth(); !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("CountByDepth = %v", got)
+	}
+}
+
+func TestInstances(t *testing.T) {
+	o, ids := small(t)
+	o.AddInstance(ids["actor"], "tom_hanks")
+	o.AddInstance(ids["actor"], "tom_cruise")
+	o.AddInstance(ids["actor"], "tom_hanks") // duplicate ignored
+	o.AddInstance(ids["director"], "spielberg")
+	o.AddInstance(ids["film"], "terminal")
+	if o.DirectInstanceCount(ids["actor"]) != 2 {
+		t.Fatalf("actor instances = %d", o.DirectInstanceCount(ids["actor"]))
+	}
+	got := o.DirectInstances(ids["actor"])
+	if !reflect.DeepEqual(got, []string{"tom_cruise", "tom_hanks"}) {
+		t.Fatalf("DirectInstances = %v", got)
+	}
+	below := o.InstancesBelow(ids["person"])
+	if !reflect.DeepEqual(below, []string{"spielberg", "tom_cruise", "tom_hanks"}) {
+		t.Fatalf("InstancesBelow = %v", below)
+	}
+	if o.TotalInstances() != 4 {
+		t.Fatalf("TotalInstances = %d", o.TotalInstances())
+	}
+	// Shared instance between classes counted once globally.
+	o.AddInstance(ids["film"], "tom_hanks")
+	if o.TotalInstances() != 4 {
+		t.Fatalf("shared instance double-counted: %d", o.TotalInstances())
+	}
+}
+
+func TestTableMapping(t *testing.T) {
+	o, ids := small(t)
+	o.MapTable(ids["actor"], "imdb_actor")
+	o.MapTable(ids["actor"], "tv_actor")
+	o.MapTable(ids["film"], "imdb_film")
+	if got := o.TablesAt(ids["actor"]); !reflect.DeepEqual(got, []string{"imdb_actor", "tv_actor"}) {
+		t.Fatalf("TablesAt = %v", got)
+	}
+	below := o.TablesBelow(ids["person"])
+	if len(below) != 2 {
+		t.Fatalf("TablesBelow(person) = %v", below)
+	}
+	if o.ClassOfTable("imdb_film") != ids["film"] {
+		t.Fatal("ClassOfTable wrong")
+	}
+	if o.ClassOfTable("ghost") != -1 {
+		t.Fatal("unknown table should map to -1")
+	}
+	if len(o.TablesAt(ids["work"])) != 0 {
+		t.Fatal("unmapped class should have no tables")
+	}
+}

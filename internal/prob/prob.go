@@ -1,0 +1,249 @@
+// Package prob implements the probabilistic query interpretation model of
+// Section 3.6: the decomposition of P(Q|K) into a template prior P(T) and
+// per-keyword interpretation probabilities P(Ai:ki | T∩Ai) under the
+// keyword-independence assumptions 3.6.1/3.6.2 (Equation 3.5), estimated
+// from the Attribute Term Frequency statistic (Equation 3.8) and,
+// optionally, from a query log (Equation 3.7).
+//
+// It also implements the DivQ refinement of Equation 4.2: keyword
+// co-occurrence within one attribute raises the joint probability above
+// the product of the marginals (binding a first and last name to the same
+// "name" attribute beats splitting them), and unmapped keywords of partial
+// interpretations are charged the smoothing factor Pu.
+package prob
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/invindex"
+	"repro/internal/query"
+)
+
+// Config tunes the model.
+type Config struct {
+	// Alpha is the ATF smoothing parameter of Equation 3.8 (default 1).
+	Alpha float64
+	// SchemaTermProb is the empirical probability assigned to schema-term
+	// interpretations (table/attribute name matches) when no query log
+	// covers them; the "empirical values set by domain experts" of
+	// Section 3.6.2 (default 0.5).
+	SchemaTermProb float64
+	// UseTemplateLog enables the query-log template prior of Equation 3.7;
+	// without it all templates are equally probable.
+	UseTemplateLog bool
+	// UseCoOccurrence enables DivQ's joint co-occurrence probability for
+	// keyword groups bound to the same attribute of the same occurrence
+	// (Equation 4.2).
+	UseCoOccurrence bool
+	// Pu is the probability that an unmapped keyword's intended
+	// interpretation matches no database attribute (Equation 4.2). It must
+	// stay below the minimum probability of any existing keyword
+	// interpretation so complete interpretations outrank partial ones;
+	// 0 selects a conservative default.
+	Pu float64
+}
+
+// Model scores query interpretations.
+type Model struct {
+	ix  *invindex.Index
+	cat *query.Catalog
+	cfg Config
+}
+
+// New builds a model over an index and a template catalogue.
+func New(ix *invindex.Index, cat *query.Catalog, cfg Config) *Model {
+	if cfg.Alpha <= 0 {
+		cfg.Alpha = 1
+	}
+	if cfg.SchemaTermProb <= 0 {
+		cfg.SchemaTermProb = 0.5
+	}
+	if cfg.Pu <= 0 {
+		// Below any smoothed ATF: the reserved-unseen mass of the largest
+		// attribute is ~alpha/(tokens+alpha*(V+1)); divide once more.
+		maxTokens := 1
+		for _, a := range ix.Attributes() {
+			if n := ix.AttrTokens(a); n > maxTokens {
+				maxTokens = n
+			}
+		}
+		cfg.Pu = cfg.Alpha / (float64(maxTokens) * 10)
+		if cfg.Pu >= 1 {
+			cfg.Pu = 0.01
+		}
+	}
+	return &Model{ix: ix, cat: cat, cfg: cfg}
+}
+
+// Index exposes the underlying inverted index.
+func (m *Model) Index() *invindex.Index { return m.ix }
+
+// Catalog exposes the template catalogue.
+func (m *Model) Catalog() *query.Catalog { return m.cat }
+
+// Config returns the model configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// TemplatePrior returns P(T) per Equation 3.7. With no query log (or when
+// the log is disabled) every template is equally probable.
+func (m *Model) TemplatePrior(tpl *query.Template) float64 {
+	n := len(m.cat.Templates)
+	if n == 0 {
+		return 0
+	}
+	if !m.cfg.UseTemplateLog || m.cat.UsageCount == nil {
+		return 1 / float64(n)
+	}
+	total := float64(m.cat.TotalUsage())
+	occ := float64(m.cat.UsageCount[tpl.ID])
+	return (occ + m.cfg.Alpha) / (total + m.cfg.Alpha*float64(n))
+}
+
+// KeywordProb returns P(Ai:ki | T∩Ai) for a single keyword interpretation:
+// ATF for value interpretations (Equation 3.8) and the empirical schema
+// term probability for table/attribute-name interpretations.
+func (m *Model) KeywordProb(ki query.KeywordInterpretation) float64 {
+	switch ki.Kind {
+	case query.KindValue:
+		return m.ix.ATF(ki.Keyword, ki.Attr, m.cfg.Alpha)
+	default:
+		return m.cfg.SchemaTermProb
+	}
+}
+
+// jointValueProb returns the DivQ joint probability P(A:[k1..kn] | A) of a
+// keyword group bound to the same attribute of the same occurrence: the
+// smoothed fraction of the attribute's values containing the whole bag.
+// For a single keyword it reduces to ATF so the IQP and DivQ models agree
+// on singletons.
+func (m *Model) jointValueProb(keywords []string, attr invindex.AttrRef) float64 {
+	if len(keywords) == 1 {
+		return m.ix.ATF(keywords[0], attr, m.cfg.Alpha)
+	}
+	match, total := m.ix.CoOccurrence(keywords, attr)
+	vocab := float64(m.ix.AttrVocabulary(attr))
+	return (float64(match) + m.cfg.Alpha) / (float64(total) + m.cfg.Alpha*(vocab+1))
+}
+
+// Score returns the unnormalised probability of a (partial or complete)
+// interpretation per Equations 3.5/3.6 (and 4.2 when co-occurrence is
+// enabled): the product of keyword interpretation probabilities times the
+// template prior, with unmapped keywords charged Pu.
+func (m *Model) Score(q *query.Interpretation) float64 {
+	score := 1.0
+	if q.Template != nil {
+		score *= m.TemplatePrior(q.Template)
+	}
+	if m.cfg.UseCoOccurrence {
+		score *= m.groupedValueProb(q)
+	} else {
+		for _, b := range q.Bindings {
+			if b.KI.Kind == query.KindValue {
+				score *= m.KeywordProb(b.KI)
+			}
+		}
+	}
+	for _, b := range q.Bindings {
+		if b.KI.Kind != query.KindValue {
+			score *= m.KeywordProb(b.KI)
+		}
+	}
+	// Unmapped keywords (partial interpretations): factor Pu each (Eq 4.2).
+	unmapped := len(q.Keywords) - len(q.Bindings)
+	for i := 0; i < unmapped; i++ {
+		score *= m.cfg.Pu
+	}
+	return score
+}
+
+// groupedValueProb multiplies the joint probabilities of value-binding
+// groups per (occurrence, attribute).
+func (m *Model) groupedValueProb(q *query.Interpretation) float64 {
+	type slot struct {
+		occ  int
+		attr invindex.AttrRef
+	}
+	groups := make(map[slot][]string)
+	var order []slot
+	for _, b := range q.Bindings {
+		if b.KI.Kind != query.KindValue {
+			continue
+		}
+		s := slot{occ: b.Occ, attr: b.KI.Attr}
+		if _, ok := groups[s]; !ok {
+			order = append(order, s)
+		}
+		groups[s] = append(groups[s], b.KI.Keyword)
+	}
+	p := 1.0
+	for _, s := range order {
+		p *= m.jointValueProb(groups[s], s.attr)
+	}
+	return p
+}
+
+// Scored pairs an interpretation with its score and (after normalisation
+// over a concrete candidate set) its probability.
+type Scored struct {
+	Q     *query.Interpretation
+	Score float64
+	// Prob is Score normalised over the ranked set, i.e. P(Q|K) restricted
+	// to the materialised interpretation space.
+	Prob float64
+}
+
+// Rank scores and sorts interpretations by descending probability,
+// normalising scores into a distribution over the given space. Ties break
+// deterministically on the interpretation key.
+func (m *Model) Rank(space []*query.Interpretation) []Scored {
+	out := make([]Scored, len(space))
+	total := 0.0
+	for i, q := range space {
+		s := m.Score(q)
+		out[i] = Scored{Q: q, Score: s}
+		total += s
+	}
+	if total > 0 {
+		for i := range out {
+			out[i].Prob = out[i].Score / total
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Q.Key() < out[j].Q.Key()
+	})
+	return out
+}
+
+// Entropy returns the Shannon entropy (bits) of a normalised probability
+// vector; zero-probability entries contribute nothing.
+func Entropy(probs []float64) float64 {
+	h := 0.0
+	for _, p := range probs {
+		if p > 0 {
+			h -= p * math.Log2(p)
+		}
+	}
+	return h
+}
+
+// NormalizedEntropy normalises arbitrary non-negative weights into a
+// distribution and returns its entropy. Used to select ambiguous queries
+// in the DivQ evaluation (Section 4.6.1).
+func NormalizedEntropy(weights []float64) float64 {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		return 0
+	}
+	probs := make([]float64, len(weights))
+	for i, w := range weights {
+		probs[i] = w / total
+	}
+	return Entropy(probs)
+}

@@ -1,0 +1,363 @@
+package query
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/invindex"
+	"repro/internal/schemagraph"
+)
+
+// Candidates holds, for every keyword position of a keyword query, the
+// keyword interpretations that are valid against the database: value
+// matches found via the inverted index plus schema-term matches
+// (Section 3.5.1). Keywords with no match anywhere are excluded from the
+// construction process, as in Section 3.5.2 ("in case one of the keywords
+// is misspelled or does not exist in the target database, it is excluded").
+type Candidates struct {
+	Keywords   []string
+	PerKeyword [][]KeywordInterpretation
+	// Unmatched lists keyword positions with no interpretation at all.
+	Unmatched []int
+}
+
+// GenerateOptionsConfig tunes candidate generation.
+type GenerateOptionsConfig struct {
+	// IncludeSchemaTerms enables KindTable/KindColumn interpretations
+	// (matching keywords against table and attribute names, §2.2.7).
+	IncludeSchemaTerms bool
+	// MaxPerKeyword caps the number of interpretations kept per keyword
+	// (0 = unlimited). When capping, value interpretations with higher
+	// term counts are preferred.
+	MaxPerKeyword int
+	// IncludeAggregates recognises aggregation keywords ("number",
+	// "count", "many", "total") as COUNT operators — the analytical
+	// keyword queries of Section 2.2.7.
+	IncludeAggregates bool
+}
+
+// aggregateKeywords maps recognised aggregation keywords to operators.
+var aggregateKeywords = map[string]string{
+	"number": "count", "count": "count", "many": "count", "total": "count",
+}
+
+// GenerateCandidates computes the candidate keyword interpretations of
+// every keyword against the index.
+func GenerateCandidates(ix *invindex.Index, keywords []string, cfg GenerateOptionsConfig) *Candidates {
+	c := &Candidates{Keywords: normalizeKeywords(keywords)}
+	c.PerKeyword = make([][]KeywordInterpretation, len(c.Keywords))
+	for pos, kw := range c.Keywords {
+		var kis []KeywordInterpretation
+		postings := ix.Lookup(kw)
+		// Sort value matches by descending count for stable capping.
+		sort.Slice(postings, func(i, j int) bool {
+			if postings[i].Count != postings[j].Count {
+				return postings[i].Count > postings[j].Count
+			}
+			return postings[i].Attr.String() < postings[j].Attr.String()
+		})
+		for _, p := range postings {
+			kis = append(kis, KeywordInterpretation{
+				Pos: pos, Keyword: kw, Kind: KindValue, Attr: p.Attr,
+			})
+		}
+		if cfg.IncludeAggregates {
+			if agg, ok := aggregateKeywords[kw]; ok {
+				kis = append(kis, KeywordInterpretation{
+					Pos: pos, Keyword: kw, Kind: KindAggregate, Agg: agg,
+				})
+			}
+		}
+		if cfg.IncludeSchemaTerms {
+			for _, tbl := range ix.MatchTables(kw) {
+				kis = append(kis, KeywordInterpretation{
+					Pos: pos, Keyword: kw, Kind: KindTable, Table: tbl,
+				})
+			}
+			for _, attr := range ix.MatchColumns(kw) {
+				kis = append(kis, KeywordInterpretation{
+					Pos: pos, Keyword: kw, Kind: KindColumn, Attr: attr,
+				})
+			}
+		}
+		if cfg.MaxPerKeyword > 0 && len(kis) > cfg.MaxPerKeyword {
+			kis = kis[:cfg.MaxPerKeyword]
+		}
+		if len(kis) == 0 {
+			c.Unmatched = append(c.Unmatched, pos)
+		}
+		c.PerKeyword[pos] = kis
+	}
+	return c
+}
+
+// MatchedPositions returns the keyword positions that have at least one
+// interpretation.
+func (c *Candidates) MatchedPositions() []int {
+	var out []int
+	for pos, kis := range c.PerKeyword {
+		if len(kis) > 0 {
+			out = append(out, pos)
+		}
+	}
+	return out
+}
+
+// SpaceSize returns the product of per-keyword candidate counts over
+// matched keywords — an upper bound on the number of binding combinations
+// before template compatibility is applied. It saturates at maxInt/2 to
+// avoid overflow on large schemas.
+func (c *Candidates) SpaceSize() int {
+	const cap = int(^uint(0)>>1) / 2
+	size := 1
+	for _, kis := range c.PerKeyword {
+		if len(kis) == 0 {
+			continue
+		}
+		if size > cap/len(kis) {
+			return cap
+		}
+		size *= len(kis)
+	}
+	return size
+}
+
+func normalizeKeywords(keywords []string) []string {
+	out := make([]string, len(keywords))
+	for i, k := range keywords {
+		out[i] = strings.ToLower(strings.TrimSpace(k))
+	}
+	return out
+}
+
+// Catalog is the template catalogue of a database (Section 3.5.2): the
+// set of pre-computed query templates with optional usage counts from a
+// query log.
+type Catalog struct {
+	Templates []*Template
+	// UsageCount holds the query-log frequency per template ID; nil when no
+	// log is available (all templates equally probable, §3.6.2).
+	UsageCount map[int]int
+}
+
+// BuildCatalog enumerates templates from the schema graph up to the given
+// join-path length (the automatic generation method of Section 3.5.2).
+func BuildCatalog(g *schemagraph.Graph, opts schemagraph.EnumerateOptions) *Catalog {
+	trees := g.EnumerateJoinTrees(opts)
+	cat := &Catalog{Templates: make([]*Template, len(trees))}
+	for i, tr := range trees {
+		cat.Templates[i] = NewTemplate(i, tr)
+	}
+	return cat
+}
+
+// RecordUsage adds query-log usage counts (the log-mining method of
+// Section 3.5.2).
+func (c *Catalog) RecordUsage(templateID, count int) {
+	if c.UsageCount == nil {
+		c.UsageCount = make(map[int]int)
+	}
+	c.UsageCount[templateID] += count
+}
+
+// TotalUsage returns the total number of logged queries.
+func (c *Catalog) TotalUsage() int {
+	n := 0
+	for _, v := range c.UsageCount {
+		n += v
+	}
+	return n
+}
+
+// GenerateConfig bounds complete-interpretation enumeration.
+type GenerateConfig struct {
+	// MaxInterpretations caps the number of complete interpretations
+	// (0 = unlimited). Enumeration visits templates in catalogue order
+	// (breadth-first by size), so the cap keeps the smallest join paths.
+	MaxInterpretations int
+	// RequireAllKeywords demands complete interpretations bind every
+	// matched keyword (AND semantics). When false, enumeration is still
+	// over all matched keywords; unmatched keywords are always skipped.
+	RequireAllKeywords bool
+}
+
+// GenerateComplete enumerates the complete query interpretations of the
+// keyword query over the template catalogue (the interpretation space of
+// Definition 3.5.5 restricted to matched keywords), applying the
+// minimality condition of Definition 3.5.4(2).
+func GenerateComplete(c *Candidates, cat *Catalog, cfg GenerateConfig) []*Interpretation {
+	matched := c.MatchedPositions()
+	if len(matched) == 0 {
+		return nil
+	}
+	var out []*Interpretation
+	seen := make(map[string]bool)
+	for _, tpl := range cat.Templates {
+		for _, bindings := range enumerateBindings(c, matched, tpl) {
+			q := NewInterpretation(c.Keywords, tpl, bindings)
+			if !minimal(q) {
+				continue
+			}
+			key := q.Key()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, q)
+			if cfg.MaxInterpretations > 0 && len(out) >= cfg.MaxInterpretations {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// enumerateBindings enumerates all assignments of every matched keyword to
+// a candidate interpretation compatible with the template, including the
+// choice of table occurrence for self-join templates.
+func enumerateBindings(c *Candidates, matched []int, tpl *Template) [][]Binding {
+	var out [][]Binding
+	cur := make([]Binding, 0, len(matched))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(matched) {
+			bs := make([]Binding, len(cur))
+			copy(bs, cur)
+			out = append(out, bs)
+			return
+		}
+		pos := matched[i]
+		for _, ki := range c.PerKeyword[pos] {
+			if ki.Kind == KindAggregate {
+				cur = append(cur, Binding{KI: ki, Occ: -1})
+				rec(i + 1)
+				cur = cur[:len(cur)-1]
+				continue
+			}
+			occs := tpl.Occurrences(ki.TargetTable())
+			for _, occ := range occs {
+				cur = append(cur, Binding{KI: ki, Occ: occ})
+				rec(i + 1)
+				cur = cur[:len(cur)-1]
+			}
+		}
+	}
+	rec(0)
+	return out
+}
+
+// minimal implements Definition 3.5.4(2): no sub-structure of the query can
+// be removed while leaving a valid structured query with the same keyword
+// bindings. For join trees this holds iff every leaf occurrence of the
+// template carries at least one binding; we apply it transitively by
+// peeling free leaves.
+func minimal(q *Interpretation) bool {
+	tree := q.Template.Tree
+	n := tree.Size()
+	grounded := 0
+	for _, b := range q.Bindings {
+		if b.Occ >= 0 {
+			grounded++
+		}
+	}
+	if grounded == 0 {
+		return false // an aggregate alone does not justify any structure
+	}
+	if n == 1 {
+		return true
+	}
+	bound := make([]bool, n)
+	for _, b := range q.Bindings {
+		if b.Occ >= 0 {
+			bound[b.Occ] = true
+		}
+	}
+	deg := make([]int, n)
+	adj := make([][]int, n)
+	for _, e := range tree.TreeEdges {
+		deg[e.From]++
+		deg[e.To]++
+		adj[e.From] = append(adj[e.From], e.To)
+		adj[e.To] = append(adj[e.To], e.From)
+	}
+	// Peel unbound leaves; if any can be peeled the query is non-minimal.
+	for i := 0; i < n; i++ {
+		if deg[i] <= 1 && !bound[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FilterSegments keeps the interpretations where every segment's keyword
+// positions are bound as values of the same attribute of the same table
+// occurrence — the phrase constraint of query segmentation
+// (Section 2.2.1): once "tom hanks" is recognised as a phrase, readings
+// that scatter the two tokens across attributes are discarded. Segments
+// with fewer than two positions are ignored; positions unbound in an
+// interpretation are ignored (partial interpretations pass).
+func FilterSegments(space []*Interpretation, segments [][]int) []*Interpretation {
+	if len(segments) == 0 {
+		return space
+	}
+	var out []*Interpretation
+	for _, q := range space {
+		if segmentsRespected(q, segments) {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+func segmentsRespected(q *Interpretation, segments [][]int) bool {
+	byPos := make(map[int]Binding, len(q.Bindings))
+	for _, b := range q.Bindings {
+		byPos[b.KI.Pos] = b
+	}
+	for _, seg := range segments {
+		if len(seg) < 2 {
+			continue
+		}
+		var first *Binding
+		for _, pos := range seg {
+			b, ok := byPos[pos]
+			if !ok {
+				continue
+			}
+			if b.KI.Kind != KindValue {
+				return false
+			}
+			if first == nil {
+				bb := b
+				first = &bb
+				continue
+			}
+			if b.KI.Attr != first.KI.Attr || b.Occ != first.Occ {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CollectOptions derives the pool of single-element query construction
+// options from the interpretation space: one option per distinct keyword
+// interpretation used by at least one interpretation in the space.
+func CollectOptions(space []*Interpretation) []Option {
+	seen := make(map[string]KeywordInterpretation)
+	for _, q := range space {
+		for _, b := range q.Bindings {
+			seen[b.KI.Key()] = b.KI
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Option, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, NewOption(seen[k]))
+	}
+	return out
+}

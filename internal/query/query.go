@@ -1,0 +1,389 @@
+// Package query implements the structured-query model of Section 3.5:
+// keyword queries, structured queries as relational-algebra expressions,
+// keyword interpretations (Definition 3.5.3), query templates
+// (Definition 3.5.6), complete and partial query interpretations
+// (Definition 3.5.4), the sub-query/subsumption relationship
+// (Definition 3.5.7), and the translation of interpretations into
+// executable join plans.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/invindex"
+	"repro/internal/relstore"
+	"repro/internal/schemagraph"
+)
+
+// Kind classifies a keyword interpretation (Definition 3.5.3): a keyword
+// maps to a value in a predicate, a table name, or an attribute name.
+type Kind int
+
+const (
+	// KindValue interprets the keyword as an attribute value:
+	// σ_{k ∈ A}(Table).
+	KindValue Kind = iota
+	// KindTable interprets the keyword as a table name (schema term).
+	KindTable
+	// KindColumn interprets the keyword as an attribute name (schema term).
+	KindColumn
+	// KindAggregate interprets the keyword as an aggregation operator —
+	// the analytical keyword queries of Section 2.2.7, e.g. "number of
+	// movies with tom hanks" (Definition 3.5.1's K4), where "number" maps
+	// to COUNT over the query's results.
+	KindAggregate
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindValue:
+		return "value"
+	case KindTable:
+		return "table"
+	case KindColumn:
+		return "column"
+	case KindAggregate:
+		return "aggregate"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// KeywordInterpretation maps one keyword occurrence of the keyword query to
+// one element of a structured query (Definition 3.5.3).
+type KeywordInterpretation struct {
+	// Pos is the position of the keyword in the keyword query; keyword
+	// queries are bags (Definition 3.5.1), so identity is positional.
+	Pos int
+	// Keyword is the (lower-cased) keyword text.
+	Keyword string
+	Kind    Kind
+	// Attr is set for KindValue and KindColumn.
+	Attr invindex.AttrRef
+	// Table is set for KindTable.
+	Table string
+	// Agg names the aggregation operator for KindAggregate ("count").
+	Agg string
+}
+
+// TargetTable returns the table this interpretation concerns; empty for
+// aggregation operators, which apply to the whole query.
+func (ki KeywordInterpretation) TargetTable() string {
+	switch ki.Kind {
+	case KindTable:
+		return ki.Table
+	case KindAggregate:
+		return ""
+	default:
+		return ki.Attr.Table
+	}
+}
+
+// Key is a canonical identity string (position-sensitive).
+func (ki KeywordInterpretation) Key() string {
+	switch ki.Kind {
+	case KindTable:
+		return fmt.Sprintf("%d:%s=table:%s", ki.Pos, ki.Keyword, ki.Table)
+	case KindColumn:
+		return fmt.Sprintf("%d:%s=column:%s", ki.Pos, ki.Keyword, ki.Attr)
+	case KindAggregate:
+		return fmt.Sprintf("%d:%s=agg:%s", ki.Pos, ki.Keyword, ki.Agg)
+	default:
+		return fmt.Sprintf("%d:%s=value:%s", ki.Pos, ki.Keyword, ki.Attr)
+	}
+}
+
+// Describe renders the interpretation as a user-facing question fragment,
+// e.g. `"hanks" is a value of actor.name` — the phrasing of the query
+// construction options in Figure 3.1.
+func (ki KeywordInterpretation) Describe() string {
+	switch ki.Kind {
+	case KindTable:
+		return fmt.Sprintf("%q refers to the %s table", ki.Keyword, ki.Table)
+	case KindColumn:
+		return fmt.Sprintf("%q refers to the attribute %s", ki.Keyword, ki.Attr)
+	case KindAggregate:
+		return fmt.Sprintf("%q asks for the %s of the results", ki.Keyword, ki.Agg)
+	default:
+		return fmt.Sprintf("%q is a value of %s", ki.Keyword, ki.Attr)
+	}
+}
+
+// Template is a pre-computed query pattern (Definition 3.5.6): a join tree
+// whose predicates are variables. ID indexes into the template catalogue.
+type Template struct {
+	ID   int
+	Tree *schemagraph.JoinTree
+
+	occurrences map[string][]int // table name -> occurrence indexes
+}
+
+// NewTemplate wraps a join tree as a template.
+func NewTemplate(id int, tree *schemagraph.JoinTree) *Template {
+	t := &Template{ID: id, Tree: tree, occurrences: make(map[string][]int)}
+	for i, name := range tree.Tables {
+		t.occurrences[name] = append(t.occurrences[name], i)
+	}
+	return t
+}
+
+// Occurrences returns the occurrence indexes of the table in the template.
+func (t *Template) Occurrences(table string) []int { return t.occurrences[table] }
+
+// Size returns the number of table occurrences.
+func (t *Template) Size() int { return t.Tree.Size() }
+
+// String renders the template's join structure.
+func (t *Template) String() string { return t.Tree.String() }
+
+// Binding places one keyword interpretation onto a template occurrence.
+type Binding struct {
+	KI KeywordInterpretation
+	// Occ is the occurrence index within the interpretation's template.
+	Occ int
+}
+
+// Interpretation is a (partial or complete) query interpretation
+// (Definition 3.5.4): a template plus a set of keyword bindings. An
+// interpretation is complete when every keyword of the query is bound.
+type Interpretation struct {
+	// Keywords is the full keyword query being interpreted.
+	Keywords []string
+	Template *Template
+	// Bindings are sorted by keyword position.
+	Bindings []Binding
+
+	key string
+}
+
+// NewInterpretation assembles an interpretation, sorting bindings by
+// keyword position.
+func NewInterpretation(keywords []string, tpl *Template, bindings []Binding) *Interpretation {
+	bs := make([]Binding, len(bindings))
+	copy(bs, bindings)
+	sort.Slice(bs, func(i, j int) bool {
+		if bs[i].KI.Pos != bs[j].KI.Pos {
+			return bs[i].KI.Pos < bs[j].KI.Pos
+		}
+		return bs[i].Occ < bs[j].Occ
+	})
+	return &Interpretation{Keywords: keywords, Template: tpl, Bindings: bs}
+}
+
+// IsComplete reports whether every keyword of the query is bound
+// (a complete interpretation per Definition 3.5.4).
+func (q *Interpretation) IsComplete() bool { return len(q.Bindings) == len(q.Keywords) }
+
+// Aggregate returns the aggregation operator of the interpretation
+// ("count") or "" for plain retrieval queries.
+func (q *Interpretation) Aggregate() string {
+	for _, b := range q.Bindings {
+		if b.KI.Kind == KindAggregate {
+			return b.KI.Agg
+		}
+	}
+	return ""
+}
+
+// BoundPositions returns the set of keyword positions that are bound.
+func (q *Interpretation) BoundPositions() map[int]bool {
+	out := make(map[int]bool, len(q.Bindings))
+	for _, b := range q.Bindings {
+		out[b.KI.Pos] = true
+	}
+	return out
+}
+
+// Key returns a canonical identity for deduplication: template identity
+// (by canonical tree form) plus the bindings.
+func (q *Interpretation) Key() string {
+	if q.key != "" {
+		return q.key
+	}
+	var sb strings.Builder
+	if q.Template != nil {
+		sb.WriteString(q.Template.Tree.Canonical())
+	}
+	sb.WriteString("|")
+	for _, b := range q.Bindings {
+		fmt.Fprintf(&sb, "%s@%d;", b.KI.Key(), b.Occ)
+	}
+	q.key = sb.String()
+	return q.key
+}
+
+// HasBinding reports whether the interpretation uses the given keyword
+// interpretation (occurrence-insensitive: the same element identity).
+func (q *Interpretation) HasBinding(ki KeywordInterpretation) bool {
+	key := ki.Key()
+	for _, b := range q.Bindings {
+		if b.KI.Key() == key {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the interpretation in the relational-algebra style of the
+// thesis, e.g. σ_{hanks∈name}(actor) ⋈ acts ⋈ σ_{2001∈year}(movie).
+func (q *Interpretation) String() string {
+	if q.Template == nil {
+		parts := make([]string, len(q.Bindings))
+		for i, b := range q.Bindings {
+			parts[i] = b.KI.Describe()
+		}
+		return "{" + strings.Join(parts, "; ") + "}"
+	}
+	// Group value bindings per occurrence/column.
+	type slot struct{ occ int }
+	preds := make(map[int]map[string][]string) // occ -> column -> keywords
+	for _, b := range q.Bindings {
+		if b.KI.Kind != KindValue {
+			continue
+		}
+		m := preds[b.Occ]
+		if m == nil {
+			m = make(map[string][]string)
+			preds[b.Occ] = m
+		}
+		m[b.KI.Attr.Column] = append(m[b.KI.Attr.Column], b.KI.Keyword)
+	}
+	parts := make([]string, q.Template.Size())
+	for i, table := range q.Template.Tree.Tables {
+		m := preds[i]
+		if len(m) == 0 {
+			parts[i] = table
+			continue
+		}
+		cols := make([]string, 0, len(m))
+		for c := range m {
+			cols = append(cols, c)
+		}
+		sort.Strings(cols)
+		var ps []string
+		for _, c := range cols {
+			ps = append(ps, fmt.Sprintf("{%s}⊂%s", strings.Join(m[c], ","), c))
+		}
+		parts[i] = fmt.Sprintf("σ_%s(%s)", strings.Join(ps, "∧"), table)
+	}
+	expr := strings.Join(parts, " ⋈ ")
+	if agg := q.Aggregate(); agg != "" {
+		return strings.ToUpper(agg) + "(" + expr + ")"
+	}
+	return expr
+}
+
+// Subsumes implements the sub-query relation (Definition 3.5.7) as used by
+// query construction options: q' subsumes q when every keyword
+// interpretation of q' is also used by q. Options carry no template
+// commitment, so subsumption is evaluated over element identities.
+func (q *Interpretation) Subsumes(other *Interpretation) bool {
+	for _, b := range q.Bindings {
+		if !other.HasBinding(b.KI) {
+			return false
+		}
+	}
+	return true
+}
+
+// JoinPlan translates a complete or partial interpretation with a template
+// into an executable join plan: value bindings grouped per occurrence and
+// column become containment predicates (Definition 3.5.2).
+func (q *Interpretation) JoinPlan() (*relstore.JoinPlan, error) {
+	if q.Template == nil {
+		return nil, fmt.Errorf("query: interpretation has no template")
+	}
+	tree := q.Template.Tree
+	plan := &relstore.JoinPlan{
+		Nodes: make([]relstore.JoinNode, tree.Size()),
+		Edges: make([]relstore.JoinEdge, 0, len(tree.TreeEdges)),
+	}
+	for i, table := range tree.Tables {
+		plan.Nodes[i] = relstore.JoinNode{Table: table}
+	}
+	for _, e := range tree.TreeEdges {
+		plan.Edges = append(plan.Edges, relstore.JoinEdge{
+			From: e.From, To: e.To, FromColumn: e.FromColumn, ToColumn: e.ToColumn,
+		})
+	}
+	grouped := make(map[int]map[string][]string)
+	for _, b := range q.Bindings {
+		if b.KI.Kind != KindValue {
+			continue
+		}
+		if b.Occ < 0 || b.Occ >= tree.Size() {
+			return nil, fmt.Errorf("query: binding occurrence %d out of range", b.Occ)
+		}
+		if tree.Tables[b.Occ] != b.KI.Attr.Table {
+			return nil, fmt.Errorf("query: binding table %s does not match occurrence table %s",
+				b.KI.Attr.Table, tree.Tables[b.Occ])
+		}
+		m := grouped[b.Occ]
+		if m == nil {
+			m = make(map[string][]string)
+			grouped[b.Occ] = m
+		}
+		m[b.KI.Attr.Column] = append(m[b.KI.Attr.Column], b.KI.Keyword)
+	}
+	for occ, m := range grouped {
+		cols := make([]string, 0, len(m))
+		for c := range m {
+			cols = append(cols, c)
+		}
+		sort.Strings(cols)
+		for _, c := range cols {
+			plan.Nodes[occ].Predicates = append(plan.Nodes[occ].Predicates,
+				relstore.Predicate{Column: c, Keywords: m[c]})
+		}
+	}
+	return plan, nil
+}
+
+// Option is a query construction option: a partial interpretation offered
+// to the user for acceptance or rejection (Section 3.5.4). Options are
+// sets of keyword interpretations without template commitment — the form
+// presented in the IQP interface ("Hanks is an actor's name").
+type Option struct {
+	KIs []KeywordInterpretation
+}
+
+// NewOption builds an option over the given keyword interpretations.
+func NewOption(kis ...KeywordInterpretation) Option {
+	cp := make([]KeywordInterpretation, len(kis))
+	copy(cp, kis)
+	sort.Slice(cp, func(i, j int) bool { return cp[i].Key() < cp[j].Key() })
+	return Option{KIs: cp}
+}
+
+// Key returns a canonical identity string.
+func (o Option) Key() string {
+	parts := make([]string, len(o.KIs))
+	for i, ki := range o.KIs {
+		parts[i] = ki.Key()
+	}
+	return strings.Join(parts, "&")
+}
+
+// Describe renders the option as the question shown to the user.
+func (o Option) Describe() string {
+	parts := make([]string, len(o.KIs))
+	for i, ki := range o.KIs {
+		parts[i] = ki.Describe()
+	}
+	return strings.Join(parts, " and ")
+}
+
+// Subsumes reports whether the option subsumes the interpretation: every
+// keyword interpretation of the option is used by the interpretation.
+// Accepting the option keeps exactly the subsumed interpretations;
+// rejecting it removes them (Definition 3.5.8).
+func (o Option) Subsumes(q *Interpretation) bool {
+	for _, ki := range o.KIs {
+		if !q.HasBinding(ki) {
+			return false
+		}
+	}
+	return true
+}

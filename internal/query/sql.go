@@ -1,0 +1,76 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SQL renders the interpretation as the SQL statement the thesis
+// associates with every candidate network (Section 2.2.6: "a candidate
+// network corresponds to a single SQL statement that joins the tables as
+// specified in the CN tree, and selects those rows that contain the
+// keywords"). Containment predicates are rendered with LIKE per keyword;
+// aggregate interpretations wrap the statement in COUNT.
+//
+// Occurrences are aliased t0, t1, … in template order so self-joins are
+// unambiguous. The projection is SELECT * (the thesis's IQP returns all
+// referred attributes, Section 3.5.1).
+func (q *Interpretation) SQL() (string, error) {
+	if q.Template == nil {
+		return "", fmt.Errorf("query: interpretation has no template")
+	}
+	tree := q.Template.Tree
+	var sb strings.Builder
+	if agg := q.Aggregate(); agg != "" {
+		sb.WriteString("SELECT COUNT(*) FROM ")
+	} else {
+		sb.WriteString("SELECT * FROM ")
+	}
+	for i, table := range tree.Tables {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s AS t%d", table, i)
+	}
+	var conds []string
+	for _, e := range tree.TreeEdges {
+		conds = append(conds, fmt.Sprintf("t%d.%s = t%d.%s", e.From, e.FromColumn, e.To, e.ToColumn))
+	}
+	// Group value bindings per occurrence/column, mirroring JoinPlan.
+	type slot struct {
+		occ int
+		col string
+	}
+	grouped := make(map[slot][]string)
+	for _, b := range q.Bindings {
+		if b.KI.Kind != KindValue {
+			continue
+		}
+		s := slot{occ: b.Occ, col: b.KI.Attr.Column}
+		grouped[s] = append(grouped[s], b.KI.Keyword)
+	}
+	slots := make([]slot, 0, len(grouped))
+	for s := range grouped {
+		slots = append(slots, s)
+	}
+	sort.Slice(slots, func(i, j int) bool {
+		if slots[i].occ != slots[j].occ {
+			return slots[i].occ < slots[j].occ
+		}
+		return slots[i].col < slots[j].col
+	})
+	for _, s := range slots {
+		for _, kw := range grouped[s] {
+			conds = append(conds, fmt.Sprintf("t%d.%s LIKE '%%%s%%'", s.occ, s.col, escapeSQL(kw)))
+		}
+	}
+	if len(conds) > 0 {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(strings.Join(conds, " AND "))
+	}
+	return sb.String(), nil
+}
+
+// escapeSQL doubles single quotes for safe literal embedding.
+func escapeSQL(s string) string { return strings.ReplaceAll(s, "'", "''") }

@@ -1,0 +1,252 @@
+package relstore
+
+import (
+	"fmt"
+)
+
+// Predicate restricts a join-plan node to rows whose Column value contains
+// the whole Keywords bag (the σ_{k ∈ A} selection of Definition 3.5.2).
+type Predicate struct {
+	Column   string
+	Keywords []string
+}
+
+// JoinNode is one relation occurrence in a candidate network. The same
+// table may appear in several nodes (self-joins such as
+// Actor ⋈ Acts1 ⋈ Movie ⋈ Acts2 ⋈ Actor).
+type JoinNode struct {
+	Table      string
+	Predicates []Predicate
+}
+
+// JoinEdge joins node From to node To on From.FromColumn = To.ToColumn.
+// Edges are undirected for execution purposes; the pair of columns encodes
+// the FK → PK relationship from the schema graph.
+type JoinEdge struct {
+	From, To             int
+	FromColumn, ToColumn string
+}
+
+// JoinPlan is an executable candidate network: a tree of join nodes.
+// It corresponds to a single SQL statement joining the tables as specified
+// and selecting rows that contain the keywords (§2.2.6).
+type JoinPlan struct {
+	Nodes []JoinNode
+	Edges []JoinEdge
+}
+
+// Validate checks structural well-formedness: edges reference valid nodes
+// and the edge set forms a tree over the nodes (connected, acyclic).
+func (p *JoinPlan) Validate() error {
+	n := len(p.Nodes)
+	if n == 0 {
+		return fmt.Errorf("relstore: join plan has no nodes")
+	}
+	if len(p.Edges) != n-1 {
+		return fmt.Errorf("relstore: join plan over %d nodes needs %d edges, has %d",
+			n, n-1, len(p.Edges))
+	}
+	adj := make([][]int, n)
+	for _, e := range p.Edges {
+		if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n {
+			return fmt.Errorf("relstore: join edge references node out of range")
+		}
+		adj[e.From] = append(adj[e.From], e.To)
+		adj[e.To] = append(adj[e.To], e.From)
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	if count != n {
+		return fmt.Errorf("relstore: join plan is not connected")
+	}
+	return nil
+}
+
+// JTT is a joining tree of tuples — one concrete search result: the RowID
+// chosen for each node of the join plan, positionally aligned with
+// JoinPlan.Nodes.
+type JTT struct {
+	Rows []int
+}
+
+// ResultKey identifies one tuple of a result for the overlap accounting of
+// the DivQ metrics (a "primary key" in the thesis's terminology).
+type ResultKey struct {
+	Table string
+	RowID int
+}
+
+// Keys returns the result keys of all tuples in the JTT under the plan.
+func (j JTT) Keys(p *JoinPlan) []ResultKey {
+	out := make([]ResultKey, len(j.Rows))
+	for i, r := range j.Rows {
+		out[i] = ResultKey{Table: p.Nodes[i].Table, RowID: r}
+	}
+	return out
+}
+
+// ExecuteOptions tunes plan execution.
+type ExecuteOptions struct {
+	// Limit bounds the number of JTTs materialised; 0 means unlimited.
+	Limit int
+}
+
+// Execute runs the join plan against the database and materialises the
+// joining tuple trees. The plan tree is evaluated by index nested loops
+// rooted at the most selective node (smallest candidate set after applying
+// its predicates), following FK equality edges with hash-index lookups.
+func (db *Database) Execute(p *JoinPlan, opts ExecuteOptions) ([]JTT, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.Nodes)
+	cands := make([][]int, n)
+	for i, node := range p.Nodes {
+		t := db.Table(node.Table)
+		if t == nil {
+			return nil, fmt.Errorf("relstore: join plan references unknown table %s", node.Table)
+		}
+		cands[i] = t.candidateRows(node.Predicates)
+		if len(cands[i]) == 0 {
+			return nil, nil
+		}
+	}
+
+	root := 0
+	for i := 1; i < n; i++ {
+		if len(cands[i]) < len(cands[root]) {
+			root = i
+		}
+	}
+
+	type halfEdge struct {
+		to                 int
+		fromCol, toCol     string
+		fromIdx, toIdxSkip int // cached column indexes; toIdxSkip unused, kept for clarity
+	}
+	adj := make([][]halfEdge, n)
+	for _, e := range p.Edges {
+		ft := db.Table(p.Nodes[e.From].Table)
+		tt := db.Table(p.Nodes[e.To].Table)
+		fi := ft.Schema.ColumnIndex(e.FromColumn)
+		ti := tt.Schema.ColumnIndex(e.ToColumn)
+		if fi < 0 || ti < 0 {
+			return nil, fmt.Errorf("relstore: join edge %s.%s=%s.%s references unknown column",
+				p.Nodes[e.From].Table, e.FromColumn, p.Nodes[e.To].Table, e.ToColumn)
+		}
+		adj[e.From] = append(adj[e.From], halfEdge{to: e.To, fromCol: e.FromColumn, toCol: e.ToColumn, fromIdx: fi})
+		adj[e.To] = append(adj[e.To], halfEdge{to: e.From, fromCol: e.ToColumn, toCol: e.FromColumn, fromIdx: ti})
+	}
+
+	// Precompute per-node candidate membership for filtering joined rows.
+	member := make([]map[int]bool, n)
+	for i := range cands {
+		m := make(map[int]bool, len(cands[i]))
+		for _, id := range cands[i] {
+			m[id] = true
+		}
+		member[i] = m
+	}
+
+	// DFS order from root over the tree.
+	type step struct {
+		node, parent   int
+		parentCol, col string
+	}
+	order := make([]step, 0, n)
+	visited := make([]bool, n)
+	var build func(v, parent int, pc, c string)
+	build = func(v, parent int, pc, c string) {
+		visited[v] = true
+		order = append(order, step{node: v, parent: parent, parentCol: pc, col: c})
+		for _, he := range adj[v] {
+			if !visited[he.to] {
+				build(he.to, v, he.fromCol, he.toCol)
+			}
+		}
+	}
+	build(root, -1, "", "")
+
+	var results []JTT
+	assign := make([]int, n)
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == len(order) {
+			row := make([]int, n)
+			copy(row, assign)
+			results = append(results, JTT{Rows: row})
+			return opts.Limit > 0 && len(results) >= opts.Limit
+		}
+		st := order[k]
+		var choices []int
+		if st.parent < 0 {
+			choices = cands[st.node]
+		} else {
+			pt := db.Table(p.Nodes[st.parent].Table)
+			pv, _ := pt.Value(assign[st.parent], st.parentCol)
+			ct := db.Table(p.Nodes[st.node].Table)
+			for _, id := range ct.LookupEqual(st.col, pv) {
+				if member[st.node][id] {
+					choices = append(choices, id)
+				}
+			}
+		}
+		for _, id := range choices {
+			assign[st.node] = id
+			if rec(k + 1) {
+				return true
+			}
+		}
+		return false
+	}
+	rec(0)
+	return results, nil
+}
+
+// Count executes the plan and returns only the number of results, bounded
+// by limit (0 = unlimited). It is cheaper than Execute for emptiness and
+// cardinality probes used by the diversification metrics.
+func (db *Database) Count(p *JoinPlan, limit int) (int, error) {
+	res, err := db.Execute(p, ExecuteOptions{Limit: limit})
+	if err != nil {
+		return 0, err
+	}
+	return len(res), nil
+}
+
+// candidateRows returns the rows of t satisfying all predicates; with no
+// predicates it returns all rows.
+func (t *Table) candidateRows(preds []Predicate) []int {
+	if len(preds) == 0 {
+		out := make([]int, t.Len())
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	var out []int
+rows:
+	for _, r := range t.rows {
+		for _, p := range preds {
+			ci := t.Schema.ColumnIndex(p.Column)
+			if ci < 0 || !ContainsBag(r.Values[ci], p.Keywords) {
+				continue rows
+			}
+		}
+		out = append(out, r.RowID)
+	}
+	return out
+}

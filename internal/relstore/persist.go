@@ -1,0 +1,65 @@
+package relstore
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// persistedTable is the on-disk representation of one table.
+type persistedTable struct {
+	Schema TableSchema
+	Rows   [][]string
+}
+
+// persistedDatabase is the on-disk representation of a database.
+type persistedDatabase struct {
+	Name   string
+	Tables []persistedTable
+}
+
+// Save serialises the database (schema and rows) to the writer using
+// encoding/gob. Indexes are not persisted; they are rebuilt lazily after
+// Load.
+func (db *Database) Save(w io.Writer) error {
+	pd := persistedDatabase{Name: db.Name}
+	for _, t := range db.Tables() {
+		pt := persistedTable{Schema: *t.Schema}
+		for _, row := range t.Rows() {
+			vals := make([]string, len(row.Values))
+			copy(vals, row.Values)
+			pt.Rows = append(pt.Rows, vals)
+		}
+		pd.Tables = append(pd.Tables, pt)
+	}
+	if err := gob.NewEncoder(w).Encode(&pd); err != nil {
+		return fmt.Errorf("relstore: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a database previously written by Save, validating schemas
+// and referential declarations.
+func Load(r io.Reader) (*Database, error) {
+	var pd persistedDatabase
+	if err := gob.NewDecoder(r).Decode(&pd); err != nil {
+		return nil, fmt.Errorf("relstore: load: %w", err)
+	}
+	db := NewDatabase(pd.Name)
+	for i := range pd.Tables {
+		schema := pd.Tables[i].Schema
+		t, err := db.CreateTable(&schema)
+		if err != nil {
+			return nil, fmt.Errorf("relstore: load: %w", err)
+		}
+		for _, vals := range pd.Tables[i].Rows {
+			if _, err := t.Insert(vals...); err != nil {
+				return nil, fmt.Errorf("relstore: load: %w", err)
+			}
+		}
+	}
+	if err := db.ValidateRefs(); err != nil {
+		return nil, fmt.Errorf("relstore: load: %w", err)
+	}
+	return db, nil
+}

@@ -1,0 +1,348 @@
+// Package relstore implements the in-memory relational storage engine that
+// the keyword-search stack runs on.
+//
+// The thesis evaluates against MySQL; the algorithms under study only need a
+// small, well-defined slice of relational functionality from the substrate:
+//
+//   - schema introspection (tables, columns, primary keys, foreign keys),
+//   - point lookups by primary key,
+//   - selection with "attribute value contains keyword bag" predicates, and
+//   - execution of candidate networks (foreign-key joins over selections),
+//     materialising joining trees of tuples (JTTs).
+//
+// This package provides exactly those code paths. All values are stored as
+// strings because every algorithm in the thesis treats tuples as bags of
+// text terms (numbers such as years are matched textually too, e.g. the
+// keyword "2001" against movie.year).
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Column describes one attribute of a table.
+type Column struct {
+	// Name of the attribute, unique within its table.
+	Name string
+	// Indexed marks textual attributes that participate in keyword search.
+	// Key columns (surrogate ids) are typically not indexed.
+	Indexed bool
+}
+
+// ForeignKey declares that Column of the owning table references
+// RefColumn of RefTable (a classic FK → PK relationship).
+type ForeignKey struct {
+	Column    string
+	RefTable  string
+	RefColumn string
+}
+
+// TableSchema is the static description of a table.
+type TableSchema struct {
+	Name        string
+	Columns     []Column
+	PrimaryKey  string
+	ForeignKeys []ForeignKey
+}
+
+// ColumnIndex returns the positional index of the named column, or -1.
+func (s *TableSchema) ColumnIndex(name string) int {
+	for i, c := range s.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// HasColumn reports whether the schema declares the named column.
+func (s *TableSchema) HasColumn(name string) bool { return s.ColumnIndex(name) >= 0 }
+
+// TextColumns returns the names of all indexed (textual) columns.
+func (s *TableSchema) TextColumns() []string {
+	var out []string
+	for _, c := range s.Columns {
+		if c.Indexed {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}
+
+// Tuple is one row of a table. Values are positionally aligned with the
+// table schema's Columns slice.
+type Tuple struct {
+	// RowID is a table-local surrogate identifier, assigned densely from 0
+	// in insertion order. It doubles as the "primary key" notion used by the
+	// DivQ evaluation metrics (an information nugget / subtopic identity).
+	RowID  int
+	Values []string
+}
+
+// Table is a materialised relation plus its lookup indexes.
+//
+// Reads (Row, Value, LookupEqual, SelectContains, Execute over the
+// database) are safe for concurrent use; Insert is not and must complete
+// before concurrent reads begin (the load-then-Build lifecycle of the
+// public API).
+type Table struct {
+	Schema *TableSchema
+
+	rows []Tuple
+	// value indexes per column: column position -> value -> row ids.
+	// Built lazily for columns used in joins or PK lookups; idxMu guards
+	// lazy construction under concurrent readers.
+	idxMu    sync.Mutex
+	valueIdx map[int]map[string][]int
+}
+
+// NewTable creates an empty table for the given schema.
+func NewTable(schema *TableSchema) *Table {
+	return &Table{Schema: schema, valueIdx: make(map[int]map[string][]int)}
+}
+
+// Insert appends a row and returns its RowID.
+// The number of values must match the schema.
+func (t *Table) Insert(values ...string) (int, error) {
+	if len(values) != len(t.Schema.Columns) {
+		return 0, fmt.Errorf("relstore: table %s expects %d values, got %d",
+			t.Schema.Name, len(t.Schema.Columns), len(values))
+	}
+	id := len(t.rows)
+	vals := make([]string, len(values))
+	copy(vals, values)
+	t.rows = append(t.rows, Tuple{RowID: id, Values: vals})
+	t.idxMu.Lock()
+	for col, idx := range t.valueIdx {
+		idx[vals[col]] = append(idx[vals[col]], id)
+	}
+	t.idxMu.Unlock()
+	return id, nil
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Row returns the tuple with the given RowID.
+func (t *Table) Row(id int) (Tuple, bool) {
+	if id < 0 || id >= len(t.rows) {
+		return Tuple{}, false
+	}
+	return t.rows[id], true
+}
+
+// Rows returns the backing row slice; callers must not mutate it.
+func (t *Table) Rows() []Tuple { return t.rows }
+
+// Value returns the named column's value of the given row.
+func (t *Table) Value(id int, column string) (string, bool) {
+	ci := t.Schema.ColumnIndex(column)
+	if ci < 0 || id < 0 || id >= len(t.rows) {
+		return "", false
+	}
+	return t.rows[id].Values[ci], true
+}
+
+// ensureIndex builds (once) the equality index over the given column.
+// Safe for concurrent readers: construction happens under idxMu.
+func (t *Table) ensureIndex(col int) map[string][]int {
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
+	if idx, ok := t.valueIdx[col]; ok {
+		return idx
+	}
+	idx := make(map[string][]int)
+	for _, r := range t.rows {
+		idx[r.Values[col]] = append(idx[r.Values[col]], r.RowID)
+	}
+	t.valueIdx[col] = idx
+	return idx
+}
+
+// LookupEqual returns the RowIDs whose column equals value, using a hash
+// index that is built on first use.
+func (t *Table) LookupEqual(column, value string) []int {
+	ci := t.Schema.ColumnIndex(column)
+	if ci < 0 {
+		return nil
+	}
+	return t.ensureIndex(ci)[value]
+}
+
+// Database is a named collection of tables with schema metadata.
+type Database struct {
+	Name   string
+	tables map[string]*Table
+	order  []string
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase(name string) *Database {
+	return &Database{Name: name, tables: make(map[string]*Table)}
+}
+
+// CreateTable registers a new table. The schema is validated: the primary
+// key column must exist and foreign keys must reference existing columns
+// of this table (referenced tables may be created later; ValidateRefs
+// checks cross-table integrity).
+func (db *Database) CreateTable(schema *TableSchema) (*Table, error) {
+	if schema.Name == "" {
+		return nil, fmt.Errorf("relstore: table name must be non-empty")
+	}
+	if _, dup := db.tables[schema.Name]; dup {
+		return nil, fmt.Errorf("relstore: table %s already exists", schema.Name)
+	}
+	if len(schema.Columns) == 0 {
+		return nil, fmt.Errorf("relstore: table %s has no columns", schema.Name)
+	}
+	seen := make(map[string]bool, len(schema.Columns))
+	for _, c := range schema.Columns {
+		if c.Name == "" {
+			return nil, fmt.Errorf("relstore: table %s has a column with empty name", schema.Name)
+		}
+		if seen[c.Name] {
+			return nil, fmt.Errorf("relstore: table %s declares column %s twice", schema.Name, c.Name)
+		}
+		seen[c.Name] = true
+	}
+	if schema.PrimaryKey != "" && !schema.HasColumn(schema.PrimaryKey) {
+		return nil, fmt.Errorf("relstore: table %s: primary key %s is not a column",
+			schema.Name, schema.PrimaryKey)
+	}
+	for _, fk := range schema.ForeignKeys {
+		if !schema.HasColumn(fk.Column) {
+			return nil, fmt.Errorf("relstore: table %s: foreign key column %s is not a column",
+				schema.Name, fk.Column)
+		}
+	}
+	t := NewTable(schema)
+	db.tables[schema.Name] = t
+	db.order = append(db.order, schema.Name)
+	return t, nil
+}
+
+// Table returns the named table, or nil if it does not exist.
+func (db *Database) Table(name string) *Table { return db.tables[name] }
+
+// Tables returns all tables in creation order.
+func (db *Database) Tables() []*Table {
+	out := make([]*Table, 0, len(db.order))
+	for _, n := range db.order {
+		out = append(out, db.tables[n])
+	}
+	return out
+}
+
+// TableNames returns the table names in creation order.
+func (db *Database) TableNames() []string {
+	out := make([]string, len(db.order))
+	copy(out, db.order)
+	return out
+}
+
+// NumTables returns the number of tables.
+func (db *Database) NumTables() int { return len(db.order) }
+
+// NumRows returns the total number of rows across all tables.
+func (db *Database) NumRows() int {
+	n := 0
+	for _, t := range db.tables {
+		n += t.Len()
+	}
+	return n
+}
+
+// ValidateRefs checks that every declared foreign key references an existing
+// table and column. Call after all tables have been created.
+func (db *Database) ValidateRefs() error {
+	for _, name := range db.order {
+		t := db.tables[name]
+		for _, fk := range t.Schema.ForeignKeys {
+			ref := db.tables[fk.RefTable]
+			if ref == nil {
+				return fmt.Errorf("relstore: table %s: foreign key references unknown table %s",
+					name, fk.RefTable)
+			}
+			if !ref.Schema.HasColumn(fk.RefColumn) {
+				return fmt.Errorf("relstore: table %s: foreign key references unknown column %s.%s",
+					name, fk.RefTable, fk.RefColumn)
+			}
+		}
+	}
+	return nil
+}
+
+// ContainsBag reports whether every keyword of the bag occurs as a token of
+// the attribute value. Matching is case-insensitive on whole tokens,
+// mirroring the "k ∈ A" containment predicate of Definition 3.5.2.
+func ContainsBag(value string, keywords []string) bool {
+	toks := Tokenize(value)
+	set := make(map[string]int, len(toks))
+	for _, t := range toks {
+		set[t]++
+	}
+	// Bag semantics: duplicated keywords need duplicated occurrences.
+	need := make(map[string]int, len(keywords))
+	for _, k := range keywords {
+		need[strings.ToLower(k)]++
+	}
+	for k, n := range need {
+		if set[k] < n {
+			return false
+		}
+	}
+	return true
+}
+
+// Tokenize splits a value into lower-cased alphanumeric tokens. It is the
+// single tokenizer shared by the storage engine and the inverted index so
+// that containment predicates and postings agree exactly.
+func Tokenize(value string) []string {
+	var out []string
+	start := -1
+	lower := strings.ToLower(value)
+	for i, r := range lower {
+		alnum := (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9')
+		if alnum {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			out = append(out, lower[start:i])
+			start = -1
+		}
+	}
+	if start >= 0 {
+		out = append(out, lower[start:])
+	}
+	return out
+}
+
+// SelectContains returns the RowIDs of rows whose column value contains the
+// whole keyword bag.
+func (t *Table) SelectContains(column string, keywords []string) []int {
+	ci := t.Schema.ColumnIndex(column)
+	if ci < 0 {
+		return nil
+	}
+	var out []int
+	for _, r := range t.rows {
+		if ContainsBag(r.Values[ci], keywords) {
+			out = append(out, r.RowID)
+		}
+	}
+	return out
+}
+
+// SortedCopy returns ids sorted ascending without mutating the input.
+func SortedCopy(ids []int) []int {
+	out := make([]int, len(ids))
+	copy(out, ids)
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,228 @@
+// Package topk implements the top-k query processing of Section 2.2.5:
+// given a probability-ranked list of query interpretations (candidate
+// networks), retrieve the k globally best search results (joining trees
+// of tuples) without executing every interpretation to completion.
+//
+// The strategy is the DISCOVER2 adaptation of the Threshold Algorithm
+// (Fagin): interpretations are processed in descending score order; for
+// each, an upper bound on the score of any result it can still produce
+// is known in advance (the interpretation's own score, since the
+// per-result factor is ≤ 1 for a monotone scoring function). Execution
+// stops as soon as the current k-th best result score is at least the
+// upper bound of the next unexecuted interpretation — the early-stopping
+// criterion of Section 2.2.5.
+package topk
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/invindex"
+	"repro/internal/prob"
+	"repro/internal/query"
+	"repro/internal/relstore"
+)
+
+// Result is one scored search result: a JTT of an interpretation.
+type Result struct {
+	// Q is the interpretation that produced the result.
+	Q *query.Interpretation
+	// Rows are the RowIDs per join-plan node.
+	Rows []int
+	// Score combines the interpretation's probability with the result's
+	// tuple-level relevance; higher is better.
+	Score float64
+}
+
+// Scorer computes the tuple-level relevance factor of one JTT in [0, 1].
+// The aggregate result score is interpretation score × factor, which is
+// monotone in the sense of Section 2.2.5: better tuples can never make a
+// worse interpretation overtake a better one's bound.
+type Scorer interface {
+	Factor(db *relstore.Database, plan *relstore.JoinPlan, jtt relstore.JTT) float64
+}
+
+// TFScorer scores a JTT by the average normalised term frequency of the
+// interpretation's keywords within the matched tuples — the
+// tuple-relevance factor of Section 2.2.4 (the "documents most relevant
+// to the query contain the query terms more often" intuition).
+type TFScorer struct {
+	IX *invindex.Index
+}
+
+// Factor implements Scorer.
+func (s *TFScorer) Factor(db *relstore.Database, plan *relstore.JoinPlan, jtt relstore.JTT) float64 {
+	total, n := 0.0, 0
+	for i, node := range plan.Nodes {
+		t := db.Table(node.Table)
+		if t == nil {
+			continue
+		}
+		for _, pred := range node.Predicates {
+			val, ok := t.Value(jtt.Rows[i], pred.Column)
+			if !ok {
+				continue
+			}
+			toks := relstore.Tokenize(val)
+			if len(toks) == 0 {
+				continue
+			}
+			counts := make(map[string]int, len(toks))
+			for _, tok := range toks {
+				counts[tok]++
+			}
+			for _, kw := range pred.Keywords {
+				total += float64(counts[kw]) / float64(len(toks))
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 1 // keyword-free interpretations: neutral factor
+	}
+	f := total / float64(n)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// UnitScorer gives every result the factor 1 — results are ranked purely
+// by interpretation probability (the naive union-and-sort strategy, used
+// as the baseline and for testing the early-stopping logic).
+type UnitScorer struct{}
+
+// Factor implements Scorer.
+func (UnitScorer) Factor(*relstore.Database, *relstore.JoinPlan, relstore.JTT) float64 {
+	return 1
+}
+
+// Options tunes top-k retrieval.
+type Options struct {
+	// K is the number of results to return (required).
+	K int
+	// PerInterpretationLimit caps JTT materialisation per interpretation
+	// (0 = unlimited).
+	PerInterpretationLimit int
+}
+
+// Stats reports how much work early stopping saved.
+type Stats struct {
+	// Executed is the number of interpretations actually executed.
+	Executed int
+	// Skipped is the number of interpretations pruned by the threshold.
+	Skipped int
+	// Materialized is the number of JTTs scored.
+	Materialized int
+}
+
+// resultHeap is a min-heap on Score, holding the current top-k.
+type resultHeap []Result
+
+func (h resultHeap) Len() int            { return len(h) }
+func (h resultHeap) Less(i, j int) bool  { return h[i].Score < h[j].Score }
+func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// TopK retrieves the k best results over the ranked interpretation list.
+// ranked must be sorted by descending score (as produced by
+// prob.Model.Rank); the interpretation score is its upper bound.
+func TopK(db *relstore.Database, ranked []prob.Scored, scorer Scorer, opts Options) ([]Result, Stats, error) {
+	var stats Stats
+	if opts.K <= 0 {
+		return nil, stats, fmt.Errorf("topk: K must be positive")
+	}
+	if scorer == nil {
+		scorer = UnitScorer{}
+	}
+	h := &resultHeap{}
+	heap.Init(h)
+	kth := func() float64 {
+		if h.Len() < opts.K {
+			return -1
+		}
+		return (*h)[0].Score
+	}
+	for i, sc := range ranked {
+		// Early stop (TA / DISCOVER2): no future interpretation can beat
+		// the current k-th best result.
+		if h.Len() >= opts.K && kth() >= sc.Score {
+			stats.Skipped = len(ranked) - i
+			break
+		}
+		plan, err := sc.Q.JoinPlan()
+		if err != nil {
+			return nil, stats, err
+		}
+		jtts, err := db.Execute(plan, relstore.ExecuteOptions{Limit: opts.PerInterpretationLimit})
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.Executed++
+		for _, jtt := range jtts {
+			stats.Materialized++
+			score := sc.Score * scorer.Factor(db, plan, jtt)
+			if h.Len() < opts.K {
+				heap.Push(h, Result{Q: sc.Q, Rows: jtt.Rows, Score: score})
+			} else if score > (*h)[0].Score {
+				(*h)[0] = Result{Q: sc.Q, Rows: jtt.Rows, Score: score}
+				heap.Fix(h, 0)
+			}
+		}
+	}
+	out := make([]Result, h.Len())
+	for i := range out {
+		out[i] = (*h)[i]
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Q.Key() < out[j].Q.Key()
+	})
+	return out, stats, nil
+}
+
+// Naive executes every interpretation, unions the results, and sorts —
+// the baseline strategy of Section 2.2.5 that TopK's early stopping
+// improves on. Used to verify TopK's output equivalence.
+func Naive(db *relstore.Database, ranked []prob.Scored, scorer Scorer, opts Options) ([]Result, error) {
+	if opts.K <= 0 {
+		return nil, fmt.Errorf("topk: K must be positive")
+	}
+	if scorer == nil {
+		scorer = UnitScorer{}
+	}
+	var all []Result
+	for _, sc := range ranked {
+		plan, err := sc.Q.JoinPlan()
+		if err != nil {
+			return nil, err
+		}
+		jtts, err := db.Execute(plan, relstore.ExecuteOptions{Limit: opts.PerInterpretationLimit})
+		if err != nil {
+			return nil, err
+		}
+		for _, jtt := range jtts {
+			all = append(all, Result{Q: sc.Q, Rows: jtt.Rows, Score: sc.Score * scorer.Factor(db, plan, jtt)})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Score != all[j].Score {
+			return all[i].Score > all[j].Score
+		}
+		return all[i].Q.Key() < all[j].Q.Key()
+	})
+	if len(all) > opts.K {
+		all = all[:opts.K]
+	}
+	return all, nil
+}

@@ -1,0 +1,236 @@
+package topk
+
+import (
+	"testing"
+
+	"repro/internal/invindex"
+	"repro/internal/prob"
+	"repro/internal/query"
+	"repro/internal/relstore"
+	"repro/internal/schemagraph"
+)
+
+type fixture struct {
+	db     *relstore.Database
+	ix     *invindex.Index
+	cat    *query.Catalog
+	model  *prob.Model
+	ranked []prob.Scored
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	db := relstore.NewDatabase("movies")
+	must := func(s *relstore.TableSchema) *relstore.Table {
+		tb, err := db.CreateTable(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb
+	}
+	actor := must(&relstore.TableSchema{
+		Name:       "actor",
+		Columns:    []relstore.Column{{Name: "id"}, {Name: "name", Indexed: true}},
+		PrimaryKey: "id",
+	})
+	movie := must(&relstore.TableSchema{
+		Name:       "movie",
+		Columns:    []relstore.Column{{Name: "id"}, {Name: "title", Indexed: true}},
+		PrimaryKey: "id",
+	})
+	acts := must(&relstore.TableSchema{
+		Name:    "acts",
+		Columns: []relstore.Column{{Name: "actor_id"}, {Name: "movie_id"}, {Name: "role", Indexed: true}},
+		ForeignKeys: []relstore.ForeignKey{
+			{Column: "actor_id", RefTable: "actor", RefColumn: "id"},
+			{Column: "movie_id", RefTable: "movie", RefColumn: "id"},
+		},
+	})
+	ins := func(tb *relstore.Table, vals ...string) {
+		t.Helper()
+		if _, err := tb.Insert(vals...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ins(actor, "a1", "Tom Hanks")
+	ins(actor, "a2", "Hanks Hanks") // higher TF for "hanks"
+	ins(actor, "a3", "Tom Cruise")
+	ins(movie, "m1", "Hanks of the River")
+	ins(movie, "m2", "Big")
+	ins(acts, "a1", "m2", "Josh")
+	ins(acts, "a2", "m1", "Officer Hanks")
+	ix := invindex.Build(db)
+	g := schemagraph.FromDatabase(db)
+	cat := query.BuildCatalog(g, schemagraph.EnumerateOptions{MaxNodes: 3})
+	model := prob.New(ix, cat, prob.Config{})
+	c := query.GenerateCandidates(ix, []string{"hanks"}, query.GenerateOptionsConfig{})
+	space := query.GenerateComplete(c, cat, query.GenerateConfig{})
+	ranked := model.Rank(space)
+	if len(ranked) < 3 {
+		t.Fatalf("fixture space too small: %d", len(ranked))
+	}
+	return &fixture{db: db, ix: ix, cat: cat, model: model, ranked: ranked}
+}
+
+func TestTopKMatchesNaive(t *testing.T) {
+	f := newFixture(t)
+	for _, k := range []int{1, 2, 3, 5, 100} {
+		for _, scorer := range []Scorer{UnitScorer{}, &TFScorer{IX: f.ix}} {
+			got, _, err := TopK(f.db, f.ranked, scorer, Options{K: k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := Naive(f.db, f.ranked, scorer, Options{K: k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("k=%d: TopK %d results, Naive %d", k, len(got), len(want))
+			}
+			for i := range got {
+				// Scores must agree; result identity may permute on ties.
+				if got[i].Score != want[i].Score {
+					t.Fatalf("k=%d rank %d: score %v vs %v", k, i, got[i].Score, want[i].Score)
+				}
+			}
+		}
+	}
+}
+
+func TestTopKSortedDescending(t *testing.T) {
+	f := newFixture(t)
+	got, _, err := TopK(f.db, f.ranked, &TFScorer{IX: f.ix}, Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("no results")
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Score > got[i-1].Score {
+			t.Fatal("results not sorted")
+		}
+	}
+}
+
+func TestTopKEarlyStops(t *testing.T) {
+	f := newFixture(t)
+	// With k=1 and a dominant first interpretation, later ones are pruned.
+	_, stats, err := TopK(f.db, f.ranked, UnitScorer{}, Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Skipped == 0 {
+		t.Fatalf("expected pruning, stats=%+v", stats)
+	}
+	if stats.Executed+stats.Skipped > len(f.ranked) {
+		t.Fatalf("bookkeeping wrong: %+v over %d", stats, len(f.ranked))
+	}
+}
+
+func TestTopKValidation(t *testing.T) {
+	f := newFixture(t)
+	if _, _, err := TopK(f.db, f.ranked, nil, Options{}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if _, err := Naive(f.db, f.ranked, nil, Options{}); err == nil {
+		t.Fatal("Naive K=0 accepted")
+	}
+	// nil scorer defaults to UnitScorer.
+	got, _, err := TopK(f.db, f.ranked, nil, Options{K: 2})
+	if err != nil || len(got) == 0 {
+		t.Fatalf("nil scorer: %v", err)
+	}
+}
+
+func TestTFScorerPrefersDenserMatches(t *testing.T) {
+	f := newFixture(t)
+	// Among results of the actor.name interpretation, "Hanks Hanks"
+	// (TF=1.0) must outscore "Tom Hanks" (TF=0.5).
+	var actorQ *prob.Scored
+	for i := range f.ranked {
+		q := f.ranked[i].Q
+		if q.Template.Size() == 1 && q.Bindings[0].KI.Attr.String() == "actor.name" {
+			actorQ = &f.ranked[i]
+			break
+		}
+	}
+	if actorQ == nil {
+		t.Fatal("actor.name interpretation missing")
+	}
+	res, _, err := TopK(f.db, []prob.Scored{*actorQ}, &TFScorer{IX: f.ix}, Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("results = %d", len(res))
+	}
+	name, _ := f.db.Table("actor").Value(res[0].Rows[0], "name")
+	if name != "Hanks Hanks" {
+		t.Fatalf("top result = %q, want the denser match", name)
+	}
+	if res[0].Score <= res[1].Score {
+		t.Fatal("TF factor did not separate the results")
+	}
+}
+
+func TestPerInterpretationLimit(t *testing.T) {
+	f := newFixture(t)
+	_, stats, err := TopK(f.db, f.ranked, UnitScorer{}, Options{K: 100, PerInterpretationLimit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Materialized > stats.Executed {
+		t.Fatalf("limit violated: %+v", stats)
+	}
+}
+
+func TestUnitScorerFactor(t *testing.T) {
+	if (UnitScorer{}).Factor(nil, nil, relstore.JTT{}) != 1 {
+		t.Fatal("unit factor != 1")
+	}
+}
+
+func TestTFScorerKeywordFreeNodes(t *testing.T) {
+	f := newFixture(t)
+	// An interpretation without value predicates gets the neutral factor.
+	s := &TFScorer{IX: f.ix}
+	plan := &relstore.JoinPlan{Nodes: []relstore.JoinNode{{Table: "actor"}}}
+	if got := s.Factor(f.db, plan, relstore.JTT{Rows: []int{0}}); got != 1 {
+		t.Fatalf("neutral factor = %v", got)
+	}
+}
+
+func TestTopKPropagatesPlanErrors(t *testing.T) {
+	f := newFixture(t)
+	// A template-less interpretation cannot produce a join plan.
+	broken := []prob.Scored{{Q: &query.Interpretation{Keywords: []string{"x"}}, Score: 1}}
+	if _, _, err := TopK(f.db, broken, UnitScorer{}, Options{K: 1}); err == nil {
+		t.Fatal("plan error not propagated by TopK")
+	}
+	if _, err := Naive(f.db, broken, UnitScorer{}, Options{K: 1}); err == nil {
+		t.Fatal("plan error not propagated by Naive")
+	}
+}
+
+func TestTopKEmptyRankedList(t *testing.T) {
+	f := newFixture(t)
+	res, stats, err := TopK(f.db, nil, UnitScorer{}, Options{K: 3})
+	if err != nil || len(res) != 0 || stats.Executed != 0 {
+		t.Fatalf("empty input: res=%v stats=%+v err=%v", res, stats, err)
+	}
+}
+
+func TestTFScorerMissingValueColumn(t *testing.T) {
+	f := newFixture(t)
+	s := &TFScorer{IX: f.ix}
+	plan := &relstore.JoinPlan{Nodes: []relstore.JoinNode{{
+		Table:      "actor",
+		Predicates: []relstore.Predicate{{Column: "ghost", Keywords: []string{"hanks"}}},
+	}}}
+	// A predicate on an unknown column contributes nothing; with no other
+	// matched keyword the factor is neutral.
+	if got := s.Factor(f.db, plan, relstore.JTT{Rows: []int{0}}); got != 1 {
+		t.Fatalf("factor = %v", got)
+	}
+}

@@ -1,0 +1,382 @@
+// Package keysearch is a keyword-search engine for relational data that
+// reproduces the system family of "Usability and Expressiveness in
+// Database Keyword Search: Bridging the Gap" (Demidova, VLDB 2009 PhD
+// workshop / 2013 thesis):
+//
+//   - probability-ranked translation of keyword queries into structured
+//     queries (IQP ranking, Chapter 3),
+//   - incremental interactive query construction with information-gain
+//     question selection (IQP construction, Chapter 3),
+//   - diversification of query interpretations balancing relevance and
+//     novelty (DivQ, Chapter 4), and
+//   - ontology-accelerated construction over very large schemas (FreeQ,
+//     Chapter 5), with instance-overlap ontology-to-schema matching
+//     (YAGO+F, Chapter 6).
+//
+// A System is built from a schema definition plus rows, after which
+// Search, Diversify and Construct operate on any keyword query:
+//
+//	sys, _ := keysearch.New(schema)
+//	sys.Insert("actor", "a1", "Tom Hanks")
+//	...
+//	sys.Build()
+//	results, _ := sys.Search("hanks terminal", 5)
+package keysearch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/datagraph"
+	"repro/internal/divq"
+	"repro/internal/invindex"
+	"repro/internal/prob"
+	"repro/internal/query"
+	"repro/internal/relstore"
+	"repro/internal/schemagraph"
+)
+
+// Column defines one attribute of a table. Text marks attributes indexed
+// for keyword search.
+type Column struct {
+	Name string
+	Text bool
+}
+
+// ForeignKey declares Column → RefTable.RefColumn.
+type ForeignKey struct {
+	Column    string
+	RefTable  string
+	RefColumn string
+}
+
+// Table defines one relation of the schema.
+type Table struct {
+	Name        string
+	Columns     []Column
+	PrimaryKey  string
+	ForeignKeys []ForeignKey
+}
+
+// Config tunes a System.
+type Config struct {
+	// MaxJoinPath bounds query-template length (default 4, the setting of
+	// the thesis's experiments).
+	MaxJoinPath int
+	// MaxTemplates caps automatic template generation (0 = unlimited).
+	MaxTemplates int
+	// UseCoOccurrence enables the DivQ co-occurrence relevance refinement.
+	UseCoOccurrence bool
+	// Alpha is the ATF smoothing parameter (default 1).
+	Alpha float64
+	// IncludeSchemaTerms matches keywords against table/column names too.
+	IncludeSchemaTerms bool
+	// SegmentPhrases enables query segmentation (Section 2.2.1): adjacent
+	// keywords that almost always co-occur in one attribute value (e.g. a
+	// first and last name) are treated as a phrase and must bind to the
+	// same attribute.
+	SegmentPhrases bool
+	// SegmentThreshold is the phrase-pair score cut-off (default 0.8).
+	SegmentThreshold float64
+	// EnableAggregates recognises aggregation keywords ("number", "count",
+	// "many", "total") as COUNT operators, enabling analytical keyword
+	// queries such as "number of movies with tom hanks" (Section 2.2.7).
+	EnableAggregates bool
+}
+
+// System is a keyword-search engine over one database.
+type System struct {
+	cfg   Config
+	db    *relstore.Database
+	ix    *invindex.Index
+	graph *schemagraph.Graph
+	cat   *query.Catalog
+	model *prob.Model
+	built bool
+	// dgraph is the lazily built data graph for the data-based baseline.
+	dgraph *datagraph.Graph
+}
+
+// New creates a System with the given schema.
+func New(tables []Table, cfg Config) (*System, error) {
+	if cfg.MaxJoinPath <= 0 {
+		cfg.MaxJoinPath = 4
+	}
+	db := relstore.NewDatabase("keysearch")
+	for _, t := range tables {
+		schema := &relstore.TableSchema{
+			Name:       t.Name,
+			PrimaryKey: t.PrimaryKey,
+		}
+		for _, c := range t.Columns {
+			schema.Columns = append(schema.Columns, relstore.Column{Name: c.Name, Indexed: c.Text})
+		}
+		for _, fk := range t.ForeignKeys {
+			schema.ForeignKeys = append(schema.ForeignKeys, relstore.ForeignKey{
+				Column: fk.Column, RefTable: fk.RefTable, RefColumn: fk.RefColumn,
+			})
+		}
+		if _, err := db.CreateTable(schema); err != nil {
+			return nil, fmt.Errorf("keysearch: %w", err)
+		}
+	}
+	if err := db.ValidateRefs(); err != nil {
+		return nil, fmt.Errorf("keysearch: %w", err)
+	}
+	return &System{cfg: cfg, db: db}, nil
+}
+
+// fromDatabase wraps an existing internal database (used by the bundled
+// demo datasets).
+func fromDatabase(db *relstore.Database, cfg Config) *System {
+	if cfg.MaxJoinPath <= 0 {
+		cfg.MaxJoinPath = 4
+	}
+	return &System{cfg: cfg, db: db}
+}
+
+// Insert adds one row. Rows may only be inserted before Build.
+func (s *System) Insert(table string, values ...string) error {
+	if s.built {
+		return fmt.Errorf("keysearch: system already built; inserts are not allowed")
+	}
+	t := s.db.Table(table)
+	if t == nil {
+		return fmt.Errorf("keysearch: unknown table %s", table)
+	}
+	_, err := t.Insert(values...)
+	return err
+}
+
+// Build indexes the data and generates the query-template catalogue.
+// It must be called once after loading and before any search.
+func (s *System) Build() error {
+	if s.built {
+		return fmt.Errorf("keysearch: already built")
+	}
+	s.ix = invindex.Build(s.db)
+	s.graph = schemagraph.FromDatabase(s.db)
+	s.cat = query.BuildCatalog(s.graph, schemagraph.EnumerateOptions{
+		MaxNodes: s.cfg.MaxJoinPath,
+		MaxTrees: s.cfg.MaxTemplates,
+	})
+	s.model = prob.New(s.ix, s.cat, prob.Config{
+		Alpha:           s.cfg.Alpha,
+		UseCoOccurrence: s.cfg.UseCoOccurrence,
+	})
+	s.built = true
+	return nil
+}
+
+// NumTables returns the number of tables.
+func (s *System) NumTables() int { return s.db.NumTables() }
+
+// NumRows returns the number of loaded rows.
+func (s *System) NumRows() int { return s.db.NumRows() }
+
+// NumTemplates returns the number of query templates (0 before Build).
+func (s *System) NumTemplates() int {
+	if s.cat == nil {
+		return 0
+	}
+	return len(s.cat.Templates)
+}
+
+// Result is one structured interpretation of a keyword query.
+type Result struct {
+	// Query renders the structured query in relational-algebra notation.
+	Query string
+	// Probability is P(Q|K) normalised over the materialised space.
+	Probability float64
+	// Tables lists the joined tables in join order.
+	Tables []string
+	// Aggregate names the aggregation operator ("count") for analytical
+	// interpretations; empty for plain retrieval.
+	Aggregate string
+
+	q *query.Interpretation
+	s *System
+}
+
+// SQL renders the interpretation as an equivalent SQL statement (the
+// candidate-network-to-SQL mapping of Section 2.2.6).
+func (r Result) SQL() (string, error) { return r.q.SQL() }
+
+// Count executes an aggregate interpretation and returns the number of
+// results (also usable on plain interpretations as a cardinality probe).
+func (r Result) Count() (int, error) {
+	plan, err := r.q.JoinPlan()
+	if err != nil {
+		return 0, err
+	}
+	return r.s.db.Count(plan, 0)
+}
+
+// Rows executes the interpretation and returns up to limit joined rows;
+// each row maps "table.column" to the value (occurrence index appended
+// for self-joins: "table#2.column").
+func (r Result) Rows(limit int) ([]map[string]string, error) {
+	plan, err := r.q.JoinPlan()
+	if err != nil {
+		return nil, err
+	}
+	jtts, err := r.s.db.Execute(plan, relstore.ExecuteOptions{Limit: limit})
+	if err != nil {
+		return nil, err
+	}
+	var out []map[string]string
+	for _, jtt := range jtts {
+		row := make(map[string]string)
+		occSeen := map[string]int{}
+		for i, node := range plan.Nodes {
+			t := r.s.db.Table(node.Table)
+			occSeen[node.Table]++
+			prefix := node.Table
+			if occSeen[node.Table] > 1 {
+				prefix = fmt.Sprintf("%s#%d", node.Table, occSeen[node.Table])
+			}
+			tuple, ok := t.Row(jtt.Rows[i])
+			if !ok {
+				continue
+			}
+			for ci, col := range t.Schema.Columns {
+				row[prefix+"."+col.Name] = tuple.Values[ci]
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// parse tokenises a keyword query string.
+func parse(keywords string) []string {
+	return relstore.Tokenize(keywords)
+}
+
+// candidates tokenises the query (honouring "label:keyword" syntax,
+// Section 2.2.7) and generates the per-keyword candidates.
+func (s *System) candidatesFor(keywords string) (*query.Candidates, [][]int, error) {
+	if !s.built {
+		return nil, nil, fmt.Errorf("keysearch: call Build before searching")
+	}
+	toks, labels := parseLabeled(keywords)
+	if len(toks) == 0 {
+		return nil, nil, fmt.Errorf("keysearch: empty keyword query")
+	}
+	c := query.GenerateCandidates(s.ix, toks, query.GenerateOptionsConfig{
+		IncludeSchemaTerms: s.cfg.IncludeSchemaTerms,
+		IncludeAggregates:  s.cfg.EnableAggregates,
+	})
+	applyLabels(c, labels)
+	if len(c.MatchedPositions()) == 0 {
+		return nil, nil, fmt.Errorf("keysearch: no keyword of %q occurs in the database", keywords)
+	}
+	var segments [][]int
+	if s.cfg.SegmentPhrases {
+		th := s.cfg.SegmentThreshold
+		if th <= 0 {
+			th = 0.8
+		}
+		segments = s.detectSegments(toks, labels, th)
+	}
+	return c, segments, nil
+}
+
+// interpret materialises and ranks the interpretation space.
+func (s *System) interpret(keywords string) ([]prob.Scored, *query.Candidates, error) {
+	c, segments, err := s.candidatesFor(keywords)
+	if err != nil {
+		return nil, nil, err
+	}
+	space := query.GenerateComplete(c, s.cat, query.GenerateConfig{})
+	space = query.FilterSegments(space, segments)
+	return s.model.Rank(space), c, nil
+}
+
+// wrap converts scored interpretations to public results.
+func (s *System) wrap(scored []prob.Scored) []Result {
+	out := make([]Result, len(scored))
+	for i, sc := range scored {
+		out[i] = Result{
+			Query:       sc.Q.String(),
+			Probability: sc.Prob,
+			Tables:      tablesOf(sc.Q),
+			Aggregate:   sc.Q.Aggregate(),
+			q:           sc.Q,
+			s:           s,
+		}
+	}
+	return out
+}
+
+func tablesOf(q *query.Interpretation) []string {
+	if q.Template == nil {
+		return nil
+	}
+	out := make([]string, len(q.Template.Tree.Tables))
+	copy(out, q.Template.Tree.Tables)
+	return out
+}
+
+// Search translates the keyword query into its top-k most probable
+// structured interpretations (the IQP ranking interface).
+func (s *System) Search(keywords string, k int) ([]Result, error) {
+	ranked, _, err := s.interpret(keywords)
+	if err != nil {
+		return nil, err
+	}
+	if k > 0 && len(ranked) > k {
+		ranked = ranked[:k]
+	}
+	return s.wrap(ranked), nil
+}
+
+// Diversify returns the top-k relevant-and-diverse interpretations (the
+// DivQ interface). lambda trades relevance (1) against novelty (0);
+// interpretations with empty results are dropped first, as in DivQ.
+func (s *System) Diversify(keywords string, k int, lambda float64) ([]Result, error) {
+	ranked, _, err := s.interpret(keywords)
+	if err != nil {
+		return nil, err
+	}
+	if len(ranked) > 25 {
+		ranked = ranked[:25]
+	}
+	nonEmpty, err := divq.FilterNonEmpty(s.db, ranked)
+	if err != nil {
+		return nil, err
+	}
+	div := divq.Diversify(nonEmpty, divq.Config{Lambda: lambda, K: k})
+	return s.wrap(div), nil
+}
+
+// Keywords returns the sorted distinct tokens of the indexed data that
+// match the given prefix — a convenience for demos and autocomplete-style
+// exploration.
+func (s *System) Keywords(prefix string, limit int) []string {
+	if !s.built {
+		return nil
+	}
+	seen := map[string]bool{}
+	for _, attr := range s.ix.Attributes() {
+		t := s.db.Table(attr.Table)
+		ci := t.Schema.ColumnIndex(attr.Column)
+		for _, row := range t.Rows() {
+			for _, tok := range relstore.Tokenize(row.Values[ci]) {
+				if strings.HasPrefix(tok, prefix) {
+					seen[tok] = true
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}

@@ -1,0 +1,355 @@
+package keysearch
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// movieSchema is the running-example schema of the thesis.
+func movieSchema() []Table {
+	return []Table{
+		{
+			Name:       "actor",
+			Columns:    []Column{{Name: "id"}, {Name: "name", Text: true}},
+			PrimaryKey: "id",
+		},
+		{
+			Name:       "movie",
+			Columns:    []Column{{Name: "id"}, {Name: "title", Text: true}, {Name: "year", Text: true}},
+			PrimaryKey: "id",
+		},
+		{
+			Name:    "acts",
+			Columns: []Column{{Name: "actor_id"}, {Name: "movie_id"}, {Name: "role", Text: true}},
+			ForeignKeys: []ForeignKey{
+				{Column: "actor_id", RefTable: "actor", RefColumn: "id"},
+				{Column: "movie_id", RefTable: "movie", RefColumn: "id"},
+			},
+		},
+	}
+}
+
+func builtSystem(t *testing.T) *System {
+	t.Helper()
+	sys, err := New(movieSchema(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := [][]string{
+		{"actor", "a1", "Tom Hanks"},
+		{"actor", "a2", "Tom Cruise"},
+		{"actor", "a3", "Jack London"},
+		{"movie", "m1", "The Terminal", "2004"},
+		{"movie", "m2", "London Boulevard", "2010"},
+		{"acts", "a1", "m1", "Viktor"},
+		{"acts", "a3", "m2", "Mitchel"},
+	}
+	for _, r := range rows {
+		if err := sys.Insert(r[0], r[1:]...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Build(); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestNewValidatesSchema(t *testing.T) {
+	if _, err := New([]Table{{Name: "t"}}, Config{}); err == nil {
+		t.Fatal("empty columns accepted")
+	}
+	bad := []Table{{
+		Name:    "child",
+		Columns: []Column{{Name: "pid"}},
+		ForeignKeys: []ForeignKey{
+			{Column: "pid", RefTable: "ghost", RefColumn: "id"},
+		},
+	}}
+	if _, err := New(bad, Config{}); err == nil {
+		t.Fatal("dangling FK accepted")
+	}
+}
+
+func TestLifecycleErrors(t *testing.T) {
+	sys, err := New(movieSchema(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Search("hanks", 3); err == nil {
+		t.Fatal("search before Build accepted")
+	}
+	if err := sys.Insert("ghost", "x"); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+	if err := sys.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Build(); err == nil {
+		t.Fatal("double Build accepted")
+	}
+	if err := sys.Insert("actor", "a9", "X"); err == nil {
+		t.Fatal("insert after Build accepted")
+	}
+	if _, err := sys.Search("", 3); err == nil {
+		t.Fatal("empty query accepted")
+	}
+	if _, err := sys.Search("zzzznope", 3); err == nil {
+		t.Fatal("unmatched query accepted")
+	}
+}
+
+func TestSearchRanksInterpretations(t *testing.T) {
+	sys := builtSystem(t)
+	results, err := sys.Search("london", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) < 2 {
+		t.Fatalf("london should be ambiguous, got %d interpretations", len(results))
+	}
+	// Probabilities are normalised and descending.
+	for i, r := range results {
+		if r.Probability <= 0 || r.Probability > 1 {
+			t.Fatalf("probability out of range: %+v", r)
+		}
+		if i > 0 && r.Probability > results[i-1].Probability+1e-12 {
+			t.Fatal("results not sorted by probability")
+		}
+		if r.Query == "" || len(r.Tables) == 0 {
+			t.Fatalf("result missing rendering: %+v", r)
+		}
+	}
+	// k caps the result count.
+	top1, err := sys.Search("london", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top1) != 1 || top1[0].Query != results[0].Query {
+		t.Fatal("k=1 should return the top interpretation")
+	}
+}
+
+func TestResultRows(t *testing.T) {
+	sys := builtSystem(t)
+	results, err := sys.Search("hanks terminal", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the join interpretation and execute it.
+	for _, r := range results {
+		if len(r.Tables) != 3 {
+			continue
+		}
+		rows, err := r.Rows(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		row := rows[0]
+		if row["actor.name"] != "Tom Hanks" {
+			t.Fatalf("joined row = %v", row)
+		}
+		if !strings.Contains(row["movie.title"], "Terminal") {
+			t.Fatalf("joined row = %v", row)
+		}
+		return
+	}
+	t.Fatal("no executable join interpretation found")
+}
+
+func TestDiversify(t *testing.T) {
+	sys := builtSystem(t)
+	div, err := sys.Diversify("london", 3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(div) == 0 {
+		t.Fatal("empty diversification")
+	}
+	ranked, err := sys.Search("london", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DivQ drops empty-result interpretations, so the first diversified
+	// interpretation is the most relevant non-empty one — its probability
+	// cannot exceed the global top's.
+	if div[0].Probability > ranked[0].Probability+1e-12 {
+		t.Fatalf("diversified head outranks global top: %v vs %v",
+			div[0].Probability, ranked[0].Probability)
+	}
+	// Every diversified interpretation returns results.
+	for _, r := range div {
+		rows, err := r.Rows(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) == 0 {
+			t.Fatalf("diversified interpretation with empty results: %v", r.Query)
+		}
+	}
+}
+
+func TestConstructionSession(t *testing.T) {
+	sys := builtSystem(t)
+	c, err := sys.Construct("london 2010", ConstructionConfig{StopAtRemaining: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive the session towards "London Boulevard the movie from 2010":
+	// accept questions mentioning movie.title or movie.year, reject the
+	// rest.
+	for !c.Done() {
+		q, ok := c.Next()
+		if !ok {
+			break
+		}
+		if strings.Contains(q.Text, "movie.") {
+			c.Accept(q)
+		} else {
+			c.Reject(q)
+		}
+	}
+	cands := c.Candidates()
+	if len(cands) == 0 {
+		t.Fatal("construction lost all candidates")
+	}
+	if c.Steps() == 0 {
+		t.Fatal("no questions asked for ambiguous query")
+	}
+	for _, r := range cands {
+		if !strings.Contains(r.Query, "movie") {
+			t.Fatalf("candidate does not honour accepted options: %v", r.Query)
+		}
+	}
+}
+
+func TestConstructErrors(t *testing.T) {
+	sys, err := New(movieSchema(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Construct("x", ConstructionConfig{}); err == nil {
+		t.Fatal("construct before Build accepted")
+	}
+	if err := sys.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Construct("", ConstructionConfig{}); err == nil {
+		t.Fatal("empty query accepted")
+	}
+	if _, err := sys.Construct("qqqq", ConstructionConfig{}); err == nil {
+		t.Fatal("unmatched query accepted")
+	}
+}
+
+func TestDemoDatasets(t *testing.T) {
+	movies, err := DemoMovies(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if movies.NumTables() != 7 {
+		t.Fatalf("movies tables = %d", movies.NumTables())
+	}
+	if movies.NumRows() == 0 || movies.NumTemplates() == 0 {
+		t.Fatal("demo movies empty")
+	}
+	qs := movies.SampleQueries(5)
+	if len(qs) == 0 {
+		t.Fatal("no sample queries")
+	}
+	res, err := movies.Search(qs[0], 3)
+	if err != nil || len(res) == 0 {
+		t.Fatalf("sample query unusable: %v", err)
+	}
+
+	music, err := DemoMusic(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if music.NumTables() != 5 {
+		t.Fatalf("music tables = %d", music.NumTables())
+	}
+}
+
+func TestKeywords(t *testing.T) {
+	sys := builtSystem(t)
+	ks := sys.Keywords("lon", 0)
+	found := false
+	for _, k := range ks {
+		if k == "london" {
+			found = true
+		}
+		if !strings.HasPrefix(k, "lon") {
+			t.Fatalf("keyword %q does not match prefix", k)
+		}
+	}
+	if !found {
+		t.Fatal("london missing from prefix search")
+	}
+	if got := sys.Keywords("", 3); len(got) != 3 {
+		t.Fatalf("limit not honoured: %d", len(got))
+	}
+	unbuilt, err := New(movieSchema(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unbuilt.Keywords("a", 0) != nil {
+		t.Fatal("keywords before Build should be nil")
+	}
+}
+
+func TestResultSQL(t *testing.T) {
+	sys := builtSystem(t)
+	results, err := sys.Search("hanks terminal", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		sql, err := r.SQL()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(sql, "SELECT ") || !strings.Contains(sql, "LIKE") {
+			t.Fatalf("SQL = %q", sql)
+		}
+	}
+}
+
+func TestSaveLoadSystem(t *testing.T) {
+	sys := builtSystem(t)
+	var buf bytes.Buffer
+	if err := sys.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSystem(&buf, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumRows() != sys.NumRows() || loaded.NumTables() != sys.NumTables() {
+		t.Fatal("shape changed across save/load")
+	}
+	// Search behaviour survives the round trip.
+	a, err := sys.Search("london", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Search("london", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("interpretations changed: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Query != b[i].Query {
+			t.Fatalf("ranking changed at %d: %q vs %q", i, a[i].Query, b[i].Query)
+		}
+	}
+	if _, err := LoadSystem(bytes.NewReader([]byte("junk")), Config{}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

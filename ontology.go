@@ -1,0 +1,227 @@
+package keysearch
+
+import (
+	"fmt"
+
+	"repro/internal/datagen"
+	"repro/internal/freeq"
+	"repro/internal/ontology"
+	"repro/internal/query"
+	"repro/internal/yagof"
+)
+
+// Ontology is a class taxonomy that can be layered over a System's schema
+// to accelerate interactive query construction on very large schemas
+// (the FreeQ approach, Chapter 5) and to organise tables semantically
+// (the YAGO+F structure, Chapter 6).
+type Ontology struct {
+	o *ontology.Ontology
+}
+
+// NewOntology creates an ontology with the given root class name.
+func NewOntology(root string) *Ontology {
+	return &Ontology{o: ontology.New(root)}
+}
+
+// AddClass adds a subclass under the named parent.
+func (o *Ontology) AddClass(name, parent string) error {
+	pid, ok := o.o.ByName(parent)
+	if !ok {
+		return fmt.Errorf("keysearch: unknown parent class %q", parent)
+	}
+	_, err := o.o.AddClass(name, pid)
+	return err
+}
+
+// MapTable attaches a database table to the named class.
+func (o *Ontology) MapTable(class, table string) error {
+	cid, ok := o.o.ByName(class)
+	if !ok {
+		return fmt.Errorf("keysearch: unknown class %q", class)
+	}
+	o.o.MapTable(cid, table)
+	return nil
+}
+
+// AddInstance records an instance identifier as a member of the class
+// (used by instance-overlap matching).
+func (o *Ontology) AddInstance(class, instance string) error {
+	cid, ok := o.o.ByName(class)
+	if !ok {
+		return fmt.Errorf("keysearch: unknown class %q", class)
+	}
+	o.o.AddInstance(cid, instance)
+	return nil
+}
+
+// NumClasses returns the number of classes including the root.
+func (o *Ontology) NumClasses() int { return o.o.NumClasses() }
+
+// OntologyConstruction is an interactive construction session that asks
+// class-level questions first ("Is «london» a person?"), scaling to
+// schemas with thousands of tables.
+type OntologyConstruction struct {
+	s    *System
+	sess *freeq.Session
+}
+
+// ConstructWithOntology starts a FreeQ-style construction session using
+// the ontology's class structure for its questions.
+func (s *System) ConstructWithOntology(keywords string, o *Ontology, cfg ConstructionConfig) (*OntologyConstruction, error) {
+	if !s.built {
+		return nil, fmt.Errorf("keysearch: call Build before constructing")
+	}
+	toks := parse(keywords)
+	if len(toks) == 0 {
+		return nil, fmt.Errorf("keysearch: empty keyword query")
+	}
+	c := query.GenerateCandidates(s.ix, toks, query.GenerateOptionsConfig{
+		IncludeSchemaTerms: s.cfg.IncludeSchemaTerms,
+	})
+	sess, err := freeq.NewSession(s.model, c, o.o, freeq.Config{
+		StopAtRemaining: cfg.StopAtRemaining,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &OntologyConstruction{s: s, sess: sess}, nil
+}
+
+// Done reports whether the session has converged.
+func (c *OntologyConstruction) Done() bool { return c.sess.Done() }
+
+// Steps returns the number of questions answered so far.
+func (c *OntologyConstruction) Steps() int { return c.sess.Steps() }
+
+// SpaceSize returns the current size bound of the interpretation space.
+func (c *OntologyConstruction) SpaceSize() int { return c.sess.SpaceSize() }
+
+// OntologyQuestion is one FreeQ question; IsClassQuestion distinguishes
+// class-level questions from attribute-level refinements.
+type OntologyQuestion struct {
+	Text            string
+	IsClassQuestion bool
+	// TargetTables lists the tables the question's acceptance keeps.
+	TargetTables []string
+
+	opt freeq.Option
+}
+
+// Next returns the next question, or ok=false when nothing can split the
+// space further.
+func (c *OntologyConstruction) Next() (OntologyQuestion, bool) {
+	opt, ok := c.sess.NextOption()
+	if !ok {
+		return OntologyQuestion{}, false
+	}
+	seen := map[string]bool{}
+	var tables []string
+	for _, ki := range opt.KIs {
+		t := ki.TargetTable()
+		if !seen[t] {
+			seen[t] = true
+			tables = append(tables, t)
+		}
+	}
+	return OntologyQuestion{
+		Text:            opt.Describe(),
+		IsClassQuestion: opt.Class >= 0,
+		TargetTables:    tables,
+		opt:             opt,
+	}, true
+}
+
+// Accept confirms the question.
+func (c *OntologyConstruction) Accept(q OntologyQuestion) { c.sess.Accept(q.opt) }
+
+// Reject denies the question.
+func (c *OntologyConstruction) Reject(q OntologyQuestion) { c.sess.Reject(q.opt) }
+
+// Candidates returns the remaining structured queries once materialised.
+func (c *OntologyConstruction) Candidates() []Result {
+	return c.s.wrap(c.sess.Remaining())
+}
+
+// OntologyMatch is one table-to-class match found by instance overlap.
+type OntologyMatch struct {
+	Table string
+	Class string
+	Score float64
+}
+
+// MatchTables matches database tables to ontology classes by instance
+// overlap (the YAGO+F matching of Chapter 6): instances maps each table
+// to its instance identifiers; a table matches the class covering the
+// largest fraction of them, if that fraction reaches threshold.
+func (o *Ontology) MatchTables(instances map[string][]string, threshold float64) []OntologyMatch {
+	ms := yagof.MatchTables(o.o, instances, yagof.MatchConfig{Threshold: threshold})
+	out := make([]OntologyMatch, len(ms))
+	for i, m := range ms {
+		out[i] = OntologyMatch{Table: m.Table, Class: m.ClassName, Score: m.Score}
+	}
+	return out
+}
+
+// ApplyMatches maps the matched tables into the ontology so construction
+// sessions can use them.
+func (o *Ontology) ApplyMatches(matches []OntologyMatch) error {
+	for _, m := range matches {
+		if err := o.MapTable(m.Class, m.Table); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// KnowledgeBase bundles the demo large-scale dataset: a flat multi-domain
+// database (synthetic Freebase), a class taxonomy with shared instances
+// (synthetic YAGO), the per-table instance sets, and the ground-truth
+// concept of every table.
+type KnowledgeBase struct {
+	System   *System
+	Ontology *Ontology
+	// Instances maps table -> instance identifiers (for matching).
+	Instances map[string][]string
+	// Concepts maps table -> ground-truth concept name (for evaluating a
+	// matching); the corresponding ontology class is "wordnet_<concept>".
+	Concepts map[string]string
+}
+
+// DemoKnowledgeBase generates the bundled large-scale dataset: `domains`
+// domains of `tablesPerDomain` entity tables each, plus a matching
+// taxonomy. The ontology is returned *unmapped*: call
+// Ontology.MatchTables + ApplyMatches (the YAGO+F workflow) or map tables
+// from Concepts directly.
+func DemoKnowledgeBase(domains, tablesPerDomain int, seed int64) (*KnowledgeBase, error) {
+	cs := datagen.NewConceptSpace(40, 20, 120, seed)
+	fd, err := datagen.Freebase(cs, datagen.FreebaseConfig{
+		Domains: domains, TablesPerDomain: tablesPerDomain, RowsPerTable: 10, Seed: seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sys := fromDatabase(fd.DB, Config{MaxJoinPath: 2, MaxTemplates: 100000})
+	if err := sys.Build(); err != nil {
+		return nil, err
+	}
+	onto := datagen.YAGO(cs, datagen.YAGOConfig{Seed: seed + 2})
+	return &KnowledgeBase{
+		System:    sys,
+		Ontology:  &Ontology{o: onto},
+		Instances: fd.InstancesOf,
+		Concepts:  fd.ConceptOf,
+	}, nil
+}
+
+// MapGroundTruth maps every table onto its ground-truth concept class —
+// the shortcut used when a gold mapping is available (the generator's
+// role for what YAGO+F produces for real data).
+func (kb *KnowledgeBase) MapGroundTruth() int {
+	return freeq.MapConceptTables(kb.Ontology.o, kb.Concepts)
+}
+
+// ConstructPlain runs an attribute-level (IQP-style) construction over
+// the knowledge base, for comparing against ConstructWithOntology.
+func (kb *KnowledgeBase) ConstructPlain(keywords string, cfg ConstructionConfig) (*Construction, error) {
+	return kb.System.Construct(keywords, cfg)
+}

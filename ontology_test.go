@@ -1,0 +1,195 @@
+package keysearch
+
+import (
+	"testing"
+)
+
+func TestOntologyBuilding(t *testing.T) {
+	o := NewOntology("entity")
+	if o.NumClasses() != 1 {
+		t.Fatalf("NumClasses = %d", o.NumClasses())
+	}
+	if err := o.AddClass("person", "entity"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddClass("actor", "person"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddClass("x", "ghost"); err == nil {
+		t.Fatal("unknown parent accepted")
+	}
+	if err := o.MapTable("actor", "imdb_actor"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.MapTable("ghost", "t"); err == nil {
+		t.Fatal("unknown class accepted for mapping")
+	}
+	if err := o.AddInstance("actor", "tom_hanks"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddInstance("ghost", "x"); err == nil {
+		t.Fatal("unknown class accepted for instance")
+	}
+}
+
+func TestOntologyMatchingRoundTrip(t *testing.T) {
+	o := NewOntology("entity")
+	for _, c := range []string{"person", "place"} {
+		if err := o.AddClass(c, "entity"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, i := range []string{"p1", "p2", "p3"} {
+		if err := o.AddInstance("person", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, i := range []string{"c1", "c2"} {
+		if err := o.AddInstance("place", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	instances := map[string][]string{
+		"people_table": {"p1", "p2"},
+		"cities_table": {"c1", "c2"},
+		"junk_table":   {"z1"},
+	}
+	matches := o.MatchTables(instances, 0.6)
+	if len(matches) != 2 {
+		t.Fatalf("matches = %v", matches)
+	}
+	byTable := map[string]OntologyMatch{}
+	for _, m := range matches {
+		byTable[m.Table] = m
+	}
+	if byTable["people_table"].Class != "person" || byTable["cities_table"].Class != "place" {
+		t.Fatalf("wrong classes: %v", matches)
+	}
+	if err := o.ApplyMatches(matches); err != nil {
+		t.Fatal(err)
+	}
+	// Applying a match to a removed class fails cleanly.
+	bad := []OntologyMatch{{Table: "t", Class: "ghost"}}
+	if err := o.ApplyMatches(bad); err == nil {
+		t.Fatal("bad match accepted")
+	}
+}
+
+func TestKnowledgeBaseConstruction(t *testing.T) {
+	kb, err := DemoKnowledgeBase(4, 6, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kb.System.NumTables() == 0 || kb.Ontology.NumClasses() == 0 {
+		t.Fatal("empty knowledge base")
+	}
+	if len(kb.Instances) == 0 || len(kb.Concepts) == 0 {
+		t.Fatal("missing ground truth")
+	}
+	if mapped := kb.MapGroundTruth(); mapped != len(kb.Concepts) {
+		t.Fatalf("mapped %d of %d", mapped, len(kb.Concepts))
+	}
+
+	// Find a multi-table keyword and run both construction flavours.
+	queries := kb.System.SampleQueries(50)
+	var q string
+	for _, cand := range queries {
+		rs, err := kb.System.Search(cand, 0)
+		if err == nil && len(rs) >= 4 {
+			q = cand
+			break
+		}
+	}
+	if q == "" {
+		t.Skip("no suitably ambiguous keyword in the demo KB")
+	}
+	oc, err := kb.System.ConstructWithOntology(q, kb.Ontology,
+		ConstructionConfig{StopAtRemaining: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	for !oc.Done() && steps < 200 {
+		question, ok := oc.Next()
+		if !ok {
+			break
+		}
+		steps++
+		if question.Text == "" {
+			t.Fatal("empty question")
+		}
+		if question.IsClassQuestion && len(question.TargetTables) == 0 {
+			t.Fatal("class question covers no tables")
+		}
+		// Always reject: the space must shrink monotonically and the
+		// session must terminate.
+		before := oc.SpaceSize()
+		oc.Reject(question)
+		if oc.SpaceSize() > before {
+			t.Fatal("reject grew the space")
+		}
+	}
+	if oc.Steps() != steps {
+		t.Fatalf("Steps = %d, drove %d", oc.Steps(), steps)
+	}
+	// Candidates are eventually materialised (possibly empty after
+	// rejecting everything, but the call must be safe).
+	_ = oc.Candidates()
+
+	// Error paths.
+	if _, err := kb.System.ConstructWithOntology("", kb.Ontology, ConstructionConfig{}); err == nil {
+		t.Fatal("empty query accepted")
+	}
+	if _, err := kb.System.ConstructWithOntology("zzzz", kb.Ontology, ConstructionConfig{}); err == nil {
+		t.Fatal("unmatched query accepted")
+	}
+	if _, err := kb.ConstructPlain(q, ConstructionConfig{StopAtRemaining: 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstructWithOntologyAcceptPath(t *testing.T) {
+	kb, err := DemoKnowledgeBase(4, 6, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb.MapGroundTruth()
+	queries := kb.System.SampleQueries(50)
+	for _, q := range queries {
+		rs, err := kb.System.Search(q, 0)
+		if err != nil || len(rs) < 3 {
+			continue
+		}
+		intended := rs[len(rs)-1].Tables[0] // a low-ranked reading
+		oc, err := kb.System.ConstructWithOntology(q, kb.Ontology,
+			ConstructionConfig{StopAtRemaining: 1})
+		if err != nil {
+			continue
+		}
+		for !oc.Done() {
+			question, ok := oc.Next()
+			if !ok {
+				break
+			}
+			accept := false
+			for _, tbl := range question.TargetTables {
+				if tbl == intended {
+					accept = true
+				}
+			}
+			if accept {
+				oc.Accept(question)
+			} else {
+				oc.Reject(question)
+			}
+		}
+		// The intended table's interpretation must survive.
+		for _, c := range oc.Candidates() {
+			if len(c.Tables) > 0 && c.Tables[0] == intended {
+				return // success
+			}
+		}
+		t.Fatalf("intended table %s lost during ontology construction of %q", intended, q)
+	}
+	t.Skip("no suitable query found")
+}
