@@ -7,6 +7,7 @@
 package keysearch
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -352,19 +353,19 @@ func BenchmarkAblationOntologyFanout(b *testing.B) {
 
 var apiOnce struct {
 	sync.Once
-	sys *System
+	eng *Engine
 	q   string
 	err error
 }
 
-func apiSystem(b *testing.B) (*System, string) {
+func apiEngine(b *testing.B) (*Engine, string) {
 	b.Helper()
 	apiOnce.Do(func() {
-		apiOnce.sys, apiOnce.err = DemoMovies(7)
+		apiOnce.eng, apiOnce.err = DemoMovies(7)
 		if apiOnce.err != nil {
 			return
 		}
-		qs := apiOnce.sys.SampleQueries(1)
+		qs := apiOnce.eng.SampleQueries(1)
 		if len(qs) == 0 {
 			apiOnce.q = "hanks"
 		} else {
@@ -374,34 +375,51 @@ func apiSystem(b *testing.B) (*System, string) {
 	if apiOnce.err != nil {
 		b.Fatal(apiOnce.err)
 	}
-	return apiOnce.sys, apiOnce.q
+	return apiOnce.eng, apiOnce.q
 }
 
 func BenchmarkAPISearch(b *testing.B) {
-	sys, q := apiSystem(b)
+	eng, q := apiEngine(b)
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sys.Search(q, 5); err != nil {
+		if _, err := eng.Search(ctx, SearchRequest{Query: q, K: 5}); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
+func BenchmarkAPISearchParallel(b *testing.B) {
+	eng, q := apiEngine(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := eng.Search(ctx, SearchRequest{Query: q, K: 5}); err != nil {
+				b.Error(err) // Fatal must not be called from RunParallel workers
+				return
+			}
+		}
+	})
+}
+
 func BenchmarkAPIDiversify(b *testing.B) {
-	sys, q := apiSystem(b)
+	eng, q := apiEngine(b)
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sys.Diversify(q, 5, 0.1); err != nil {
+		if _, err := eng.Diversify(ctx, DiversifyRequest{Query: q, K: 5, Lambda: 0.1}); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 func BenchmarkAPIConstructSession(b *testing.B) {
-	sys, q := apiSystem(b)
+	eng, q := apiEngine(b)
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sess, err := sys.Construct(q, ConstructionConfig{StopAtRemaining: 3})
+		sess, err := eng.Construct(ctx, ConstructRequest{Query: q, StopAtRemaining: 3})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -410,7 +428,20 @@ func BenchmarkAPIConstructSession(b *testing.B) {
 			if !ok {
 				break
 			}
-			sess.Reject(question)
+			if err := sess.Reject(ctx, question); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkAPIKeywordsPrefix(b *testing.B) {
+	eng, q := apiEngine(b)
+	prefix := q[:1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ks := eng.Keywords(prefix, 10); len(ks) == 0 {
+			b.Fatal("no keywords")
 		}
 	}
 }
@@ -437,10 +468,11 @@ func BenchmarkAblationDataVsSchema(b *testing.B) {
 // BenchmarkAPISearchTrees measures the data-based baseline via the public
 // API.
 func BenchmarkAPISearchTrees(b *testing.B) {
-	sys, q := apiSystem(b)
+	eng, q := apiEngine(b)
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sys.SearchTrees(q, 5); err != nil {
+		if _, err := eng.SearchTrees(ctx, q, 5); err != nil {
 			b.Fatal(err)
 		}
 	}

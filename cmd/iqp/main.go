@@ -1,6 +1,7 @@
 // Command iqp is an interactive incremental query construction shell over
 // the bundled synthetic movie database — the IQP interface of Chapter 3
-// as a terminal program.
+// as a terminal program. It drives the same Request/Response DTOs as the
+// HTTP service (cmd/serve).
 //
 // Usage:
 //
@@ -13,6 +14,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -29,19 +31,19 @@ func main() {
 	flag.Parse()
 	showSQL = *sql
 
-	var sys *keysearch.System
+	var eng *keysearch.Engine
 	var err error
 	if *music {
-		sys, err = keysearch.DemoMusic(*seed)
+		eng, err = keysearch.DemoMusic(*seed)
 	} else {
-		sys, err = keysearch.DemoMovies(*seed)
+		eng, err = keysearch.DemoMovies(*seed)
 	}
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("loaded %d tables, %d rows, %d query templates\n",
-		sys.NumTables(), sys.NumRows(), sys.NumTemplates())
-	fmt.Printf("try keywords such as: %s\n\n", strings.Join(sys.SampleQueries(6), ", "))
+		eng.NumTables(), eng.NumRows(), eng.NumTemplates())
+	fmt.Printf("try keywords such as: %s\n\n", strings.Join(eng.SampleQueries(6), ", "))
 
 	in := bufio.NewScanner(os.Stdin)
 	for {
@@ -53,25 +55,26 @@ func main() {
 		if line == "" || line == "quit" || line == "exit" {
 			return
 		}
-		runQuery(sys, in, line)
+		runQuery(eng, in, line)
 	}
 }
 
 // showSQL toggles SQL rendering of candidates (-sql).
 var showSQL bool
 
-func runQuery(sys *keysearch.System, in *bufio.Scanner, q string) {
-	ranked, err := sys.Search(q, 5)
+func runQuery(eng *keysearch.Engine, in *bufio.Scanner, q string) {
+	ctx := context.Background()
+	resp, err := eng.Search(ctx, keysearch.SearchRequest{Query: q, K: 5})
 	if err != nil {
 		fmt.Printf("  %v\n", err)
 		return
 	}
 	fmt.Println("  top interpretations:")
-	for i, r := range ranked {
+	for i, r := range resp.Results {
 		fmt.Printf("    %d. P=%.3f  %s\n", i+1, r.Probability, r.Query)
 	}
 
-	sess, err := sys.Construct(q, keysearch.ConstructionConfig{StopAtRemaining: 3})
+	sess, err := eng.Construct(ctx, keysearch.ConstructRequest{Query: q, StopAtRemaining: 3})
 	if err != nil {
 		fmt.Printf("  %v\n", err)
 		return
@@ -87,20 +90,22 @@ func runQuery(sys *keysearch.System, in *bufio.Scanner, q string) {
 		}
 		switch strings.ToLower(strings.TrimSpace(in.Text())) {
 		case "y", "yes":
-			sess.Accept(question)
+			err = sess.Accept(ctx, question)
 		case "q", "quit":
 			return
 		default:
-			sess.Reject(question)
+			err = sess.Reject(ctx, question)
+		}
+		if err != nil {
+			fmt.Printf("  %v\n", err)
+			return
 		}
 	}
 	fmt.Printf("  after %d answers, the candidate queries are:\n", sess.Steps())
 	for i, r := range sess.Candidates() {
 		fmt.Printf("    %d. P=%.3f  %s\n", i+1, r.Probability, r.Query)
-		if showSQL {
-			if stmt, err := r.SQL(); err == nil {
-				fmt.Printf("        SQL: %s\n", stmt)
-			}
+		if showSQL && r.SQL != "" {
+			fmt.Printf("        SQL: %s\n", r.SQL)
 		}
 		rows, err := r.Rows(3)
 		if err != nil {

@@ -1,0 +1,77 @@
+// Command serve runs the keyword-search engine as an HTTP JSON service
+// over one of the bundled demo datasets (or a database dump written by
+// Engine.SaveTo).
+//
+// Usage:
+//
+//	go run ./cmd/serve [-addr :8080] [-seed N] [-music] [-db dump] [-ttl 15m]
+//
+// Quickstart:
+//
+//	go run ./cmd/serve &
+//	curl -s localhost:8080/v1/search -d '{"query":"hanks","k":3}'
+//	curl -s localhost:8080/v1/construct -d '{"action":"start","start":{"query":"hanks","stop_at_remaining":1}}'
+//
+// See package repro/httpapi for the endpoint and session protocol.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	keysearch "repro"
+	"repro/httpapi"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	seed := flag.Int64("seed", 7, "demo dataset generator seed")
+	music := flag.Bool("music", false, "serve the music (lyrics) dataset instead of movies")
+	dbPath := flag.String("db", "", "serve a database dump written by Engine.SaveTo instead of a demo dataset")
+	ttl := flag.Duration("ttl", 15*time.Minute, "construction session idle TTL")
+	maxSessions := flag.Int("max-sessions", 1024, "cap on live construction sessions")
+	flag.Parse()
+
+	var (
+		eng *keysearch.Engine
+		err error
+	)
+	switch {
+	case *dbPath != "":
+		f, ferr := os.Open(*dbPath)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		eng, err = keysearch.Load(f, keysearch.WithCoOccurrence())
+		f.Close()
+	case *music:
+		eng, err = keysearch.DemoMusic(*seed)
+	default:
+		eng, err = keysearch.DemoMovies(*seed)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("engine ready: %d tables, %d rows, %d query templates",
+		eng.NumTables(), eng.NumRows(), eng.NumTemplates())
+
+	srv := httpapi.New(eng,
+		httpapi.WithSessionTTL(*ttl),
+		httpapi.WithMaxSessions(*maxSessions),
+	)
+	log.Printf("serving on %s (try: curl -s localhost%s/v1/search -d '{\"query\":\"hanks\",\"k\":3}')",
+		*addr, *addr)
+	log.Fatal(http.ListenAndServe(*addr, logRequests(srv)))
+}
+
+// logRequests is a minimal access log.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s %s", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+	})
+}

@@ -1,52 +1,62 @@
 package keysearch
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/query"
 )
+
+// ConstructRequest starts an incremental construction session (the IQP
+// interface of Chapter 3). The same DTO drives the library API and the
+// "start" action of POST /v1/construct.
+type ConstructRequest struct {
+	// Query is the keyword query to construct an interpretation for.
+	Query string `json:"query"`
+	// Threshold is the greedy hierarchy-expansion threshold (default 20).
+	Threshold int `json:"threshold,omitempty"`
+	// StopAtRemaining ends construction when at most this many candidate
+	// queries remain (default 5).
+	StopAtRemaining int `json:"stop_at_remaining,omitempty"`
+}
 
 // Question is one query construction option presented to the user during
 // incremental construction ("Is «hanks» an actor's name?").
 type Question struct {
 	// Text is the human-readable question.
-	Text string
+	Text string `json:"text"`
 
 	opt query.Option
 }
 
-// Construction is an interactive incremental query construction session
-// (the IQP interface of Chapter 3): the system asks questions, the user
-// accepts or rejects them, and the candidate structured queries narrow
-// until the intended one is isolated.
+// Construction is an interactive incremental query construction session:
+// the system asks questions, the user accepts or rejects them, and the
+// candidate structured queries narrow until the intended one is isolated.
+//
+// A Construction belongs to one client dialogue and is not safe for
+// concurrent use; run any number of independent sessions concurrently on
+// one Engine instead. The HTTP front-end (repro/httpapi) exposes sessions
+// behind server-side session IDs with TTL eviction.
 type Construction struct {
-	s    *System
+	eng  *Engine
 	sess *core.Session
 }
 
-// ConstructionConfig tunes a construction session.
-type ConstructionConfig struct {
-	// Threshold is the greedy hierarchy-expansion threshold (default 20).
-	Threshold int
-	// StopAtRemaining ends construction when at most this many candidate
-	// queries remain (default 5).
-	StopAtRemaining int
-}
-
 // Construct starts an incremental construction session for the keyword
-// query.
-func (s *System) Construct(keywords string, cfg ConstructionConfig) (*Construction, error) {
-	c, _, err := s.candidatesFor(keywords)
+// query. The context cancels the initial hierarchy expansion.
+func (e *Engine) Construct(ctx context.Context, req ConstructRequest) (*Construction, error) {
+	c, _, err := e.candidatesFor(ctx, req.Query)
 	if err != nil {
 		return nil, err
 	}
-	sess, err := core.NewSession(s.model, c, core.SessionConfig{
-		Threshold:       cfg.Threshold,
-		StopAtRemaining: cfg.StopAtRemaining,
+	sess, err := core.NewSessionContext(ctx, e.model, c, core.SessionConfig{
+		Threshold:       req.Threshold,
+		StopAtRemaining: req.StopAtRemaining,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Construction{s: s, sess: sess}, nil
+	return &Construction{eng: e, sess: sess}, nil
 }
 
 // Done reports whether construction has converged to at most
@@ -68,15 +78,21 @@ func (c *Construction) Next() (Question, bool) {
 }
 
 // Accept confirms that the question's interpretation is part of the
-// intended query.
-func (c *Construction) Accept(q Question) { c.sess.Accept(q.opt) }
+// intended query. The context cancels the hierarchy expansion the answer
+// may trigger; on cancellation the decision is recorded but the expansion
+// is left for the next call.
+func (c *Construction) Accept(ctx context.Context, q Question) error {
+	return c.sess.AcceptContext(ctx, q.opt)
+}
 
 // Reject states that the question's interpretation is not part of the
 // intended query.
-func (c *Construction) Reject(q Question) { c.sess.Reject(q.opt) }
+func (c *Construction) Reject(ctx context.Context, q Question) error {
+	return c.sess.RejectContext(ctx, q.opt)
+}
 
 // Candidates returns the currently remaining structured queries, ranked
 // by probability (empty until the interpretation space is materialised).
 func (c *Construction) Candidates() []Result {
-	return c.s.wrap(c.sess.Remaining())
+	return c.eng.wrap(c.sess.Remaining())
 }

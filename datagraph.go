@@ -1,6 +1,7 @@
 package keysearch
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -13,28 +14,32 @@ import (
 type TupleTree struct {
 	// Weight is the number of joins (edges) in the tree; smaller is
 	// considered more relevant.
-	Weight int
+	Weight int `json:"weight"`
 	// Rows maps "table#row" identifiers to the tuple's values per column
 	// ("table.column" keys, as in Result.Rows).
-	Rows []map[string]string
+	Rows []map[string]string `json:"rows"`
 }
 
 // SearchTrees runs the data-based (BANKS-style) baseline: keyword search
 // directly on the tuple graph, without query interpretation. It
 // complements Search (the schema-based pipeline) for comparing the two
-// families of Section 2.2 on the same data.
-func (s *System) SearchTrees(keywords string, k int) ([]TupleTree, error) {
-	if !s.built {
+// families of Section 2.2 on the same data. The tuple graph is built
+// lazily on first use; the lazy build is safe under concurrent calls.
+func (e *Engine) SearchTrees(ctx context.Context, keywords string, k int) ([]TupleTree, error) {
+	if !e.built {
 		return nil, fmt.Errorf("keysearch: call Build before searching")
 	}
 	toks := parse(keywords)
 	if len(toks) == 0 {
 		return nil, fmt.Errorf("keysearch: empty keyword query")
 	}
-	if s.dgraph == nil {
-		s.dgraph = datagraph.Build(s.db)
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	trees, err := s.dgraph.Search(toks, datagraph.Options{K: k})
+	e.dgraphOnce.Do(func() {
+		e.dgraph = datagraph.Build(e.db)
+	})
+	trees, err := e.dgraph.Search(toks, datagraph.Options{K: k})
 	if err != nil {
 		return nil, err
 	}
@@ -49,7 +54,7 @@ func (s *System) SearchTrees(keywords string, k int) ([]TupleTree, error) {
 			return nodes[i].Row < nodes[j].Row
 		})
 		for _, n := range nodes {
-			t := s.db.Table(n.Table)
+			t := e.db.Table(n.Table)
 			tuple, ok := t.Row(n.Row)
 			if !ok {
 				continue

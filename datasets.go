@@ -7,57 +7,57 @@ import (
 	"repro/internal/relstore"
 )
 
-// DemoMovies returns a ready-built System over the bundled synthetic
+// DemoMovies returns a ready-built Engine over the bundled synthetic
 // movie database (the IMDB-style dataset of the reproduction's
 // experiments): 7 tables — actor, director, movie, company, acts,
 // directs, produced_by. Deterministic for a given seed.
-func DemoMovies(seed int64) (*System, error) {
+func DemoMovies(seed int64) (*Engine, error) {
 	db, err := datagen.IMDB(datagen.IMDBConfig{Seed: seed})
 	if err != nil {
 		return nil, err
 	}
-	sys := fromDatabase(db, Config{MaxJoinPath: 4, UseCoOccurrence: true})
-	if err := sys.Build(); err != nil {
+	eng := fromDatabase(db, WithMaxJoinPath(4), WithCoOccurrence())
+	if err := eng.Build(); err != nil {
 		return nil, err
 	}
-	return sys, nil
+	return eng, nil
 }
 
-// DemoMusic returns a ready-built System over the bundled synthetic
+// DemoMusic returns a ready-built Engine over the bundled synthetic
 // lyrics database (5 tables with the artist ⋈ artist_album ⋈ album ⋈
 // album_song ⋈ song chain schema).
-func DemoMusic(seed int64) (*System, error) {
+func DemoMusic(seed int64) (*Engine, error) {
 	db, err := datagen.Lyrics(datagen.LyricsConfig{Seed: seed})
 	if err != nil {
 		return nil, err
 	}
 	// The 5-table chain needs join paths of length 5.
-	sys := fromDatabase(db, Config{MaxJoinPath: 5, UseCoOccurrence: true})
-	if err := sys.Build(); err != nil {
+	eng := fromDatabase(db, WithMaxJoinPath(5), WithCoOccurrence())
+	if err := eng.Build(); err != nil {
 		return nil, err
 	}
-	return sys, nil
+	return eng, nil
 }
 
 // SampleQueries returns ambiguous keyword queries that work well against
 // the demo datasets, for use in examples and quickstarts. The returned
 // queries are tokens that genuinely occur in the demo data.
-func (s *System) SampleQueries(n int) []string {
-	if !s.built {
+func (e *Engine) SampleQueries(n int) []string {
+	if !e.built {
 		return nil
 	}
 	// Tokens occurring in more than one attribute are ambiguous.
 	var out []string
 	seen := map[string]bool{}
-	for _, attr := range s.ix.Attributes() {
-		t := s.db.Table(attr.Table)
+	for _, attr := range e.ix.Attributes() {
+		t := e.db.Table(attr.Table)
 		ci := t.Schema.ColumnIndex(attr.Column)
 		for _, row := range t.Rows() {
 			for _, tok := range parse(row.Values[ci]) {
 				if seen[tok] || len(tok) < 4 {
 					continue
 				}
-				if len(s.ix.Lookup(tok)) > 1 {
+				if len(e.ix.Lookup(tok)) > 1 {
 					seen[tok] = true
 					out = append(out, tok)
 					if len(out) >= n {
@@ -70,22 +70,22 @@ func (s *System) SampleQueries(n int) []string {
 	return out
 }
 
-// SaveTo serialises the system's database (schema and rows) to the
-// writer; indexes are rebuilt on load. Use LoadSystem to restore.
-func (s *System) SaveTo(w io.Writer) error {
-	return s.db.Save(w)
+// SaveTo serialises the engine's database (schema and rows) to the
+// writer; indexes are rebuilt on load. Use Load to restore.
+func (e *Engine) SaveTo(w io.Writer) error {
+	return e.db.Save(w)
 }
 
-// LoadSystem restores a database written by SaveTo and builds a ready
-// System over it with the given configuration.
-func LoadSystem(r io.Reader, cfg Config) (*System, error) {
+// Load restores a database written by SaveTo and builds a ready Engine
+// over it with the given options.
+func Load(r io.Reader, opts ...Option) (*Engine, error) {
 	db, err := relstore.Load(r)
 	if err != nil {
 		return nil, err
 	}
-	sys := fromDatabase(db, cfg)
-	if err := sys.Build(); err != nil {
+	eng := fromDatabase(db, opts...)
+	if err := eng.Build(); err != nil {
 		return nil, err
 	}
-	return sys, nil
+	return eng, nil
 }

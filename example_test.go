@@ -1,16 +1,17 @@
 package keysearch_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	keysearch "repro"
 )
 
-// buildExampleSystem loads the running example of the paper: an ambiguous
+// buildExampleEngine loads the running example of the paper: an ambiguous
 // "london" that is both an actor and a movie-title word.
-func buildExampleSystem() *keysearch.System {
-	sys, err := keysearch.New([]keysearch.Table{
+func buildExampleEngine() *keysearch.Engine {
+	eng, err := keysearch.New([]keysearch.Table{
 		{
 			Name:       "actor",
 			Columns:    []keysearch.Column{{Name: "id"}, {Name: "name", Text: true}},
@@ -29,7 +30,7 @@ func buildExampleSystem() *keysearch.System {
 				{Column: "movie_id", RefTable: "movie", RefColumn: "id"},
 			},
 		},
-	}, keysearch.Config{})
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,26 +43,26 @@ func buildExampleSystem() *keysearch.System {
 		{"acts", "a2", "m2"},
 	}
 	for _, r := range rows {
-		if err := sys.Insert(r[0], r[1:]...); err != nil {
+		if err := eng.Insert(r[0], r[1:]...); err != nil {
 			log.Fatal(err)
 		}
 	}
-	if err := sys.Build(); err != nil {
+	if err := eng.Build(); err != nil {
 		log.Fatal(err)
 	}
-	return sys
+	return eng
 }
 
-// ExampleSystem_Search shows keyword-to-structured-query translation: the
+// ExampleEngine_Search shows keyword-to-structured-query translation: the
 // ambiguous keyword is returned with every reading, ranked by
 // probability.
-func ExampleSystem_Search() {
-	sys := buildExampleSystem()
-	results, err := sys.Search("london", 2)
+func ExampleEngine_Search() {
+	eng := buildExampleEngine()
+	resp, err := eng.Search(context.Background(), keysearch.SearchRequest{Query: "london", K: 2})
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, r := range results {
+	for _, r := range resp.Results {
 		fmt.Println(r.Query)
 	}
 	// Output:
@@ -69,11 +70,12 @@ func ExampleSystem_Search() {
 	// σ_{london}⊂title(movie)
 }
 
-// ExampleSystem_Construct drives an interactive construction session with
+// ExampleEngine_Construct drives an interactive construction session with
 // scripted answers: rejecting the actor reading leaves the movie reading.
-func ExampleSystem_Construct() {
-	sys := buildExampleSystem()
-	sess, err := sys.Construct("london", keysearch.ConstructionConfig{StopAtRemaining: 1})
+func ExampleEngine_Construct() {
+	eng := buildExampleEngine()
+	ctx := context.Background()
+	sess, err := eng.Construct(ctx, keysearch.ConstructRequest{Query: "london", StopAtRemaining: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -83,7 +85,9 @@ func ExampleSystem_Construct() {
 			break
 		}
 		fmt.Println(q.Text)
-		sess.Reject(q) // scripted user: "no, not that reading"
+		if err := sess.Reject(ctx, q); err != nil { // scripted user: "no, not that reading"
+			log.Fatal(err)
+		}
 	}
 	for _, c := range sess.Candidates() {
 		fmt.Println("remaining:", c.Query)
@@ -96,12 +100,12 @@ func ExampleSystem_Construct() {
 // ExampleResult_Rows executes the top interpretation of a two-keyword
 // query and prints the joined row.
 func ExampleResult_Rows() {
-	sys := buildExampleSystem()
-	results, err := sys.Search("hanks terminal", 1)
+	eng := buildExampleEngine()
+	resp, err := eng.Search(context.Background(), keysearch.SearchRequest{Query: "hanks terminal", K: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
-	rows, err := results[0].Rows(1)
+	rows, err := resp.Results[0].Rows(1)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,10 +34,10 @@ func main() {
 			},
 		},
 	}
-	sys, err := keysearch.New(schema, keysearch.Config{
-		EnableAggregates: true,
-		SegmentPhrases:   true,
-	})
+	eng, err := keysearch.New(schema,
+		keysearch.WithAggregates(),
+		keysearch.WithSegmentPhrases(0.8),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,43 +53,44 @@ func main() {
 		{"acts", "a3", "m2", "Mitchel"},
 	}
 	for _, r := range rows {
-		if err := sys.Insert(r[0], r[1:]...); err != nil {
+		if err := eng.Insert(r[0], r[1:]...); err != nil {
 			log.Fatal(err)
 		}
 	}
-	if err := sys.Build(); err != nil {
+	if err := eng.Build(); err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 
 	// 1. Labelled keywords (§2.2.7): force the movie-title reading of the
 	// ambiguous keyword "london".
 	fmt.Println("labelled query \"title:london\":")
-	labelled, err := sys.Search("title:london", 3)
+	labelled, err := eng.Search(ctx, keysearch.SearchRequest{Query: "title:london", K: 3})
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, r := range labelled {
+	for _, r := range labelled.Results {
 		fmt.Printf("  P=%.3f  %s\n", r.Probability, r.Query)
 	}
 
 	// 2. Phrase segmentation (§2.2.1): "tom hanks" always co-occur in
 	// actor.name, so readings scattering the two tokens are pruned.
 	fmt.Println("\nsegmented query \"tom hanks\":")
-	seg, err := sys.Search("tom hanks", 3)
+	seg, err := eng.Search(ctx, keysearch.SearchRequest{Query: "tom hanks", K: 3})
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, r := range seg {
+	for _, r := range seg.Results {
 		fmt.Printf("  P=%.3f  %s\n", r.Probability, r.Query)
 	}
 
 	// 3. Aggregation (Def 3.5.1 K4): "number hanks" counts results.
 	fmt.Println("\nanalytical query \"number hanks\":")
-	agg, err := sys.Search("number hanks", 5)
+	agg, err := eng.Search(ctx, keysearch.SearchRequest{Query: "number hanks", K: 5})
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, r := range agg {
+	for _, r := range agg.Results {
 		if r.Aggregate == "" {
 			continue
 		}
@@ -102,11 +104,11 @@ func main() {
 	// 4. Global top-k results (§2.2.5): the best concrete rows across all
 	// interpretations, with early stopping over the interpretation list.
 	fmt.Println("\ntop-3 concrete results for \"hanks\":")
-	top, err := sys.SearchResults("hanks", 3)
+	top, err := eng.SearchRows(ctx, keysearch.RowsRequest{Query: "hanks", K: 3})
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, r := range top {
+	for _, r := range top.Rows {
 		fmt.Printf("  score=%.4f  via %s\n", r.Score, r.Query)
 		if name, ok := r.Row["actor.name"]; ok {
 			fmt.Printf("    actor.name = %s\n", name)

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,13 +19,14 @@ import (
 )
 
 func main() {
-	sys, err := keysearch.DemoMusic(11)
+	eng, err := keysearch.DemoMusic(11)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("music database: %d tables, %d rows\n\n", sys.NumTables(), sys.NumRows())
+	fmt.Printf("music database: %d tables, %d rows\n\n", eng.NumTables(), eng.NumRows())
 
-	queries := sys.SampleQueries(20)
+	ctx := context.Background()
+	queries := eng.SampleQueries(20)
 	if len(queries) == 0 {
 		log.Fatal("no ambiguous sample queries found")
 	}
@@ -35,24 +37,25 @@ func main() {
 	for i := 0; i < len(queries); i++ {
 		for j := i + 1; j < len(queries) && j < i+8; j++ {
 			cand := queries[i] + " " + queries[j]
-			rs, err := sys.Search(cand, 0)
+			// K=1: only SpaceSize is needed, so don't wrap the full space.
+			rs, err := eng.Search(ctx, keysearch.SearchRequest{Query: cand, K: 1})
 			if err != nil {
 				continue
 			}
-			if len(rs) > bestN {
-				best, bestN = cand, len(rs)
+			if rs.SpaceSize > bestN {
+				best, bestN = cand, rs.SpaceSize
 			}
 		}
 	}
 	fmt.Printf("keyword query: %q (%d interpretations)\n", best, bestN)
 
 	const k = 4
-	ranked, err := sys.Search(best, k)
+	ranked, err := eng.Search(ctx, keysearch.SearchRequest{Query: best, K: k})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\ntop-%d by relevance only:\n", k)
-	for i, r := range ranked {
+	for i, r := range ranked.Results {
 		fmt.Printf("  %d. P=%.3f  %s\n", i+1, r.Probability, r.Query)
 	}
 
@@ -60,13 +63,13 @@ func main() {
 	// cannot contribute novelty), so the diversified lists may exclude
 	// high-probability readings that return nothing on this data.
 	for _, lambda := range []float64{0.5, 0.1} {
-		div, err := sys.Diversify(best, k, lambda)
+		div, err := eng.Diversify(ctx, keysearch.DiversifyRequest{Query: best, K: k, Lambda: lambda})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("\ntop-%d diversified (λ=%.1f — %s):\n", k, lambda,
 			map[float64]string{0.5: "balanced", 0.1: "novelty-heavy"}[lambda])
-		for i, r := range div {
+		for i, r := range div.Results {
 			fmt.Printf("  %d. P=%.3f  %s\n", i+1, r.Probability, r.Query)
 		}
 	}

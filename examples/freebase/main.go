@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -24,20 +25,22 @@ func main() {
 		log.Fatal(err)
 	}
 	kb.MapGroundTruth()
-	sys := kb.System
+	eng := kb.Engine
 	fmt.Printf("knowledge base: %d tables, %d rows, ontology of %d classes\n\n",
-		sys.NumTables(), sys.NumRows(), kb.Ontology.NumClasses())
+		eng.NumTables(), eng.NumRows(), kb.Ontology.NumClasses())
 
+	ctx := context.Background()
 	// Find a keyword occurring in many tables.
-	queries := sys.SampleQueries(200)
+	queries := eng.SampleQueries(200)
 	best, bestN := "", 0
 	for _, q := range queries {
-		rs, err := sys.Search(q, 0)
+		// K=1: only SpaceSize is needed, so don't wrap the full space.
+		rs, err := eng.Search(ctx, keysearch.SearchRequest{Query: q, K: 1})
 		if err != nil {
 			continue
 		}
-		if len(rs) > bestN {
-			best, bestN = q, len(rs)
+		if rs.SpaceSize > bestN {
+			best, bestN = q, rs.SpaceSize
 		}
 	}
 	if best == "" {
@@ -48,14 +51,14 @@ func main() {
 	// The scripted user's informational need is NOT the most likely
 	// reading: pick the lowest-ranked interpretation that lives in a
 	// concept table — exactly the case ranking alone cannot serve.
-	all, err := sys.Search(best, 0)
+	all, err := eng.Search(ctx, keysearch.SearchRequest{Query: best})
 	if err != nil {
 		log.Fatal(err)
 	}
 	intendedTable := ""
-	for i := len(all) - 1; i >= 0; i-- {
-		if _, ok := kb.Concepts[all[i].Tables[0]]; ok {
-			intendedTable = all[i].Tables[0]
+	for i := len(all.Results) - 1; i >= 0; i-- {
+		if _, ok := kb.Concepts[all.Results[i].Tables[0]]; ok {
+			intendedTable = all.Results[i].Tables[0]
 			break
 		}
 	}
@@ -65,8 +68,8 @@ func main() {
 	fmt.Printf("user's intent: the %s reading (a low-ranked interpretation)\n\n", intendedTable)
 
 	// FreeQ session with ontology questions.
-	osess, err := sys.ConstructWithOntology(best, kb.Ontology,
-		keysearch.ConstructionConfig{StopAtRemaining: 1})
+	osess, err := eng.ConstructWithOntology(ctx,
+		keysearch.ConstructRequest{Query: best, StopAtRemaining: 1}, kb.Ontology)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -93,15 +96,18 @@ func main() {
 		fmt.Printf("  Q%d (%s): %s -> %s (space: %d)\n",
 			osess.Steps()+1, kind, q.Text, answer, osess.SpaceSize())
 		if accept {
-			osess.Accept(q)
+			err = osess.Accept(ctx, q)
 		} else {
-			osess.Reject(q)
+			err = osess.Reject(ctx, q)
+		}
+		if err != nil {
+			log.Fatal(err)
 		}
 	}
 	fmt.Printf("FreeQ isolated the intent in %d questions\n\n", osess.Steps())
 
 	// Attribute-level (IQP) session for comparison.
-	psess, err := kb.ConstructPlain(best, keysearch.ConstructionConfig{StopAtRemaining: 1})
+	psess, err := kb.ConstructPlain(ctx, keysearch.ConstructRequest{Query: best, StopAtRemaining: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -111,9 +117,12 @@ func main() {
 			break
 		}
 		if strings.Contains(q.Text, intendedTable+".") {
-			psess.Accept(q)
+			err = psess.Accept(ctx, q)
 		} else {
-			psess.Reject(q)
+			err = psess.Reject(ctx, q)
+		}
+		if err != nil {
+			log.Fatal(err)
 		}
 	}
 	fmt.Printf("attribute-level construction needed %d questions\n", psess.Steps())

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -18,16 +19,17 @@ import (
 )
 
 func main() {
-	sys, err := keysearch.DemoMovies(7)
+	eng, err := keysearch.DemoMovies(7)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("movie database: %d tables, %d rows, %d query templates\n\n",
-		sys.NumTables(), sys.NumRows(), sys.NumTemplates())
+		eng.NumTables(), eng.NumRows(), eng.NumTemplates())
 
+	ctx := context.Background()
 	// Pick the most ambiguous keyword pair from the data itself: a person
 	// token plus a title word makes the query genuinely multi-reading.
-	queries := sys.SampleQueries(40)
+	queries := eng.SampleQueries(40)
 	if len(queries) < 2 {
 		log.Fatal("no ambiguous sample queries found")
 	}
@@ -35,12 +37,13 @@ func main() {
 	for i := 0; i < len(queries); i++ {
 		for j := i + 1; j < len(queries) && j < i+6; j++ {
 			cand := queries[i] + " " + queries[j]
-			rs, err := sys.Search(cand, 0)
+			// K=1: only SpaceSize is needed, so don't wrap the full space.
+			rs, err := eng.Search(ctx, keysearch.SearchRequest{Query: cand, K: 1})
 			if err != nil {
 				continue
 			}
-			if len(rs) > bestN {
-				q, bestN = cand, len(rs)
+			if rs.SpaceSize > bestN {
+				q, bestN = cand, rs.SpaceSize
 			}
 		}
 	}
@@ -49,18 +52,18 @@ func main() {
 	}
 	fmt.Printf("keyword query: %q (%d interpretations)\n", q, bestN)
 
-	ranked, err := sys.Search(q, 5)
+	ranked, err := eng.Search(ctx, keysearch.SearchRequest{Query: q, K: 5})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\ntop ranked interpretations before construction:")
-	for i, r := range ranked {
+	for i, r := range ranked.Results {
 		fmt.Printf("  %d. P=%.3f  %s\n", i+1, r.Probability, r.Query)
 	}
 
 	// Interactive construction: our scripted user wants the actor-name
 	// reading and answers accordingly.
-	sess, err := sys.Construct(q, keysearch.ConstructionConfig{StopAtRemaining: 1})
+	sess, err := eng.Construct(ctx, keysearch.ConstructRequest{Query: q, StopAtRemaining: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,9 +80,12 @@ func main() {
 		}
 		fmt.Printf("  Q%d: %s -> %s\n", sess.Steps()+1, question.Text, answer)
 		if accept {
-			sess.Accept(question)
+			err = sess.Accept(ctx, question)
 		} else {
-			sess.Reject(question)
+			err = sess.Reject(ctx, question)
+		}
+		if err != nil {
+			log.Fatal(err)
 		}
 	}
 

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,7 +25,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("database: %d tables; ontology: %d classes; %d tables carry instances\n\n",
-		kb.System.NumTables(), kb.Ontology.NumClasses(), len(kb.Instances))
+		kb.Engine.NumTables(), kb.Ontology.NumClasses(), len(kb.Instances))
 
 	// Sweep the match threshold (the Figure 6.4 experiment in miniature).
 	fmt.Println("threshold  matched  correct  precision  recall")
@@ -61,10 +62,11 @@ func main() {
 	}
 
 	// The matched ontology immediately powers class-level construction.
-	queries := kb.System.SampleQueries(50)
+	ctx := context.Background()
+	queries := kb.Engine.SampleQueries(50)
 	for _, q := range queries {
-		sess, err := kb.System.ConstructWithOntology(q, kb.Ontology,
-			keysearch.ConstructionConfig{StopAtRemaining: 3})
+		sess, err := kb.Engine.ConstructWithOntology(ctx,
+			keysearch.ConstructRequest{Query: q, StopAtRemaining: 3}, kb.Ontology)
 		if err != nil {
 			continue
 		}

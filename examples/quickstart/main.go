@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -35,7 +36,7 @@ func main() {
 			},
 		},
 	}
-	sys, err := keysearch.New(schema, keysearch.Config{})
+	eng, err := keysearch.New(schema)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,27 +50,28 @@ func main() {
 		{"acts", "a2", "m2", "Mitchel"},
 	}
 	for _, r := range rows {
-		if err := sys.Insert(r[0], r[1:]...); err != nil {
+		if err := eng.Insert(r[0], r[1:]...); err != nil {
 			log.Fatal(err)
 		}
 	}
-	if err := sys.Build(); err != nil {
+	if err := eng.Build(); err != nil {
 		log.Fatal(err)
 	}
 
+	ctx := context.Background()
 	const q = "london"
 	fmt.Printf("keyword query: %q\n\n", q)
-	results, err := sys.Search(q, 5)
+	resp, err := eng.Search(ctx, keysearch.SearchRequest{Query: q, K: 5})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("ranked interpretations:")
-	for i, r := range results {
+	for i, r := range resp.Results {
 		fmt.Printf("  %d. P=%.3f  %s\n", i+1, r.Probability, r.Query)
 	}
 
 	fmt.Println("\nresults of the top interpretation:")
-	top, err := results[0].Rows(5)
+	top, err := resp.Results[0].Rows(5)
 	if err != nil {
 		log.Fatal(err)
 	}

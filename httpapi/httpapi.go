@@ -1,0 +1,423 @@
+// Package httpapi exposes a built keysearch.Engine as a JSON-over-HTTP
+// service — the service boundary the thesis's systems imply but never
+// ship: probability-ranked interpretation search, DivQ diversification,
+// and interactive query construction behind stateless-client sessions.
+//
+// Endpoints (all request/response bodies are the DTOs of package
+// keysearch, so a Go client can decode straight into library types):
+//
+//	POST /v1/search     keysearch.SearchRequest    → keysearch.SearchResponse
+//	POST /v1/diversify  keysearch.DiversifyRequest → keysearch.SearchResponse
+//	POST /v1/rows       keysearch.RowsRequest      → keysearch.RowsResponse
+//	POST /v1/construct  ConstructStepRequest       → ConstructStepResponse
+//	GET  /v1/keywords?prefix=&limit=               → KeywordsResponse
+//	GET  /healthz                                  → {"status":"ok"}
+//
+// Construction is a dialogue, so /v1/construct is sessionized: "start"
+// creates a server-side session and returns its ID plus the first
+// question; "accept"/"reject" answer the pending question and return the
+// next one; "candidates" lists the remaining structured queries;
+// "cancel" deletes the session. Sessions are evicted after a TTL of
+// inactivity and capped in number, so abandoned dialogues cannot leak.
+//
+// Errors are returned as {"error": "..."} with a 4xx/5xx status.
+package httpapi
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	keysearch "repro"
+)
+
+// ErrorResponse is the JSON shape of every error reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// KeywordsResponse answers GET /v1/keywords.
+type KeywordsResponse struct {
+	Prefix   string   `json:"prefix"`
+	Keywords []string `json:"keywords"`
+}
+
+// ConstructStepRequest drives one step of a sessionized construction
+// dialogue over POST /v1/construct.
+type ConstructStepRequest struct {
+	// Action is "start", "accept", "reject", "candidates", or "cancel".
+	Action string `json:"action"`
+	// SessionID identifies the dialogue for every action except "start".
+	SessionID string `json:"session_id,omitempty"`
+	// Start holds the construction parameters for action "start".
+	Start *keysearch.ConstructRequest `json:"start,omitempty"`
+}
+
+// ConstructStepResponse is the state of the dialogue after one step.
+type ConstructStepResponse struct {
+	SessionID string `json:"session_id"`
+	// Done reports whether construction has converged.
+	Done bool `json:"done"`
+	// Steps is the number of questions answered so far.
+	Steps int `json:"steps"`
+	// Question is the next question to answer; nil when no question can
+	// narrow the space further (pick from Candidates instead).
+	Question *keysearch.Question `json:"question,omitempty"`
+	// Candidates carries the remaining structured queries when the
+	// dialogue has converged, no question is left, or the client asked
+	// for them explicitly.
+	Candidates []keysearch.Result `json:"candidates,omitempty"`
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithSessionTTL sets the idle time after which a construction session
+// is evicted (default 15 minutes).
+func WithSessionTTL(d time.Duration) Option {
+	return func(s *Server) { s.ttl = d }
+}
+
+// WithMaxSessions caps live construction sessions; starting a session
+// beyond the cap evicts the least recently used one (default 1024).
+func WithMaxSessions(n int) Option {
+	return func(s *Server) { s.maxSessions = n }
+}
+
+// WithClock injects the time source used for TTL eviction (tests).
+func WithClock(now func() time.Time) Option {
+	return func(s *Server) { s.now = now }
+}
+
+// Server is the HTTP front-end over one built Engine. It is safe for
+// concurrent use: the Engine is immutable, and each construction session
+// carries its own lock.
+type Server struct {
+	eng         *keysearch.Engine
+	ttl         time.Duration
+	maxSessions int
+	now         func() time.Time
+	mux         *http.ServeMux
+
+	mu       sync.Mutex
+	sessions map[string]*constructSession
+}
+
+// constructSession is one server-side construction dialogue. Its mutex
+// serialises answers racing on the same session ID.
+type constructSession struct {
+	mu       sync.Mutex
+	cons     *keysearch.Construction
+	pending  *keysearch.Question
+	lastUsed time.Time
+}
+
+// New wraps a built Engine in an HTTP handler.
+func New(eng *keysearch.Engine, opts ...Option) *Server {
+	s := &Server{
+		eng:         eng,
+		ttl:         15 * time.Minute,
+		maxSessions: 1024,
+		now:         time.Now,
+		sessions:    make(map[string]*constructSession),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.maxSessions < 1 {
+		s.maxSessions = 1 // a non-positive cap would make eviction spin forever
+	}
+	if s.ttl <= 0 {
+		s.ttl = 15 * time.Minute
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
+	s.mux.HandleFunc("POST /v1/diversify", s.handleDiversify)
+	s.mux.HandleFunc("POST /v1/rows", s.handleRows)
+	s.mux.HandleFunc("POST /v1/construct", s.handleConstruct)
+	s.mux.HandleFunc("GET /v1/keywords", s.handleKeywords)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// statusFor maps engine errors onto HTTP statuses: cancelled requests
+// report client closure, everything else is a bad request (the engine
+// only fails on unusable queries once built).
+func statusFor(err error) int {
+	if errors.Is(err, context.Canceled) {
+		return 499 // client closed request (nginx convention)
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusBadRequest
+}
+
+func decode[T any](r *http.Request) (T, error) {
+	var v T
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&v); err != nil {
+		return v, fmt.Errorf("invalid JSON body: %w", err)
+	}
+	return v, nil
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	req, err := decode[keysearch.SearchRequest](r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := s.eng.Search(r.Context(), req)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDiversify(w http.ResponseWriter, r *http.Request) {
+	req, err := decode[keysearch.DiversifyRequest](r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := s.eng.Diversify(r.Context(), req)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRows(w http.ResponseWriter, r *http.Request) {
+	req, err := decode[keysearch.RowsRequest](r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := s.eng.SearchRows(r.Context(), req)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleKeywords(w http.ResponseWriter, r *http.Request) {
+	prefix := r.URL.Query().Get("prefix")
+	limit := 20
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid limit %q", v))
+			return
+		}
+		limit = n
+	}
+	ks := s.eng.Keywords(prefix, limit)
+	writeJSON(w, http.StatusOK, KeywordsResponse{Prefix: prefix, Keywords: ks})
+}
+
+// newSessionID returns a 128-bit random hex ID.
+func newSessionID() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// purgeLocked drops expired sessions; callers hold s.mu.
+func (s *Server) purgeLocked() {
+	cutoff := s.now().Add(-s.ttl)
+	for id, sess := range s.sessions {
+		if sess.lastUsed.Before(cutoff) {
+			delete(s.sessions, id)
+		}
+	}
+}
+
+// evictOldestLocked drops the least recently used session; callers hold
+// s.mu and have verified the map is non-empty.
+func (s *Server) evictOldestLocked() {
+	var oldestID string
+	var oldest time.Time
+	for id, sess := range s.sessions {
+		if oldestID == "" || sess.lastUsed.Before(oldest) {
+			oldestID, oldest = id, sess.lastUsed
+		}
+	}
+	delete(s.sessions, oldestID)
+}
+
+func (s *Server) lookupSession(id string) (*constructSession, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.purgeLocked()
+	sess, ok := s.sessions[id]
+	if ok {
+		sess.lastUsed = s.now()
+	}
+	return sess, ok
+}
+
+func (s *Server) handleConstruct(w http.ResponseWriter, r *http.Request) {
+	req, err := decode[ConstructStepRequest](r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	switch req.Action {
+	case "start":
+		s.constructStart(w, r, req)
+	case "accept", "reject":
+		s.constructAnswer(w, r, req)
+	case "candidates":
+		s.constructCandidates(w, req)
+	case "cancel":
+		s.constructCancel(w, req)
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("unknown action %q (want start, accept, reject, candidates, or cancel)", req.Action))
+	}
+}
+
+func (s *Server) constructStart(w http.ResponseWriter, r *http.Request, req ConstructStepRequest) {
+	if req.Start == nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf(`action "start" requires the "start" object`))
+		return
+	}
+	cons, err := s.eng.Construct(r.Context(), *req.Start)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	id, err := newSessionID()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	sess := &constructSession{cons: cons, lastUsed: s.now()}
+	s.mu.Lock()
+	s.purgeLocked()
+	for len(s.sessions) > 0 && len(s.sessions) >= s.maxSessions {
+		s.evictOldestLocked()
+	}
+	s.sessions[id] = sess
+	s.mu.Unlock()
+
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	writeJSON(w, http.StatusOK, s.stepResponse(id, sess, false))
+}
+
+func (s *Server) constructAnswer(w http.ResponseWriter, r *http.Request, req ConstructStepRequest) {
+	sess, ok := s.lookupSession(req.SessionID)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown or expired session %q", req.SessionID))
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.pending == nil {
+		writeError(w, http.StatusConflict, fmt.Errorf("session has no pending question"))
+		return
+	}
+	q := *sess.pending
+	sess.pending = nil
+	var err error
+	if req.Action == "accept" {
+		err = sess.cons.Accept(r.Context(), q)
+	} else {
+		err = sess.cons.Reject(r.Context(), q)
+	}
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.stepResponse(req.SessionID, sess, false))
+}
+
+func (s *Server) constructCandidates(w http.ResponseWriter, req ConstructStepRequest) {
+	sess, ok := s.lookupSession(req.SessionID)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown or expired session %q", req.SessionID))
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	writeJSON(w, http.StatusOK, s.stepResponse(req.SessionID, sess, true))
+}
+
+func (s *Server) constructCancel(w http.ResponseWriter, req ConstructStepRequest) {
+	s.mu.Lock()
+	_, ok := s.sessions[req.SessionID]
+	delete(s.sessions, req.SessionID)
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown or expired session %q", req.SessionID))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "cancelled"})
+}
+
+// stepResponse computes the dialogue state after a step: the next
+// question is selected (and stashed as pending) unless construction has
+// converged; candidates are included when converged, when no question is
+// left, or when explicitly requested. Callers hold sess.mu.
+func (s *Server) stepResponse(id string, sess *constructSession, wantCandidates bool) ConstructStepResponse {
+	resp := ConstructStepResponse{
+		SessionID: id,
+		Done:      sess.cons.Done(),
+		Steps:     sess.cons.Steps(),
+	}
+	if !resp.Done {
+		if sess.pending == nil {
+			if q, ok := sess.cons.Next(); ok {
+				sess.pending = &q
+			}
+		}
+		if sess.pending != nil {
+			resp.Question = sess.pending
+		}
+	}
+	if resp.Done || resp.Question == nil || wantCandidates {
+		resp.Candidates = sess.cons.Candidates()
+	}
+	return resp
+}
+
+// NumSessions reports the number of live construction sessions (after
+// purging expired ones) — exposed for tests and monitoring.
+func (s *Server) NumSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.purgeLocked()
+	return len(s.sessions)
+}

@@ -1,0 +1,378 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	keysearch "repro"
+)
+
+var (
+	engOnce sync.Once
+	engVal  *keysearch.Engine
+	engErr  error
+)
+
+// demoEngine builds the bundled movie dataset once for all tests.
+func demoEngine(t *testing.T) *keysearch.Engine {
+	t.Helper()
+	engOnce.Do(func() {
+		engVal, engErr = keysearch.DemoMovies(7)
+	})
+	if engErr != nil {
+		t.Fatal(engErr)
+	}
+	return engVal
+}
+
+// post sends a JSON body and decodes the JSON reply into out, returning
+// the status code (-1 on transport failure). It only uses t.Error so it
+// is safe to call from spawned goroutines.
+func post(t *testing.T, client *http.Client, url string, body, out any) int {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Error(err)
+		return -1
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Error(err)
+		return -1
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Error(err)
+		return -1
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Errorf("decoding %s: %v (body: %s)", url, err, raw)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHTTPSearchAndDiversify(t *testing.T) {
+	eng := demoEngine(t)
+	ts := httptest.NewServer(New(eng))
+	defer ts.Close()
+
+	q := eng.SampleQueries(1)[0]
+
+	var sr keysearch.SearchResponse
+	if code := post(t, ts.Client(), ts.URL+"/v1/search",
+		keysearch.SearchRequest{Query: q, K: 3, RowLimit: 2}, &sr); code != http.StatusOK {
+		t.Fatalf("search status = %d", code)
+	}
+	if sr.Query != q || sr.SpaceSize == 0 || len(sr.Results) == 0 {
+		t.Fatalf("search response shape: %+v", sr)
+	}
+	for _, r := range sr.Results {
+		if r.Query == "" || r.Probability <= 0 || r.Probability > 1 || len(r.Tables) == 0 {
+			t.Fatalf("bad result over the wire: %+v", r)
+		}
+	}
+	// RowLimit surfaces executed rows in the JSON payload.
+	gotPreview := false
+	for _, r := range sr.Results {
+		if len(r.Preview) > 0 {
+			gotPreview = true
+		}
+	}
+	if !gotPreview {
+		t.Fatal("no preview rows over the wire")
+	}
+
+	var dr keysearch.SearchResponse
+	if code := post(t, ts.Client(), ts.URL+"/v1/diversify",
+		keysearch.DiversifyRequest{Query: q, K: 3, Lambda: 0.1}, &dr); code != http.StatusOK {
+		t.Fatalf("diversify status = %d", code)
+	}
+	if len(dr.Results) == 0 {
+		t.Fatalf("diversify returned nothing: %+v", dr)
+	}
+
+	var rr keysearch.RowsResponse
+	if code := post(t, ts.Client(), ts.URL+"/v1/rows",
+		keysearch.RowsRequest{Query: q, K: 3}, &rr); code != http.StatusOK {
+		t.Fatalf("rows status = %d", code)
+	}
+	if len(rr.Rows) == 0 || rr.Rows[0].Score <= 0 || len(rr.Rows[0].Row) == 0 {
+		t.Fatalf("rows response shape: %+v", rr)
+	}
+
+	// Raw JSON carries the documented keys.
+	var raw map[string]any
+	post(t, ts.Client(), ts.URL+"/v1/search", keysearch.SearchRequest{Query: q, K: 1}, &raw)
+	for _, key := range []string{"query", "space_size", "results"} {
+		if _, ok := raw[key]; !ok {
+			t.Fatalf("search JSON lacks %q: %v", key, raw)
+		}
+	}
+}
+
+func TestHTTPConstructSession(t *testing.T) {
+	eng := demoEngine(t)
+	ts := httptest.NewServer(New(eng))
+	defer ts.Close()
+
+	qs := eng.SampleQueries(2)
+	q := qs[0] + " " + qs[1] // two ambiguous keywords → a wide space
+
+	// start → first question.
+	var step ConstructStepResponse
+	code := post(t, ts.Client(), ts.URL+"/v1/construct", ConstructStepRequest{
+		Action: "start",
+		Start:  &keysearch.ConstructRequest{Query: q, StopAtRemaining: 1},
+	}, &step)
+	if code != http.StatusOK {
+		t.Fatalf("start status = %d", code)
+	}
+	if step.SessionID == "" {
+		t.Fatal("no session_id")
+	}
+	if step.Done || step.Question == nil || step.Question.Text == "" {
+		t.Fatalf("expected a first question for ambiguous %q: %+v", q, step)
+	}
+
+	// accept the first question, then reject until the dialogue converges.
+	id := step.SessionID
+	code = post(t, ts.Client(), ts.URL+"/v1/construct",
+		ConstructStepRequest{Action: "accept", SessionID: id}, &step)
+	if code != http.StatusOK {
+		t.Fatalf("accept status = %d", code)
+	}
+	if step.Steps != 1 {
+		t.Fatalf("steps after accept = %d", step.Steps)
+	}
+	for guard := 0; !step.Done && step.Question != nil && guard < 100; guard++ {
+		step = ConstructStepResponse{} // omitempty fields must not go stale
+		code = post(t, ts.Client(), ts.URL+"/v1/construct",
+			ConstructStepRequest{Action: "reject", SessionID: id}, &step)
+		if code != http.StatusOK {
+			t.Fatalf("reject status = %d", code)
+		}
+	}
+	if !step.Done && step.Question != nil {
+		t.Fatalf("dialogue did not terminate: %+v", step)
+	}
+	if step.Steps < 1 {
+		t.Fatalf("no steps recorded: %+v", step)
+	}
+
+	// candidates are retrievable explicitly and carry renderings.
+	var cands ConstructStepResponse
+	code = post(t, ts.Client(), ts.URL+"/v1/construct",
+		ConstructStepRequest{Action: "candidates", SessionID: id}, &cands)
+	if code != http.StatusOK {
+		t.Fatalf("candidates status = %d", code)
+	}
+	for _, c := range cands.Candidates {
+		if c.Query == "" {
+			t.Fatalf("candidate without rendering: %+v", c)
+		}
+	}
+
+	// cancel deletes the session; a second answer 404s.
+	if code := post(t, ts.Client(), ts.URL+"/v1/construct",
+		ConstructStepRequest{Action: "cancel", SessionID: id}, nil); code != http.StatusOK {
+		t.Fatalf("cancel status = %d", code)
+	}
+	var errResp ErrorResponse
+	code = post(t, ts.Client(), ts.URL+"/v1/construct",
+		ConstructStepRequest{Action: "accept", SessionID: id}, &errResp)
+	if code != http.StatusNotFound || errResp.Error == "" {
+		t.Fatalf("answer on cancelled session: status %d, %+v", code, errResp)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	eng := demoEngine(t)
+	ts := httptest.NewServer(New(eng))
+	defer ts.Close()
+
+	// Malformed JSON.
+	resp, err := ts.Client().Post(ts.URL+"/v1/search", "application/json",
+		bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON status = %d", resp.StatusCode)
+	}
+
+	// Unmatched query.
+	var errResp ErrorResponse
+	if code := post(t, ts.Client(), ts.URL+"/v1/search",
+		keysearch.SearchRequest{Query: "zzzznope"}, &errResp); code != http.StatusBadRequest {
+		t.Fatalf("unmatched query status = %d", code)
+	}
+	if errResp.Error == "" {
+		t.Fatal("error body missing")
+	}
+
+	// Unknown construct action.
+	if code := post(t, ts.Client(), ts.URL+"/v1/construct",
+		ConstructStepRequest{Action: "frobnicate"}, &errResp); code != http.StatusBadRequest {
+		t.Fatalf("unknown action status = %d", code)
+	}
+
+	// Keywords endpoint.
+	kresp, err := ts.Client().Get(ts.URL + "/v1/keywords?prefix=a&limit=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kr KeywordsResponse
+	if err := json.NewDecoder(kresp.Body).Decode(&kr); err != nil {
+		t.Fatal(err)
+	}
+	kresp.Body.Close()
+	if len(kr.Keywords) == 0 || len(kr.Keywords) > 5 {
+		t.Fatalf("keywords = %v", kr.Keywords)
+	}
+
+	// Health.
+	hresp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", hresp.StatusCode)
+	}
+}
+
+func TestSessionTTLEviction(t *testing.T) {
+	eng := demoEngine(t)
+	now := time.Now()
+	var mu sync.Mutex
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	srv := New(eng, WithSessionTTL(time.Minute), WithClock(clock))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	q := eng.SampleQueries(1)[0]
+	var step ConstructStepResponse
+	post(t, ts.Client(), ts.URL+"/v1/construct", ConstructStepRequest{
+		Action: "start", Start: &keysearch.ConstructRequest{Query: q},
+	}, &step)
+	if srv.NumSessions() != 1 {
+		t.Fatalf("sessions = %d", srv.NumSessions())
+	}
+
+	mu.Lock()
+	now = now.Add(2 * time.Minute)
+	mu.Unlock()
+
+	var errResp ErrorResponse
+	code := post(t, ts.Client(), ts.URL+"/v1/construct",
+		ConstructStepRequest{Action: "candidates", SessionID: step.SessionID}, &errResp)
+	if code != http.StatusNotFound {
+		t.Fatalf("expired session status = %d", code)
+	}
+	if srv.NumSessions() != 0 {
+		t.Fatalf("expired session not evicted: %d live", srv.NumSessions())
+	}
+}
+
+func TestMaxSessionsEvictsOldest(t *testing.T) {
+	eng := demoEngine(t)
+	now := time.Now()
+	var mu sync.Mutex
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	srv := New(eng, WithMaxSessions(2), WithClock(clock))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	q := eng.SampleQueries(1)[0]
+	ids := make([]string, 3)
+	for i := range ids {
+		var step ConstructStepResponse
+		post(t, ts.Client(), ts.URL+"/v1/construct", ConstructStepRequest{
+			Action: "start", Start: &keysearch.ConstructRequest{Query: q},
+		}, &step)
+		ids[i] = step.SessionID
+		// Distinct timestamps give eviction a strict LRU order.
+		mu.Lock()
+		now = now.Add(time.Second)
+		mu.Unlock()
+	}
+	if srv.NumSessions() != 2 {
+		t.Fatalf("sessions = %d, want 2", srv.NumSessions())
+	}
+	var errResp ErrorResponse
+	if code := post(t, ts.Client(), ts.URL+"/v1/construct",
+		ConstructStepRequest{Action: "candidates", SessionID: ids[0]}, &errResp); code != http.StatusNotFound {
+		t.Fatalf("oldest session should be evicted, status = %d", code)
+	}
+	var ok ConstructStepResponse
+	if code := post(t, ts.Client(), ts.URL+"/v1/construct",
+		ConstructStepRequest{Action: "candidates", SessionID: ids[2]}, &ok); code != http.StatusOK {
+		t.Fatalf("newest session lost, status = %d", code)
+	}
+}
+
+// TestConcurrentHTTPClients hammers one server (one shared engine) from
+// many goroutines — the service-level companion of the engine's -race
+// concurrency test.
+func TestConcurrentHTTPClients(t *testing.T) {
+	eng := demoEngine(t)
+	ts := httptest.NewServer(New(eng))
+	defer ts.Close()
+
+	queries := eng.SampleQueries(4)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			q := queries[w%len(queries)]
+			var sr keysearch.SearchResponse
+			if code := post(t, ts.Client(), ts.URL+"/v1/search",
+				keysearch.SearchRequest{Query: q, K: 3}, &sr); code != http.StatusOK {
+				errs <- fmt.Errorf("worker %d: search status %d", w, code)
+				return
+			}
+			var step ConstructStepResponse
+			if code := post(t, ts.Client(), ts.URL+"/v1/construct", ConstructStepRequest{
+				Action: "start", Start: &keysearch.ConstructRequest{Query: q, StopAtRemaining: 3},
+			}, &step); code != http.StatusOK {
+				errs <- fmt.Errorf("worker %d: start status %d", w, code)
+				return
+			}
+			for guard := 0; !step.Done && step.Question != nil && guard < 50; guard++ {
+				id := step.SessionID
+				step = ConstructStepResponse{} // omitempty fields must not go stale
+				if code := post(t, ts.Client(), ts.URL+"/v1/construct",
+					ConstructStepRequest{Action: "reject", SessionID: id}, &step); code != http.StatusOK {
+					errs <- fmt.Errorf("worker %d: reject status %d", w, code)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

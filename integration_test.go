@@ -12,19 +12,16 @@ import (
 // (3) construction can isolate every single one of the top readings, and
 // (4) diversification returns a subset of the ranked readings.
 func TestEndToEndMovieDemo(t *testing.T) {
-	sys, err := DemoMovies(13)
+	eng, err := DemoMovies(13)
 	if err != nil {
 		t.Fatal(err)
 	}
-	queries := sys.SampleQueries(12)
+	queries := eng.SampleQueries(12)
 	if len(queries) < 5 {
 		t.Fatalf("too few sample queries: %d", len(queries))
 	}
 	for _, q := range queries {
-		ranked, err := sys.Search(q, 6)
-		if err != nil {
-			t.Fatalf("Search(%q): %v", q, err)
-		}
+		ranked := search(t, eng, q, 6)
 		if len(ranked) < 2 {
 			continue // not ambiguous after all
 		}
@@ -51,7 +48,7 @@ func TestEndToEndMovieDemo(t *testing.T) {
 		}
 		// (3): construction can isolate each of the top readings.
 		for _, target := range ranked[:minInt(3, len(ranked))] {
-			sess, err := sys.Construct(q, ConstructionConfig{StopAtRemaining: 1})
+			sess, err := eng.Construct(bg, ConstructRequest{Query: q, StopAtRemaining: 1})
 			if err != nil {
 				t.Fatalf("Construct(%q): %v", q, err)
 			}
@@ -71,9 +68,12 @@ func TestEndToEndMovieDemo(t *testing.T) {
 					accept = strings.Contains(target.Query, parts[1]+"("+parts[0])
 				}
 				if accept {
-					sess.Accept(question)
+					err = sess.Accept(bg, question)
 				} else {
-					sess.Reject(question)
+					err = sess.Reject(bg, question)
+				}
+				if err != nil {
+					t.Fatal(err)
 				}
 			}
 			found := false
@@ -87,19 +87,16 @@ func TestEndToEndMovieDemo(t *testing.T) {
 			}
 		}
 		// (4): diversification returns a subset of the full ranking.
-		div, err := sys.Diversify(q, 4, 0.1)
+		div, err := eng.Diversify(bg, DiversifyRequest{Query: q, K: 4, Lambda: 0.1})
 		if err != nil {
 			t.Fatalf("Diversify(%q): %v", q, err)
 		}
-		all, err := sys.Search(q, 0)
-		if err != nil {
-			t.Fatal(err)
-		}
+		all := search(t, eng, q, 0)
 		known := map[string]bool{}
 		for _, r := range all {
 			known[r.Query] = true
 		}
-		for _, r := range div {
+		for _, r := range div.Results {
 			if !known[r.Query] {
 				t.Fatalf("diversified foreign interpretation: %v", r.Query)
 			}
@@ -128,15 +125,15 @@ func minInt(a, b int) int {
 // TestEndToEndMusicDemo exercises the 5-table chain schema end to end:
 // artist+song multi-concept queries require the full chain join.
 func TestEndToEndMusicDemo(t *testing.T) {
-	sys, err := DemoMusic(13)
+	eng, err := DemoMusic(13)
 	if err != nil {
 		t.Fatal(err)
 	}
-	queries := sys.SampleQueries(8)
+	queries := eng.SampleQueries(8)
 	for _, q := range queries {
-		ranked, err := sys.Search(q, 5)
-		if err != nil || len(ranked) == 0 {
-			t.Fatalf("Search(%q): %v", q, err)
+		ranked := search(t, eng, q, 5)
+		if len(ranked) == 0 {
+			t.Fatalf("Search(%q): no results", q)
 		}
 		for _, r := range ranked {
 			if _, err := r.Rows(2); err != nil {
@@ -152,11 +149,11 @@ func TestEndToEndMusicDemo(t *testing.T) {
 			if i == j {
 				continue
 			}
-			ranked, err := sys.Search(queries[i]+" "+queries[j], 0)
+			resp, err := eng.Search(bg, SearchRequest{Query: queries[i] + " " + queries[j]})
 			if err != nil {
 				continue
 			}
-			for _, r := range ranked {
+			for _, r := range resp.Results {
 				if len(r.Tables) == 5 {
 					found = true
 				}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -24,6 +25,15 @@ type Scorer interface {
 
 // statically assert that the production model satisfies Scorer.
 var _ Scorer = (*prob.Model)(nil)
+
+// ContextRanker is the optional extension of Scorer for scorers whose
+// ranking honours context cancellation (prob.Model does). Materialisation
+// uses it when available so long rankings abort with the request.
+type ContextRanker interface {
+	RankContext(ctx context.Context, space []*query.Interpretation) ([]prob.Scored, error)
+}
+
+var _ ContextRanker = (*prob.Model)(nil)
 
 // SessionConfig tunes the greedy construction session (Algorithm 3.2).
 type SessionConfig struct {
@@ -94,8 +104,16 @@ type Session struct {
 }
 
 // NewSession starts a construction session for the keyword query whose
-// candidates have been generated against the model's index.
+// candidates have been generated against the model's index. It is the
+// context-free convenience form of NewSessionContext.
 func NewSession(scorer Scorer, cands *query.Candidates, cfg SessionConfig) (*Session, error) {
+	return NewSessionContext(context.Background(), scorer, cands, cfg)
+}
+
+// NewSessionContext is NewSession with cancellation: the initial hierarchy
+// expansion (which may materialise the complete interpretation space)
+// honours the context.
+func NewSessionContext(ctx context.Context, scorer Scorer, cands *query.Candidates, cfg SessionConfig) (*Session, error) {
 	if cfg.Threshold <= 0 {
 		cfg.Threshold = 20
 	}
@@ -115,7 +133,9 @@ func NewSession(scorer Scorer, cands *query.Candidates, cfg SessionConfig) (*Ses
 		rejected: make(map[string]bool),
 	}
 	s.top = []partial{{kis: nil, score: 1}}
-	s.expandWhileSmall()
+	if err := s.expandWhileSmall(ctx); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -143,16 +163,19 @@ func (s *Session) consistentKI(ki query.KeywordInterpretation) bool {
 // the top level holds fewer than Threshold entries and can be expanded,
 // expand it by one keyword; the final expansion attaches templates and
 // materialises complete interpretations.
-func (s *Session) expandWhileSmall() {
+func (s *Session) expandWhileSmall(ctx context.Context) error {
 	for !s.fullyExpanded() && len(s.top) < s.cfg.Threshold {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if s.level < len(s.order) {
 			s.expandOneKeyword()
 		}
 		if s.level == len(s.order) {
-			s.materializeComplete()
-			return
+			return s.materializeComplete(ctx)
 		}
 	}
+	return nil
 }
 
 // expandOneKeyword expands the top level by the next matched keyword.
@@ -177,13 +200,18 @@ func (s *Session) expandOneKeyword() {
 
 // materializeComplete attaches compatible templates to every surviving
 // binding combination, producing the filtered complete interpretation set.
-func (s *Session) materializeComplete() {
+func (s *Session) materializeComplete(ctx context.Context) error {
 	tuples := make([][]query.KeywordInterpretation, len(s.top))
 	for i, p := range s.top {
 		tuples[i] = p.kis
 	}
-	s.complete = MaterializeInterpretations(s.scorer, s.cands.Keywords, tuples, s.cfg.MaxTemplatesPerBinding)
+	complete, err := MaterializeInterpretationsContext(ctx, s.scorer, s.cands.Keywords, tuples, s.cfg.MaxTemplatesPerBinding)
+	if err != nil {
+		return err
+	}
+	s.complete = complete
 	s.top = nil
+	return nil
 }
 
 // MaterializeInterpretations attaches every compatible template of the
@@ -191,12 +219,25 @@ func (s *Session) materializeComplete() {
 // minimality condition, deduplicates, and returns the ranked complete
 // interpretation space. maxTemplatesPerBinding caps template attachment
 // per tuple (0 = unlimited). It is the final expansion step of the query
-// hierarchy, shared by the IQP session and the FreeQ session.
+// hierarchy, shared by the IQP session and the FreeQ session, and the
+// context-free convenience form of MaterializeInterpretationsContext.
 func MaterializeInterpretations(scorer Scorer, keywords []string, tuples [][]query.KeywordInterpretation, maxTemplatesPerBinding int) []prob.Scored {
+	out, _ := MaterializeInterpretationsContext(context.Background(), scorer, keywords, tuples, maxTemplatesPerBinding)
+	return out
+}
+
+// MaterializeInterpretationsContext is MaterializeInterpretations with
+// cancellation: the context is checked per keyword-interpretation tuple
+// during template attachment and passed into the final ranking, so the
+// most expensive step of a construction session aborts with the request.
+func MaterializeInterpretationsContext(ctx context.Context, scorer Scorer, keywords []string, tuples [][]query.KeywordInterpretation, maxTemplatesPerBinding int) ([]prob.Scored, error) {
 	cat := scorer.Catalog()
 	var space []*query.Interpretation
 	seen := make(map[string]bool)
 	for _, kis := range tuples {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		perBinding := 0
 		for _, tpl := range cat.Templates {
 			for _, bindings := range assignOccurrences(kis, tpl) {
@@ -220,7 +261,13 @@ func MaterializeInterpretations(scorer Scorer, keywords []string, tuples [][]que
 			}
 		}
 	}
-	return scorer.Rank(space)
+	if cr, ok := scorer.(ContextRanker); ok {
+		return cr.RankContext(ctx, space)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return scorer.Rank(space), nil
 }
 
 // assignOccurrences enumerates the ways to place each keyword
@@ -439,25 +486,39 @@ func (s *Session) NextOption() (query.Option, bool) {
 }
 
 // Accept records that the option is a sub-query of the intended
-// interpretation and shrinks the space accordingly.
+// interpretation and shrinks the space accordingly. It is the
+// context-free convenience form of AcceptContext.
 func (s *Session) Accept(o query.Option) {
+	_ = s.AcceptContext(context.Background(), o)
+}
+
+// AcceptContext is Accept with cancellation of the hierarchy expansion
+// the decision may trigger.
+func (s *Session) AcceptContext(ctx context.Context, o query.Option) error {
 	s.steps++
 	for _, ki := range o.KIs {
 		s.accepted[ki.Pos] = ki.Key()
 	}
 	s.filter()
-	s.expandWhileSmall()
+	return s.expandWhileSmall(ctx)
 }
 
 // Reject records that the option is not part of the intended
-// interpretation.
+// interpretation. It is the context-free convenience form of
+// RejectContext.
 func (s *Session) Reject(o query.Option) {
+	_ = s.RejectContext(context.Background(), o)
+}
+
+// RejectContext is Reject with cancellation of the hierarchy expansion
+// the decision may trigger.
+func (s *Session) RejectContext(ctx context.Context, o query.Option) error {
 	s.steps++
 	for _, ki := range o.KIs {
 		s.rejected[ki.Key()] = true
 	}
 	s.filter()
-	s.expandWhileSmall()
+	return s.expandWhileSmall(ctx)
 }
 
 // filter removes top-level entries inconsistent with the decisions.

@@ -9,6 +9,7 @@
 package divq
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -190,10 +191,21 @@ func HasResults(db *relstore.Database, q *query.Interpretation) (bool, error) {
 }
 
 // FilterNonEmpty keeps the interpretations with non-empty results,
-// preserving order.
+// preserving order. It is the context-free convenience form of
+// FilterNonEmptyContext.
 func FilterNonEmpty(db *relstore.Database, ranked []prob.Scored) ([]prob.Scored, error) {
+	return FilterNonEmptyContext(context.Background(), db, ranked)
+}
+
+// FilterNonEmptyContext is FilterNonEmpty with cancellation: each
+// interpretation requires one probe join, so the context is checked
+// before every probe and an abandoned request stops executing.
+func FilterNonEmptyContext(ctx context.Context, db *relstore.Database, ranked []prob.Scored) ([]prob.Scored, error) {
 	var out []prob.Scored
 	for _, s := range ranked {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		ok, err := HasResults(db, s.Q)
 		if err != nil {
 			return nil, err

@@ -26,6 +26,7 @@
 package freeq
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -157,8 +158,15 @@ type Session struct {
 }
 
 // NewSession starts a FreeQ session. The ontology must have database
-// tables mapped to its classes (MapTables / the YAGO+F structure).
+// tables mapped to its classes (MapTables / the YAGO+F structure). It is
+// the context-free convenience form of NewSessionContext.
 func NewSession(scorer core.Scorer, cands *query.Candidates, onto *ontology.Ontology, cfg Config) (*Session, error) {
+	return NewSessionContext(context.Background(), scorer, cands, onto, cfg)
+}
+
+// NewSessionContext is NewSession with cancellation of the initial
+// pruning/materialisation work.
+func NewSessionContext(ctx context.Context, scorer core.Scorer, cands *query.Candidates, onto *ontology.Ontology, cfg Config) (*Session, error) {
 	cfg.defaults()
 	matched := cands.MatchedPositions()
 	if len(matched) == 0 {
@@ -180,7 +188,9 @@ func NewSession(scorer core.Scorer, cands *query.Candidates, onto *ontology.Onto
 	}
 	s.buildCoTables()
 	s.prune()
-	s.maybeMaterialize()
+	if err := s.maybeMaterialize(ctx); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -454,12 +464,19 @@ func (s *Session) stateOf(pos int) *keywordState {
 }
 
 // Accept narrows the keyword to the option's coverage; for class options
-// the ontology frontier descends into the class's children.
+// the ontology frontier descends into the class's children. It is the
+// context-free convenience form of AcceptContext.
 func (s *Session) Accept(o Option) {
+	_ = s.AcceptContext(context.Background(), o)
+}
+
+// AcceptContext is Accept with cancellation of the materialisation the
+// decision may trigger.
+func (s *Session) AcceptContext(ctx context.Context, o Option) error {
 	s.steps++
 	st := s.stateOf(o.Pos)
 	if st == nil {
-		return
+		return nil
 	}
 	covered := make(map[string]bool, len(o.KIs))
 	for _, ki := range o.KIs {
@@ -477,16 +494,23 @@ func (s *Session) Accept(o Option) {
 	}
 	s.prune()
 	s.applyToComplete(o, true)
-	s.maybeMaterialize()
+	return s.maybeMaterialize(ctx)
 }
 
 // Reject removes the option's coverage; for class options the whole
-// subtree is pruned from the frontier.
+// subtree is pruned from the frontier. It is the context-free convenience
+// form of RejectContext.
 func (s *Session) Reject(o Option) {
+	_ = s.RejectContext(context.Background(), o)
+}
+
+// RejectContext is Reject with cancellation of the materialisation the
+// decision may trigger.
+func (s *Session) RejectContext(ctx context.Context, o Option) error {
 	s.steps++
 	st := s.stateOf(o.Pos)
 	if st == nil {
-		return
+		return nil
 	}
 	for _, ki := range o.KIs {
 		delete(st.allowed, ki.Key())
@@ -504,7 +528,7 @@ func (s *Session) Reject(o Option) {
 	}
 	s.prune()
 	s.applyToComplete(o, false)
-	s.maybeMaterialize()
+	return s.maybeMaterialize(ctx)
 }
 
 func (s *Session) applyToComplete(o Option, accepted bool) {
@@ -521,13 +545,13 @@ func (s *Session) applyToComplete(o Option, accepted bool) {
 }
 
 // maybeMaterialize materialises complete interpretations once the
-// candidate product is small enough.
-func (s *Session) maybeMaterialize() {
+// candidate product is small enough, honouring context cancellation.
+func (s *Session) maybeMaterialize(ctx context.Context) error {
 	if s.complete != nil {
-		return
+		return nil
 	}
 	if s.SpaceSize() > s.cfg.MaterializeAt {
-		return
+		return nil
 	}
 	start := time.Now()
 	// Cartesian product of per-keyword allowed sets.
@@ -546,8 +570,13 @@ func (s *Session) maybeMaterialize() {
 		tuples = next
 	}
 	keywords := s.cands.Keywords
-	s.complete = core.MaterializeInterpretations(s.scorer, keywords, tuples, s.cfg.MaxTemplatesPerBinding)
+	complete, err := core.MaterializeInterpretationsContext(ctx, s.scorer, keywords, tuples, s.cfg.MaxTemplatesPerBinding)
+	if err != nil {
+		return err
+	}
+	s.complete = complete
 	s.stepTime += time.Since(start)
+	return nil
 }
 
 // Done reports whether construction has finished.

@@ -21,6 +21,7 @@ package invindex
 import (
 	"math"
 	"sort"
+	"strings"
 
 	"repro/internal/relstore"
 )
@@ -68,6 +69,10 @@ type Index struct {
 	// schemaTerms: token -> schema elements whose name contains the token.
 	schemaTables  map[string][]string
 	schemaColumns map[string][]AttrRef
+
+	// terms is the sorted dictionary of every distinct indexed term,
+	// built once so prefix lookups never re-scan the data.
+	terms []string
 
 	totalDocs int
 }
@@ -128,6 +133,11 @@ func Build(db *relstore.Database) *Index {
 			st.vocabulary = len(st.termCount)
 		}
 	}
+	ix.terms = make([]string, 0, len(ix.postings))
+	for term := range ix.postings {
+		ix.terms = append(ix.terms, term)
+	}
+	sort.Strings(ix.terms)
 	return ix
 }
 
@@ -159,6 +169,28 @@ func (ix *Index) Lookup(term string) []Posting {
 	}
 	return out
 }
+
+// TermsWithPrefix returns up to limit distinct indexed terms starting with
+// prefix, in lexicographic order (limit <= 0 means unlimited). It serves
+// from the sorted term dictionary by binary search, so a lookup costs
+// O(log |V| + answer) instead of re-scanning every indexed row.
+func (ix *Index) TermsWithPrefix(prefix string, limit int) []string {
+	start := sort.SearchStrings(ix.terms, prefix)
+	var out []string
+	for i := start; i < len(ix.terms); i++ {
+		if !strings.HasPrefix(ix.terms[i], prefix) {
+			break
+		}
+		out = append(out, ix.terms[i])
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+// NumTerms returns the size of the term dictionary.
+func (ix *Index) NumTerms() int { return len(ix.terms) }
 
 // Contains reports whether the term occurs anywhere in the database.
 func (ix *Index) Contains(term string) bool {

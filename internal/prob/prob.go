@@ -13,6 +13,7 @@
 package prob
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -195,11 +196,31 @@ type Scored struct {
 
 // Rank scores and sorts interpretations by descending probability,
 // normalising scores into a distribution over the given space. Ties break
-// deterministically on the interpretation key.
+// deterministically on the interpretation key. It is the context-free
+// convenience form of RankContext.
 func (m *Model) Rank(space []*query.Interpretation) []Scored {
+	out, _ := m.RankContext(context.Background(), space)
+	return out
+}
+
+// rankCheckEvery is the scoring-loop stride between context checks.
+const rankCheckEvery = 256
+
+// RankContext is Rank with cancellation: the context is checked on entry
+// and every rankCheckEvery scored interpretations, so ranking a large
+// interpretation space aborts early on a cancelled or expired request.
+func (m *Model) RankContext(ctx context.Context, space []*query.Interpretation) ([]Scored, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	out := make([]Scored, len(space))
 	total := 0.0
 	for i, q := range space {
+		if i%rankCheckEvery == rankCheckEvery-1 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		s := m.Score(q)
 		out[i] = Scored{Q: q, Score: s}
 		total += s
@@ -215,7 +236,7 @@ func (m *Model) Rank(space []*query.Interpretation) []Scored {
 		}
 		return out[i].Q.Key() < out[j].Q.Key()
 	})
-	return out
+	return out, nil
 }
 
 // Entropy returns the Shannon entropy (bits) of a normalised probability

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"sort"
 	"strings"
 
@@ -42,11 +43,23 @@ var aggregateKeywords = map[string]string{
 }
 
 // GenerateCandidates computes the candidate keyword interpretations of
-// every keyword against the index.
+// every keyword against the index. It is the context-free convenience
+// form of GenerateCandidatesContext.
 func GenerateCandidates(ix *invindex.Index, keywords []string, cfg GenerateOptionsConfig) *Candidates {
+	c, _ := GenerateCandidatesContext(context.Background(), ix, keywords, cfg)
+	return c
+}
+
+// GenerateCandidatesContext is GenerateCandidates with cancellation: the
+// context is checked before each keyword's index lookups, so a cancelled
+// or expired request aborts candidate generation early.
+func GenerateCandidatesContext(ctx context.Context, ix *invindex.Index, keywords []string, cfg GenerateOptionsConfig) (*Candidates, error) {
 	c := &Candidates{Keywords: normalizeKeywords(keywords)}
 	c.PerKeyword = make([][]KeywordInterpretation, len(c.Keywords))
 	for pos, kw := range c.Keywords {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var kis []KeywordInterpretation
 		postings := ix.Lookup(kw)
 		// Sort value matches by descending count for stable capping.
@@ -88,7 +101,7 @@ func GenerateCandidates(ix *invindex.Index, keywords []string, cfg GenerateOptio
 		}
 		c.PerKeyword[pos] = kis
 	}
-	return c
+	return c, nil
 }
 
 // MatchedPositions returns the keyword positions that have at least one
@@ -184,15 +197,31 @@ type GenerateConfig struct {
 // GenerateComplete enumerates the complete query interpretations of the
 // keyword query over the template catalogue (the interpretation space of
 // Definition 3.5.5 restricted to matched keywords), applying the
-// minimality condition of Definition 3.5.4(2).
+// minimality condition of Definition 3.5.4(2). It is the context-free
+// convenience form of GenerateCompleteContext.
 func GenerateComplete(c *Candidates, cat *Catalog, cfg GenerateConfig) []*Interpretation {
+	out, _ := GenerateCompleteContext(context.Background(), c, cat, cfg)
+	return out
+}
+
+// GenerateCompleteContext is GenerateComplete with cancellation: the
+// context is checked on entry and once per catalogue template, so an
+// interpretation-space materialisation over a large catalogue aborts as
+// soon as the request is cancelled or its deadline passes.
+func GenerateCompleteContext(ctx context.Context, c *Candidates, cat *Catalog, cfg GenerateConfig) ([]*Interpretation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	matched := c.MatchedPositions()
 	if len(matched) == 0 {
-		return nil
+		return nil, nil
 	}
 	var out []*Interpretation
 	seen := make(map[string]bool)
 	for _, tpl := range cat.Templates {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for _, bindings := range enumerateBindings(c, matched, tpl) {
 			q := NewInterpretation(c.Keywords, tpl, bindings)
 			if !minimal(q) {
@@ -205,11 +234,11 @@ func GenerateComplete(c *Candidates, cat *Catalog, cfg GenerateConfig) []*Interp
 			seen[key] = true
 			out = append(out, q)
 			if cfg.MaxInterpretations > 0 && len(out) >= cfg.MaxInterpretations {
-				return out
+				return out, nil
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // enumerateBindings enumerates all assignments of every matched keyword to

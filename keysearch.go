@@ -13,23 +13,38 @@
 //     Chapter 5), with instance-overlap ontology-to-schema matching
 //     (YAGO+F, Chapter 6).
 //
-// A System is built from a schema definition plus rows, after which
-// Search, Diversify and Construct operate on any keyword query:
+// # The Engine API
 //
-//	sys, _ := keysearch.New(schema)
-//	sys.Insert("actor", "a1", "Tom Hanks")
+// An Engine is built from a schema definition plus rows, configured with
+// functional options. After Build it is immutable and safe for concurrent
+// use: one built Engine serves any number of goroutines. All query entry
+// points are context-first and exchange JSON-serialisable Request /
+// Response DTOs, so the same types drive the library, the command-line
+// tools, and the HTTP front-end in package repro/httpapi:
+//
+//	eng, _ := keysearch.New(schema, keysearch.WithMaxJoinPath(4))
+//	eng.Insert("actor", "a1", "Tom Hanks")
 //	...
-//	sys.Build()
-//	results, _ := sys.Search("hanks terminal", 5)
+//	eng.Build()
+//	resp, _ := eng.Search(ctx, keysearch.SearchRequest{Query: "hanks terminal", K: 5})
+//	for _, r := range resp.Results { fmt.Println(r.Probability, r.Query) }
+//
+// Cancellation and deadlines propagate into the expensive inner loops —
+// candidate generation, interpretation materialisation, and probabilistic
+// ranking — so an abandoned request stops computing.
+//
+// Interactive construction (Construct) returns a Construction session
+// object; the HTTP front-end wraps it behind server-side session IDs with
+// TTL eviction, turning the stateful dialogue into a stateless-client
+// protocol.
 package keysearch
 
 import (
+	"context"
 	"fmt"
-	"sort"
-	"strings"
+	"sync"
 
 	"repro/internal/datagraph"
-	"repro/internal/divq"
 	"repro/internal/invindex"
 	"repro/internal/prob"
 	"repro/internal/query"
@@ -59,50 +74,108 @@ type Table struct {
 	ForeignKeys []ForeignKey
 }
 
-// Config tunes a System.
-type Config struct {
-	// MaxJoinPath bounds query-template length (default 4, the setting of
-	// the thesis's experiments).
-	MaxJoinPath int
-	// MaxTemplates caps automatic template generation (0 = unlimited).
-	MaxTemplates int
-	// UseCoOccurrence enables the DivQ co-occurrence relevance refinement.
-	UseCoOccurrence bool
-	// Alpha is the ATF smoothing parameter (default 1).
-	Alpha float64
-	// IncludeSchemaTerms matches keywords against table/column names too.
-	IncludeSchemaTerms bool
-	// SegmentPhrases enables query segmentation (Section 2.2.1): adjacent
-	// keywords that almost always co-occur in one attribute value (e.g. a
-	// first and last name) are treated as a phrase and must bind to the
-	// same attribute.
-	SegmentPhrases bool
-	// SegmentThreshold is the phrase-pair score cut-off (default 0.8).
-	SegmentThreshold float64
-	// EnableAggregates recognises aggregation keywords ("number", "count",
-	// "many", "total") as COUNT operators, enabling analytical keyword
-	// queries such as "number of movies with tom hanks" (Section 2.2.7).
-	EnableAggregates bool
+// config collects the tunables set by the functional options.
+type config struct {
+	maxJoinPath        int
+	maxTemplates       int
+	useCoOccurrence    bool
+	alpha              float64
+	includeSchemaTerms bool
+	segmentPhrases     bool
+	segmentThreshold   float64
+	enableAggregates   bool
 }
 
-// System is a keyword-search engine over one database.
-type System struct {
-	cfg   Config
+// Option configures an Engine at construction time.
+type Option func(*config)
+
+// WithMaxJoinPath bounds query-template length (default 4, the setting of
+// the thesis's experiments).
+func WithMaxJoinPath(n int) Option {
+	return func(c *config) { c.maxJoinPath = n }
+}
+
+// WithMaxTemplates caps automatic template generation (0 = unlimited).
+func WithMaxTemplates(n int) Option {
+	return func(c *config) { c.maxTemplates = n }
+}
+
+// WithCoOccurrence enables the DivQ co-occurrence relevance refinement:
+// keywords co-occurring in one attribute value (e.g. a first and last
+// name) promote interpretations binding them together (Equation 4.2).
+func WithCoOccurrence() Option {
+	return func(c *config) { c.useCoOccurrence = true }
+}
+
+// WithAlpha sets the ATF smoothing parameter (default 1).
+func WithAlpha(alpha float64) Option {
+	return func(c *config) { c.alpha = alpha }
+}
+
+// WithSchemaTerms matches keywords against table and column names too
+// (the schema-term interpretations of Section 2.2.7).
+func WithSchemaTerms() Option {
+	return func(c *config) { c.includeSchemaTerms = true }
+}
+
+// WithSegmentPhrases enables query segmentation (Section 2.2.1): adjacent
+// keywords that almost always co-occur in one attribute value (e.g. a
+// first and last name) are treated as a phrase and must bind to the same
+// attribute. threshold is the phrase-pair score cut-off; values <= 0
+// select the default 0.8.
+func WithSegmentPhrases(threshold float64) Option {
+	return func(c *config) {
+		c.segmentPhrases = true
+		c.segmentThreshold = threshold
+	}
+}
+
+// WithAggregates recognises aggregation keywords ("number", "count",
+// "many", "total") as COUNT operators, enabling analytical keyword
+// queries such as "number of movies with tom hanks" (Section 2.2.7).
+func WithAggregates() Option {
+	return func(c *config) { c.enableAggregates = true }
+}
+
+func newConfig(opts []Option) config {
+	cfg := config{maxJoinPath: 4}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.maxJoinPath <= 0 {
+		cfg.maxJoinPath = 4
+	}
+	if cfg.segmentPhrases && cfg.segmentThreshold <= 0 {
+		cfg.segmentThreshold = 0.8
+	}
+	return cfg
+}
+
+// Engine is a keyword-search engine over one database.
+//
+// Lifecycle: New → Insert rows → Build → serve. Before Build the Engine
+// is a single-goroutine loader; after Build it is immutable and safe for
+// unlimited concurrent Search / Diversify / SearchRows / SearchTrees /
+// Construct calls (each Construction session itself belongs to one
+// client, but any number of sessions may run concurrently).
+type Engine struct {
+	cfg   config
 	db    *relstore.Database
 	ix    *invindex.Index
 	graph *schemagraph.Graph
 	cat   *query.Catalog
 	model *prob.Model
 	built bool
-	// dgraph is the lazily built data graph for the data-based baseline.
-	dgraph *datagraph.Graph
+
+	// dgraph is the lazily built data graph for the data-based baseline;
+	// the sync.Once keeps the lazy build safe under concurrent SearchTrees.
+	dgraphOnce sync.Once
+	dgraph     *datagraph.Graph
 }
 
-// New creates a System with the given schema.
-func New(tables []Table, cfg Config) (*System, error) {
-	if cfg.MaxJoinPath <= 0 {
-		cfg.MaxJoinPath = 4
-	}
+// New creates an Engine with the given schema.
+func New(tables []Table, opts ...Option) (*Engine, error) {
+	cfg := newConfig(opts)
 	db := relstore.NewDatabase("keysearch")
 	for _, t := range tables {
 		schema := &relstore.TableSchema{
@@ -124,24 +197,22 @@ func New(tables []Table, cfg Config) (*System, error) {
 	if err := db.ValidateRefs(); err != nil {
 		return nil, fmt.Errorf("keysearch: %w", err)
 	}
-	return &System{cfg: cfg, db: db}, nil
+	return &Engine{cfg: cfg, db: db}, nil
 }
 
 // fromDatabase wraps an existing internal database (used by the bundled
 // demo datasets).
-func fromDatabase(db *relstore.Database, cfg Config) *System {
-	if cfg.MaxJoinPath <= 0 {
-		cfg.MaxJoinPath = 4
-	}
-	return &System{cfg: cfg, db: db}
+func fromDatabase(db *relstore.Database, opts ...Option) *Engine {
+	return &Engine{cfg: newConfig(opts), db: db}
 }
 
-// Insert adds one row. Rows may only be inserted before Build.
-func (s *System) Insert(table string, values ...string) error {
-	if s.built {
-		return fmt.Errorf("keysearch: system already built; inserts are not allowed")
+// Insert adds one row. Rows may only be inserted before Build, from a
+// single goroutine.
+func (e *Engine) Insert(table string, values ...string) error {
+	if e.built {
+		return fmt.Errorf("keysearch: engine already built; inserts are not allowed")
 	}
-	t := s.db.Table(table)
+	t := e.db.Table(table)
 	if t == nil {
 		return fmt.Errorf("keysearch: unknown table %s", table)
 	}
@@ -150,103 +221,40 @@ func (s *System) Insert(table string, values ...string) error {
 }
 
 // Build indexes the data and generates the query-template catalogue.
-// It must be called once after loading and before any search.
-func (s *System) Build() error {
-	if s.built {
+// It must be called once after loading and before any search; the Build
+// call must happen-before any concurrent use of the Engine (start your
+// server goroutines after Build returns). After Build the Engine never
+// mutates shared state, which is what makes it race-free.
+func (e *Engine) Build() error {
+	if e.built {
 		return fmt.Errorf("keysearch: already built")
 	}
-	s.ix = invindex.Build(s.db)
-	s.graph = schemagraph.FromDatabase(s.db)
-	s.cat = query.BuildCatalog(s.graph, schemagraph.EnumerateOptions{
-		MaxNodes: s.cfg.MaxJoinPath,
-		MaxTrees: s.cfg.MaxTemplates,
+	e.ix = invindex.Build(e.db)
+	e.graph = schemagraph.FromDatabase(e.db)
+	e.cat = query.BuildCatalog(e.graph, schemagraph.EnumerateOptions{
+		MaxNodes: e.cfg.maxJoinPath,
+		MaxTrees: e.cfg.maxTemplates,
 	})
-	s.model = prob.New(s.ix, s.cat, prob.Config{
-		Alpha:           s.cfg.Alpha,
-		UseCoOccurrence: s.cfg.UseCoOccurrence,
+	e.model = prob.New(e.ix, e.cat, prob.Config{
+		Alpha:           e.cfg.alpha,
+		UseCoOccurrence: e.cfg.useCoOccurrence,
 	})
-	s.built = true
+	e.built = true
 	return nil
 }
 
 // NumTables returns the number of tables.
-func (s *System) NumTables() int { return s.db.NumTables() }
+func (e *Engine) NumTables() int { return e.db.NumTables() }
 
 // NumRows returns the number of loaded rows.
-func (s *System) NumRows() int { return s.db.NumRows() }
+func (e *Engine) NumRows() int { return e.db.NumRows() }
 
 // NumTemplates returns the number of query templates (0 before Build).
-func (s *System) NumTemplates() int {
-	if s.cat == nil {
+func (e *Engine) NumTemplates() int {
+	if e.cat == nil {
 		return 0
 	}
-	return len(s.cat.Templates)
-}
-
-// Result is one structured interpretation of a keyword query.
-type Result struct {
-	// Query renders the structured query in relational-algebra notation.
-	Query string
-	// Probability is P(Q|K) normalised over the materialised space.
-	Probability float64
-	// Tables lists the joined tables in join order.
-	Tables []string
-	// Aggregate names the aggregation operator ("count") for analytical
-	// interpretations; empty for plain retrieval.
-	Aggregate string
-
-	q *query.Interpretation
-	s *System
-}
-
-// SQL renders the interpretation as an equivalent SQL statement (the
-// candidate-network-to-SQL mapping of Section 2.2.6).
-func (r Result) SQL() (string, error) { return r.q.SQL() }
-
-// Count executes an aggregate interpretation and returns the number of
-// results (also usable on plain interpretations as a cardinality probe).
-func (r Result) Count() (int, error) {
-	plan, err := r.q.JoinPlan()
-	if err != nil {
-		return 0, err
-	}
-	return r.s.db.Count(plan, 0)
-}
-
-// Rows executes the interpretation and returns up to limit joined rows;
-// each row maps "table.column" to the value (occurrence index appended
-// for self-joins: "table#2.column").
-func (r Result) Rows(limit int) ([]map[string]string, error) {
-	plan, err := r.q.JoinPlan()
-	if err != nil {
-		return nil, err
-	}
-	jtts, err := r.s.db.Execute(plan, relstore.ExecuteOptions{Limit: limit})
-	if err != nil {
-		return nil, err
-	}
-	var out []map[string]string
-	for _, jtt := range jtts {
-		row := make(map[string]string)
-		occSeen := map[string]int{}
-		for i, node := range plan.Nodes {
-			t := r.s.db.Table(node.Table)
-			occSeen[node.Table]++
-			prefix := node.Table
-			if occSeen[node.Table] > 1 {
-				prefix = fmt.Sprintf("%s#%d", node.Table, occSeen[node.Table])
-			}
-			tuple, ok := t.Row(jtt.Rows[i])
-			if !ok {
-				continue
-			}
-			for ci, col := range t.Schema.Columns {
-				row[prefix+"."+col.Name] = tuple.Values[ci]
-			}
-		}
-		out = append(out, row)
-	}
-	return out, nil
+	return len(e.cat.Templates)
 }
 
 // parse tokenises a keyword query string.
@@ -254,57 +262,66 @@ func parse(keywords string) []string {
 	return relstore.Tokenize(keywords)
 }
 
-// candidates tokenises the query (honouring "label:keyword" syntax,
+// candidatesFor tokenises the query (honouring "label:keyword" syntax,
 // Section 2.2.7) and generates the per-keyword candidates.
-func (s *System) candidatesFor(keywords string) (*query.Candidates, [][]int, error) {
-	if !s.built {
+func (e *Engine) candidatesFor(ctx context.Context, keywords string) (*query.Candidates, [][]int, error) {
+	if !e.built {
 		return nil, nil, fmt.Errorf("keysearch: call Build before searching")
 	}
 	toks, labels := parseLabeled(keywords)
 	if len(toks) == 0 {
 		return nil, nil, fmt.Errorf("keysearch: empty keyword query")
 	}
-	c := query.GenerateCandidates(s.ix, toks, query.GenerateOptionsConfig{
-		IncludeSchemaTerms: s.cfg.IncludeSchemaTerms,
-		IncludeAggregates:  s.cfg.EnableAggregates,
+	c, err := query.GenerateCandidatesContext(ctx, e.ix, toks, query.GenerateOptionsConfig{
+		IncludeSchemaTerms: e.cfg.includeSchemaTerms,
+		IncludeAggregates:  e.cfg.enableAggregates,
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 	applyLabels(c, labels)
 	if len(c.MatchedPositions()) == 0 {
 		return nil, nil, fmt.Errorf("keysearch: no keyword of %q occurs in the database", keywords)
 	}
 	var segments [][]int
-	if s.cfg.SegmentPhrases {
-		th := s.cfg.SegmentThreshold
-		if th <= 0 {
-			th = 0.8
-		}
-		segments = s.detectSegments(toks, labels, th)
+	if e.cfg.segmentPhrases {
+		segments = e.detectSegments(toks, labels, e.cfg.segmentThreshold)
 	}
 	return c, segments, nil
 }
 
-// interpret materialises and ranks the interpretation space.
-func (s *System) interpret(keywords string) ([]prob.Scored, *query.Candidates, error) {
-	c, segments, err := s.candidatesFor(keywords)
+// interpret materialises and ranks the interpretation space, honouring
+// context cancellation in every expensive phase.
+func (e *Engine) interpret(ctx context.Context, keywords string) ([]prob.Scored, *query.Candidates, error) {
+	c, segments, err := e.candidatesFor(ctx, keywords)
 	if err != nil {
 		return nil, nil, err
 	}
-	space := query.GenerateComplete(c, s.cat, query.GenerateConfig{})
+	space, err := query.GenerateCompleteContext(ctx, c, e.cat, query.GenerateConfig{})
+	if err != nil {
+		return nil, nil, err
+	}
 	space = query.FilterSegments(space, segments)
-	return s.model.Rank(space), c, nil
+	ranked, err := e.model.RankContext(ctx, space)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ranked, c, nil
 }
 
 // wrap converts scored interpretations to public results.
-func (s *System) wrap(scored []prob.Scored) []Result {
+func (e *Engine) wrap(scored []prob.Scored) []Result {
 	out := make([]Result, len(scored))
 	for i, sc := range scored {
+		sql, _ := sc.Q.SQL()
 		out[i] = Result{
 			Query:       sc.Q.String(),
+			SQL:         sql,
 			Probability: sc.Prob,
 			Tables:      tablesOf(sc.Q),
 			Aggregate:   sc.Q.Aggregate(),
 			q:           sc.Q,
-			s:           s,
+			eng:         e,
 		}
 	}
 	return out
@@ -319,64 +336,14 @@ func tablesOf(q *query.Interpretation) []string {
 	return out
 }
 
-// Search translates the keyword query into its top-k most probable
-// structured interpretations (the IQP ranking interface).
-func (s *System) Search(keywords string, k int) ([]Result, error) {
-	ranked, _, err := s.interpret(keywords)
-	if err != nil {
-		return nil, err
-	}
-	if k > 0 && len(ranked) > k {
-		ranked = ranked[:k]
-	}
-	return s.wrap(ranked), nil
-}
-
-// Diversify returns the top-k relevant-and-diverse interpretations (the
-// DivQ interface). lambda trades relevance (1) against novelty (0);
-// interpretations with empty results are dropped first, as in DivQ.
-func (s *System) Diversify(keywords string, k int, lambda float64) ([]Result, error) {
-	ranked, _, err := s.interpret(keywords)
-	if err != nil {
-		return nil, err
-	}
-	if len(ranked) > 25 {
-		ranked = ranked[:25]
-	}
-	nonEmpty, err := divq.FilterNonEmpty(s.db, ranked)
-	if err != nil {
-		return nil, err
-	}
-	div := divq.Diversify(nonEmpty, divq.Config{Lambda: lambda, K: k})
-	return s.wrap(div), nil
-}
-
 // Keywords returns the sorted distinct tokens of the indexed data that
-// match the given prefix — a convenience for demos and autocomplete-style
-// exploration.
-func (s *System) Keywords(prefix string, limit int) []string {
-	if !s.built {
+// match the given prefix — autocomplete-style exploration. It serves from
+// the inverted index's sorted term dictionary (O(log |V| + answer)), so
+// it never re-scans the data and is safe to expose on a hot service
+// endpoint.
+func (e *Engine) Keywords(prefix string, limit int) []string {
+	if !e.built {
 		return nil
 	}
-	seen := map[string]bool{}
-	for _, attr := range s.ix.Attributes() {
-		t := s.db.Table(attr.Table)
-		ci := t.Schema.ColumnIndex(attr.Column)
-		for _, row := range t.Rows() {
-			for _, tok := range relstore.Tokenize(row.Values[ci]) {
-				if strings.HasPrefix(tok, prefix) {
-					seen[tok] = true
-				}
-			}
-		}
-	}
-	out := make([]string, 0, len(seen))
-	for k := range seen {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	if limit > 0 && len(out) > limit {
-		out = out[:limit]
-	}
-	return out
+	return e.ix.TermsWithPrefix(prefix, limit)
 }

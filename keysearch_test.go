@@ -2,9 +2,12 @@ package keysearch
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
+
+var bg = context.Background()
 
 // movieSchema is the running-example schema of the thesis.
 func movieSchema() []Table {
@@ -30,9 +33,9 @@ func movieSchema() []Table {
 	}
 }
 
-func builtSystem(t *testing.T) *System {
+func builtEngine(t *testing.T, opts ...Option) *Engine {
 	t.Helper()
-	sys, err := New(movieSchema(), Config{})
+	eng, err := New(movieSchema(), opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,18 +49,28 @@ func builtSystem(t *testing.T) *System {
 		{"acts", "a3", "m2", "Mitchel"},
 	}
 	for _, r := range rows {
-		if err := sys.Insert(r[0], r[1:]...); err != nil {
+		if err := eng.Insert(r[0], r[1:]...); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := sys.Build(); err != nil {
+	if err := eng.Build(); err != nil {
 		t.Fatal(err)
 	}
-	return sys
+	return eng
+}
+
+// search is shorthand for a Search call whose error fails the test.
+func search(t *testing.T, eng *Engine, q string, k int) []Result {
+	t.Helper()
+	resp, err := eng.Search(bg, SearchRequest{Query: q, K: k})
+	if err != nil {
+		t.Fatalf("Search(%q): %v", q, err)
+	}
+	return resp.Results
 }
 
 func TestNewValidatesSchema(t *testing.T) {
-	if _, err := New([]Table{{Name: "t"}}, Config{}); err == nil {
+	if _, err := New([]Table{{Name: "t"}}); err == nil {
 		t.Fatal("empty columns accepted")
 	}
 	bad := []Table{{
@@ -67,45 +80,42 @@ func TestNewValidatesSchema(t *testing.T) {
 			{Column: "pid", RefTable: "ghost", RefColumn: "id"},
 		},
 	}}
-	if _, err := New(bad, Config{}); err == nil {
+	if _, err := New(bad); err == nil {
 		t.Fatal("dangling FK accepted")
 	}
 }
 
 func TestLifecycleErrors(t *testing.T) {
-	sys, err := New(movieSchema(), Config{})
+	eng, err := New(movieSchema())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.Search("hanks", 3); err == nil {
+	if _, err := eng.Search(bg, SearchRequest{Query: "hanks", K: 3}); err == nil {
 		t.Fatal("search before Build accepted")
 	}
-	if err := sys.Insert("ghost", "x"); err == nil {
+	if err := eng.Insert("ghost", "x"); err == nil {
 		t.Fatal("unknown table accepted")
 	}
-	if err := sys.Build(); err != nil {
+	if err := eng.Build(); err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.Build(); err == nil {
+	if err := eng.Build(); err == nil {
 		t.Fatal("double Build accepted")
 	}
-	if err := sys.Insert("actor", "a9", "X"); err == nil {
+	if err := eng.Insert("actor", "a9", "X"); err == nil {
 		t.Fatal("insert after Build accepted")
 	}
-	if _, err := sys.Search("", 3); err == nil {
+	if _, err := eng.Search(bg, SearchRequest{Query: "", K: 3}); err == nil {
 		t.Fatal("empty query accepted")
 	}
-	if _, err := sys.Search("zzzznope", 3); err == nil {
+	if _, err := eng.Search(bg, SearchRequest{Query: "zzzznope", K: 3}); err == nil {
 		t.Fatal("unmatched query accepted")
 	}
 }
 
 func TestSearchRanksInterpretations(t *testing.T) {
-	sys := builtSystem(t)
-	results, err := sys.Search("london", 10)
-	if err != nil {
-		t.Fatal(err)
-	}
+	eng := builtEngine(t)
+	results := search(t, eng, "london", 10)
 	if len(results) < 2 {
 		t.Fatalf("london should be ambiguous, got %d interpretations", len(results))
 	}
@@ -121,22 +131,43 @@ func TestSearchRanksInterpretations(t *testing.T) {
 			t.Fatalf("result missing rendering: %+v", r)
 		}
 	}
-	// k caps the result count.
-	top1, err := sys.Search("london", 1)
+	// k caps the result count; SpaceSize reports the pre-cut space.
+	resp, err := eng.Search(bg, SearchRequest{Query: "london", K: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(top1) != 1 || top1[0].Query != results[0].Query {
+	if len(resp.Results) != 1 || resp.Results[0].Query != results[0].Query {
 		t.Fatal("k=1 should return the top interpretation")
+	}
+	if resp.SpaceSize < len(results) {
+		t.Fatalf("SpaceSize = %d, want >= %d", resp.SpaceSize, len(results))
+	}
+}
+
+func TestSearchRowPreviews(t *testing.T) {
+	eng := builtEngine(t)
+	resp, err := eng.Search(bg, SearchRequest{Query: "london", K: 2, RowLimit: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range resp.Results {
+		for _, row := range r.Preview {
+			for _, v := range row {
+				if strings.Contains(strings.ToLower(v), "london") {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no preview row contains the keyword")
 	}
 }
 
 func TestResultRows(t *testing.T) {
-	sys := builtSystem(t)
-	results, err := sys.Search("hanks terminal", 10)
-	if err != nil {
-		t.Fatal(err)
-	}
+	eng := builtEngine(t)
+	results := search(t, eng, "hanks terminal", 10)
 	// Find the join interpretation and execute it.
 	for _, r := range results {
 		if len(r.Tables) != 3 {
@@ -162,27 +193,24 @@ func TestResultRows(t *testing.T) {
 }
 
 func TestDiversify(t *testing.T) {
-	sys := builtSystem(t)
-	div, err := sys.Diversify("london", 3, 0.1)
+	eng := builtEngine(t)
+	div, err := eng.Diversify(bg, DiversifyRequest{Query: "london", K: 3, Lambda: 0.1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(div) == 0 {
+	if len(div.Results) == 0 {
 		t.Fatal("empty diversification")
 	}
-	ranked, err := sys.Search("london", 1)
-	if err != nil {
-		t.Fatal(err)
-	}
+	ranked := search(t, eng, "london", 1)
 	// DivQ drops empty-result interpretations, so the first diversified
 	// interpretation is the most relevant non-empty one — its probability
 	// cannot exceed the global top's.
-	if div[0].Probability > ranked[0].Probability+1e-12 {
+	if div.Results[0].Probability > ranked[0].Probability+1e-12 {
 		t.Fatalf("diversified head outranks global top: %v vs %v",
-			div[0].Probability, ranked[0].Probability)
+			div.Results[0].Probability, ranked[0].Probability)
 	}
 	// Every diversified interpretation returns results.
-	for _, r := range div {
+	for _, r := range div.Results {
 		rows, err := r.Rows(1)
 		if err != nil {
 			t.Fatal(err)
@@ -194,8 +222,8 @@ func TestDiversify(t *testing.T) {
 }
 
 func TestConstructionSession(t *testing.T) {
-	sys := builtSystem(t)
-	c, err := sys.Construct("london 2010", ConstructionConfig{StopAtRemaining: 1})
+	eng := builtEngine(t)
+	c, err := eng.Construct(bg, ConstructRequest{Query: "london 2010", StopAtRemaining: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,9 +236,12 @@ func TestConstructionSession(t *testing.T) {
 			break
 		}
 		if strings.Contains(q.Text, "movie.") {
-			c.Accept(q)
+			err = c.Accept(bg, q)
 		} else {
-			c.Reject(q)
+			err = c.Reject(bg, q)
+		}
+		if err != nil {
+			t.Fatal(err)
 		}
 	}
 	cands := c.Candidates()
@@ -228,20 +259,20 @@ func TestConstructionSession(t *testing.T) {
 }
 
 func TestConstructErrors(t *testing.T) {
-	sys, err := New(movieSchema(), Config{})
+	eng, err := New(movieSchema())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.Construct("x", ConstructionConfig{}); err == nil {
+	if _, err := eng.Construct(bg, ConstructRequest{Query: "x"}); err == nil {
 		t.Fatal("construct before Build accepted")
 	}
-	if err := sys.Build(); err != nil {
+	if err := eng.Build(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.Construct("", ConstructionConfig{}); err == nil {
+	if _, err := eng.Construct(bg, ConstructRequest{Query: ""}); err == nil {
 		t.Fatal("empty query accepted")
 	}
-	if _, err := sys.Construct("qqqq", ConstructionConfig{}); err == nil {
+	if _, err := eng.Construct(bg, ConstructRequest{Query: "qqqq"}); err == nil {
 		t.Fatal("unmatched query accepted")
 	}
 }
@@ -261,9 +292,9 @@ func TestDemoDatasets(t *testing.T) {
 	if len(qs) == 0 {
 		t.Fatal("no sample queries")
 	}
-	res, err := movies.Search(qs[0], 3)
-	if err != nil || len(res) == 0 {
-		t.Fatalf("sample query unusable: %v", err)
+	res := search(t, movies, qs[0], 3)
+	if len(res) == 0 {
+		t.Fatal("sample query unusable")
 	}
 
 	music, err := DemoMusic(1)
@@ -276,8 +307,8 @@ func TestDemoDatasets(t *testing.T) {
 }
 
 func TestKeywords(t *testing.T) {
-	sys := builtSystem(t)
-	ks := sys.Keywords("lon", 0)
+	eng := builtEngine(t)
+	ks := eng.Keywords("lon", 0)
 	found := false
 	for _, k := range ks {
 		if k == "london" {
@@ -290,10 +321,17 @@ func TestKeywords(t *testing.T) {
 	if !found {
 		t.Fatal("london missing from prefix search")
 	}
-	if got := sys.Keywords("", 3); len(got) != 3 {
+	if got := eng.Keywords("", 3); len(got) != 3 {
 		t.Fatalf("limit not honoured: %d", len(got))
 	}
-	unbuilt, err := New(movieSchema(), Config{})
+	// The dictionary is sorted.
+	all := eng.Keywords("", 0)
+	for i := 1; i < len(all); i++ {
+		if all[i] < all[i-1] {
+			t.Fatal("keywords not sorted")
+		}
+	}
+	unbuilt, err := New(movieSchema())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,44 +341,30 @@ func TestKeywords(t *testing.T) {
 }
 
 func TestResultSQL(t *testing.T) {
-	sys := builtSystem(t)
-	results, err := sys.Search("hanks terminal", 5)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, r := range results {
-		sql, err := r.SQL()
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !strings.HasPrefix(sql, "SELECT ") || !strings.Contains(sql, "LIKE") {
-			t.Fatalf("SQL = %q", sql)
+	eng := builtEngine(t)
+	for _, r := range search(t, eng, "hanks terminal", 5) {
+		if !strings.HasPrefix(r.SQL, "SELECT ") || !strings.Contains(r.SQL, "LIKE") {
+			t.Fatalf("SQL = %q", r.SQL)
 		}
 	}
 }
 
-func TestSaveLoadSystem(t *testing.T) {
-	sys := builtSystem(t)
+func TestSaveLoad(t *testing.T) {
+	eng := builtEngine(t)
 	var buf bytes.Buffer
-	if err := sys.SaveTo(&buf); err != nil {
+	if err := eng.SaveTo(&buf); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := LoadSystem(&buf, Config{})
+	loaded, err := Load(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if loaded.NumRows() != sys.NumRows() || loaded.NumTables() != sys.NumTables() {
+	if loaded.NumRows() != eng.NumRows() || loaded.NumTables() != eng.NumTables() {
 		t.Fatal("shape changed across save/load")
 	}
 	// Search behaviour survives the round trip.
-	a, err := sys.Search("london", 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := loaded.Search("london", 0)
-	if err != nil {
-		t.Fatal(err)
-	}
+	a := search(t, eng, "london", 0)
+	b := search(t, loaded, "london", 0)
 	if len(a) != len(b) {
 		t.Fatalf("interpretations changed: %d vs %d", len(a), len(b))
 	}
@@ -349,7 +373,7 @@ func TestSaveLoadSystem(t *testing.T) {
 			t.Fatalf("ranking changed at %d: %q vs %q", i, a[i].Query, b[i].Query)
 		}
 	}
-	if _, err := LoadSystem(bytes.NewReader([]byte("junk")), Config{}); err == nil {
+	if _, err := Load(bytes.NewReader([]byte("junk"))); err == nil {
 		t.Fatal("garbage accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package keysearch
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/datagen"
@@ -10,10 +11,10 @@ import (
 	"repro/internal/yagof"
 )
 
-// Ontology is a class taxonomy that can be layered over a System's schema
-// to accelerate interactive query construction on very large schemas
-// (the FreeQ approach, Chapter 5) and to organise tables semantically
-// (the YAGO+F structure, Chapter 6).
+// Ontology is a class taxonomy that can be layered over an Engine's
+// schema to accelerate interactive query construction on very large
+// schemas (the FreeQ approach, Chapter 5) and to organise tables
+// semantically (the YAGO+F structure, Chapter 6).
 type Ontology struct {
 	o *ontology.Ontology
 }
@@ -59,32 +60,36 @@ func (o *Ontology) NumClasses() int { return o.o.NumClasses() }
 
 // OntologyConstruction is an interactive construction session that asks
 // class-level questions first ("Is «london» a person?"), scaling to
-// schemas with thousands of tables.
+// schemas with thousands of tables. Like Construction, a session belongs
+// to one client dialogue; run independent sessions concurrently instead.
 type OntologyConstruction struct {
-	s    *System
+	eng  *Engine
 	sess *freeq.Session
 }
 
 // ConstructWithOntology starts a FreeQ-style construction session using
 // the ontology's class structure for its questions.
-func (s *System) ConstructWithOntology(keywords string, o *Ontology, cfg ConstructionConfig) (*OntologyConstruction, error) {
-	if !s.built {
+func (e *Engine) ConstructWithOntology(ctx context.Context, req ConstructRequest, o *Ontology) (*OntologyConstruction, error) {
+	if !e.built {
 		return nil, fmt.Errorf("keysearch: call Build before constructing")
 	}
-	toks := parse(keywords)
+	toks := parse(req.Query)
 	if len(toks) == 0 {
 		return nil, fmt.Errorf("keysearch: empty keyword query")
 	}
-	c := query.GenerateCandidates(s.ix, toks, query.GenerateOptionsConfig{
-		IncludeSchemaTerms: s.cfg.IncludeSchemaTerms,
-	})
-	sess, err := freeq.NewSession(s.model, c, o.o, freeq.Config{
-		StopAtRemaining: cfg.StopAtRemaining,
+	c, err := query.GenerateCandidatesContext(ctx, e.ix, toks, query.GenerateOptionsConfig{
+		IncludeSchemaTerms: e.cfg.includeSchemaTerms,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &OntologyConstruction{s: s, sess: sess}, nil
+	sess, err := freeq.NewSessionContext(ctx, e.model, c, o.o, freeq.Config{
+		StopAtRemaining: req.StopAtRemaining,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &OntologyConstruction{eng: e, sess: sess}, nil
 }
 
 // Done reports whether the session has converged.
@@ -99,10 +104,10 @@ func (c *OntologyConstruction) SpaceSize() int { return c.sess.SpaceSize() }
 // OntologyQuestion is one FreeQ question; IsClassQuestion distinguishes
 // class-level questions from attribute-level refinements.
 type OntologyQuestion struct {
-	Text            string
-	IsClassQuestion bool
+	Text            string `json:"text"`
+	IsClassQuestion bool   `json:"is_class_question"`
 	// TargetTables lists the tables the question's acceptance keeps.
-	TargetTables []string
+	TargetTables []string `json:"target_tables,omitempty"`
 
 	opt freeq.Option
 }
@@ -131,22 +136,27 @@ func (c *OntologyConstruction) Next() (OntologyQuestion, bool) {
 	}, true
 }
 
-// Accept confirms the question.
-func (c *OntologyConstruction) Accept(q OntologyQuestion) { c.sess.Accept(q.opt) }
+// Accept confirms the question. The context cancels the materialisation
+// the answer may trigger.
+func (c *OntologyConstruction) Accept(ctx context.Context, q OntologyQuestion) error {
+	return c.sess.AcceptContext(ctx, q.opt)
+}
 
 // Reject denies the question.
-func (c *OntologyConstruction) Reject(q OntologyQuestion) { c.sess.Reject(q.opt) }
+func (c *OntologyConstruction) Reject(ctx context.Context, q OntologyQuestion) error {
+	return c.sess.RejectContext(ctx, q.opt)
+}
 
 // Candidates returns the remaining structured queries once materialised.
 func (c *OntologyConstruction) Candidates() []Result {
-	return c.s.wrap(c.sess.Remaining())
+	return c.eng.wrap(c.sess.Remaining())
 }
 
 // OntologyMatch is one table-to-class match found by instance overlap.
 type OntologyMatch struct {
-	Table string
-	Class string
-	Score float64
+	Table string  `json:"table"`
+	Class string  `json:"class"`
+	Score float64 `json:"score"`
 }
 
 // MatchTables matches database tables to ontology classes by instance
@@ -178,7 +188,7 @@ func (o *Ontology) ApplyMatches(matches []OntologyMatch) error {
 // (synthetic YAGO), the per-table instance sets, and the ground-truth
 // concept of every table.
 type KnowledgeBase struct {
-	System   *System
+	Engine   *Engine
 	Ontology *Ontology
 	// Instances maps table -> instance identifiers (for matching).
 	Instances map[string][]string
@@ -200,13 +210,13 @@ func DemoKnowledgeBase(domains, tablesPerDomain int, seed int64) (*KnowledgeBase
 	if err != nil {
 		return nil, err
 	}
-	sys := fromDatabase(fd.DB, Config{MaxJoinPath: 2, MaxTemplates: 100000})
-	if err := sys.Build(); err != nil {
+	eng := fromDatabase(fd.DB, WithMaxJoinPath(2), WithMaxTemplates(100000))
+	if err := eng.Build(); err != nil {
 		return nil, err
 	}
 	onto := datagen.YAGO(cs, datagen.YAGOConfig{Seed: seed + 2})
 	return &KnowledgeBase{
-		System:    sys,
+		Engine:    eng,
 		Ontology:  &Ontology{o: onto},
 		Instances: fd.InstancesOf,
 		Concepts:  fd.ConceptOf,
@@ -222,6 +232,6 @@ func (kb *KnowledgeBase) MapGroundTruth() int {
 
 // ConstructPlain runs an attribute-level (IQP-style) construction over
 // the knowledge base, for comparing against ConstructWithOntology.
-func (kb *KnowledgeBase) ConstructPlain(keywords string, cfg ConstructionConfig) (*Construction, error) {
-	return kb.System.Construct(keywords, cfg)
+func (kb *KnowledgeBase) ConstructPlain(ctx context.Context, req ConstructRequest) (*Construction, error) {
+	return kb.Engine.Construct(ctx, req)
 }

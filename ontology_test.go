@@ -80,7 +80,7 @@ func TestKnowledgeBaseConstruction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if kb.System.NumTables() == 0 || kb.Ontology.NumClasses() == 0 {
+	if kb.Engine.NumTables() == 0 || kb.Ontology.NumClasses() == 0 {
 		t.Fatal("empty knowledge base")
 	}
 	if len(kb.Instances) == 0 || len(kb.Concepts) == 0 {
@@ -91,11 +91,11 @@ func TestKnowledgeBaseConstruction(t *testing.T) {
 	}
 
 	// Find a multi-table keyword and run both construction flavours.
-	queries := kb.System.SampleQueries(50)
+	queries := kb.Engine.SampleQueries(50)
 	var q string
 	for _, cand := range queries {
-		rs, err := kb.System.Search(cand, 0)
-		if err == nil && len(rs) >= 4 {
+		rs, err := kb.Engine.Search(bg, SearchRequest{Query: cand})
+		if err == nil && len(rs.Results) >= 4 {
 			q = cand
 			break
 		}
@@ -103,8 +103,8 @@ func TestKnowledgeBaseConstruction(t *testing.T) {
 	if q == "" {
 		t.Skip("no suitably ambiguous keyword in the demo KB")
 	}
-	oc, err := kb.System.ConstructWithOntology(q, kb.Ontology,
-		ConstructionConfig{StopAtRemaining: 1})
+	oc, err := kb.Engine.ConstructWithOntology(bg,
+		ConstructRequest{Query: q, StopAtRemaining: 1}, kb.Ontology)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,9 @@ func TestKnowledgeBaseConstruction(t *testing.T) {
 		// Always reject: the space must shrink monotonically and the
 		// session must terminate.
 		before := oc.SpaceSize()
-		oc.Reject(question)
+		if err := oc.Reject(bg, question); err != nil {
+			t.Fatal(err)
+		}
 		if oc.SpaceSize() > before {
 			t.Fatal("reject grew the space")
 		}
@@ -137,13 +139,13 @@ func TestKnowledgeBaseConstruction(t *testing.T) {
 	_ = oc.Candidates()
 
 	// Error paths.
-	if _, err := kb.System.ConstructWithOntology("", kb.Ontology, ConstructionConfig{}); err == nil {
+	if _, err := kb.Engine.ConstructWithOntology(bg, ConstructRequest{Query: ""}, kb.Ontology); err == nil {
 		t.Fatal("empty query accepted")
 	}
-	if _, err := kb.System.ConstructWithOntology("zzzz", kb.Ontology, ConstructionConfig{}); err == nil {
+	if _, err := kb.Engine.ConstructWithOntology(bg, ConstructRequest{Query: "zzzz"}, kb.Ontology); err == nil {
 		t.Fatal("unmatched query accepted")
 	}
-	if _, err := kb.ConstructPlain(q, ConstructionConfig{StopAtRemaining: 3}); err != nil {
+	if _, err := kb.ConstructPlain(bg, ConstructRequest{Query: q, StopAtRemaining: 3}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -154,15 +156,15 @@ func TestConstructWithOntologyAcceptPath(t *testing.T) {
 		t.Fatal(err)
 	}
 	kb.MapGroundTruth()
-	queries := kb.System.SampleQueries(50)
+	queries := kb.Engine.SampleQueries(50)
 	for _, q := range queries {
-		rs, err := kb.System.Search(q, 0)
-		if err != nil || len(rs) < 3 {
+		rs, err := kb.Engine.Search(bg, SearchRequest{Query: q})
+		if err != nil || len(rs.Results) < 3 {
 			continue
 		}
-		intended := rs[len(rs)-1].Tables[0] // a low-ranked reading
-		oc, err := kb.System.ConstructWithOntology(q, kb.Ontology,
-			ConstructionConfig{StopAtRemaining: 1})
+		intended := rs.Results[len(rs.Results)-1].Tables[0] // a low-ranked reading
+		oc, err := kb.Engine.ConstructWithOntology(bg,
+			ConstructRequest{Query: q, StopAtRemaining: 1}, kb.Ontology)
 		if err != nil {
 			continue
 		}
@@ -178,9 +180,12 @@ func TestConstructWithOntologyAcceptPath(t *testing.T) {
 				}
 			}
 			if accept {
-				oc.Accept(question)
+				err = oc.Accept(bg, question)
 			} else {
-				oc.Reject(question)
+				err = oc.Reject(bg, question)
+			}
+			if err != nil {
+				t.Fatal(err)
 			}
 		}
 		// The intended table's interpretation must survive.

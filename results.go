@@ -1,69 +1,11 @@
 package keysearch
 
 import (
-	"fmt"
 	"strings"
 
 	"repro/internal/invindex"
 	"repro/internal/query"
-	"repro/internal/topk"
 )
-
-// RowResult is one concrete, scored search result: a joined row produced
-// by one interpretation, with its global score (interpretation
-// probability × tuple relevance).
-type RowResult struct {
-	// Query renders the producing interpretation.
-	Query string
-	// Score is the global result score; results are returned descending.
-	Score float64
-	// Row maps "table.column" to the value (see Result.Rows for the
-	// self-join naming convention).
-	Row map[string]string
-}
-
-// SearchResults retrieves the k globally best concrete results across
-// all interpretations of the keyword query, using threshold-style early
-// stopping so low-probability interpretations are never executed
-// (the top-k query processing of Section 2.2.5).
-func (s *System) SearchResults(keywords string, k int) ([]RowResult, error) {
-	ranked, _, err := s.interpret(keywords)
-	if err != nil {
-		return nil, err
-	}
-	results, _, err := topk.TopK(s.db, ranked, &topk.TFScorer{IX: s.ix}, topk.Options{
-		K: k, PerInterpretationLimit: 4 * k,
-	})
-	if err != nil {
-		return nil, err
-	}
-	out := make([]RowResult, 0, len(results))
-	for _, r := range results {
-		plan, err := r.Q.JoinPlan()
-		if err != nil {
-			return nil, err
-		}
-		row := make(map[string]string)
-		occSeen := map[string]int{}
-		for i, node := range plan.Nodes {
-			t := s.db.Table(node.Table)
-			occSeen[node.Table]++
-			prefix := node.Table
-			if occSeen[node.Table] > 1 {
-				prefix = fmt.Sprintf("%s#%d", node.Table, occSeen[node.Table])
-			}
-			tuple, ok := t.Row(r.Rows[i])
-			if !ok {
-				continue
-			}
-			for ci, col := range t.Schema.Columns {
-				row[prefix+"."+col.Name] = tuple.Values[ci]
-			}
-		}
-		out = append(out, RowResult{Query: r.Q.String(), Score: r.Score, Row: row})
-	}
-	return out, nil
-}
 
 // parseLabeled splits a keyword query supporting the labelled syntax of
 // Section 2.2.7: a token of the form "label:keyword" restricts the
@@ -122,7 +64,7 @@ func applyLabels(c *query.Candidates, labels map[int]string) {
 // (Section 2.2.1's query segmentation). Runs of phrased pairs merge into
 // one segment ("tom hanks movie" with phrased tom–hanks yields
 // [[0 1]]).
-func (s *System) detectSegments(toks []string, labels map[int]string, threshold float64) [][]int {
+func (e *Engine) detectSegments(toks []string, labels map[int]string, threshold float64) [][]int {
 	var segments [][]int
 	var cur []int
 	flush := func() {
@@ -136,7 +78,7 @@ func (s *System) detectSegments(toks []string, labels map[int]string, threshold 
 	for i := 0; i+1 < len(toks); i++ {
 		_, l1 := labels[i]
 		_, l2 := labels[i+1]
-		if l1 || l2 || s.ix.PhrasePairScore(toks[i], toks[i+1]) < threshold {
+		if l1 || l2 || e.ix.PhrasePairScore(toks[i], toks[i+1]) < threshold {
 			flush()
 			continue
 		}

@@ -6,12 +6,13 @@ import (
 	"testing"
 )
 
-func TestSearchResultsTopK(t *testing.T) {
-	sys := builtSystem(t)
-	rows, err := sys.SearchResults("hanks", 3)
+func TestSearchRowsTopK(t *testing.T) {
+	eng := builtEngine(t)
+	resp, err := eng.SearchRows(bg, RowsRequest{Query: "hanks", K: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
+	rows := resp.Rows
 	if len(rows) == 0 {
 		t.Fatal("no results")
 	}
@@ -37,7 +38,7 @@ func TestSearchResultsTopK(t *testing.T) {
 		t.Fatalf("top result does not contain the keyword: %v", rows[0].Row)
 	}
 	// Errors propagate.
-	if _, err := sys.SearchResults("zzzz", 3); err == nil {
+	if _, err := eng.SearchRows(bg, RowsRequest{Query: "zzzz", K: 3}); err == nil {
 		t.Fatal("unmatched query accepted")
 	}
 }
@@ -71,13 +72,10 @@ func TestParseLabeled(t *testing.T) {
 }
 
 func TestLabeledSearchRestrictsAttribute(t *testing.T) {
-	sys := builtSystem(t)
+	eng := builtEngine(t)
 	// "london" is ambiguous (actor name vs movie title); labelling it
 	// forces the title reading.
-	results, err := sys.Search("title:london", 10)
-	if err != nil {
-		t.Fatal(err)
-	}
+	results := search(t, eng, "title:london", 10)
 	if len(results) == 0 {
 		t.Fatal("no labelled results")
 	}
@@ -87,26 +85,25 @@ func TestLabeledSearchRestrictsAttribute(t *testing.T) {
 		}
 	}
 	// Unambiguous count must be below the unlabelled one.
-	plain, err := sys.Search("london", 10)
-	if err != nil {
-		t.Fatal(err)
-	}
+	plain := search(t, eng, "london", 10)
 	if len(results) >= len(plain) {
 		t.Fatalf("label did not restrict: %d vs %d", len(results), len(plain))
 	}
 	// A label matching nothing fails cleanly.
-	if _, err := sys.Search("year:london", 10); err == nil {
+	if _, err := eng.Search(bg, SearchRequest{Query: "year:london", K: 10}); err == nil {
 		t.Fatal("unsatisfiable label accepted")
 	}
 }
 
 func TestSegmentationForcesPhrase(t *testing.T) {
-	// Build a system where "tom hanks" always co-occur in actor.name and
+	// Build an engine where "tom hanks" always co-occur in actor.name and
 	// "tom" also appears in a title (ambiguity the phrase removes).
-	mk := func(segment bool) *System {
-		sys, err := New(movieSchema(), Config{
-			SegmentPhrases: segment, SegmentThreshold: 0.8,
-		})
+	mk := func(segment bool) *Engine {
+		var opts []Option
+		if segment {
+			opts = append(opts, WithSegmentPhrases(0.8))
+		}
+		eng, err := New(movieSchema(), opts...)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -118,25 +115,19 @@ func TestSegmentationForcesPhrase(t *testing.T) {
 			{"acts", "a1", "m1", "Sam"},
 		}
 		for _, r := range rows {
-			if err := sys.Insert(r[0], r[1:]...); err != nil {
+			if err := eng.Insert(r[0], r[1:]...); err != nil {
 				t.Fatal(err)
 			}
 		}
-		if err := sys.Build(); err != nil {
+		if err := eng.Build(); err != nil {
 			t.Fatal(err)
 		}
-		return sys
+		return eng
 	}
 	plain := mk(false)
 	seg := mk(true)
-	plainResults, err := plain.Search("tom hanks", 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	segResults, err := seg.Search("tom hanks", 0)
-	if err != nil {
-		t.Fatal(err)
-	}
+	plainResults := search(t, plain, "tom hanks", 0)
+	segResults := search(t, seg, "tom hanks", 0)
 	if len(segResults) >= len(plainResults) {
 		t.Fatalf("segmentation did not prune: %d vs %d", len(segResults), len(plainResults))
 	}
@@ -151,7 +142,7 @@ func TestSegmentationForcesPhrase(t *testing.T) {
 }
 
 func TestSegmentationIgnoresNonPhrases(t *testing.T) {
-	sys, err := New(movieSchema(), Config{SegmentPhrases: true})
+	eng, err := New(movieSchema(), WithSegmentPhrases(0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,19 +153,16 @@ func TestSegmentationIgnoresNonPhrases(t *testing.T) {
 		{"acts", "a1", "m1", "Viktor"},
 	}
 	for _, r := range rows {
-		if err := sys.Insert(r[0], r[1:]...); err != nil {
+		if err := eng.Insert(r[0], r[1:]...); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := sys.Build(); err != nil {
+	if err := eng.Build(); err != nil {
 		t.Fatal(err)
 	}
 	// "hanks terminal" never co-occur in one value: no segment, and the
 	// join interpretation must survive.
-	results, err := sys.Search("hanks terminal", 0)
-	if err != nil {
-		t.Fatal(err)
-	}
+	results := search(t, eng, "hanks terminal", 0)
 	foundJoin := false
 	for _, r := range results {
 		if len(r.Tables) == 3 {
@@ -187,7 +175,7 @@ func TestSegmentationIgnoresNonPhrases(t *testing.T) {
 }
 
 func TestAggregateQueries(t *testing.T) {
-	sys, err := New(movieSchema(), Config{EnableAggregates: true})
+	eng, err := New(movieSchema(), WithAggregates())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,19 +187,16 @@ func TestAggregateQueries(t *testing.T) {
 		{"acts", "a1", "m2", "Chuck"},
 	}
 	for _, r := range rows {
-		if err := sys.Insert(r[0], r[1:]...); err != nil {
+		if err := eng.Insert(r[0], r[1:]...); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := sys.Build(); err != nil {
+	if err := eng.Build(); err != nil {
 		t.Fatal(err)
 	}
 	// "number hanks": the analytical reading COUNT(σ_{hanks}(…)) must
 	// appear among the interpretations.
-	results, err := sys.Search("number hanks", 0)
-	if err != nil {
-		t.Fatal(err)
-	}
+	results := search(t, eng, "number hanks", 0)
 	var agg *Result
 	for i := range results {
 		if results[i].Aggregate == "count" {
@@ -235,10 +220,7 @@ func TestAggregateQueries(t *testing.T) {
 	// "number" is only interpretable as the operator here, so every
 	// complete interpretation is analytical; a query without an
 	// aggregation keyword stays plain.
-	plain, err := sys.Search("hanks", 0)
-	if err != nil {
-		t.Fatal(err)
-	}
+	plain := search(t, eng, "hanks", 0)
 	for _, r := range plain {
 		if r.Aggregate != "" {
 			t.Fatalf("plain query got an aggregate reading: %v", r.Query)
@@ -246,7 +228,7 @@ func TestAggregateQueries(t *testing.T) {
 	}
 	// With aggregates disabled, "number" has no interpretation at all
 	// (it does not occur as a value in this fixture).
-	off, err := New(movieSchema(), Config{})
+	off, err := New(movieSchema())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,10 +240,7 @@ func TestAggregateQueries(t *testing.T) {
 	if err := off.Build(); err != nil {
 		t.Fatal(err)
 	}
-	offResults, err := off.Search("number hanks", 0)
-	if err != nil {
-		t.Fatal(err)
-	}
+	offResults := search(t, off, "number hanks", 0)
 	for _, r := range offResults {
 		if r.Aggregate != "" {
 			t.Fatal("aggregate interpretation appeared while disabled")
@@ -270,8 +249,8 @@ func TestAggregateQueries(t *testing.T) {
 }
 
 func TestSearchTreesBaseline(t *testing.T) {
-	sys := builtSystem(t)
-	trees, err := sys.SearchTrees("hanks terminal", 5)
+	eng := builtEngine(t)
+	trees, err := eng.SearchTrees(bg, "hanks terminal", 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +267,7 @@ func TestSearchTreesBaseline(t *testing.T) {
 		t.Fatalf("tree = %s", joined)
 	}
 	// Errors and ordering.
-	if _, err := sys.SearchTrees("", 5); err == nil {
+	if _, err := eng.SearchTrees(bg, "", 5); err == nil {
 		t.Fatal("empty query accepted")
 	}
 	for i := 1; i < len(trees); i++ {
@@ -296,11 +275,11 @@ func TestSearchTreesBaseline(t *testing.T) {
 			t.Fatal("trees not ordered by weight")
 		}
 	}
-	unbuilt, err := New(movieSchema(), Config{})
+	unbuilt, err := New(movieSchema())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := unbuilt.SearchTrees("x", 1); err == nil {
+	if _, err := unbuilt.SearchTrees(bg, "x", 1); err == nil {
 		t.Fatal("search before Build accepted")
 	}
 }
