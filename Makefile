@@ -1,0 +1,37 @@
+# Developer entry points. CI runs the same targets, so local and CI
+# behaviour cannot drift.
+
+GO ?= go
+
+.PHONY: build test race vet fuzz bench bench-quick golden check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# fuzz gives every fuzz target a short budget on top of the seed corpus.
+fuzz:
+	$(GO) test -fuzz FuzzNormalizeKeywords -fuzztime 30s ./internal/query
+
+# bench writes the pipeline benchmark grid to BENCH_pipeline.json — the
+# perf-trajectory artifact CI archives on every run.
+bench:
+	$(GO) run ./cmd/bench -out BENCH_pipeline.json
+
+bench-quick:
+	$(GO) run ./cmd/bench -quick -out BENCH_pipeline.json
+
+# golden regenerates testdata/golden after an intentional ranking change.
+# Plain `make test` fails if golden files drift without this.
+golden:
+	$(GO) test -run TestGolden . -update
+
+check: vet build race

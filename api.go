@@ -234,8 +234,8 @@ func (e *Engine) SearchRows(ctx context.Context, req RowsRequest) (*RowsResponse
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	results, _, err := topk.TopK(e.db, ranked, &topk.TFScorer{IX: e.ix}, topk.Options{
-		K: req.K, PerInterpretationLimit: 4 * req.K,
+	results, _, err := topk.TopKContext(ctx, e.db, ranked, &topk.TFScorer{IX: e.ix}, topk.Options{
+		K: req.K, PerInterpretationLimit: 4 * req.K, Parallelism: e.cfg.parallelism,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,30 @@
+package keysearch_test
+
+import (
+	"testing"
+
+	"repro/internal/benchpipe"
+)
+
+// pipelineEnv shares the large-dataset engines across sub-benchmarks.
+var pipelineEnv = benchpipe.NewEnv()
+
+// BenchmarkPipelineSequentialVsParallel measures the end-to-end
+// interpretation pipeline (candidate generation → sharded enumeration →
+// concurrent ranking → fanned-out top-k execution) over the large seed
+// dataset, varying keyword count and parallelism, plus score-cache
+// ablation legs. p=1 is the sequential baseline; the determinism suite
+// guarantees every level returns byte-identical responses, so the
+// comparison is purely about speed.
+//
+//	go test -run '^$' -bench BenchmarkPipelineSequentialVsParallel .
+//
+// `make bench` persists the same grid to BENCH_pipeline.json via
+// cmd/bench so CI tracks the trajectory across PRs. -short trims the grid
+// to the quick subset.
+func BenchmarkPipelineSequentialVsParallel(b *testing.B) {
+	for _, c := range benchpipe.Cases(testing.Short()) {
+		c := c
+		b.Run(c.Name(), func(b *testing.B) { pipelineEnv.Run(b, c) })
+	}
+}

@@ -1,0 +1,67 @@
+// Command bench runs the interpretation-pipeline benchmark grid (keyword
+// count × parallelism, plus score-cache ablations — the same grid as
+// BenchmarkPipelineSequentialVsParallel) and writes the measurements to a
+// JSON file, so the perf trajectory is tracked from PR to PR by CI.
+//
+// Usage:
+//
+//	go run ./cmd/bench [-out BENCH_pipeline.json] [-quick]
+//
+// The output records ns/op, allocations, and the speedup of every
+// parallel leg against its sequential (p=1) baseline, alongside the host
+// shape (CPU count, GOMAXPROCS) needed to interpret absolute numbers.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/benchpipe"
+)
+
+// report is the top-level shape of BENCH_pipeline.json.
+type report struct {
+	GeneratedAt string          `json:"generated_at"`
+	GoVersion   string          `json:"go_version"`
+	NumCPU      int             `json:"num_cpu"`
+	GOMAXPROCS  int             `json:"gomaxprocs"`
+	Dataset     string          `json:"dataset"`
+	Rows        []benchpipe.Row `json:"rows"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_pipeline.json", "output file")
+	quick := flag.Bool("quick", false, "run the trimmed quick grid")
+	flag.Parse()
+
+	cases := benchpipe.Cases(*quick)
+	log.Printf("running %d pipeline benchmark cases (quick=%v)...", len(cases), *quick)
+	rows, err := benchpipe.Measure(cases)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Dataset:     "demo-movies scaled 2.5x",
+		Rows:        rows,
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
+		log.Printf("%-22s %12d ns/op  speedup %.2fx", r.Name, r.NsPerOp, r.SpeedupVsSequential)
+	}
+	log.Printf("wrote %s", *out)
+}

@@ -33,8 +33,15 @@ func main() {
 	dbPath := flag.String("db", "", "serve a database dump written by Engine.SaveTo instead of a demo dataset")
 	ttl := flag.Duration("ttl", 15*time.Minute, "construction session idle TTL")
 	maxSessions := flag.Int("max-sessions", 1024, "cap on live construction sessions")
+	parallelism := flag.Int("parallelism", 0, "pipeline worker count (0 = GOMAXPROCS, 1 = sequential)")
+	scoreCache := flag.Bool("score-cache", true, "memoise score sub-terms across requests")
 	flag.Parse()
 
+	opts := []keysearch.Option{
+		keysearch.WithCoOccurrence(),
+		keysearch.WithParallelism(*parallelism),
+		keysearch.WithScoreCache(*scoreCache),
+	}
 	var (
 		eng *keysearch.Engine
 		err error
@@ -45,18 +52,19 @@ func main() {
 		if ferr != nil {
 			log.Fatal(ferr)
 		}
-		eng, err = keysearch.Load(f, keysearch.WithCoOccurrence())
+		eng, err = keysearch.Load(f, opts...)
 		f.Close()
 	case *music:
-		eng, err = keysearch.DemoMusic(*seed)
+		// The 5-table chain schema needs join paths of length 5.
+		eng, err = keysearch.DemoMusicWith(*seed, opts...)
 	default:
-		eng, err = keysearch.DemoMovies(*seed)
+		eng, err = keysearch.DemoMoviesWith(*seed, opts...)
 	}
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("engine ready: %d tables, %d rows, %d query templates",
-		eng.NumTables(), eng.NumRows(), eng.NumTemplates())
+	log.Printf("engine ready: %d tables, %d rows, %d query templates, parallelism %d",
+		eng.NumTables(), eng.NumRows(), eng.NumTemplates(), eng.Parallelism())
 
 	srv := httpapi.New(eng,
 		httpapi.WithSessionTTL(*ttl),

@@ -12,11 +12,42 @@ import (
 // experiments): 7 tables — actor, director, movie, company, acts,
 // directs, produced_by. Deterministic for a given seed.
 func DemoMovies(seed int64) (*Engine, error) {
+	return DemoMoviesWith(seed)
+}
+
+// DemoMoviesWith is DemoMovies with extra engine options appended to the
+// dataset's defaults (join-path length 4, co-occurrence relevance).
+func DemoMoviesWith(seed int64, opts ...Option) (*Engine, error) {
 	db, err := datagen.IMDB(datagen.IMDBConfig{Seed: seed})
 	if err != nil {
 		return nil, err
 	}
-	eng := fromDatabase(db, WithMaxJoinPath(4), WithCoOccurrence())
+	eng := fromDatabase(db, append([]Option{WithMaxJoinPath(4), WithCoOccurrence()}, opts...)...)
+	if err := eng.Build(); err != nil {
+		return nil, err
+	}
+	return eng, nil
+}
+
+// DemoMoviesScaled is DemoMoviesWith at a custom data scale: row counts
+// are the demo defaults multiplied by scale (scale 1 ≈ 400 movies, 300
+// actors). The benchmark harness uses it to build the "large seed
+// dataset" the perf trajectory is tracked on.
+func DemoMoviesScaled(seed int64, scale float64, opts ...Option) (*Engine, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	db, err := datagen.IMDB(datagen.IMDBConfig{
+		Movies:    int(400 * scale),
+		Actors:    int(300 * scale),
+		Directors: int(80 * scale),
+		Companies: int(40 * scale),
+		Seed:      seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	eng := fromDatabase(db, append([]Option{WithMaxJoinPath(4), WithCoOccurrence()}, opts...)...)
 	if err := eng.Build(); err != nil {
 		return nil, err
 	}
@@ -27,12 +58,18 @@ func DemoMovies(seed int64) (*Engine, error) {
 // lyrics database (5 tables with the artist ⋈ artist_album ⋈ album ⋈
 // album_song ⋈ song chain schema).
 func DemoMusic(seed int64) (*Engine, error) {
+	return DemoMusicWith(seed)
+}
+
+// DemoMusicWith is DemoMusic with extra engine options appended to the
+// dataset's defaults (join-path length 5 for the chain schema,
+// co-occurrence relevance).
+func DemoMusicWith(seed int64, opts ...Option) (*Engine, error) {
 	db, err := datagen.Lyrics(datagen.LyricsConfig{Seed: seed})
 	if err != nil {
 		return nil, err
 	}
-	// The 5-table chain needs join paths of length 5.
-	eng := fromDatabase(db, WithMaxJoinPath(5), WithCoOccurrence())
+	eng := fromDatabase(db, append([]Option{WithMaxJoinPath(5), WithCoOccurrence()}, opts...)...)
 	if err := eng.Build(); err != nil {
 		return nil, err
 	}

@@ -11,7 +11,7 @@
 //	POST /v1/rows       keysearch.RowsRequest      → keysearch.RowsResponse
 //	POST /v1/construct  ConstructStepRequest       → ConstructStepResponse
 //	GET  /v1/keywords?prefix=&limit=               → KeywordsResponse
-//	GET  /healthz                                  → {"status":"ok"}
+//	GET  /healthz                                  → HealthResponse
 //
 // Construction is a dialogue, so /v1/construct is sessionized: "start"
 // creates a server-side session and returns its ID plus the first
@@ -47,6 +47,13 @@ type ErrorResponse struct {
 type KeywordsResponse struct {
 	Prefix   string   `json:"prefix"`
 	Keywords []string `json:"keywords"`
+}
+
+// HealthResponse answers GET /healthz. Parallelism reports the engine's
+// pipeline worker count so operators can verify the deployed tuning.
+type HealthResponse struct {
+	Status      string `json:"status"`
+	Parallelism int    `json:"parallelism"`
 }
 
 // ConstructStepRequest drives one step of a sessionized construction
@@ -144,7 +151,10 @@ func New(eng *keysearch.Engine, opts ...Option) *Server {
 	s.mux.HandleFunc("POST /v1/construct", s.handleConstruct)
 	s.mux.HandleFunc("GET /v1/keywords", s.handleKeywords)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		writeJSON(w, http.StatusOK, HealthResponse{
+			Status:      "ok",
+			Parallelism: s.eng.Parallelism(),
+		})
 	})
 	return s
 }

@@ -1,0 +1,224 @@
+// Package benchpipe is the shared core of the interpretation-pipeline
+// benchmark harness: it defines the benchmark grid (keyword count ×
+// parallelism, plus score-cache ablation legs), builds the large seed
+// dataset once per parallelism level, and measures one end-to-end
+// pipeline operation — ranked interpretation search plus global top-k row
+// retrieval, i.e. every parallel stage (sharded generation, concurrent
+// scoring, fanned-out plan execution).
+//
+// Two front-ends consume it: BenchmarkPipelineSequentialVsParallel (go
+// test -bench) for interactive comparison, and cmd/bench, which writes
+// BENCH_pipeline.json so CI tracks the perf trajectory across PRs.
+package benchpipe
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	keysearch "repro"
+)
+
+// Seed and Scale pin the large seed dataset: the demo movie generator at
+// 2.5× the default row counts (≈1000 movies, 750 actors), deterministic
+// for the seed.
+const (
+	Seed  = 21
+	Scale = 2.5
+)
+
+// MaxKeywords is the largest keyword count in the grid.
+const MaxKeywords = 3
+
+// Case is one point of the benchmark grid.
+type Case struct {
+	// Keywords is the keyword count of the query (1..MaxKeywords).
+	Keywords int
+	// Parallelism is the engine's pipeline worker count (1 = sequential).
+	Parallelism int
+	// NoCache disables the memoised score cache (ablation legs).
+	NoCache bool
+}
+
+// Name renders the sub-benchmark name, e.g. "kw=2/p=4" or
+// "kw=3/p=4/nocache".
+func (c Case) Name() string {
+	n := fmt.Sprintf("kw=%d/p=%d", c.Keywords, c.Parallelism)
+	if c.NoCache {
+		n += "/nocache"
+	}
+	return n
+}
+
+// Cases returns the benchmark grid. quick trims it to the cheapest
+// representative subset (used by -short CI legs).
+func Cases(quick bool) []Case {
+	if quick {
+		return []Case{
+			{Keywords: 2, Parallelism: 1},
+			{Keywords: 2, Parallelism: 2},
+			{Keywords: 2, Parallelism: 4},
+		}
+	}
+	var out []Case
+	for kw := 1; kw <= MaxKeywords; kw++ {
+		for _, p := range []int{1, 2, 4, 8} {
+			out = append(out, Case{Keywords: kw, Parallelism: p})
+		}
+	}
+	// Score-cache ablation at the heaviest keyword count.
+	out = append(out,
+		Case{Keywords: MaxKeywords, Parallelism: 1, NoCache: true},
+		Case{Keywords: MaxKeywords, Parallelism: 4, NoCache: true},
+	)
+	return out
+}
+
+// Env caches one engine per (parallelism, cache) configuration, all over
+// identical data, plus the token pool queries are drawn from.
+type Env struct {
+	mu      sync.Mutex
+	engines map[string]*keysearch.Engine
+	tokens  []string
+}
+
+// NewEnv builds the environment lazily; engines are created on first use.
+func NewEnv() *Env {
+	return &Env{engines: make(map[string]*keysearch.Engine)}
+}
+
+// engine returns the cached engine for the case's configuration.
+func (e *Env) engine(c Case) (*keysearch.Engine, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	key := fmt.Sprintf("p=%d/nocache=%v", c.Parallelism, c.NoCache)
+	if eng, ok := e.engines[key]; ok {
+		return eng, nil
+	}
+	eng, err := keysearch.DemoMoviesScaled(Seed, Scale,
+		keysearch.WithParallelism(c.Parallelism),
+		keysearch.WithScoreCache(!c.NoCache),
+	)
+	if err != nil {
+		return nil, err
+	}
+	if e.tokens == nil {
+		toks := eng.SampleQueries(MaxKeywords)
+		if len(toks) < MaxKeywords {
+			// Do not cache anything: every case must fail loudly rather
+			// than let a later Query() index past the short token slice.
+			return nil, fmt.Errorf("benchpipe: only %d sample tokens", len(toks))
+		}
+		e.tokens = toks
+	}
+	e.engines[key] = eng
+	return eng, nil
+}
+
+// Query returns the deterministic kw-keyword query of the grid.
+func (e *Env) Query(kw int) string {
+	return strings.Join(e.tokens[:kw], " ")
+}
+
+// Op runs one benchmark operation: ranked interpretation search plus
+// global top-k rows for the case's query.
+func (e *Env) Op(ctx context.Context, eng *keysearch.Engine, query string) error {
+	if _, err := eng.Search(ctx, keysearch.SearchRequest{Query: query, K: 10}); err != nil {
+		return err
+	}
+	if _, err := eng.SearchRows(ctx, keysearch.RowsRequest{Query: query, K: 10}); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Run executes one case inside a testing benchmark body.
+func (e *Env) Run(b *testing.B, c Case) {
+	eng, err := e.engine(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := e.Query(c.Keywords)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Op(ctx, eng, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Row is one measured grid point as persisted to BENCH_pipeline.json.
+type Row struct {
+	Name        string  `json:"name"`
+	Keywords    int     `json:"keywords"`
+	Parallelism int     `json:"parallelism"`
+	NoCache     bool    `json:"no_cache,omitempty"`
+	Ops         int     `json:"ops"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// SpeedupVsSequential is the p=1 (same keyword count, same cache
+	// setting) ns/op divided by this row's ns/op; 0 when no baseline row
+	// exists in the measured set.
+	SpeedupVsSequential float64 `json:"speedup_vs_sequential,omitempty"`
+}
+
+// Measure runs every case through testing.Benchmark and derives speedups
+// against the matching sequential baseline.
+func Measure(cases []Case) ([]Row, error) {
+	env := NewEnv()
+	var firstErr error
+	rows := make([]Row, 0, len(cases))
+	for _, c := range cases {
+		c := c
+		r := testing.Benchmark(func(b *testing.B) {
+			if firstErr != nil {
+				b.Skip("earlier case failed")
+			}
+			eng, err := env.engine(c)
+			if err != nil {
+				firstErr = err
+				b.Skip(err)
+			}
+			q := env.Query(c.Keywords)
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := env.Op(ctx, eng, q); err != nil {
+					firstErr = err
+					b.Skip(err)
+				}
+			}
+		})
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		rows = append(rows, Row{
+			Name:        c.Name(),
+			Keywords:    c.Keywords,
+			Parallelism: c.Parallelism,
+			NoCache:     c.NoCache,
+			Ops:         r.N,
+			NsPerOp:     r.NsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+	base := make(map[string]int64)
+	for _, r := range rows {
+		if r.Parallelism == 1 {
+			base[fmt.Sprintf("kw=%d/nocache=%v", r.Keywords, r.NoCache)] = r.NsPerOp
+		}
+	}
+	for i := range rows {
+		if b, ok := base[fmt.Sprintf("kw=%d/nocache=%v", rows[i].Keywords, rows[i].NoCache)]; ok && rows[i].NsPerOp > 0 {
+			rows[i].SpeedupVsSequential = float64(b) / float64(rows[i].NsPerOp)
+		}
+	}
+	return rows, nil
+}

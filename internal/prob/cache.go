@@ -1,0 +1,95 @@
+package prob
+
+import (
+	"strings"
+	"sync"
+
+	"repro/internal/invindex"
+	"repro/internal/query"
+)
+
+// scoreCache memoises the pure sub-terms of interpretation scores: the
+// template prior P(T), the per-keyword-interpretation probability
+// P(Ai:ki | T∩Ai), and the DivQ joint co-occurrence probability
+// P(A:[k1..kn] | A). All three are deterministic functions of the
+// immutable index and the catalogue state at Model construction, so
+// memoisation is transparent to ranking. sync.Map fits the access
+// pattern: each key is written once and read many times, concurrently.
+//
+// The cache deliberately keys keyword probabilities on (kind, keyword,
+// target) rather than the positional ki.Key(): the probability of
+// "hanks" ∈ actor.name is independent of the keyword's position in the
+// query, so repeats across positions and across requests share one entry.
+type scoreCache struct {
+	prior sync.Map // template ID (int) -> float64
+	kw    sync.Map // keyword sub-term key (string) -> float64
+	joint sync.Map // attr + keyword bag key (string) -> float64
+}
+
+func newScoreCache() *scoreCache {
+	return &scoreCache{}
+}
+
+// kwKey is the position-independent identity of a keyword sub-term.
+func kwKey(ki query.KeywordInterpretation) string {
+	var sb strings.Builder
+	sb.WriteString(ki.Kind.String())
+	sb.WriteByte(0)
+	sb.WriteString(ki.Keyword)
+	sb.WriteByte(0)
+	switch ki.Kind {
+	case query.KindTable:
+		sb.WriteString(ki.Table)
+	case query.KindAggregate:
+		sb.WriteString(ki.Agg)
+	default:
+		sb.WriteString(ki.Attr.String())
+	}
+	return sb.String()
+}
+
+// jointKey identifies a joint value probability: the attribute plus the
+// bound keyword bag in binding order (binding order is deterministic, so
+// equal bags in equal order share an entry).
+func jointKey(keywords []string, attr invindex.AttrRef) string {
+	var sb strings.Builder
+	sb.WriteString(attr.String())
+	for _, k := range keywords {
+		sb.WriteByte(0)
+		sb.WriteString(k)
+	}
+	return sb.String()
+}
+
+// templatePrior returns the cached prior, computing and storing it on the
+// first request for the template.
+func (c *scoreCache) templatePrior(id int, compute func() float64) float64 {
+	if v, ok := c.prior.Load(id); ok {
+		return v.(float64)
+	}
+	p := compute()
+	c.prior.Store(id, p)
+	return p
+}
+
+// keywordProb returns the cached keyword sub-term probability.
+func (c *scoreCache) keywordProb(ki query.KeywordInterpretation, compute func() float64) float64 {
+	k := kwKey(ki)
+	if v, ok := c.kw.Load(k); ok {
+		return v.(float64)
+	}
+	p := compute()
+	c.kw.Store(k, p)
+	return p
+}
+
+// jointProb returns the cached joint value probability.
+func (c *scoreCache) jointProb(keywords []string, attr invindex.AttrRef, compute func() float64) float64 {
+	k := jointKey(keywords, attr)
+	if v, ok := c.joint.Load(k); ok {
+		return v.(float64)
+	}
+	p := compute()
+	c.joint.Store(k, p)
+	return p
+}

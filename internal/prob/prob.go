@@ -16,6 +16,7 @@ import (
 	"context"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/invindex"
 	"repro/internal/query"
@@ -43,13 +44,26 @@ type Config struct {
 	// interpretation so complete interpretations outrank partial ones;
 	// 0 selects a conservative default.
 	Pu float64
+	// Parallelism is the number of workers RankContext uses to score an
+	// interpretation space concurrently (<= 1 scores sequentially). Scores
+	// land at their input index and normalisation sums them in index order,
+	// so ranking output is bit-identical at every setting.
+	Parallelism int
+	// DisableScoreCache turns off the per-Model memoised cache of
+	// (template, keyword-interpretation) sub-term probabilities. The cache
+	// is on by default: sub-terms are pure functions of the immutable index,
+	// so memoisation never changes a score.
+	DisableScoreCache bool
 }
 
-// Model scores query interpretations.
+// Model scores query interpretations. A Model is safe for concurrent use:
+// its inputs are immutable and its memoised sub-term cache is
+// synchronised.
 type Model struct {
-	ix  *invindex.Index
-	cat *query.Catalog
-	cfg Config
+	ix    *invindex.Index
+	cat   *query.Catalog
+	cfg   Config
+	cache *scoreCache // nil when Config.DisableScoreCache
 }
 
 // New builds a model over an index and a template catalogue.
@@ -74,7 +88,11 @@ func New(ix *invindex.Index, cat *query.Catalog, cfg Config) *Model {
 			cfg.Pu = 0.01
 		}
 	}
-	return &Model{ix: ix, cat: cat, cfg: cfg}
+	m := &Model{ix: ix, cat: cat, cfg: cfg}
+	if !cfg.DisableScoreCache {
+		m.cache = newScoreCache()
+	}
+	return m
 }
 
 // Index exposes the underlying inverted index.
@@ -87,8 +105,17 @@ func (m *Model) Catalog() *query.Catalog { return m.cat }
 func (m *Model) Config() Config { return m.cfg }
 
 // TemplatePrior returns P(T) per Equation 3.7. With no query log (or when
-// the log is disabled) every template is equally probable.
+// the log is disabled) every template is equally probable. The prior is
+// memoised per Model, so catalogue usage counts must be recorded before
+// the Model is created (or the cache disabled) to be reflected.
 func (m *Model) TemplatePrior(tpl *query.Template) float64 {
+	if m.cache != nil {
+		return m.cache.templatePrior(tpl.ID, func() float64 { return m.templatePrior(tpl) })
+	}
+	return m.templatePrior(tpl)
+}
+
+func (m *Model) templatePrior(tpl *query.Template) float64 {
 	n := len(m.cat.Templates)
 	if n == 0 {
 		return 0
@@ -105,6 +132,13 @@ func (m *Model) TemplatePrior(tpl *query.Template) float64 {
 // ATF for value interpretations (Equation 3.8) and the empirical schema
 // term probability for table/attribute-name interpretations.
 func (m *Model) KeywordProb(ki query.KeywordInterpretation) float64 {
+	if m.cache != nil {
+		return m.cache.keywordProb(ki, func() float64 { return m.keywordProb(ki) })
+	}
+	return m.keywordProb(ki)
+}
+
+func (m *Model) keywordProb(ki query.KeywordInterpretation) float64 {
 	switch ki.Kind {
 	case query.KindValue:
 		return m.ix.ATF(ki.Keyword, ki.Attr, m.cfg.Alpha)
@@ -117,8 +151,17 @@ func (m *Model) KeywordProb(ki query.KeywordInterpretation) float64 {
 // keyword group bound to the same attribute of the same occurrence: the
 // smoothed fraction of the attribute's values containing the whole bag.
 // For a single keyword it reduces to ATF so the IQP and DivQ models agree
-// on singletons.
+// on singletons. The multi-keyword case scans the attribute's rows, which
+// makes it the most expensive sub-term — and the one the memoised cache
+// pays off most for.
 func (m *Model) jointValueProb(keywords []string, attr invindex.AttrRef) float64 {
+	if m.cache != nil {
+		return m.cache.jointProb(keywords, attr, func() float64 { return m.jointValueProbUncached(keywords, attr) })
+	}
+	return m.jointValueProbUncached(keywords, attr)
+}
+
+func (m *Model) jointValueProbUncached(keywords []string, attr invindex.AttrRef) float64 {
 	if len(keywords) == 1 {
 		return m.ix.ATF(keywords[0], attr, m.cfg.Alpha)
 	}
@@ -206,24 +249,39 @@ func (m *Model) Rank(space []*query.Interpretation) []Scored {
 // rankCheckEvery is the scoring-loop stride between context checks.
 const rankCheckEvery = 256
 
-// RankContext is Rank with cancellation: the context is checked on entry
-// and every rankCheckEvery scored interpretations, so ranking a large
+// RankContext is Rank with cancellation and optional parallel scoring:
+// the context is checked on entry and every rankCheckEvery scored
+// interpretations (per worker when parallel), so ranking a large
 // interpretation space aborts early on a cancelled or expired request.
+//
+// With cfg.Parallelism > 1 the space is split into contiguous blocks
+// scored concurrently; every score lands at its input index and the
+// normalising total is summed sequentially in index order afterwards, so
+// probabilities and ordering are bit-identical to the sequential path
+// (float addition is order-sensitive; goroutine-order accumulation would
+// not be deterministic).
 func (m *Model) RankContext(ctx context.Context, space []*query.Interpretation) ([]Scored, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	out := make([]Scored, len(space))
-	total := 0.0
-	for i, q := range space {
-		if i%rankCheckEvery == rankCheckEvery-1 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
+	if m.cfg.Parallelism > 1 && len(space) > 1 {
+		if err := m.scoreParallel(ctx, space, out); err != nil {
+			return nil, err
 		}
-		s := m.Score(q)
-		out[i] = Scored{Q: q, Score: s}
-		total += s
+	} else {
+		for i, q := range space {
+			if i%rankCheckEvery == rankCheckEvery-1 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			out[i] = Scored{Q: q, Score: m.Score(q)}
+		}
+	}
+	total := 0.0
+	for i := range out {
+		total += out[i].Score
 	}
 	if total > 0 {
 		for i := range out {
@@ -237,6 +295,48 @@ func (m *Model) RankContext(ctx context.Context, space []*query.Interpretation) 
 		return out[i].Q.Key() < out[j].Q.Key()
 	})
 	return out, nil
+}
+
+// scoreParallel fills out[i] with the score of space[i] using
+// cfg.Parallelism workers over contiguous blocks.
+func (m *Model) scoreParallel(ctx context.Context, space []*query.Interpretation, out []Scored) error {
+	workers := m.cfg.Parallelism
+	if workers > len(space) {
+		workers = len(space)
+	}
+	block := (len(space) + workers - 1) / workers
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * block
+		hi := lo + block
+		if hi > len(space) {
+			hi = len(space)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if (i-lo)%rankCheckEvery == rankCheckEvery-1 {
+					if err := ctx.Err(); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+				out[i] = Scored{Q: space[i], Score: m.Score(space[i])}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Entropy returns the Shannon entropy (bits) of a normalised probability

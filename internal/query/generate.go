@@ -4,6 +4,7 @@ import (
 	"context"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/invindex"
 	"repro/internal/schemagraph"
@@ -192,6 +193,11 @@ type GenerateConfig struct {
 	// matched keyword (AND semantics). When false, enumeration is still
 	// over all matched keywords; unmatched keywords are always skipped.
 	RequireAllKeywords bool
+	// Parallelism shards binding enumeration across a bounded worker pool,
+	// one shard per catalogue template (<= 1 runs sequentially). Shards are
+	// merged in catalogue order with the same dedup and cap logic as the
+	// sequential path, so the output is identical at every setting.
+	Parallelism int
 }
 
 // GenerateComplete enumerates the complete query interpretations of the
@@ -204,10 +210,13 @@ func GenerateComplete(c *Candidates, cat *Catalog, cfg GenerateConfig) []*Interp
 	return out
 }
 
-// GenerateCompleteContext is GenerateComplete with cancellation: the
-// context is checked on entry and once per catalogue template, so an
-// interpretation-space materialisation over a large catalogue aborts as
-// soon as the request is cancelled or its deadline passes.
+// GenerateCompleteContext is GenerateComplete with cancellation and
+// optional sharded parallelism: the context is checked on entry and
+// periodically inside binding enumeration, so an interpretation-space
+// materialisation over a large catalogue aborts as soon as the request is
+// cancelled or its deadline passes. With cfg.Parallelism > 1 templates are
+// enumerated concurrently (one shard per template) and merged back in
+// catalogue order, so the result is bit-identical to the sequential path.
 func GenerateCompleteContext(ctx context.Context, c *Candidates, cat *Catalog, cfg GenerateConfig) ([]*Interpretation, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -216,63 +225,211 @@ func GenerateCompleteContext(ctx context.Context, c *Candidates, cat *Catalog, c
 	if len(matched) == 0 {
 		return nil, nil
 	}
-	var out []*Interpretation
-	seen := make(map[string]bool)
+	if cfg.Parallelism > 1 && len(cat.Templates) > 1 {
+		return generateParallel(ctx, c, cat, cfg, matched)
+	}
+	merger := newInterpretationMerger(cfg)
 	for _, tpl := range cat.Templates {
-		if err := ctx.Err(); err != nil {
+		shard, err := templateInterpretations(ctx, c, matched, tpl)
+		if err != nil {
 			return nil, err
 		}
-		for _, bindings := range enumerateBindings(c, matched, tpl) {
-			q := NewInterpretation(c.Keywords, tpl, bindings)
-			if !minimal(q) {
-				continue
+		if merger.add(shard) {
+			break
+		}
+	}
+	return merger.out, nil
+}
+
+// generateParallel shards per-template enumeration across a bounded worker
+// pool and merges the shards in catalogue order as they complete (buffering
+// out-of-order arrivals), applying the same dedup/cap rules as the
+// sequential loop — so ordering is guaranteed independent of goroutine
+// scheduling, and once the MaxInterpretations cap is satisfied all
+// outstanding enumeration is cancelled instead of materialising the rest
+// of the space.
+func generateParallel(ctx context.Context, c *Candidates, cat *Catalog, cfg GenerateConfig, matched []int) ([]*Interpretation, error) {
+	workers := cfg.Parallelism
+	if workers > len(cat.Templates) {
+		workers = len(cat.Templates)
+	}
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type shardResult struct {
+		idx   int
+		shard []*Interpretation
+		err   error
+	}
+	next := make(chan int)
+	results := make(chan shardResult, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				shard, err := templateInterpretations(wctx, c, matched, cat.Templates[i])
+				results <- shardResult{idx: i, shard: shard, err: err}
 			}
-			key := q.Key()
-			if seen[key] {
-				continue
-			}
-			seen[key] = true
-			out = append(out, q)
-			if cfg.MaxInterpretations > 0 && len(out) >= cfg.MaxInterpretations {
-				return out, nil
+		}()
+	}
+	// Dispatch in a goroutine so the main loop can merge (and cancel)
+	// while enumeration is still in flight; it closes results once every
+	// worker has drained, which ends the merge loop below.
+	go func() {
+	dispatch:
+		for i := range cat.Templates {
+			select {
+			case next <- i:
+			case <-wctx.Done():
+				break dispatch
 			}
 		}
+		close(next)
+		wg.Wait()
+		close(results)
+	}()
+
+	merger := newInterpretationMerger(cfg)
+	pending := make(map[int][]*Interpretation)
+	nextIdx := 0
+	capReached := false
+	var firstErr error
+	for r := range results {
+		if capReached || firstErr != nil {
+			continue // draining
+		}
+		if r.err != nil {
+			// Enumeration only errs on context cancellation; remember it,
+			// stop merging, and drain.
+			firstErr = r.err
+			cancel()
+			continue
+		}
+		pending[r.idx] = r.shard
+		for !capReached {
+			shard, ok := pending[nextIdx]
+			if !ok {
+				break
+			}
+			delete(pending, nextIdx)
+			nextIdx++
+			if merger.add(shard) {
+				capReached = true
+				cancel() // cap satisfied: stop outstanding enumeration
+			}
+		}
+	}
+	if capReached {
+		// Identical to the sequential cap exit: shards 0..nextIdx-1 merged
+		// in catalogue order until the cap filled.
+		return merger.out, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return merger.out, nil
+}
+
+// interpretationMerger folds per-template shards into the final
+// interpretation list, deduplicating on interpretation keys and applying
+// the MaxInterpretations cap — the single definition of merge order shared
+// by the sequential and parallel paths.
+type interpretationMerger struct {
+	cfg  GenerateConfig
+	seen map[string]bool
+	out  []*Interpretation
+}
+
+func newInterpretationMerger(cfg GenerateConfig) *interpretationMerger {
+	return &interpretationMerger{cfg: cfg, seen: make(map[string]bool)}
+}
+
+// add folds one shard in; it reports whether the cap has been reached and
+// merging should stop.
+func (m *interpretationMerger) add(shard []*Interpretation) bool {
+	for _, q := range shard {
+		key := q.Key()
+		if m.seen[key] {
+			continue
+		}
+		m.seen[key] = true
+		m.out = append(m.out, q)
+		if m.cfg.MaxInterpretations > 0 && len(m.out) >= m.cfg.MaxInterpretations {
+			return true
+		}
+	}
+	return false
+}
+
+// templateInterpretations enumerates the minimal, deduplicated-later
+// interpretations of one template in deterministic order.
+func templateInterpretations(ctx context.Context, c *Candidates, matched []int, tpl *Template) ([]*Interpretation, error) {
+	var out []*Interpretation
+	err := enumerateBindings(ctx, c, matched, tpl, func(bindings []Binding) {
+		q := NewInterpretation(c.Keywords, tpl, bindings)
+		if minimal(q) {
+			out = append(out, q)
+		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
+// enumerateCheckEvery is the number of emitted binding combinations
+// between context checks during enumeration.
+const enumerateCheckEvery = 512
+
 // enumerateBindings enumerates all assignments of every matched keyword to
 // a candidate interpretation compatible with the template, including the
-// choice of table occurrence for self-join templates.
-func enumerateBindings(c *Candidates, matched []int, tpl *Template) [][]Binding {
-	var out [][]Binding
+// choice of table occurrence for self-join templates. yield borrows the
+// binding slice: it must copy what it keeps (NewInterpretation does). The
+// context is checked every enumerateCheckEvery emissions so even a single
+// huge template shard aborts promptly on cancellation.
+func enumerateBindings(ctx context.Context, c *Candidates, matched []int, tpl *Template, yield func([]Binding)) error {
+	emitted := 0
 	cur := make([]Binding, 0, len(matched))
-	var rec func(i int)
-	rec = func(i int) {
+	var rec func(i int) error
+	rec = func(i int) error {
 		if i == len(matched) {
-			bs := make([]Binding, len(cur))
-			copy(bs, cur)
-			out = append(out, bs)
-			return
+			emitted++
+			if emitted%enumerateCheckEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			yield(cur)
+			return nil
 		}
 		pos := matched[i]
 		for _, ki := range c.PerKeyword[pos] {
 			if ki.Kind == KindAggregate {
 				cur = append(cur, Binding{KI: ki, Occ: -1})
-				rec(i + 1)
+				err := rec(i + 1)
 				cur = cur[:len(cur)-1]
+				if err != nil {
+					return err
+				}
 				continue
 			}
 			occs := tpl.Occurrences(ki.TargetTable())
 			for _, occ := range occs {
 				cur = append(cur, Binding{KI: ki, Occ: occ})
-				rec(i + 1)
+				err := rec(i + 1)
 				cur = cur[:len(cur)-1]
+				if err != nil {
+					return err
+				}
 			}
 		}
+		return nil
 	}
-	rec(0)
-	return out
+	return rec(0)
 }
 
 // minimal implements Definition 3.5.4(2): no sub-structure of the query can

@@ -1,0 +1,58 @@
+package query
+
+import (
+	"context"
+	"testing"
+)
+
+// TestGenerateCompleteParallelEquivalence locks the shard/merge contract:
+// at every parallelism level, with and without the MaxInterpretations
+// cap, parallel generation returns exactly the sequential output — same
+// interpretations, same order.
+func TestGenerateCompleteParallelEquivalence(t *testing.T) {
+	f := newFixture(t)
+	ctx := context.Background()
+	for _, kws := range [][]string{
+		{"hanks"},
+		{"hanks", "2001"},
+		{"hanks", "tom", "2001"},
+	} {
+		c := GenerateCandidates(f.ix, kws, GenerateOptionsConfig{})
+		for _, cap := range []int{0, 1, 2, 5} {
+			want, err := GenerateCompleteContext(ctx, c, f.cat, GenerateConfig{MaxInterpretations: cap})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range []int{2, 4, 8} {
+				got, err := GenerateCompleteContext(ctx, c, f.cat, GenerateConfig{
+					MaxInterpretations: cap, Parallelism: p,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("kws=%v cap=%d p=%d: %d interpretations, want %d",
+						kws, cap, p, len(got), len(want))
+				}
+				for i := range want {
+					if got[i].Key() != want[i].Key() {
+						t.Fatalf("kws=%v cap=%d p=%d: order diverges at %d:\n got %s\nwant %s",
+							kws, cap, p, i, got[i].Key(), want[i].Key())
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGenerateCompleteParallelCancelled asserts parallel generation
+// surfaces cancellation rather than partial output.
+func TestGenerateCompleteParallelCancelled(t *testing.T) {
+	f := newFixture(t)
+	c := GenerateCandidates(f.ix, []string{"hanks", "2001"}, GenerateOptionsConfig{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := GenerateCompleteContext(ctx, c, f.cat, GenerateConfig{Parallelism: 4}); err == nil {
+		t.Fatal("expected context error from cancelled parallel generation")
+	}
+}

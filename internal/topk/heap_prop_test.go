@@ -1,0 +1,124 @@
+package topk
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/schemagraph"
+)
+
+// propInterp fabricates an interpretation with a distinct, deterministic
+// key (a single-table template named by index) so tie-breaking on
+// Q.Key() is observable.
+func propInterp(i int) *query.Interpretation {
+	tree := &schemagraph.JoinTree{Tables: []string{fmt.Sprintf("t%04d", i)}}
+	return query.NewInterpretation(nil, query.NewTemplate(i, tree), nil)
+}
+
+// selectTopK replicates TopKContext's heap phase on a raw result stream:
+// fold every result through the bounded heap, then sort the retained set
+// the way TopKContext returns it.
+func selectTopK(results []Result, k int) []Result {
+	h := &resultHeap{}
+	heap.Init(h)
+	m := newHeapMerger(h, k)
+	m.add(results)
+	out := make([]Result, h.Len())
+	copy(out, *h)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Q.Key() < out[j].Q.Key()
+	})
+	return out
+}
+
+// TestResultHeapProperty is the property test of the bounded result heap:
+// for random result streams (with deliberately heavy score ties), popping
+// K results always yields exactly the K highest scores, ordered
+// descending with ascending-key tie order, and the selection is
+// deterministic for a given stream.
+func TestResultHeapProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	interps := make([]*query.Interpretation, 128)
+	for i := range interps {
+		interps[i] = propInterp(i)
+	}
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(100)
+		k := 1 + rng.Intn(12)
+		results := make([]Result, n)
+		for i := range results {
+			// Few distinct score levels force boundary ties.
+			results[i] = Result{
+				Q:     interps[rng.Intn(len(interps))],
+				Score: float64(rng.Intn(8)) / 7,
+			}
+		}
+		got := selectTopK(results, k)
+
+		want := n
+		if k < want {
+			want = k
+		}
+		if len(got) != want {
+			t.Fatalf("trial %d: got %d results, want %d", trial, len(got), want)
+		}
+		// (1) Score multiset correctness: the retained scores are exactly
+		// the k highest of the stream.
+		scores := make([]float64, n)
+		for i, r := range results {
+			scores[i] = r.Score
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
+		for i, r := range got {
+			if r.Score != scores[i] {
+				t.Fatalf("trial %d: rank %d score = %v, want %v", trial, i, r.Score, scores[i])
+			}
+		}
+		// (2) Ordering: descending score, ascending key within equal scores.
+		for i := 1; i < len(got); i++ {
+			if got[i].Score > got[i-1].Score {
+				t.Fatalf("trial %d: scores not descending at %d", trial, i)
+			}
+			if got[i].Score == got[i-1].Score && got[i].Q.Key() < got[i-1].Q.Key() {
+				t.Fatalf("trial %d: tie order not by key at %d: %q before %q",
+					trial, i, got[i-1].Q.Key(), got[i].Q.Key())
+			}
+		}
+		// (3) Determinism: replaying the identical stream yields the
+		// identical selection.
+		again := selectTopK(results, k)
+		for i := range got {
+			if got[i].Score != again[i].Score || got[i].Q.Key() != again[i].Q.Key() {
+				t.Fatalf("trial %d: selection not deterministic at %d", trial, i)
+			}
+		}
+	}
+}
+
+// TestResultHeapPopOrder pins the min-heap contract itself: popping the
+// heap directly yields ascending scores, so the root is always the
+// current k-th best (the threshold the early-stopping rule compares
+// against).
+func TestResultHeapPopOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := &resultHeap{}
+	heap.Init(h)
+	for i := 0; i < 64; i++ {
+		heap.Push(h, Result{Q: propInterp(i), Score: rng.Float64()})
+	}
+	prev := -1.0
+	for h.Len() > 0 {
+		r := heap.Pop(h).(Result)
+		if r.Score < prev {
+			t.Fatalf("heap popped %v after %v", r.Score, prev)
+		}
+		prev = r.Score
+	}
+}

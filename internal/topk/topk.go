@@ -15,8 +15,10 @@ package topk
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/invindex"
 	"repro/internal/prob"
@@ -105,6 +107,13 @@ type Options struct {
 	// PerInterpretationLimit caps JTT materialisation per interpretation
 	// (0 = unlimited).
 	PerInterpretationLimit int
+	// Parallelism fans plan execution out across a bounded worker pool
+	// (<= 1 executes sequentially). Executions run in waves of this size;
+	// result batches feed the single bounded heap in rank order with the
+	// same threshold checks as the sequential loop, so the returned results
+	// — and Stats — are identical at every setting (speculatively executed
+	// batches past the stopping point are discarded uncounted).
+	Parallelism int
 }
 
 // Stats reports how much work early stopping saved.
@@ -134,8 +143,24 @@ func (h *resultHeap) Pop() interface{} {
 
 // TopK retrieves the k best results over the ranked interpretation list.
 // ranked must be sorted by descending score (as produced by
-// prob.Model.Rank); the interpretation score is its upper bound.
+// prob.Model.Rank); the interpretation score is its upper bound. It is
+// the context-free convenience form of TopKContext.
 func TopK(db *relstore.Database, ranked []prob.Scored, scorer Scorer, opts Options) ([]Result, Stats, error) {
+	return TopKContext(context.Background(), db, ranked, scorer, opts)
+}
+
+// TopKContext is TopK with cancellation and optional parallel plan
+// execution: the context is checked before every interpretation execution
+// (and between waves when parallel), and with opts.Parallelism > 1 the
+// next wave of candidate interpretations is executed concurrently while
+// their result batches are merged into the bounded heap strictly in rank
+// order. Merging applies the threshold check before every batch exactly
+// like the sequential loop, so the heap evolves identically and the
+// output is bit-identical at every parallelism setting. (Soundness of the
+// speculation: a batch discarded by the threshold can only hold results
+// with score ≤ its interpretation bound ≤ the current k-th best, and such
+// results never enter a full heap.)
+func TopKContext(ctx context.Context, db *relstore.Database, ranked []prob.Scored, scorer Scorer, opts Options) ([]Result, Stats, error) {
 	var stats Stats
 	if opts.K <= 0 {
 		return nil, stats, fmt.Errorf("topk: K must be positive")
@@ -145,37 +170,41 @@ func TopK(db *relstore.Database, ranked []prob.Scored, scorer Scorer, opts Optio
 	}
 	h := &resultHeap{}
 	heap.Init(h)
-	kth := func() float64 {
-		if h.Len() < opts.K {
-			return -1
-		}
-		return (*h)[0].Score
+	merge := newHeapMerger(h, opts.K)
+
+	wave := opts.Parallelism
+	if wave < 1 {
+		wave = 1
 	}
-	for i, sc := range ranked {
+	batches := make([]batch, wave)
+outer:
+	for start := 0; start < len(ranked); start += wave {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
 		// Early stop (TA / DISCOVER2): no future interpretation can beat
 		// the current k-th best result.
-		if h.Len() >= opts.K && kth() >= sc.Score {
-			stats.Skipped = len(ranked) - i
+		if merge.stop(ranked[start].Score) {
+			stats.Skipped = len(ranked) - start
 			break
 		}
-		plan, err := sc.Q.JoinPlan()
-		if err != nil {
-			return nil, stats, err
+		end := start + wave
+		if end > len(ranked) {
+			end = len(ranked)
 		}
-		jtts, err := db.Execute(plan, relstore.ExecuteOptions{Limit: opts.PerInterpretationLimit})
-		if err != nil {
-			return nil, stats, err
-		}
-		stats.Executed++
-		for _, jtt := range jtts {
-			stats.Materialized++
-			score := sc.Score * scorer.Factor(db, plan, jtt)
-			if h.Len() < opts.K {
-				heap.Push(h, Result{Q: sc.Q, Rows: jtt.Rows, Score: score})
-			} else if score > (*h)[0].Score {
-				(*h)[0] = Result{Q: sc.Q, Rows: jtt.Rows, Score: score}
-				heap.Fix(h, 0)
+		executeWave(ctx, db, ranked[start:end], scorer, opts.PerInterpretationLimit, batches[:end-start])
+		for i := start; i < end; i++ {
+			if merge.stop(ranked[i].Score) {
+				stats.Skipped = len(ranked) - i
+				break outer
 			}
+			b := batches[i-start]
+			if b.err != nil {
+				return nil, stats, b.err
+			}
+			stats.Executed++
+			stats.Materialized += len(b.results)
+			merge.add(b.results)
 		}
 	}
 	out := make([]Result, h.Len())
@@ -189,6 +218,83 @@ func TopK(db *relstore.Database, ranked []prob.Scored, scorer Scorer, opts Optio
 		return out[i].Q.Key() < out[j].Q.Key()
 	})
 	return out, stats, nil
+}
+
+// batch is the outcome of executing one interpretation.
+type batch struct {
+	results []Result
+	err     error
+}
+
+// executeWave executes a slice of ranked interpretations, one goroutine
+// each when len > 1, filling batches[i] for ranked[i]. Workers only read
+// the immutable database and write disjoint batch slots, so no further
+// synchronisation is needed beyond the WaitGroup.
+func executeWave(ctx context.Context, db *relstore.Database, ranked []prob.Scored, scorer Scorer, limit int, batches []batch) {
+	if len(ranked) == 1 {
+		batches[0] = executeOne(ctx, db, ranked[0], scorer, limit)
+		return
+	}
+	var wg sync.WaitGroup
+	for i := range ranked {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			batches[i] = executeOne(ctx, db, ranked[i], scorer, limit)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// executeOne materialises and scores the results of one interpretation.
+func executeOne(ctx context.Context, db *relstore.Database, sc prob.Scored, scorer Scorer, limit int) batch {
+	if err := ctx.Err(); err != nil {
+		return batch{err: err}
+	}
+	plan, err := sc.Q.JoinPlan()
+	if err != nil {
+		return batch{err: err}
+	}
+	jtts, err := db.Execute(plan, relstore.ExecuteOptions{Limit: limit})
+	if err != nil {
+		return batch{err: err}
+	}
+	results := make([]Result, 0, len(jtts))
+	for _, jtt := range jtts {
+		results = append(results, Result{
+			Q: sc.Q, Rows: jtt.Rows, Score: sc.Score * scorer.Factor(db, plan, jtt),
+		})
+	}
+	return batch{results: results}
+}
+
+// heapMerger owns the bounded result heap: batches are folded in rank
+// order, keeping the k best results seen so far.
+type heapMerger struct {
+	h *resultHeap
+	k int
+}
+
+func newHeapMerger(h *resultHeap, k int) *heapMerger {
+	return &heapMerger{h: h, k: k}
+}
+
+// stop reports whether an interpretation with the given score bound (and
+// therefore every later one, since bounds descend) can be skipped.
+func (m *heapMerger) stop(bound float64) bool {
+	return m.h.Len() >= m.k && (*m.h)[0].Score >= bound
+}
+
+// add folds one batch of results into the heap.
+func (m *heapMerger) add(results []Result) {
+	for _, r := range results {
+		if m.h.Len() < m.k {
+			heap.Push(m.h, r)
+		} else if r.Score > (*m.h)[0].Score {
+			(*m.h)[0] = r
+			heap.Fix(m.h, 0)
+		}
+	}
 }
 
 // Naive executes every interpretation, unions the results, and sorts —

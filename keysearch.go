@@ -42,6 +42,7 @@ package keysearch
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/datagraph"
@@ -84,6 +85,8 @@ type config struct {
 	segmentPhrases     bool
 	segmentThreshold   float64
 	enableAggregates   bool
+	parallelism        int
+	scoreCacheOff      bool
 }
 
 // Option configures an Engine at construction time.
@@ -137,6 +140,25 @@ func WithAggregates() Option {
 	return func(c *config) { c.enableAggregates = true }
 }
 
+// WithParallelism sets the worker count of the interpretation pipeline's
+// parallel stages — template-sharded binding enumeration, concurrent
+// interpretation scoring, and fanned-out top-k plan execution. n <= 0 (the
+// default) selects runtime.GOMAXPROCS(0); 1 forces the sequential path.
+// Every stage merges deterministically, so the same request produces a
+// byte-identical response at any parallelism setting.
+func WithParallelism(n int) Option {
+	return func(c *config) { c.parallelism = n }
+}
+
+// WithScoreCache toggles the per-engine memoised cache of score sub-terms
+// (template priors and keyword-interpretation probabilities). The cache is
+// enabled by default; it is a pure memoisation over the immutable index,
+// so it never changes scores — disable it only to measure its effect or to
+// bound memory on enormous vocabularies.
+func WithScoreCache(enabled bool) Option {
+	return func(c *config) { c.scoreCacheOff = !enabled }
+}
+
 func newConfig(opts []Option) config {
 	cfg := config{maxJoinPath: 4}
 	for _, o := range opts {
@@ -147,6 +169,9 @@ func newConfig(opts []Option) config {
 	}
 	if cfg.segmentPhrases && cfg.segmentThreshold <= 0 {
 		cfg.segmentThreshold = 0.8
+	}
+	if cfg.parallelism <= 0 {
+		cfg.parallelism = runtime.GOMAXPROCS(0)
 	}
 	return cfg
 }
@@ -236,8 +261,10 @@ func (e *Engine) Build() error {
 		MaxTrees: e.cfg.maxTemplates,
 	})
 	e.model = prob.New(e.ix, e.cat, prob.Config{
-		Alpha:           e.cfg.alpha,
-		UseCoOccurrence: e.cfg.useCoOccurrence,
+		Alpha:             e.cfg.alpha,
+		UseCoOccurrence:   e.cfg.useCoOccurrence,
+		Parallelism:       e.cfg.parallelism,
+		DisableScoreCache: e.cfg.scoreCacheOff,
 	})
 	e.built = true
 	return nil
@@ -256,6 +283,10 @@ func (e *Engine) NumTemplates() int {
 	}
 	return len(e.cat.Templates)
 }
+
+// Parallelism returns the effective worker count of the interpretation
+// pipeline's parallel stages (see WithParallelism).
+func (e *Engine) Parallelism() int { return e.cfg.parallelism }
 
 // parse tokenises a keyword query string.
 func parse(keywords string) []string {
@@ -297,7 +328,9 @@ func (e *Engine) interpret(ctx context.Context, keywords string) ([]prob.Scored,
 	if err != nil {
 		return nil, nil, err
 	}
-	space, err := query.GenerateCompleteContext(ctx, c, e.cat, query.GenerateConfig{})
+	space, err := query.GenerateCompleteContext(ctx, c, e.cat, query.GenerateConfig{
+		Parallelism: e.cfg.parallelism,
+	})
 	if err != nil {
 		return nil, nil, err
 	}

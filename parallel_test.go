@@ -1,0 +1,223 @@
+package keysearch
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/prob"
+	"repro/internal/query"
+	"repro/internal/topk"
+)
+
+// parallelLevels are the worker counts the determinism suite compares;
+// 1 is the sequential reference.
+var parallelLevels = []int{1, 2, 8}
+
+// determinismRequests is the request mix replayed at every parallelism
+// level. Row previews are included so the comparison covers plan
+// execution, not just ranking.
+func determinismRequests(eng *Engine) (searches []SearchRequest, rows []RowsRequest) {
+	for _, q := range goldenQueries(eng) {
+		searches = append(searches, SearchRequest{Query: q, K: 10, RowLimit: 2})
+		rows = append(rows, RowsRequest{Query: q, K: 6})
+	}
+	return searches, rows
+}
+
+// TestParallelDeterminism asserts the tentpole guarantee: the same
+// Request produces a byte-identical Response JSON at parallelism 1, 2,
+// and 8, for both ranked-interpretation search and global top-k rows.
+// Run under -race (as in CI) this doubles as the race test for every
+// parallel stage.
+func TestParallelDeterminism(t *testing.T) {
+	ctx := context.Background()
+	type capture struct {
+		search [][]byte
+		rows   [][]byte
+	}
+	captures := make(map[int]capture)
+	for _, p := range parallelLevels {
+		eng, err := DemoMoviesWith(11, WithParallelism(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := eng.Parallelism(); got != p {
+			t.Fatalf("Parallelism() = %d, want %d", got, p)
+		}
+		searches, rowReqs := determinismRequests(eng)
+		var c capture
+		for _, req := range searches {
+			resp, err := eng.Search(ctx, req)
+			if err != nil {
+				t.Fatalf("p=%d Search(%q): %v", p, req.Query, err)
+			}
+			b, err := json.Marshal(resp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.search = append(c.search, b)
+		}
+		for _, req := range rowReqs {
+			resp, err := eng.SearchRows(ctx, req)
+			if err != nil {
+				t.Fatalf("p=%d SearchRows(%q): %v", p, req.Query, err)
+			}
+			b, err := json.Marshal(resp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.rows = append(c.rows, b)
+		}
+		captures[p] = c
+	}
+	ref := captures[1]
+	for _, p := range parallelLevels[1:] {
+		c := captures[p]
+		for i := range ref.search {
+			if string(ref.search[i]) != string(c.search[i]) {
+				t.Errorf("Search response %d differs between parallelism 1 and %d:\nseq: %s\npar: %s",
+					i, p, ref.search[i], c.search[i])
+			}
+		}
+		for i := range ref.rows {
+			if string(ref.rows[i]) != string(c.rows[i]) {
+				t.Errorf("Rows response %d differs between parallelism 1 and %d:\nseq: %s\npar: %s",
+					i, p, ref.rows[i], c.rows[i])
+			}
+		}
+	}
+}
+
+// TestScoreCacheTransparency asserts the memoised score cache never
+// changes a response: cache on vs cache off produce byte-identical JSON,
+// and repeated requests against one (warm) engine stay identical too.
+func TestScoreCacheTransparency(t *testing.T) {
+	ctx := context.Background()
+	on, err := DemoMoviesWith(11, WithScoreCache(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := DemoMoviesWith(11, WithScoreCache(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range goldenQueries(on) {
+		req := SearchRequest{Query: q, K: 10}
+		first, err := on.Search(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := on.Search(ctx, req) // second hit serves from the cache
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := off.Search(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb, _ := json.Marshal(first)
+		wb, _ := json.Marshal(warm)
+		cb, _ := json.Marshal(cold)
+		if string(fb) != string(wb) {
+			t.Errorf("warm cache changed response for %q", q)
+		}
+		if string(fb) != string(cb) {
+			t.Errorf("cache on/off responses differ for %q:\non:  %s\noff: %s", q, fb, cb)
+		}
+	}
+}
+
+// TestStageCancellation proves a cancelled context returns promptly from
+// each parallel stage in isolation — candidate generation, interpretation
+// enumeration, ranking, and top-k execution — not just from the pipeline
+// entry points.
+func TestStageCancellation(t *testing.T) {
+	eng, err := DemoMoviesWith(11, WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := context.Background()
+	cancelled, cancel := context.WithCancel(live)
+	cancel()
+
+	toks := eng.SampleQueries(3)
+	if len(toks) < 3 {
+		t.Fatal("not enough sample tokens")
+	}
+	q := toks[0] + " " + toks[1] + " " + toks[2]
+
+	// Stage inputs, prepared under a live context.
+	cands, _, err := eng.candidatesFor(live, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, err := query.GenerateCompleteContext(live, cands, eng.cat, query.GenerateConfig{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(space) == 0 {
+		t.Fatal("empty interpretation space")
+	}
+	ranked, err := eng.model.RankContext(live, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("generate", func(t *testing.T) {
+		if _, err := query.GenerateCompleteContext(cancelled, cands, eng.cat, query.GenerateConfig{Parallelism: 4}); !errors.Is(err, context.Canceled) {
+			t.Fatalf("GenerateCompleteContext error = %v, want context.Canceled", err)
+		}
+	})
+	t.Run("rank", func(t *testing.T) {
+		if _, err := eng.model.RankContext(cancelled, space); !errors.Is(err, context.Canceled) {
+			t.Fatalf("RankContext error = %v, want context.Canceled", err)
+		}
+	})
+	t.Run("topk", func(t *testing.T) {
+		_, _, err := topk.TopKContext(cancelled, eng.db, ranked, &topk.TFScorer{IX: eng.ix}, topk.Options{K: 5, Parallelism: 4})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("TopKContext error = %v, want context.Canceled", err)
+		}
+	})
+	t.Run("rank-sequential-model", func(t *testing.T) {
+		m := prob.New(eng.ix, eng.cat, prob.Config{})
+		if _, err := m.RankContext(cancelled, space); !errors.Is(err, context.Canceled) {
+			t.Fatalf("sequential RankContext error = %v, want context.Canceled", err)
+		}
+	})
+}
+
+// TestMidPipelineCancellation cancels a request while the parallel
+// pipeline is (potentially) mid-flight and asserts it returns quickly
+// with either a complete response or context.Canceled — never a hang and
+// never a mangled error.
+func TestMidPipelineCancellation(t *testing.T) {
+	eng, err := DemoMoviesWith(11, WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	toks := eng.SampleQueries(3)
+	q := toks[0] + " " + toks[1]
+	for _, delay := range []time.Duration{0, 50 * time.Microsecond, 500 * time.Microsecond} {
+		ctx, cancel := context.WithCancel(context.Background())
+		timer := time.AfterFunc(delay, cancel)
+		done := make(chan error, 1)
+		go func() {
+			_, err := eng.Search(ctx, SearchRequest{Query: q, K: 10, RowLimit: 2})
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if err != nil && !errors.Is(err, context.Canceled) {
+				t.Fatalf("delay %v: error = %v, want nil or context.Canceled", delay, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("delay %v: Search did not return after cancellation", delay)
+		}
+		timer.Stop()
+		cancel()
+	}
+}
