@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fuzz bench bench-quick golden check
+.PHONY: build test race vet fuzz bench bench-quick bench-exec golden check
 
 build:
 	$(GO) build ./...
@@ -21,13 +21,19 @@ vet:
 fuzz:
 	$(GO) test -fuzz FuzzNormalizeKeywords -fuzztime 30s ./internal/query
 
-# bench writes the pipeline benchmark grid to BENCH_pipeline.json — the
-# perf-trajectory artifact CI archives on every run.
+# bench writes the pipeline benchmark grid to BENCH_pipeline.json and the
+# executor legs to BENCH_executor.json — the perf-trajectory artifacts CI
+# archives on every run.
 bench:
-	$(GO) run ./cmd/bench -out BENCH_pipeline.json
+	$(GO) run ./cmd/bench -out BENCH_pipeline.json -exec-out BENCH_executor.json
 
 bench-quick:
-	$(GO) run ./cmd/bench -quick -out BENCH_pipeline.json
+	$(GO) run ./cmd/bench -quick -out BENCH_pipeline.json -exec-out BENCH_executor.json
+
+# bench-exec measures only the storage-engine executor legs (scan vs
+# posting lists vs selection cache vs allocation-free count).
+bench-exec:
+	$(GO) run ./cmd/bench -only executor -exec-out BENCH_executor.json
 
 # golden regenerates testdata/golden after an intentional ranking change.
 # Plain `make test` fails if golden files drift without this.

@@ -91,6 +91,12 @@ func (r Result) Count() (int, error) {
 // each row maps "table.column" to the value (occurrence index appended
 // for self-joins: "table#2.column").
 func (r Result) Rows(limit int) ([]map[string]string, error) {
+	return r.rows(limit, nil)
+}
+
+// rows is Rows with an optional request-scoped selection cache shared
+// across the results of one response.
+func (r Result) rows(limit int, cache *relstore.SelectionCache) ([]map[string]string, error) {
 	if r.q == nil {
 		return nil, fmt.Errorf("keysearch: result is not executable (obtained from JSON?)")
 	}
@@ -98,7 +104,7 @@ func (r Result) Rows(limit int) ([]map[string]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	jtts, err := r.eng.db.Execute(plan, relstore.ExecuteOptions{Limit: limit})
+	jtts, err := r.eng.db.Execute(plan, relstore.ExecuteOptions{Limit: limit, Cache: cache})
 	if err != nil {
 		return nil, err
 	}
@@ -135,16 +141,23 @@ func planRow(db *relstore.Database, plan *relstore.JoinPlan, rowIDs []int) map[s
 }
 
 // attachPreviews executes each result and stores up to limit rows,
-// checking the context between executions.
-func attachPreviews(ctx context.Context, results []Result, limit int) error {
+// checking the context between executions. One selection cache is shared
+// across all previews of the response (unless disabled on the engine):
+// the returned interpretations recombine the same keyword selections, so
+// each is computed once per request.
+func (e *Engine) attachPreviews(ctx context.Context, results []Result, limit int) error {
 	if limit <= 0 {
 		return nil
+	}
+	var cache *relstore.SelectionCache
+	if !e.cfg.execCacheOff {
+		cache = relstore.NewSelectionCache()
 	}
 	for i := range results {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		rows, err := results[i].Rows(limit)
+		rows, err := results[i].rows(limit, cache)
 		if err != nil {
 			continue
 		}
@@ -167,7 +180,7 @@ func (e *Engine) Search(ctx context.Context, req SearchRequest) (*SearchResponse
 		ranked = ranked[:req.K]
 	}
 	resp.Results = e.wrap(ranked)
-	if err := attachPreviews(ctx, resp.Results, req.RowLimit); err != nil {
+	if err := e.attachPreviews(ctx, resp.Results, req.RowLimit); err != nil {
 		return nil, err
 	}
 	return resp, nil
@@ -185,13 +198,17 @@ func (e *Engine) Diversify(ctx context.Context, req DiversifyRequest) (*SearchRe
 	if len(ranked) > 25 {
 		ranked = ranked[:25]
 	}
-	nonEmpty, err := divq.FilterNonEmptyContext(ctx, e.db, ranked)
+	var cache *relstore.SelectionCache
+	if !e.cfg.execCacheOff {
+		cache = relstore.NewSelectionCache()
+	}
+	nonEmpty, err := divq.FilterNonEmptyCached(ctx, e.db, ranked, cache)
 	if err != nil {
 		return nil, err
 	}
 	div := divq.Diversify(nonEmpty, divq.Config{Lambda: req.Lambda, K: req.K})
 	resp.Results = e.wrap(div)
-	if err := attachPreviews(ctx, resp.Results, req.RowLimit); err != nil {
+	if err := e.attachPreviews(ctx, resp.Results, req.RowLimit); err != nil {
 		return nil, err
 	}
 	return resp, nil
@@ -236,6 +253,7 @@ func (e *Engine) SearchRows(ctx context.Context, req RowsRequest) (*RowsResponse
 	}
 	results, _, err := topk.TopKContext(ctx, e.db, ranked, &topk.TFScorer{IX: e.ix}, topk.Options{
 		K: req.K, PerInterpretationLimit: 4 * req.K, Parallelism: e.cfg.parallelism,
+		DisableExecutionCache: e.cfg.execCacheOff,
 	})
 	if err != nil {
 		return nil, err

@@ -1,15 +1,24 @@
-// Command bench runs the interpretation-pipeline benchmark grid (keyword
-// count × parallelism, plus score-cache ablations — the same grid as
-// BenchmarkPipelineSequentialVsParallel) and writes the measurements to a
-// JSON file, so the perf trajectory is tracked from PR to PR by CI.
+// Command bench runs the repo's benchmark grids and writes the
+// measurements to JSON files, so the perf trajectory is tracked from PR
+// to PR by CI:
+//
+//   - the interpretation-pipeline grid (keyword count × parallelism, plus
+//     score-cache ablations — the same grid as
+//     BenchmarkPipelineSequentialVsParallel) → BENCH_pipeline.json, and
+//   - the executor legs (scan reference vs compiled posting-list
+//     execution, with and without the per-request selection cache, plus
+//     the allocation-free count probe — the same legs as
+//     BenchmarkExecute*) → BENCH_executor.json.
 //
 // Usage:
 //
-//	go run ./cmd/bench [-out BENCH_pipeline.json] [-quick]
+//	go run ./cmd/bench [-out BENCH_pipeline.json] [-exec-out BENCH_executor.json]
+//	                   [-only all|pipeline|executor] [-quick]
 //
-// The output records ns/op, allocations, and the speedup of every
-// parallel leg against its sequential (p=1) baseline, alongside the host
-// shape (CPU count, GOMAXPROCS) needed to interpret absolute numbers.
+// The output records ns/op, allocations, and speedups against each grid's
+// baseline (sequential for the pipeline, scan for the executor),
+// alongside the host shape (CPU count, GOMAXPROCS) needed to interpret
+// absolute numbers.
 package main
 
 import (
@@ -20,11 +29,12 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/benchexec"
 	"repro/internal/benchpipe"
 )
 
-// report is the top-level shape of BENCH_pipeline.json.
-type report struct {
+// pipelineReport is the top-level shape of BENCH_pipeline.json.
+type pipelineReport struct {
 	GeneratedAt string          `json:"generated_at"`
 	GoVersion   string          `json:"go_version"`
 	NumCPU      int             `json:"num_cpu"`
@@ -33,35 +43,79 @@ type report struct {
 	Rows        []benchpipe.Row `json:"rows"`
 }
 
+// executorReport is the top-level shape of BENCH_executor.json.
+type executorReport struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	NumCPU      int    `json:"num_cpu"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	*benchexec.Report
+}
+
 func main() {
-	out := flag.String("out", "BENCH_pipeline.json", "output file")
-	quick := flag.Bool("quick", false, "run the trimmed quick grid")
+	out := flag.String("out", "BENCH_pipeline.json", "pipeline grid output file")
+	execOut := flag.String("exec-out", "BENCH_executor.json", "executor legs output file")
+	only := flag.String("only", "all", "which grids to run: all, pipeline, or executor")
+	quick := flag.Bool("quick", false, "run the trimmed quick pipeline grid")
 	flag.Parse()
 
-	cases := benchpipe.Cases(*quick)
-	log.Printf("running %d pipeline benchmark cases (quick=%v)...", len(cases), *quick)
-	rows, err := benchpipe.Measure(cases)
-	if err != nil {
-		log.Fatal(err)
+	runPipeline := *only == "all" || *only == "pipeline"
+	runExecutor := *only == "all" || *only == "executor"
+	if !runPipeline && !runExecutor {
+		log.Fatalf("unknown -only value %q (want all, pipeline, or executor)", *only)
 	}
-	rep := report{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		GoVersion:   runtime.Version(),
-		NumCPU:      runtime.NumCPU(),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		Dataset:     "demo-movies scaled 2.5x",
-		Rows:        rows,
+
+	if runPipeline {
+		cases := benchpipe.Cases(*quick)
+		log.Printf("running %d pipeline benchmark cases (quick=%v)...", len(cases), *quick)
+		rows, err := benchpipe.Measure(cases)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep := pipelineReport{
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			GoVersion:   runtime.Version(),
+			NumCPU:      runtime.NumCPU(),
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			Dataset:     "demo-movies scaled 2.5x",
+			Rows:        rows,
+		}
+		writeJSON(*out, rep)
+		for _, r := range rows {
+			log.Printf("%-22s %12d ns/op  speedup %.2fx", r.Name, r.NsPerOp, r.SpeedupVsSequential)
+		}
+		log.Printf("wrote %s", *out)
 	}
-	b, err := json.MarshalIndent(rep, "", "  ")
+
+	if runExecutor {
+		log.Printf("running executor benchmark legs...")
+		rep, err := benchexec.Measure()
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeJSON(*execOut, executorReport{
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			GoVersion:   runtime.Version(),
+			NumCPU:      runtime.NumCPU(),
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			Report:      rep,
+		})
+		for _, r := range rep.Rows {
+			log.Printf("%-16s %12d ns/op  %8d allocs/op  speedup %.2fx vs scan",
+				r.Name, r.NsPerOp, r.AllocsPerOp, r.SpeedupVsScan)
+		}
+		log.Printf("wrote %s", *execOut)
+	}
+}
+
+// writeJSON marshals the report with a trailing newline.
+func writeJSON(path string, v any) {
+	b, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		log.Fatal(err)
 	}
 	b = append(b, '\n')
-	if err := os.WriteFile(*out, b, 0o644); err != nil {
+	if err := os.WriteFile(path, b, 0o644); err != nil {
 		log.Fatal(err)
 	}
-	for _, r := range rows {
-		log.Printf("%-22s %12d ns/op  speedup %.2fx", r.Name, r.NsPerOp, r.SpeedupVsSequential)
-	}
-	log.Printf("wrote %s", *out)
 }

@@ -35,12 +35,14 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 1024, "cap on live construction sessions")
 	parallelism := flag.Int("parallelism", 0, "pipeline worker count (0 = GOMAXPROCS, 1 = sequential)")
 	scoreCache := flag.Bool("score-cache", true, "memoise score sub-terms across requests")
+	execCache := flag.Bool("exec-cache", true, "share keyword selections across the plans of one request")
 	flag.Parse()
 
 	opts := []keysearch.Option{
 		keysearch.WithCoOccurrence(),
 		keysearch.WithParallelism(*parallelism),
 		keysearch.WithScoreCache(*scoreCache),
+		keysearch.WithExecutionCache(*execCache),
 	}
 	var (
 		eng *keysearch.Engine

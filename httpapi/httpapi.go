@@ -50,10 +50,13 @@ type KeywordsResponse struct {
 }
 
 // HealthResponse answers GET /healthz. Parallelism reports the engine's
-// pipeline worker count so operators can verify the deployed tuning.
+// pipeline worker count and ExecutionCache whether plan execution shares
+// a per-request selection cache, so operators can verify the deployed
+// tuning.
 type HealthResponse struct {
-	Status      string `json:"status"`
-	Parallelism int    `json:"parallelism"`
+	Status         string `json:"status"`
+	Parallelism    int    `json:"parallelism"`
+	ExecutionCache bool   `json:"execution_cache"`
 }
 
 // ConstructStepRequest drives one step of a sessionized construction
@@ -152,8 +155,9 @@ func New(eng *keysearch.Engine, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /v1/keywords", s.handleKeywords)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, HealthResponse{
-			Status:      "ok",
-			Parallelism: s.eng.Parallelism(),
+			Status:         "ok",
+			Parallelism:    s.eng.Parallelism(),
+			ExecutionCache: s.eng.ExecutionCacheEnabled(),
 		})
 	})
 	return s

@@ -1,0 +1,321 @@
+// Package benchexec is the executor benchmark harness: it measures plan
+// execution — the storage-engine hot path of a top-k request — in
+// isolation from interpretation generation and ranking.
+//
+// The workload mirrors what one Engine.SearchRows request makes the
+// storage layer do: execute the ranked candidate networks of an ambiguous
+// keyword query (dozens of join plans that keep recombining the same
+// keyword selections) with a per-plan materialisation limit. The harness
+// builds the same scaled demo movie dataset as the pipeline benchmark
+// (datagen.IMDB at 2.5×), derives a real ranked interpretation list via
+// the query/prob machinery, and then runs only the execution stage under
+// three engines:
+//
+//   - scan:           the reference executor (full table scans per
+//     predicate, map-based membership) — relstore.ExecuteScan,
+//   - postings:       compiled plans over posting-list selections with
+//     semi-join pruning — relstore.Execute,
+//   - postings+cache: the same with one per-request SelectionCache shared
+//     across all plans, as the serving path uses it,
+//
+// plus a count leg (CountRows over every plan, the allocation-free
+// cardinality probe). Two front-ends consume the harness: the
+// BenchmarkExecute* functions (go test -bench=Execute) for interactive
+// runs and CI smoke, and cmd/bench, which writes BENCH_executor.json so
+// the executor's perf trajectory is tracked from PR to PR.
+package benchexec
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/invindex"
+	"repro/internal/prob"
+	"repro/internal/query"
+	"repro/internal/relstore"
+	"repro/internal/schemagraph"
+)
+
+// Seed and Scale pin the dataset to the pipeline benchmark's (≈1000
+// movies, 750 actors), so the two artifacts describe the same data.
+const (
+	Seed  = 21
+	Scale = 2.5
+)
+
+// MaxPlans caps the ranked candidate networks executed per simulated
+// request, and PerPlanLimit the JTTs materialised per plan — the
+// PerInterpretationLimit a SearchRows request with K=10 uses.
+const (
+	MaxPlans     = 40
+	PerPlanLimit = 40
+)
+
+// Mode selects the execution engine of one benchmark leg.
+type Mode string
+
+const (
+	// ModeScan is the scan-based reference executor.
+	ModeScan Mode = "scan"
+	// ModePostings is the compiled posting-list executor, no cache.
+	ModePostings Mode = "postings"
+	// ModeCached is the compiled executor with one selection cache per
+	// request (the serving configuration).
+	ModeCached Mode = "postings+cache"
+	// ModeCount counts every plan's results via the allocation-free
+	// CountRows instead of materialising them.
+	ModeCount Mode = "count"
+)
+
+// Modes lists every benchmark leg in report order.
+func Modes() []Mode { return []Mode{ModeScan, ModePostings, ModeCached, ModeCount} }
+
+// Env is the lazily built benchmark environment: the scaled database and
+// the ranked join plans of the benchmark query.
+type Env struct {
+	once  sync.Once
+	err   error
+	db    *relstore.Database
+	plans []*relstore.JoinPlan
+	query string
+}
+
+// NewEnv creates an environment; the dataset is built on first use.
+func NewEnv() *Env { return &Env{} }
+
+// init builds the dataset and derives the ranked plan list once.
+func (e *Env) init() {
+	e.once.Do(func() {
+		db, err := datagen.IMDB(datagen.IMDBConfig{
+			Movies:    int(400 * Scale),
+			Actors:    int(300 * Scale),
+			Directors: int(80 * Scale),
+			Companies: int(40 * Scale),
+			Seed:      Seed,
+		})
+		if err != nil {
+			e.err = err
+			return
+		}
+		db.Prepare()
+		ix := invindex.Build(db)
+		graph := schemagraph.FromDatabase(db)
+		cat := query.BuildCatalog(graph, schemagraph.EnumerateOptions{MaxNodes: 4})
+		model := prob.New(ix, cat, prob.Config{UseCoOccurrence: true})
+
+		keywords := sampleKeywords(ix, db, 2)
+		if len(keywords) < 2 {
+			e.err = fmt.Errorf("benchexec: only %d ambiguous sample keywords", len(keywords))
+			return
+		}
+		e.query = keywords[0] + " " + keywords[1]
+		cands := query.GenerateCandidates(ix, keywords, query.GenerateOptionsConfig{})
+		ranked := model.Rank(query.GenerateComplete(cands, cat, query.GenerateConfig{}))
+		if len(ranked) > MaxPlans {
+			ranked = ranked[:MaxPlans]
+		}
+		for _, sc := range ranked {
+			plan, err := sc.Q.JoinPlan()
+			if err != nil {
+				e.err = err
+				return
+			}
+			e.plans = append(e.plans, plan)
+		}
+		if len(e.plans) == 0 {
+			e.err = fmt.Errorf("benchexec: no executable plans for %q", e.query)
+			return
+		}
+		e.db = db
+	})
+}
+
+// sampleKeywords picks the first n tokens (length >= 4) that occur in
+// more than one attribute — the ambiguous keywords that fan a query out
+// into many candidate networks (the same heuristic as
+// Engine.SampleQueries).
+func sampleKeywords(ix *invindex.Index, db *relstore.Database, n int) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, attr := range ix.Attributes() {
+		t := db.Table(attr.Table)
+		ci := t.Schema.ColumnIndex(attr.Column)
+		for _, row := range t.Rows() {
+			for _, tok := range relstore.Tokenize(row.Values[ci]) {
+				if seen[tok] || len(tok) < 4 {
+					continue
+				}
+				if len(ix.Lookup(tok)) > 1 {
+					seen[tok] = true
+					out = append(out, tok)
+					if len(out) >= n {
+						return out
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Plans returns the number of candidate networks one request executes.
+func (e *Env) Plans() (int, error) {
+	e.init()
+	return len(e.plans), e.err
+}
+
+// Query returns the benchmark's keyword query.
+func (e *Env) Query() (string, error) {
+	e.init()
+	return e.query, e.err
+}
+
+// RunRequest executes one simulated request under the given mode and
+// returns the total number of results materialised (or counted).
+func (e *Env) RunRequest(mode Mode) (int, error) {
+	e.init()
+	if e.err != nil {
+		return 0, e.err
+	}
+	var cache *relstore.SelectionCache
+	if mode == ModeCached || mode == ModeCount {
+		cache = relstore.NewSelectionCache()
+	}
+	total := 0
+	for _, p := range e.plans {
+		switch mode {
+		case ModeScan:
+			jtts, err := e.db.ExecuteScan(p, relstore.ExecuteOptions{Limit: PerPlanLimit})
+			if err != nil {
+				return 0, err
+			}
+			total += len(jtts)
+		case ModeCount:
+			n, err := e.db.CountCached(p, PerPlanLimit, cache)
+			if err != nil {
+				return 0, err
+			}
+			total += n
+		default:
+			jtts, err := e.db.Execute(p, relstore.ExecuteOptions{Limit: PerPlanLimit, Cache: cache})
+			if err != nil {
+				return 0, err
+			}
+			total += len(jtts)
+		}
+	}
+	return total, nil
+}
+
+// Verify cross-checks that every mode produces the same result total, so
+// a benchmark run cannot silently measure diverging engines.
+func (e *Env) Verify() error {
+	want := -1
+	for _, m := range Modes() {
+		got, err := e.RunRequest(m)
+		if err != nil {
+			return err
+		}
+		if want == -1 {
+			want = got
+		} else if got != want {
+			return fmt.Errorf("benchexec: mode %s produced %d results, want %d", m, got, want)
+		}
+	}
+	if want == 0 {
+		return fmt.Errorf("benchexec: workload produced no results")
+	}
+	return nil
+}
+
+// Run executes one mode inside a testing benchmark body.
+func (e *Env) Run(b *testing.B, mode Mode) {
+	if _, err := e.RunRequest(mode); err != nil { // warm build outside the timer
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.RunRequest(mode); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Row is one measured leg as persisted to BENCH_executor.json.
+type Row struct {
+	Name        string `json:"name"`
+	Ops         int    `json:"ops"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	// SpeedupVsScan is the scan leg's ns/op divided by this row's ns/op.
+	SpeedupVsScan float64 `json:"speedup_vs_scan,omitempty"`
+}
+
+// Report is the top-level measurement set: the workload shape plus one
+// row per leg.
+type Report struct {
+	Query   string `json:"query"`
+	Plans   int    `json:"plans"`
+	PerPlan int    `json:"per_plan_limit"`
+	Dataset string `json:"dataset"`
+	Rows    []Row  `json:"rows"`
+}
+
+// Measure runs every leg through testing.Benchmark and derives speedups
+// against the scan baseline.
+func Measure() (*Report, error) {
+	env := NewEnv()
+	if err := env.Verify(); err != nil {
+		return nil, err
+	}
+	plans, _ := env.Plans()
+	q, _ := env.Query()
+	rep := &Report{
+		Query:   q,
+		Plans:   plans,
+		PerPlan: PerPlanLimit,
+		Dataset: "demo-movies scaled 2.5x",
+	}
+	var firstErr error
+	for _, mode := range Modes() {
+		mode := mode
+		r := testing.Benchmark(func(b *testing.B) {
+			if firstErr != nil {
+				b.Skip("earlier leg failed")
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := env.RunRequest(mode); err != nil {
+					firstErr = err
+					b.Skip(err)
+				}
+			}
+		})
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		rep.Rows = append(rep.Rows, Row{
+			Name:        string(mode),
+			Ops:         r.N,
+			NsPerOp:     r.NsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+	var scanNs int64
+	for _, r := range rep.Rows {
+		if r.Name == string(ModeScan) {
+			scanNs = r.NsPerOp
+		}
+	}
+	for i := range rep.Rows {
+		if scanNs > 0 && rep.Rows[i].NsPerOp > 0 {
+			rep.Rows[i].SpeedupVsScan = float64(scanNs) / float64(rep.Rows[i].NsPerOp)
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,28 @@
+package benchexec
+
+import "testing"
+
+// sharedEnv is reused across benchmarks so the dataset and plan list are
+// built once per test binary.
+var sharedEnv = NewEnv()
+
+// TestModesAgree is the harness's own safety net: every execution mode
+// must produce the identical result total on the full-scale workload.
+func TestModesAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale dataset build in -short mode")
+	}
+	if err := sharedEnv.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The BenchmarkExecute* legs measure one simulated top-k request each:
+// all ranked candidate networks of the benchmark query, with a per-plan
+// materialisation limit. CI runs them with -bench=Execute -benchtime=1x
+// as a compile-and-run smoke on every push.
+
+func BenchmarkExecuteScan(b *testing.B)     { sharedEnv.Run(b, ModeScan) }
+func BenchmarkExecutePostings(b *testing.B) { sharedEnv.Run(b, ModePostings) }
+func BenchmarkExecuteCached(b *testing.B)   { sharedEnv.Run(b, ModeCached) }
+func BenchmarkExecuteCount(b *testing.B)    { sharedEnv.Run(b, ModeCount) }

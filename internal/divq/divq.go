@@ -199,18 +199,32 @@ func FilterNonEmpty(db *relstore.Database, ranked []prob.Scored) ([]prob.Scored,
 
 // FilterNonEmptyContext is FilterNonEmpty with cancellation: each
 // interpretation requires one probe join, so the context is checked
-// before every probe and an abandoned request stops executing.
+// before every probe and an abandoned request stops executing. The
+// probes of one call share a selection cache — the interpretations of a
+// query mostly recombine the same (table, column, keyword-bag)
+// selections, so each is evaluated once per request.
 func FilterNonEmptyContext(ctx context.Context, db *relstore.Database, ranked []prob.Scored) ([]prob.Scored, error) {
+	return FilterNonEmptyCached(ctx, db, ranked, relstore.NewSelectionCache())
+}
+
+// FilterNonEmptyCached is FilterNonEmptyContext with a caller-supplied
+// selection cache; nil disables caching (the executor then evaluates
+// every probe's selections directly).
+func FilterNonEmptyCached(ctx context.Context, db *relstore.Database, ranked []prob.Scored, cache *relstore.SelectionCache) ([]prob.Scored, error) {
 	var out []prob.Scored
 	for _, s := range ranked {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		ok, err := HasResults(db, s.Q)
+		plan, err := s.Q.JoinPlan()
 		if err != nil {
 			return nil, err
 		}
-		if ok {
+		n, err := db.CountCached(plan, 1, cache)
+		if err != nil {
+			return nil, err
+		}
+		if n > 0 {
 			out = append(out, s)
 		}
 	}

@@ -1,0 +1,314 @@
+package relstore
+
+import (
+	"fmt"
+)
+
+// This file implements compiled join plans: the execution-ready form of a
+// candidate network. Compilation resolves every string-keyed lookup of
+// the interpreted executor once per plan — table pointers, predicate and
+// join-edge column positions, canonical cache keys — so the recursive
+// enumeration runs on integers and slices only. Execution then proceeds
+// in three phases:
+//
+//  1. selection: per-node candidate sets from the posting lists (shared
+//     through the per-request SelectionCache when one is supplied),
+//  2. semi-join pruning: candidate sets are reduced along the join tree
+//     (bottom-up then top-down over the DFS order), dropping rows with no
+//     join partner before enumeration ever touches them, and
+//  3. enumeration: index nested loops rooted at the most selective node,
+//     exactly as the reference executor, with sorted-candidate bitsets
+//     replacing map[int]bool membership tests.
+//
+// Pruning only removes rows that cannot occur in any joining tree of
+// tuples, and every phase preserves ascending candidate order, so the
+// materialised JTT sequence is identical to the reference ExecuteScan —
+// byte-for-byte, including under a result Limit.
+
+// compiledPred is one keyword-containment predicate with its column
+// resolved. col is -1 when the plan references an unknown column; such a
+// predicate matches no row (the reference scan behaves identically).
+type compiledPred struct {
+	col      int
+	keywords []string
+}
+
+// compiledNode is one join-plan node with its table resolved.
+type compiledNode struct {
+	table *Table
+	preds []compiledPred
+}
+
+// compiledHalf is one direction of a join edge: this node's fromCol joins
+// the neighbour node to's toCol.
+type compiledHalf struct {
+	to             int
+	fromCol, toCol int
+}
+
+// CompiledPlan is an executable, pre-resolved join plan. Compile once,
+// execute many times; a compiled plan is immutable and safe for
+// concurrent Execute / CountRows calls.
+type CompiledPlan struct {
+	// Source is the plan this was compiled from.
+	Source *JoinPlan
+
+	db    *Database
+	nodes []compiledNode
+	adj   [][]compiledHalf
+}
+
+// Compile validates the plan and resolves its tables and columns.
+func (db *Database) Compile(p *JoinPlan) (*CompiledPlan, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.Nodes)
+	cp := &CompiledPlan{Source: p, db: db, nodes: make([]compiledNode, n), adj: make([][]compiledHalf, n)}
+	for i, node := range p.Nodes {
+		t := db.Table(node.Table)
+		if t == nil {
+			return nil, fmt.Errorf("relstore: join plan references unknown table %s", node.Table)
+		}
+		preds := make([]compiledPred, len(node.Predicates))
+		for j, pred := range node.Predicates {
+			preds[j] = compiledPred{col: t.Schema.ColumnIndex(pred.Column), keywords: pred.Keywords}
+		}
+		cp.nodes[i] = compiledNode{table: t, preds: preds}
+	}
+	for _, e := range p.Edges {
+		fi := cp.nodes[e.From].table.Schema.ColumnIndex(e.FromColumn)
+		ti := cp.nodes[e.To].table.Schema.ColumnIndex(e.ToColumn)
+		if fi < 0 || ti < 0 {
+			return nil, fmt.Errorf("relstore: join edge %s.%s=%s.%s references unknown column",
+				p.Nodes[e.From].Table, e.FromColumn, p.Nodes[e.To].Table, e.ToColumn)
+		}
+		cp.adj[e.From] = append(cp.adj[e.From], compiledHalf{to: e.To, fromCol: fi, toCol: ti})
+		cp.adj[e.To] = append(cp.adj[e.To], compiledHalf{to: e.From, fromCol: ti, toCol: fi})
+	}
+	return cp, nil
+}
+
+// candidates computes the node's candidate rows: the intersection of its
+// predicate selections, or all rows when unconstrained. Selections come
+// from the posting lists, memoised per (table, column, bag) in the cache
+// when one is supplied. The result is shared/read-only.
+func (cp *CompiledPlan) candidates(i int, cache *SelectionCache) []int {
+	node := &cp.nodes[i]
+	if len(node.preds) == 0 {
+		// Unconstrained: the empty bag selects every row; memoised under
+		// column -1 so repeated plans over the same connector tables
+		// share one identity slice.
+		return cache.selection(node.table, -1, nil)
+	}
+	var out []int
+	for j, pred := range node.preds {
+		if pred.col < 0 {
+			// Unknown predicate column: matches nothing, like the scan.
+			return nil
+		}
+		sel := cache.selection(node.table, pred.col, pred.keywords)
+		if len(sel) == 0 {
+			return nil
+		}
+		if j == 0 {
+			out = sel
+		} else {
+			out = intersectSorted(out, sel)
+		}
+		if len(out) == 0 {
+			return nil
+		}
+	}
+	return out
+}
+
+// bitset is a fixed-capacity bit vector over RowIDs.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i>>6] |= 1 << (uint(i) & 63) }
+func (b bitset) has(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+func (b bitset) reset() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// step is one node of the DFS enumeration order. parentCol/col are the
+// join column positions in the parent's and this node's table.
+type step struct {
+	node, parent   int
+	parentCol, col int
+}
+
+// Execute materialises the joining tuple trees of the compiled plan; see
+// Database.Execute for the semantics.
+func (cp *CompiledPlan) Execute(opts ExecuteOptions) ([]JTT, error) {
+	results, _ := cp.run(opts.Cache, opts.Limit, true)
+	return results, nil
+}
+
+// CountRows counts the plan's results without materialising them: the
+// enumeration recursion increments a counter instead of copying row
+// assignments, so counting allocates nothing per result. limit bounds the
+// count (0 = unlimited).
+func (cp *CompiledPlan) CountRows(limit int, cache *SelectionCache) (int, error) {
+	_, n := cp.run(cache, limit, false)
+	return n, nil
+}
+
+// run is the shared execution core: selection, semi-join pruning, and
+// rooted index-nested-loop enumeration. With collect it materialises
+// JTTs; otherwise it only counts.
+func (cp *CompiledPlan) run(cache *SelectionCache, limit int, collect bool) ([]JTT, int) {
+	n := len(cp.nodes)
+	cands := make([][]int, n)
+	for i := range cp.nodes {
+		c := cp.candidates(i, cache)
+		if len(c) == 0 {
+			return nil, 0
+		}
+		cands[i] = c
+	}
+
+	// Root: most selective node by pre-pruning candidate count (first
+	// wins ties) — the same choice as the reference executor, so the
+	// enumeration order, and therefore the JTT sequence, is identical.
+	root := 0
+	for i := 1; i < n; i++ {
+		if len(cands[i]) < len(cands[root]) {
+			root = i
+		}
+	}
+
+	// DFS order from the root, visiting adjacency in edge declaration
+	// order (as the reference does).
+	order := make([]step, 0, n)
+	visited := make([]bool, n)
+	var build func(v, parent, parentCol, col int)
+	build = func(v, parent, parentCol, col int) {
+		visited[v] = true
+		order = append(order, step{node: v, parent: parent, parentCol: parentCol, col: col})
+		for _, he := range cp.adj[v] {
+			if !visited[he.to] {
+				build(he.to, v, he.fromCol, he.toCol)
+			}
+		}
+	}
+	build(root, -1, -1, -1)
+
+	// Candidate membership bitsets. The slices are copied first: pruning
+	// filters them in place, and the originals are shared with the
+	// posting lists / selection cache.
+	bits := make([]bitset, n)
+	for i := range cands {
+		own := make([]int, len(cands[i]))
+		copy(own, cands[i])
+		cands[i] = own
+		b := newBitset(cp.nodes[i].table.Len())
+		for _, id := range own {
+			b.set(id)
+		}
+		bits[i] = b
+	}
+
+	// Join-column equality indexes, fetched once per direction. idx[k]
+	// serves the enumeration of order[k] (child joined to parent); the
+	// reverse direction serves bottom-up pruning.
+	idx := make([]map[string][]int, len(order))
+	revIdx := make([]map[string][]int, len(order))
+	for k := 1; k < len(order); k++ {
+		st := order[k]
+		idx[k] = cp.nodes[st.node].table.ensureIndex(st.col)
+		revIdx[k] = cp.nodes[st.parent].table.ensureIndex(st.parentCol)
+	}
+
+	// Semi-join pruning (Yannakakis-style full reduction over the join
+	// tree): bottom-up, a parent row survives only with a join partner
+	// among the child's candidates; top-down, the reverse. Pruned rows
+	// cannot occur in any JTT, and pruning preserves candidate order, so
+	// the enumeration output is unchanged — it just stops wading through
+	// dead branches.
+	prune := func(a int, aCol int, aBits bitset, b int, lookup map[string][]int, bBits bitset) bool {
+		rows := cp.nodes[a].table.rows
+		kept := cands[a][:0]
+		for _, id := range cands[a] {
+			found := false
+			for _, partner := range lookup[rows[id].Values[aCol]] {
+				if bBits.has(partner) {
+					found = true
+					break
+				}
+			}
+			if found {
+				kept = append(kept, id)
+			}
+		}
+		if len(kept) == len(cands[a]) {
+			return len(kept) > 0
+		}
+		cands[a] = kept
+		aBits.reset()
+		for _, id := range kept {
+			aBits.set(id)
+		}
+		return len(kept) > 0
+	}
+	for k := len(order) - 1; k >= 1; k-- {
+		st := order[k]
+		// Restrict the parent to rows with a partner among the child's
+		// candidates (child's equality index on the join column).
+		if !prune(st.parent, st.parentCol, bits[st.parent], st.node, idx[k], bits[st.node]) {
+			return nil, 0
+		}
+	}
+	for k := 1; k < len(order); k++ {
+		st := order[k]
+		if !prune(st.node, st.col, bits[st.node], st.parent, revIdx[k], bits[st.parent]) {
+			return nil, 0
+		}
+	}
+
+	// Index-nested-loop enumeration over the DFS order.
+	var results []JTT
+	count := 0
+	assign := make([]int, n)
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == len(order) {
+			count++
+			if collect {
+				row := make([]int, n)
+				copy(row, assign)
+				results = append(results, JTT{Rows: row})
+			}
+			return limit > 0 && count >= limit
+		}
+		st := order[k]
+		if st.parent < 0 {
+			for _, id := range cands[st.node] {
+				assign[st.node] = id
+				if rec(k + 1) {
+					return true
+				}
+			}
+			return false
+		}
+		pv := cp.nodes[st.parent].table.rows[assign[st.parent]].Values[st.parentCol]
+		member := bits[st.node]
+		for _, id := range idx[k][pv] {
+			if !member.has(id) {
+				continue
+			}
+			assign[st.node] = id
+			if rec(k + 1) {
+				return true
+			}
+		}
+		return false
+	}
+	rec(0)
+	return results, count
+}

@@ -1,0 +1,329 @@
+package relstore
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// Differential property tests: the posting-list engine must agree exactly
+// — same rows, same order — with the retained scan reference on
+// randomized tables, predicate bags (including duplicated keywords, empty
+// bags, unknown and non-indexed columns), and join plans.
+
+// diffVocab is small so that keyword matches, duplicate tokens within one
+// value, and multi-keyword co-occurrence are all common.
+var diffVocab = []string{"alpha", "beta", "gamma", "delta", "omega", "42", "7", "zz"}
+
+// randValue builds one cell value of up to n vocabulary tokens, sometimes
+// with punctuation and mixed case to exercise tokenization.
+func randValue(rng *rand.Rand, n int) string {
+	k := rng.Intn(n + 1)
+	v := ""
+	for i := 0; i < k; i++ {
+		w := diffVocab[rng.Intn(len(diffVocab))]
+		if rng.Intn(4) == 0 {
+			w = "X" + w // prefix fused onto the token: different term
+		}
+		switch rng.Intn(3) {
+		case 0:
+			v += w + " "
+		case 1:
+			v += w + ", "
+		default:
+			v += w + "-"
+		}
+	}
+	return v
+}
+
+// randBag builds a keyword bag of up to n keywords with frequent
+// duplicates and occasional mixed case / junk keywords.
+func randBag(rng *rand.Rand, n int) []string {
+	k := rng.Intn(n + 1)
+	bag := make([]string, 0, k)
+	for i := 0; i < k; i++ {
+		switch rng.Intn(6) {
+		case 0:
+			if len(bag) > 0 { // duplicate an earlier keyword
+				bag = append(bag, bag[rng.Intn(len(bag))])
+				continue
+			}
+			bag = append(bag, diffVocab[rng.Intn(len(diffVocab))])
+		case 1:
+			bag = append(bag, "ALPHA") // case-insensitivity
+		case 2:
+			bag = append(bag, "nosuchword")
+		default:
+			bag = append(bag, diffVocab[rng.Intn(len(diffVocab))])
+		}
+	}
+	return bag
+}
+
+func TestDifferentialSelection(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 400; iter++ {
+		schema := &TableSchema{Name: "t", Columns: []Column{
+			{Name: "a", Indexed: true},
+			{Name: "b", Indexed: false}, // selections on non-indexed columns
+			{Name: "c", Indexed: iter%2 == 0},
+		}}
+		tab := NewTable(schema)
+		rows := rng.Intn(40)
+		for i := 0; i < rows; i++ {
+			if _, err := tab.Insert(randValue(rng, 6), randValue(rng, 3), randValue(rng, 2)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, col := range []string{"a", "b", "c", "missing"} {
+			bag := randBag(rng, 4)
+			postings := tab.SelectContains(col, bag)
+			scan := tab.SelectContainsScan(col, bag)
+			if !sameIDs(postings, scan) {
+				t.Fatalf("iter %d: SelectContains(%q, %q) postings=%v scan=%v",
+					iter, col, bag, postings, scan)
+			}
+			// Row-by-row oracle: ContainsBag on every value.
+			if ci := schema.ColumnIndex(col); ci >= 0 {
+				var oracle []int
+				for _, r := range tab.Rows() {
+					if ContainsBag(r.Values[ci], bag) {
+						oracle = append(oracle, r.RowID)
+					}
+				}
+				if !sameIDs(postings, oracle) {
+					t.Fatalf("iter %d: SelectContains(%q, %q)=%v but ContainsBag rows=%v",
+						iter, col, bag, postings, oracle)
+				}
+			}
+		}
+	}
+}
+
+// sameIDs treats nil and empty as equal and demands identical order.
+func sameIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// randDiffDB builds a small randomized 3-table FK chain a ← b ← c with
+// occasionally dangling references.
+func randDiffDB(t *testing.T, rng *rand.Rand) *Database {
+	t.Helper()
+	db := NewDatabase("diff")
+	mustCreate := func(s *TableSchema) *Table {
+		tab, err := db.CreateTable(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab
+	}
+	ta := mustCreate(&TableSchema{Name: "a", PrimaryKey: "id", Columns: []Column{
+		{Name: "id"}, {Name: "text", Indexed: true},
+	}})
+	tb := mustCreate(&TableSchema{Name: "b", Columns: []Column{
+		{Name: "a_id"}, {Name: "text", Indexed: true}, {Name: "extra"},
+	}, ForeignKeys: []ForeignKey{{Column: "a_id", RefTable: "a", RefColumn: "id"}}})
+	tc := mustCreate(&TableSchema{Name: "c", Columns: []Column{
+		{Name: "a_id"}, {Name: "text", Indexed: true},
+	}, ForeignKeys: []ForeignKey{{Column: "a_id", RefTable: "a", RefColumn: "id"}}})
+	if err := db.ValidateRefs(); err != nil {
+		t.Fatal(err)
+	}
+	na := 1 + rng.Intn(20)
+	for i := 0; i < na; i++ {
+		if _, err := ta.Insert(fmt.Sprintf("a%d", i), randValue(rng, 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < rng.Intn(40); i++ {
+		ref := fmt.Sprintf("a%d", rng.Intn(na+2)) // sometimes dangling
+		if _, err := tb.Insert(ref, randValue(rng, 4), randValue(rng, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < rng.Intn(30); i++ {
+		ref := fmt.Sprintf("a%d", rng.Intn(na+2))
+		if _, err := tc.Insert(ref, randValue(rng, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// randDiffPlan builds a random valid plan over the chain schema: one of
+// {a}, {a⋈b}, {a⋈c}, {b⋈a⋈c}, with random predicate sets per node.
+func randDiffPlan(rng *rand.Rand) *JoinPlan {
+	preds := func(table string) []Predicate {
+		var out []Predicate
+		for _, col := range []string{"text", "extra", "missing"} {
+			switch {
+			case rng.Intn(3) == 0:
+				out = append(out, Predicate{Column: col, Keywords: randBag(rng, 3)})
+			}
+		}
+		return out
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return &JoinPlan{Nodes: []JoinNode{{Table: "a", Predicates: preds("a")}}}
+	case 1:
+		return &JoinPlan{
+			Nodes: []JoinNode{
+				{Table: "a", Predicates: preds("a")},
+				{Table: "b", Predicates: preds("b")},
+			},
+			Edges: []JoinEdge{{From: 1, To: 0, FromColumn: "a_id", ToColumn: "id"}},
+		}
+	case 2:
+		return &JoinPlan{
+			Nodes: []JoinNode{
+				{Table: "c", Predicates: preds("c")},
+				{Table: "a", Predicates: preds("a")},
+			},
+			Edges: []JoinEdge{{From: 0, To: 1, FromColumn: "a_id", ToColumn: "id"}},
+		}
+	default:
+		return &JoinPlan{
+			Nodes: []JoinNode{
+				{Table: "b", Predicates: preds("b")},
+				{Table: "a", Predicates: preds("a")},
+				{Table: "c", Predicates: preds("c")},
+			},
+			Edges: []JoinEdge{
+				{From: 0, To: 1, FromColumn: "a_id", ToColumn: "id"},
+				{From: 2, To: 1, FromColumn: "a_id", ToColumn: "id"},
+			},
+		}
+	}
+}
+
+func TestDifferentialExecute(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 150; iter++ {
+		db := randDiffDB(t, rng)
+		cache := NewSelectionCache() // shared across every plan of this db
+		for p := 0; p < 8; p++ {
+			plan := randDiffPlan(rng)
+			limit := []int{0, 0, 1, 3}[rng.Intn(4)]
+			opts := ExecuteOptions{Limit: limit}
+			ref, err := db.ExecuteScan(plan, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := db.Execute(plan, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameJTTs(ref, got) {
+				t.Fatalf("iter %d plan %d limit %d: scan=%v compiled=%v (plan %+v)",
+					iter, p, limit, ref, got, plan)
+			}
+			cached, err := db.Execute(plan, ExecuteOptions{Limit: limit, Cache: cache})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameJTTs(ref, cached) {
+				t.Fatalf("iter %d plan %d limit %d: scan=%v cached=%v", iter, p, limit, ref, cached)
+			}
+			n, err := db.CountCached(plan, limit, cache)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != len(ref) {
+				t.Fatalf("iter %d plan %d limit %d: Count=%d want %d", iter, p, limit, n, len(ref))
+			}
+		}
+	}
+}
+
+func sameJTTs(a, b []JTT) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !reflect.DeepEqual(a[i].Rows, b[i].Rows) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCountNoJTTAllocations pins the allocation contract of Count: the
+// counting recursion materialises nothing per result, so counting a plan
+// with hundreds of results allocates the same small constant as counting
+// one — while Execute's allocations grow with the result count.
+func TestCountNoJTTAllocations(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	db := NewDatabase("alloc")
+	ta, err := db.CreateTable(&TableSchema{Name: "a", PrimaryKey: "id", Columns: []Column{
+		{Name: "id"}, {Name: "text", Indexed: true},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := db.CreateTable(&TableSchema{Name: "b", Columns: []Column{
+		{Name: "a_id"}, {Name: "text", Indexed: true},
+	}, ForeignKeys: []ForeignKey{{Column: "a_id", RefTable: "a", RefColumn: "id"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := ta.Insert(fmt.Sprintf("a%d", i), "alpha beta"); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 25; j++ {
+			if _, err := tb.Insert(fmt.Sprintf("a%d", i), "gamma "+diffVocab[rng.Intn(len(diffVocab))]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	plan := &JoinPlan{
+		Nodes: []JoinNode{
+			{Table: "a", Predicates: []Predicate{{Column: "text", Keywords: []string{"alpha"}}}},
+			{Table: "b", Predicates: []Predicate{{Column: "text", Keywords: []string{"gamma"}}}},
+		},
+		Edges: []JoinEdge{{From: 1, To: 0, FromColumn: "a_id", ToColumn: "id"}},
+	}
+	db.Prepare()
+	full, err := db.Count(plan, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full != 500 {
+		t.Fatalf("Count = %d, want 500", full)
+	}
+	countAll := testing.AllocsPerRun(20, func() {
+		if _, err := db.Count(plan, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	countOne := testing.AllocsPerRun(20, func() {
+		if _, err := db.Count(plan, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	execAll := testing.AllocsPerRun(20, func() {
+		if _, err := db.Execute(plan, ExecuteOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Counting 500 results must allocate no more than counting 1: the
+	// per-result work is a counter increment. Execute, by contrast,
+	// allocates at least one slice per materialised JTT.
+	if countAll > countOne {
+		t.Fatalf("Count allocations grow with results: all=%v one=%v", countAll, countOne)
+	}
+	if execAll < float64(full) {
+		t.Fatalf("expected Execute to allocate per JTT (>= %d), got %v", full, execAll)
+	}
+}

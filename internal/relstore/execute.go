@@ -102,151 +102,42 @@ func (j JTT) Keys(p *JoinPlan) []ResultKey {
 type ExecuteOptions struct {
 	// Limit bounds the number of JTTs materialised; 0 means unlimited.
 	Limit int
+	// Cache, when non-nil, memoises keyword selections across plans of
+	// one request (see SelectionCache). Sharing one cache across the
+	// candidate networks of a top-k request is the intended use; a nil
+	// cache computes every selection from the posting lists directly.
+	Cache *SelectionCache
 }
 
 // Execute runs the join plan against the database and materialises the
-// joining tuple trees. The plan tree is evaluated by index nested loops
-// rooted at the most selective node (smallest candidate set after applying
-// its predicates), following FK equality edges with hash-index lookups.
+// joining tuple trees. The plan is compiled (tables and columns resolved
+// once), per-node candidates are evaluated from the per-column posting
+// lists, semi-join pruning reduces them along the join tree, and index
+// nested loops rooted at the most selective node enumerate the results.
+// The JTT sequence is identical to the reference scan executor
+// (ExecuteScan), including under Limit.
 func (db *Database) Execute(p *JoinPlan, opts ExecuteOptions) ([]JTT, error) {
-	if err := p.Validate(); err != nil {
+	cp, err := db.Compile(p)
+	if err != nil {
 		return nil, err
 	}
-	n := len(p.Nodes)
-	cands := make([][]int, n)
-	for i, node := range p.Nodes {
-		t := db.Table(node.Table)
-		if t == nil {
-			return nil, fmt.Errorf("relstore: join plan references unknown table %s", node.Table)
-		}
-		cands[i] = t.candidateRows(node.Predicates)
-		if len(cands[i]) == 0 {
-			return nil, nil
-		}
-	}
-
-	root := 0
-	for i := 1; i < n; i++ {
-		if len(cands[i]) < len(cands[root]) {
-			root = i
-		}
-	}
-
-	type halfEdge struct {
-		to                 int
-		fromCol, toCol     string
-		fromIdx, toIdxSkip int // cached column indexes; toIdxSkip unused, kept for clarity
-	}
-	adj := make([][]halfEdge, n)
-	for _, e := range p.Edges {
-		ft := db.Table(p.Nodes[e.From].Table)
-		tt := db.Table(p.Nodes[e.To].Table)
-		fi := ft.Schema.ColumnIndex(e.FromColumn)
-		ti := tt.Schema.ColumnIndex(e.ToColumn)
-		if fi < 0 || ti < 0 {
-			return nil, fmt.Errorf("relstore: join edge %s.%s=%s.%s references unknown column",
-				p.Nodes[e.From].Table, e.FromColumn, p.Nodes[e.To].Table, e.ToColumn)
-		}
-		adj[e.From] = append(adj[e.From], halfEdge{to: e.To, fromCol: e.FromColumn, toCol: e.ToColumn, fromIdx: fi})
-		adj[e.To] = append(adj[e.To], halfEdge{to: e.From, fromCol: e.ToColumn, toCol: e.FromColumn, fromIdx: ti})
-	}
-
-	// Precompute per-node candidate membership for filtering joined rows.
-	member := make([]map[int]bool, n)
-	for i := range cands {
-		m := make(map[int]bool, len(cands[i]))
-		for _, id := range cands[i] {
-			m[id] = true
-		}
-		member[i] = m
-	}
-
-	// DFS order from root over the tree.
-	type step struct {
-		node, parent   int
-		parentCol, col string
-	}
-	order := make([]step, 0, n)
-	visited := make([]bool, n)
-	var build func(v, parent int, pc, c string)
-	build = func(v, parent int, pc, c string) {
-		visited[v] = true
-		order = append(order, step{node: v, parent: parent, parentCol: pc, col: c})
-		for _, he := range adj[v] {
-			if !visited[he.to] {
-				build(he.to, v, he.fromCol, he.toCol)
-			}
-		}
-	}
-	build(root, -1, "", "")
-
-	var results []JTT
-	assign := make([]int, n)
-	var rec func(k int) bool
-	rec = func(k int) bool {
-		if k == len(order) {
-			row := make([]int, n)
-			copy(row, assign)
-			results = append(results, JTT{Rows: row})
-			return opts.Limit > 0 && len(results) >= opts.Limit
-		}
-		st := order[k]
-		var choices []int
-		if st.parent < 0 {
-			choices = cands[st.node]
-		} else {
-			pt := db.Table(p.Nodes[st.parent].Table)
-			pv, _ := pt.Value(assign[st.parent], st.parentCol)
-			ct := db.Table(p.Nodes[st.node].Table)
-			for _, id := range ct.LookupEqual(st.col, pv) {
-				if member[st.node][id] {
-					choices = append(choices, id)
-				}
-			}
-		}
-		for _, id := range choices {
-			assign[st.node] = id
-			if rec(k + 1) {
-				return true
-			}
-		}
-		return false
-	}
-	rec(0)
-	return results, nil
+	return cp.Execute(opts)
 }
 
-// Count executes the plan and returns only the number of results, bounded
-// by limit (0 = unlimited). It is cheaper than Execute for emptiness and
-// cardinality probes used by the diversification metrics.
+// Count returns the number of results of the plan, bounded by limit
+// (0 = unlimited). Unlike Execute it never materialises JTTs — the
+// enumeration only counts — so emptiness and cardinality probes (the
+// aggregate queries of Section 2.2.7 and DivQ's non-empty filter) run
+// allocation-free per result.
 func (db *Database) Count(p *JoinPlan, limit int) (int, error) {
-	res, err := db.Execute(p, ExecuteOptions{Limit: limit})
+	return db.CountCached(p, limit, nil)
+}
+
+// CountCached is Count with a shared per-request selection cache.
+func (db *Database) CountCached(p *JoinPlan, limit int, cache *SelectionCache) (int, error) {
+	cp, err := db.Compile(p)
 	if err != nil {
 		return 0, err
 	}
-	return len(res), nil
-}
-
-// candidateRows returns the rows of t satisfying all predicates; with no
-// predicates it returns all rows.
-func (t *Table) candidateRows(preds []Predicate) []int {
-	if len(preds) == 0 {
-		out := make([]int, t.Len())
-		for i := range out {
-			out[i] = i
-		}
-		return out
-	}
-	var out []int
-rows:
-	for _, r := range t.rows {
-		for _, p := range preds {
-			ci := t.Schema.ColumnIndex(p.Column)
-			if ci < 0 || !ContainsBag(r.Values[ci], p.Keywords) {
-				continue rows
-			}
-		}
-		out = append(out, r.RowID)
-	}
-	return out
+	return cp.CountRows(limit, cache)
 }

@@ -1,0 +1,213 @@
+package relstore
+
+import (
+	"sort"
+	"strings"
+)
+
+// This file implements the per-column token posting lists that back the
+// keyword-containment selections of the execution engine. A posting list
+// records, for one token of one column, the ascending RowIDs whose value
+// contains the token together with the per-row occurrence count, so that
+// the bag-containment predicate of Definition 3.5.2 — including bags with
+// duplicated keywords — evaluates as a sorted-list intersection instead of
+// tokenizing every cell on every call (the classic inverted-postings
+// evaluation of DISCOVER-style candidate-network executors).
+//
+// Lists are built once per column (lazily on first use, or eagerly via
+// Database.Prepare) and are immutable afterwards except for the
+// insert-before-read phase, which appends incrementally exactly like the
+// equality indexes. The original scan evaluation is retained as
+// SelectContainsScan / ExecuteScan for differential testing.
+
+// postingList is the posting list of one token within one column.
+type postingList struct {
+	// rows holds the RowIDs whose value contains the token, ascending.
+	rows []int
+	// counts holds the per-row occurrence count, parallel to rows.
+	counts []int
+	// maxCount is the largest per-row count, so selections needing more
+	// duplicated occurrences than any row has can answer "empty" at once.
+	maxCount int
+}
+
+// add records one row's occurrences; rows arrive in ascending RowID order.
+func (p *postingList) add(row, count int) {
+	p.rows = append(p.rows, row)
+	p.counts = append(p.counts, count)
+	if count > p.maxCount {
+		p.maxCount = count
+	}
+}
+
+// columnPostings maps token -> posting list for one column.
+type columnPostings struct {
+	terms map[string]*postingList
+}
+
+// addRow tokenizes one value and folds it into the postings.
+func (cp *columnPostings) addRow(row int, value string) {
+	toks := Tokenize(value)
+	if len(toks) == 0 {
+		return
+	}
+	counts := make(map[string]int, len(toks))
+	for _, tok := range toks {
+		counts[tok]++
+	}
+	for tok, c := range counts {
+		pl := cp.terms[tok]
+		if pl == nil {
+			pl = &postingList{}
+			cp.terms[tok] = pl
+		}
+		pl.add(row, c)
+	}
+}
+
+// buildColumnPostings constructs the postings of one column from scratch.
+func buildColumnPostings(rows []Tuple, col int) *columnPostings {
+	cp := &columnPostings{terms: make(map[string]*postingList)}
+	for _, r := range rows {
+		cp.addRow(r.RowID, r.Values[col])
+	}
+	return cp
+}
+
+// ensurePostings returns the postings of the column, building them on
+// first use. Safe for concurrent readers: the fast path is a read-lock
+// map hit; construction happens once under the write lock.
+func (t *Table) ensurePostings(col int) *columnPostings {
+	t.postMu.RLock()
+	cp := t.postings[col]
+	t.postMu.RUnlock()
+	if cp != nil {
+		return cp
+	}
+	t.postMu.Lock()
+	defer t.postMu.Unlock()
+	if cp := t.postings[col]; cp != nil {
+		return cp
+	}
+	cp = buildColumnPostings(t.rows, col)
+	t.postings[col] = cp
+	return cp
+}
+
+// selectPostings evaluates the bag-containment selection over the column's
+// posting lists: one sorted list per distinct keyword (rows needing the
+// keyword n times are pre-filtered by per-row counts), intersected
+// smallest-first. The result is ascending and must be treated as
+// read-only — single-keyword selections alias the posting list itself.
+func (t *Table) selectPostings(ci int, keywords []string) []int {
+	if len(keywords) == 0 {
+		return t.allRowIDs()
+	}
+	cp := t.ensurePostings(ci)
+	// Bag semantics: duplicated keywords need duplicated occurrences.
+	need := make(map[string]int, len(keywords))
+	for _, k := range keywords {
+		need[strings.ToLower(k)]++
+	}
+	lists := make([][]int, 0, len(need))
+	for k, n := range need {
+		pl := cp.terms[k]
+		if pl == nil {
+			return nil
+		}
+		if n <= 1 {
+			lists = append(lists, pl.rows)
+			continue
+		}
+		if pl.maxCount < n {
+			return nil
+		}
+		var filtered []int
+		for i, row := range pl.rows {
+			if pl.counts[i] >= n {
+				filtered = append(filtered, row)
+			}
+		}
+		if len(filtered) == 0 {
+			return nil
+		}
+		lists = append(lists, filtered)
+	}
+	if len(lists) == 1 {
+		return lists[0]
+	}
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	out := lists[0]
+	for _, l := range lists[1:] {
+		out = intersectSorted(out, l)
+		if len(out) == 0 {
+			return nil
+		}
+	}
+	return out
+}
+
+// intersectSorted intersects two ascending RowID lists into a new slice.
+func intersectSorted(a, b []int) []int {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	out := make([]int, 0, len(a))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// allRowIDs returns a fresh ascending identity slice over all rows (RowIDs
+// are assigned densely from 0 in insertion order).
+func (t *Table) allRowIDs() []int {
+	out := make([]int, len(t.rows))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Prepare eagerly builds the derived read structures the execution engine
+// uses — posting lists over every indexed column and equality indexes over
+// primary-key and foreign-key columns — so that a built database serves
+// its first query at steady-state speed and concurrent readers never
+// contend on lazy construction. Building is idempotent; Prepare is called
+// by the engine's Build step but is optional for standalone use (every
+// structure also builds lazily on first use).
+func (db *Database) Prepare() {
+	for _, name := range db.order {
+		t := db.tables[name]
+		for ci, c := range t.Schema.Columns {
+			if c.Indexed {
+				t.ensurePostings(ci)
+			}
+		}
+		if pk := t.Schema.PrimaryKey; pk != "" {
+			if ci := t.Schema.ColumnIndex(pk); ci >= 0 {
+				t.ensureIndex(ci)
+			}
+		}
+		for _, fk := range t.Schema.ForeignKeys {
+			if ci := t.Schema.ColumnIndex(fk.Column); ci >= 0 {
+				t.ensureIndex(ci)
+			}
+			if ref := db.tables[fk.RefTable]; ref != nil {
+				if ci := ref.Schema.ColumnIndex(fk.RefColumn); ci >= 0 {
+					ref.ensureIndex(ci)
+				}
+			}
+		}
+	}
+}

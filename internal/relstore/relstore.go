@@ -97,11 +97,22 @@ type Table struct {
 	// lazy construction under concurrent readers.
 	idxMu    sync.Mutex
 	valueIdx map[int]map[string][]int
+
+	// token posting lists per column: column position -> token -> rows
+	// with per-row counts. Built lazily on first keyword selection (or
+	// eagerly by Database.Prepare); postMu guards lazy construction under
+	// concurrent readers. See postings.go.
+	postMu   sync.RWMutex
+	postings map[int]*columnPostings
 }
 
 // NewTable creates an empty table for the given schema.
 func NewTable(schema *TableSchema) *Table {
-	return &Table{Schema: schema, valueIdx: make(map[int]map[string][]int)}
+	return &Table{
+		Schema:   schema,
+		valueIdx: make(map[int]map[string][]int),
+		postings: make(map[int]*columnPostings),
+	}
 }
 
 // Insert appends a row and returns its RowID.
@@ -120,6 +131,11 @@ func (t *Table) Insert(values ...string) (int, error) {
 		idx[vals[col]] = append(idx[vals[col]], id)
 	}
 	t.idxMu.Unlock()
+	t.postMu.Lock()
+	for col, cp := range t.postings {
+		cp.addRow(id, vals[col])
+	}
+	t.postMu.Unlock()
 	return id, nil
 }
 
@@ -323,20 +339,19 @@ func Tokenize(value string) []string {
 	return out
 }
 
-// SelectContains returns the RowIDs of rows whose column value contains the
-// whole keyword bag.
+// SelectContains returns the RowIDs of rows whose column value contains
+// the whole keyword bag, ascending. It evaluates from the column's token
+// posting lists — a sorted-list intersection with per-row counts for
+// duplicated keywords — and agrees exactly with applying ContainsBag row
+// by row (SelectContainsScan is the retained scan reference; differential
+// tests enforce the agreement). The returned slice may alias the posting
+// lists and must be treated as read-only.
 func (t *Table) SelectContains(column string, keywords []string) []int {
 	ci := t.Schema.ColumnIndex(column)
 	if ci < 0 {
 		return nil
 	}
-	var out []int
-	for _, r := range t.rows {
-		if ContainsBag(r.Values[ci], keywords) {
-			out = append(out, r.RowID)
-		}
-	}
-	return out
+	return t.selectPostings(ci, keywords)
 }
 
 // SortedCopy returns ids sorted ascending without mutating the input.

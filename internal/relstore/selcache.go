@@ -1,0 +1,94 @@
+package relstore
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// SelectionCache memoises keyword-containment selections across the plans
+// of one request. A top-k request executes dozens of candidate networks,
+// and the same (table, column, keyword-bag) selection recurs in most of
+// them — e.g. every network binding "hanks" to actor.name repeats the
+// σ_{hanks ∈ name}(actor) selection. The cache computes each distinct
+// selection once and shares the resulting row list.
+//
+// Keys are (table, column position, canonical keyword bag), where the bag
+// is lower-cased and sorted so permutations of the same bag share one
+// entry. Values are the ascending RowID lists produced by the posting
+// machinery; they are shared between plans and with the posting lists
+// themselves, so callers must treat them as read-only.
+//
+// The cache is safe for concurrent use — plans of one request execute in
+// parallel waves — and is scoped to a single request: create one per
+// Search / TopKContext / Naive call and drop it afterwards. Because the
+// underlying data is immutable after Build, a cached selection can never
+// go stale within a request, so caching changes how results are computed,
+// never which results are produced.
+type SelectionCache struct {
+	mu sync.RWMutex
+	m  map[selectionKey][]int
+}
+
+// selectionKey identifies one memoised selection.
+type selectionKey struct {
+	t   *Table
+	col int
+	bag string
+}
+
+// NewSelectionCache creates an empty selection cache.
+func NewSelectionCache() *SelectionCache {
+	return &SelectionCache{m: make(map[selectionKey][]int)}
+}
+
+// Len returns the number of distinct selections memoised so far.
+func (c *SelectionCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// bagKey canonicalises a keyword bag: lower-cased, sorted, NUL-joined.
+func bagKey(keywords []string) string {
+	if len(keywords) == 0 {
+		return ""
+	}
+	if len(keywords) == 1 {
+		return strings.ToLower(keywords[0])
+	}
+	lowered := make([]string, len(keywords))
+	for i, k := range keywords {
+		lowered[i] = strings.ToLower(k)
+	}
+	sort.Strings(lowered)
+	return strings.Join(lowered, "\x00")
+}
+
+// selection returns the memoised bag-containment selection over the
+// table's column, computing it via the posting lists on first use. The
+// returned slice is shared and read-only. A nil cache is valid and simply
+// computes the selection directly.
+func (c *SelectionCache) selection(t *Table, ci int, keywords []string) []int {
+	if c == nil {
+		return t.selectPostings(ci, keywords)
+	}
+	key := selectionKey{t: t, col: ci, bag: bagKey(keywords)}
+	c.mu.RLock()
+	rows, ok := c.m[key]
+	c.mu.RUnlock()
+	if ok {
+		return rows
+	}
+	rows = t.selectPostings(ci, keywords)
+	c.mu.Lock()
+	// Re-check under the write lock: a racing goroutine may have stored
+	// the same (deterministic) selection; keep one copy either way.
+	if prev, ok := c.m[key]; ok {
+		rows = prev
+	} else {
+		c.m[key] = rows
+	}
+	c.mu.Unlock()
+	return rows
+}

@@ -114,6 +114,23 @@ type Options struct {
 	// — and Stats — are identical at every setting (speculatively executed
 	// batches past the stopping point are discarded uncounted).
 	Parallelism int
+	// DisableExecutionCache turns off the per-request selection cache
+	// that is otherwise shared across every interpretation executed by
+	// one TopK / Naive call. The cache memoises (table, column,
+	// keyword-bag) selections — which recur across the candidate networks
+	// of one query — and is concurrency-safe for parallel waves; it is a
+	// pure memoisation over the immutable database, so it never changes
+	// results. Disable only to measure its effect.
+	DisableExecutionCache bool
+}
+
+// executionCache returns the per-request selection cache, or nil when
+// disabled.
+func (o Options) executionCache() *relstore.SelectionCache {
+	if o.DisableExecutionCache {
+		return nil
+	}
+	return relstore.NewSelectionCache()
 }
 
 // Stats reports how much work early stopping saved.
@@ -176,6 +193,7 @@ func TopKContext(ctx context.Context, db *relstore.Database, ranked []prob.Score
 	if wave < 1 {
 		wave = 1
 	}
+	cache := opts.executionCache()
 	batches := make([]batch, wave)
 outer:
 	for start := 0; start < len(ranked); start += wave {
@@ -192,7 +210,7 @@ outer:
 		if end > len(ranked) {
 			end = len(ranked)
 		}
-		executeWave(ctx, db, ranked[start:end], scorer, opts.PerInterpretationLimit, batches[:end-start])
+		executeWave(ctx, db, ranked[start:end], scorer, opts.PerInterpretationLimit, cache, batches[:end-start])
 		for i := start; i < end; i++ {
 			if merge.stop(ranked[i].Score) {
 				stats.Skipped = len(ranked) - i
@@ -228,11 +246,12 @@ type batch struct {
 
 // executeWave executes a slice of ranked interpretations, one goroutine
 // each when len > 1, filling batches[i] for ranked[i]. Workers only read
-// the immutable database and write disjoint batch slots, so no further
-// synchronisation is needed beyond the WaitGroup.
-func executeWave(ctx context.Context, db *relstore.Database, ranked []prob.Scored, scorer Scorer, limit int, batches []batch) {
+// the immutable database and the concurrency-safe selection cache, and
+// write disjoint batch slots, so no further synchronisation is needed
+// beyond the WaitGroup.
+func executeWave(ctx context.Context, db *relstore.Database, ranked []prob.Scored, scorer Scorer, limit int, cache *relstore.SelectionCache, batches []batch) {
 	if len(ranked) == 1 {
-		batches[0] = executeOne(ctx, db, ranked[0], scorer, limit)
+		batches[0] = executeOne(ctx, db, ranked[0], scorer, limit, cache)
 		return
 	}
 	var wg sync.WaitGroup
@@ -240,14 +259,14 @@ func executeWave(ctx context.Context, db *relstore.Database, ranked []prob.Score
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			batches[i] = executeOne(ctx, db, ranked[i], scorer, limit)
+			batches[i] = executeOne(ctx, db, ranked[i], scorer, limit, cache)
 		}(i)
 	}
 	wg.Wait()
 }
 
 // executeOne materialises and scores the results of one interpretation.
-func executeOne(ctx context.Context, db *relstore.Database, sc prob.Scored, scorer Scorer, limit int) batch {
+func executeOne(ctx context.Context, db *relstore.Database, sc prob.Scored, scorer Scorer, limit int, cache *relstore.SelectionCache) batch {
 	if err := ctx.Err(); err != nil {
 		return batch{err: err}
 	}
@@ -255,7 +274,7 @@ func executeOne(ctx context.Context, db *relstore.Database, sc prob.Scored, scor
 	if err != nil {
 		return batch{err: err}
 	}
-	jtts, err := db.Execute(plan, relstore.ExecuteOptions{Limit: limit})
+	jtts, err := db.Execute(plan, relstore.ExecuteOptions{Limit: limit, Cache: cache})
 	if err != nil {
 		return batch{err: err}
 	}
@@ -307,13 +326,14 @@ func Naive(db *relstore.Database, ranked []prob.Scored, scorer Scorer, opts Opti
 	if scorer == nil {
 		scorer = UnitScorer{}
 	}
+	cache := opts.executionCache()
 	var all []Result
 	for _, sc := range ranked {
 		plan, err := sc.Q.JoinPlan()
 		if err != nil {
 			return nil, err
 		}
-		jtts, err := db.Execute(plan, relstore.ExecuteOptions{Limit: opts.PerInterpretationLimit})
+		jtts, err := db.Execute(plan, relstore.ExecuteOptions{Limit: opts.PerInterpretationLimit, Cache: cache})
 		if err != nil {
 			return nil, err
 		}

@@ -87,6 +87,7 @@ type config struct {
 	enableAggregates   bool
 	parallelism        int
 	scoreCacheOff      bool
+	execCacheOff       bool
 }
 
 // Option configures an Engine at construction time.
@@ -157,6 +158,18 @@ func WithParallelism(n int) Option {
 // bound memory on enormous vocabularies.
 func WithScoreCache(enabled bool) Option {
 	return func(c *config) { c.scoreCacheOff = !enabled }
+}
+
+// WithExecutionCache toggles the per-request selection cache of the plan
+// executor. A top-k request executes dozens of candidate networks that
+// keep recombining the same (table, column, keyword-bag) selections; the
+// cache evaluates each distinct selection once per request and shares the
+// row list across all plans of that request (concurrency-safe — plans
+// execute in parallel waves). Enabled by default; it is a pure
+// memoisation over the immutable posting lists, so it never changes
+// results — disable it only to measure its effect.
+func WithExecutionCache(enabled bool) Option {
+	return func(c *config) { c.execCacheOff = !enabled }
 }
 
 func newConfig(opts []Option) config {
@@ -254,6 +267,7 @@ func (e *Engine) Build() error {
 	if e.built {
 		return fmt.Errorf("keysearch: already built")
 	}
+	e.db.Prepare() // posting lists + join indexes, built once up front
 	e.ix = invindex.Build(e.db)
 	e.graph = schemagraph.FromDatabase(e.db)
 	e.cat = query.BuildCatalog(e.graph, schemagraph.EnumerateOptions{
@@ -287,6 +301,10 @@ func (e *Engine) NumTemplates() int {
 // Parallelism returns the effective worker count of the interpretation
 // pipeline's parallel stages (see WithParallelism).
 func (e *Engine) Parallelism() int { return e.cfg.parallelism }
+
+// ExecutionCacheEnabled reports whether plan execution shares a
+// per-request selection cache (see WithExecutionCache).
+func (e *Engine) ExecutionCacheEnabled() bool { return !e.cfg.execCacheOff }
 
 // parse tokenises a keyword query string.
 func parse(keywords string) []string {

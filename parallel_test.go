@@ -130,6 +130,49 @@ func TestScoreCacheTransparency(t *testing.T) {
 	}
 }
 
+// TestExecutionCacheTransparency asserts the per-request selection cache
+// of the plan executor never changes a response: cache on vs cache off
+// produce byte-identical JSON across the whole request mix — ranked
+// search with row previews (shared preview cache), global top-k rows
+// (cache shared across parallel plan waves), and diversification
+// (cached non-empty probes).
+func TestExecutionCacheTransparency(t *testing.T) {
+	ctx := context.Background()
+	on, err := DemoMoviesWith(11, WithExecutionCache(true), WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := DemoMoviesWith(11, WithExecutionCache(false), WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !on.ExecutionCacheEnabled() || off.ExecutionCacheEnabled() {
+		t.Fatal("WithExecutionCache not reflected by ExecutionCacheEnabled")
+	}
+	compare := func(q, what string, a, b any, erra, errb error) {
+		t.Helper()
+		if erra != nil || errb != nil {
+			t.Fatalf("%s(%q): on err=%v off err=%v", what, q, erra, errb)
+		}
+		ab, _ := json.Marshal(a)
+		bb, _ := json.Marshal(b)
+		if string(ab) != string(bb) {
+			t.Errorf("%s cache on/off responses differ for %q:\non:  %s\noff: %s", what, q, ab, bb)
+		}
+	}
+	for _, q := range goldenQueries(on) {
+		sOn, err1 := on.Search(ctx, SearchRequest{Query: q, K: 10, RowLimit: 2})
+		sOff, err2 := off.Search(ctx, SearchRequest{Query: q, K: 10, RowLimit: 2})
+		compare(q, "Search", sOn, sOff, err1, err2)
+		rOn, err1 := on.SearchRows(ctx, RowsRequest{Query: q, K: 6})
+		rOff, err2 := off.SearchRows(ctx, RowsRequest{Query: q, K: 6})
+		compare(q, "SearchRows", rOn, rOff, err1, err2)
+		dOn, err1 := on.Diversify(ctx, DiversifyRequest{Query: q, K: 5, Lambda: 0.3, RowLimit: 2})
+		dOff, err2 := off.Diversify(ctx, DiversifyRequest{Query: q, K: 5, Lambda: 0.3, RowLimit: 2})
+		compare(q, "Diversify", dOn, dOff, err1, err2)
+	}
+}
+
 // TestStageCancellation proves a cancelled context returns promptly from
 // each parallel stage in isolation — candidate generation, interpretation
 // enumeration, ranking, and top-k execution — not just from the pipeline
