@@ -1,9 +1,12 @@
 # Developer entry points. CI runs the same targets, so local and CI
-# behaviour cannot drift.
+# behaviour cannot drift: the CI test job is exactly `make check`, the
+# lint job `make lint`, the fuzz-smoke job `make fuzz-smoke`, and the
+# bench job `make bench-quick bench-guard`.
 
 GO ?= go
 
-.PHONY: build test race vet fuzz bench bench-quick bench-exec golden check
+.PHONY: build test race vet fmt lint staticcheck fuzz fuzz-smoke \
+	bench bench-quick bench-exec bench-mut bench-guard golden check
 
 build:
 	$(GO) build ./...
@@ -17,27 +20,61 @@ race:
 vet:
 	$(GO) vet ./...
 
-# fuzz gives every fuzz target a short budget on top of the seed corpus.
-fuzz:
-	$(GO) test -fuzz FuzzNormalizeKeywords -fuzztime 30s ./internal/query
+# fmt fails when any file is not gofmt-clean (the lint gate; run
+# `gofmt -w .` to fix).
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# bench writes the pipeline benchmark grid to BENCH_pipeline.json and the
-# executor legs to BENCH_executor.json — the perf-trajectory artifacts CI
-# archives on every run.
+# staticcheck runs if the binary is installed, and is a no-op otherwise
+# (CI installs it; local runs stay dependency-free).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipping"; fi
+
+lint: fmt vet staticcheck
+
+# fuzz gives every fuzz target a longer budget for local sessions;
+# fuzz-smoke is the ~20s-per-target leg CI runs on every push.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzNormalizeKeywords -fuzztime 30s ./internal/query
+	$(GO) test -run '^$$' -fuzz FuzzApplyMutations -fuzztime 30s .
+
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzNormalizeKeywords -fuzztime 20s ./internal/query
+	$(GO) test -run '^$$' -fuzz FuzzApplyMutations -fuzztime 20s .
+
+# bench writes the pipeline grid, the executor legs, and the mutation
+# legs to BENCH_*.json — the perf-trajectory artifacts CI archives on
+# every run.
 bench:
-	$(GO) run ./cmd/bench -out BENCH_pipeline.json -exec-out BENCH_executor.json
+	$(GO) run ./cmd/bench -out BENCH_pipeline.json -exec-out BENCH_executor.json -mut-out BENCH_mutations.json
 
 bench-quick:
-	$(GO) run ./cmd/bench -quick -out BENCH_pipeline.json -exec-out BENCH_executor.json
+	$(GO) run ./cmd/bench -quick -out BENCH_pipeline.json -exec-out BENCH_executor.json -mut-out BENCH_mutations.json
 
-# bench-exec measures only the storage-engine executor legs (scan vs
-# posting lists vs selection cache vs allocation-free count).
+# bench-exec / bench-mut measure one grid in isolation.
 bench-exec:
 	$(GO) run ./cmd/bench -only executor -exec-out BENCH_executor.json
+
+bench-mut:
+	$(GO) run ./cmd/bench -only mutate -mut-out BENCH_mutations.json
+
+# bench-guard re-measures the executor and mutation grids and fails when
+# a tracked speedup regressed >25% vs the committed baselines. Speedups
+# are within-run ratios, so the guard transfers across machines; the
+# pipeline grid is excluded because its parallel speedups depend on the
+# host's core count.
+bench-guard:
+	cp BENCH_executor.json /tmp/bench_base_executor.json
+	cp BENCH_mutations.json /tmp/bench_base_mutations.json
+	$(GO) run ./cmd/bench -only executor,mutate \
+		-compare /tmp/bench_base_executor.json,/tmp/bench_base_mutations.json -threshold 0.25
 
 # golden regenerates testdata/golden after an intentional ranking change.
 # Plain `make test` fails if golden files drift without this.
 golden:
 	$(GO) test -run TestGolden . -update
 
+# check is the CI test job: vet + build + race-enabled tests.
 check: vet build race

@@ -70,8 +70,11 @@ type Result struct {
 	// for them (see Result.Rows for the key convention).
 	Preview []map[string]string `json:"rows,omitempty"`
 
-	q   *query.Interpretation
-	eng *Engine
+	q *query.Interpretation
+	// snap is the snapshot the interpretation was ranked under; deferred
+	// execution (Rows, Count, previews) reads it, so a result stays
+	// consistent with its ranking even when mutations commit in between.
+	snap *snapshot
 }
 
 // Count executes an aggregate interpretation and returns the number of
@@ -84,7 +87,7 @@ func (r Result) Count() (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	return r.eng.db.Count(plan, 0)
+	return r.snap.db.Count(plan, 0)
 }
 
 // Rows executes the interpretation and returns up to limit joined rows;
@@ -104,13 +107,13 @@ func (r Result) rows(limit int, cache *relstore.SelectionCache) ([]map[string]st
 	if err != nil {
 		return nil, err
 	}
-	jtts, err := r.eng.db.Execute(plan, relstore.ExecuteOptions{Limit: limit, Cache: cache})
+	jtts, err := r.snap.db.Execute(plan, relstore.ExecuteOptions{Limit: limit, Cache: cache})
 	if err != nil {
 		return nil, err
 	}
 	var out []map[string]string
 	for _, jtt := range jtts {
-		out = append(out, planRow(r.eng.db, plan, jtt.Rows))
+		out = append(out, planRow(r.snap.db, plan, jtt.Rows))
 	}
 	return out, nil
 }
@@ -171,7 +174,8 @@ func (e *Engine) attachPreviews(ctx context.Context, results []Result, limit int
 // cancels candidate generation, interpretation materialisation, and
 // ranking.
 func (e *Engine) Search(ctx context.Context, req SearchRequest) (*SearchResponse, error) {
-	ranked, _, err := e.interpret(ctx, req.Query)
+	s := e.current()
+	ranked, _, err := e.interpret(ctx, s, req.Query)
 	if err != nil {
 		return nil, err
 	}
@@ -179,7 +183,7 @@ func (e *Engine) Search(ctx context.Context, req SearchRequest) (*SearchResponse
 	if req.K > 0 && len(ranked) > req.K {
 		ranked = ranked[:req.K]
 	}
-	resp.Results = e.wrap(ranked)
+	resp.Results = e.wrap(s, ranked)
 	if err := e.attachPreviews(ctx, resp.Results, req.RowLimit); err != nil {
 		return nil, err
 	}
@@ -190,7 +194,8 @@ func (e *Engine) Search(ctx context.Context, req SearchRequest) (*SearchResponse
 // DivQ interface). Interpretations with empty results are dropped first,
 // as in DivQ.
 func (e *Engine) Diversify(ctx context.Context, req DiversifyRequest) (*SearchResponse, error) {
-	ranked, _, err := e.interpret(ctx, req.Query)
+	s := e.current()
+	ranked, _, err := e.interpret(ctx, s, req.Query)
 	if err != nil {
 		return nil, err
 	}
@@ -202,12 +207,12 @@ func (e *Engine) Diversify(ctx context.Context, req DiversifyRequest) (*SearchRe
 	if !e.cfg.execCacheOff {
 		cache = relstore.NewSelectionCache()
 	}
-	nonEmpty, err := divq.FilterNonEmptyCached(ctx, e.db, ranked, cache)
+	nonEmpty, err := divq.FilterNonEmptyCached(ctx, s.db, ranked, cache)
 	if err != nil {
 		return nil, err
 	}
 	div := divq.Diversify(nonEmpty, divq.Config{Lambda: req.Lambda, K: req.K})
-	resp.Results = e.wrap(div)
+	resp.Results = e.wrap(s, div)
 	if err := e.attachPreviews(ctx, resp.Results, req.RowLimit); err != nil {
 		return nil, err
 	}
@@ -244,14 +249,15 @@ type RowsResponse struct {
 // interpretations of the keyword query, using threshold-style early
 // stopping so low-probability interpretations are never executed.
 func (e *Engine) SearchRows(ctx context.Context, req RowsRequest) (*RowsResponse, error) {
-	ranked, _, err := e.interpret(ctx, req.Query)
+	s := e.current()
+	ranked, _, err := e.interpret(ctx, s, req.Query)
 	if err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	results, _, err := topk.TopKContext(ctx, e.db, ranked, &topk.TFScorer{IX: e.ix}, topk.Options{
+	results, _, err := topk.TopKContext(ctx, s.db, ranked, &topk.TFScorer{IX: s.ix}, topk.Options{
 		K: req.K, PerInterpretationLimit: 4 * req.K, Parallelism: e.cfg.parallelism,
 		DisableExecutionCache: e.cfg.execCacheOff,
 	})
@@ -265,7 +271,7 @@ func (e *Engine) SearchRows(ctx context.Context, req RowsRequest) (*RowsResponse
 			return nil, err
 		}
 		resp.Rows = append(resp.Rows, RowResult{
-			Query: r.Q.String(), Score: r.Score, Row: planRow(e.db, plan, r.Rows),
+			Query: r.Q.String(), Score: r.Score, Row: planRow(s.db, plan, r.Rows),
 		})
 	}
 	return resp, nil

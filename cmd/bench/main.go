@@ -1,35 +1,51 @@
-// Command bench runs the repo's benchmark grids and writes the
-// measurements to JSON files, so the perf trajectory is tracked from PR
-// to PR by CI:
+// Command bench runs the repo's benchmark grids, writes the measurements
+// to JSON files so the perf trajectory is tracked from PR to PR by CI,
+// and can gate a build on perf regressions against committed baselines:
 //
 //   - the interpretation-pipeline grid (keyword count × parallelism, plus
-//     score-cache ablations — the same grid as
-//     BenchmarkPipelineSequentialVsParallel) → BENCH_pipeline.json, and
+//     score-cache ablations) → BENCH_pipeline.json,
 //   - the executor legs (scan reference vs compiled posting-list
 //     execution, with and without the per-request selection cache, plus
-//     the allocation-free count probe — the same legs as
-//     BenchmarkExecute*) → BENCH_executor.json.
+//     the allocation-free count probe) → BENCH_executor.json, and
+//   - the mutation legs (full rebuild vs incremental Engine.Apply vs
+//     apply+search) → BENCH_mutations.json.
 //
 // Usage:
 //
 //	go run ./cmd/bench [-out BENCH_pipeline.json] [-exec-out BENCH_executor.json]
-//	                   [-only all|pipeline|executor] [-quick]
+//	                   [-mut-out BENCH_mutations.json]
+//	                   [-only all|pipeline|executor|mutate[,...]] [-quick]
+//	                   [-compare base1.json[,base2.json...]] [-threshold 0.25]
 //
 // The output records ns/op, allocations, and speedups against each grid's
-// baseline (sequential for the pipeline, scan for the executor),
-// alongside the host shape (CPU count, GOMAXPROCS) needed to interpret
-// absolute numbers.
+// baseline (sequential for the pipeline, scan for the executor, full
+// rebuild for mutations), alongside the host shape (CPU count,
+// GOMAXPROCS) needed to interpret absolute numbers.
+//
+// # Regression guard
+//
+// With -compare, bench loads each given baseline file (typically the
+// committed BENCH_*.json), re-measures the corresponding grid, and exits
+// non-zero when a tracked benchmark's *speedup* column regresses by more
+// than -threshold (default 0.25, i.e. 25%). Speedups are ratios measured
+// within one run on one machine — scan-vs-postings, rebuild-vs-apply —
+// so they transfer across hosts, unlike raw ns/op; this is what makes
+// the guard usable on shared CI runners. The baseline kind is detected
+// from the file's contents.
 package main
 
 import (
 	"encoding/json"
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/benchexec"
+	"repro/internal/benchmut"
 	"repro/internal/benchpipe"
 )
 
@@ -52,20 +68,104 @@ type executorReport struct {
 	*benchexec.Report
 }
 
+// mutationReport is the top-level shape of BENCH_mutations.json.
+type mutationReport struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	NumCPU      int    `json:"num_cpu"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	*benchmut.Report
+}
+
+// speedups extracts the machine-transferable metric of one report as
+// name → speedup-vs-grid-baseline (rows without a speedup are skipped;
+// so is each grid's baseline row itself, whose speedup is 1 by
+// definition).
+type speedups map[string]float64
+
+func pipelineSpeedups(rows []benchpipe.Row) speedups {
+	out := make(speedups)
+	for _, r := range rows {
+		if r.SpeedupVsSequential > 0 && r.SpeedupVsSequential != 1 {
+			out[r.Name] = r.SpeedupVsSequential
+		}
+	}
+	return out
+}
+
+func executorSpeedups(rows []benchexec.Row) speedups {
+	out := make(speedups)
+	for _, r := range rows {
+		if r.SpeedupVsScan > 0 && r.Name != string(benchexec.ModeScan) {
+			out[r.Name] = r.SpeedupVsScan
+		}
+	}
+	return out
+}
+
+func mutationSpeedups(rows []benchmut.Row) speedups {
+	out := make(speedups)
+	for _, r := range rows {
+		if r.SpeedupVsRebuild > 0 && r.Name != string(benchmut.ModeRebuild) {
+			out[r.Name] = r.SpeedupVsRebuild
+		}
+	}
+	return out
+}
+
 func main() {
 	out := flag.String("out", "BENCH_pipeline.json", "pipeline grid output file")
 	execOut := flag.String("exec-out", "BENCH_executor.json", "executor legs output file")
-	only := flag.String("only", "all", "which grids to run: all, pipeline, or executor")
+	mutOut := flag.String("mut-out", "BENCH_mutations.json", "mutation legs output file")
+	only := flag.String("only", "all", "comma-separated grids to run: all, pipeline, executor, mutate")
 	quick := flag.Bool("quick", false, "run the trimmed quick pipeline grid")
+	compare := flag.String("compare", "", "comma-separated baseline BENCH_*.json files to guard against (see Regression guard)")
+	threshold := flag.Float64("threshold", 0.25, "maximum tolerated relative speedup regression vs the baseline")
 	flag.Parse()
 
-	runPipeline := *only == "all" || *only == "pipeline"
-	runExecutor := *only == "all" || *only == "executor"
-	if !runPipeline && !runExecutor {
-		log.Fatalf("unknown -only value %q (want all, pipeline, or executor)", *only)
+	want := map[string]bool{}
+	for _, part := range strings.Split(*only, ",") {
+		switch part = strings.TrimSpace(part); part {
+		case "all":
+			want["pipeline"], want["executor"], want["mutate"] = true, true, true
+		case "pipeline", "executor", "mutate":
+			want[part] = true
+		case "":
+		default:
+			log.Fatalf("unknown -only value %q (want all, pipeline, executor, or mutate)", part)
+		}
+	}
+	if len(want) == 0 {
+		log.Fatal("-only selected no grids")
 	}
 
-	if runPipeline {
+	// Baselines are loaded before measuring, so a bad path fails fast,
+	// and the grids they need are forced on.
+	type baseline struct {
+		path string
+		kind string
+		sp   speedups
+	}
+	var baselines []baseline
+	if *compare != "" {
+		for _, path := range strings.Split(*compare, ",") {
+			path = strings.TrimSpace(path)
+			if path == "" {
+				continue
+			}
+			kind, sp, err := loadBaseline(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			baselines = append(baselines, baseline{path: path, kind: kind, sp: sp})
+			want[kind] = true
+			log.Printf("regression baseline %s (%s): %d tracked speedups", path, kind, len(sp))
+		}
+	}
+
+	fresh := map[string]speedups{}
+
+	if want["pipeline"] {
 		cases := benchpipe.Cases(*quick)
 		log.Printf("running %d pipeline benchmark cases (quick=%v)...", len(cases), *quick)
 		rows, err := benchpipe.Measure(cases)
@@ -85,9 +185,10 @@ func main() {
 			log.Printf("%-22s %12d ns/op  speedup %.2fx", r.Name, r.NsPerOp, r.SpeedupVsSequential)
 		}
 		log.Printf("wrote %s", *out)
+		fresh["pipeline"] = pipelineSpeedups(rows)
 	}
 
-	if runExecutor {
+	if want["executor"] {
 		log.Printf("running executor benchmark legs...")
 		rep, err := benchexec.Measure()
 		if err != nil {
@@ -105,7 +206,104 @@ func main() {
 				r.Name, r.NsPerOp, r.AllocsPerOp, r.SpeedupVsScan)
 		}
 		log.Printf("wrote %s", *execOut)
+		fresh["executor"] = executorSpeedups(rep.Rows)
 	}
+
+	if want["mutate"] {
+		log.Printf("running mutation benchmark legs...")
+		rep, err := benchmut.Measure()
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeJSON(*mutOut, mutationReport{
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			GoVersion:   runtime.Version(),
+			NumCPU:      runtime.NumCPU(),
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			Report:      rep,
+		})
+		for _, r := range rep.Rows {
+			log.Printf("%-16s %12d ns/op  %8d allocs/op  speedup %.2fx vs rebuild",
+				r.Name, r.NsPerOp, r.AllocsPerOp, r.SpeedupVsRebuild)
+		}
+		log.Printf("wrote %s", *mutOut)
+		fresh["mutate"] = mutationSpeedups(rep.Rows)
+	}
+
+	// Regression guard: every baseline row's speedup must be within
+	// threshold of the fresh measurement.
+	failed := false
+	for _, b := range baselines {
+		cur, ok := fresh[b.kind]
+		if !ok {
+			log.Fatalf("baseline %s needs the %s grid, which did not run", b.path, b.kind)
+		}
+		for name, base := range b.sp {
+			got, ok := cur[name]
+			if !ok {
+				log.Printf("REGRESSION %s: benchmark %q tracked by %s was not measured", b.kind, name, b.path)
+				failed = true
+				continue
+			}
+			if got < base*(1-*threshold) {
+				log.Printf("REGRESSION %s: %q speedup %.2fx fell more than %.0f%% below baseline %.2fx",
+					b.kind, name, got, *threshold*100, base)
+				failed = true
+			} else {
+				log.Printf("guard ok   %s: %q speedup %.2fx vs baseline %.2fx", b.kind, name, got, base)
+			}
+		}
+	}
+	if failed {
+		log.Fatal("benchmark regression guard failed")
+	}
+}
+
+// loadBaseline parses a committed BENCH_*.json and detects which grid it
+// describes from its row shape.
+func loadBaseline(path string) (string, speedups, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return "", nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	var probe struct {
+		Rows []map[string]any `json:"rows"`
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return "", nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if len(probe.Rows) == 0 {
+		return "", nil, fmt.Errorf("baseline %s: no rows", path)
+	}
+	has := func(key string) bool {
+		for _, row := range probe.Rows {
+			if _, ok := row[key]; ok {
+				return true
+			}
+		}
+		return false
+	}
+	switch {
+	case has("speedup_vs_rebuild"):
+		var rep mutationReport
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			return "", nil, fmt.Errorf("baseline %s: %w", path, err)
+		}
+		return "mutate", mutationSpeedups(rep.Rows), nil
+	case has("speedup_vs_scan"):
+		var rep executorReport
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			return "", nil, fmt.Errorf("baseline %s: %w", path, err)
+		}
+		return "executor", executorSpeedups(rep.Rows), nil
+	case has("speedup_vs_sequential"):
+		var rep pipelineReport
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			return "", nil, fmt.Errorf("baseline %s: %w", path, err)
+		}
+		return "pipeline", pipelineSpeedups(rep.Rows), nil
+	}
+	return "", nil, fmt.Errorf("baseline %s: unrecognised report shape", path)
 }
 
 // writeJSON marshals the report with a trailing newline.

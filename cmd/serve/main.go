@@ -4,15 +4,17 @@
 //
 // Usage:
 //
-//	go run ./cmd/serve [-addr :8080] [-seed N] [-music] [-db dump] [-ttl 15m]
+//	go run ./cmd/serve [-addr :8080] [-seed N] [-music] [-db dump] [-ttl 15m] [-mutable]
 //
 // Quickstart:
 //
-//	go run ./cmd/serve &
+//	go run ./cmd/serve -mutable &
 //	curl -s localhost:8080/v1/search -d '{"query":"hanks","k":3}'
 //	curl -s localhost:8080/v1/construct -d '{"action":"start","start":{"query":"hanks","stop_at_remaining":1}}'
+//	curl -s localhost:8080/v1/mutate -d '{"mutations":[{"op":"insert","table":"actor","values":["a9001","Nora Ephron"]}]}'
 //
-// See package repro/httpapi for the endpoint and session protocol.
+// See package repro/httpapi for the endpoint and session protocol, and
+// docs/mutations.md for the live-mutation snapshot model.
 package main
 
 import (
@@ -36,6 +38,7 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "pipeline worker count (0 = GOMAXPROCS, 1 = sequential)")
 	scoreCache := flag.Bool("score-cache", true, "memoise score sub-terms across requests")
 	execCache := flag.Bool("exec-cache", true, "share keyword selections across the plans of one request")
+	mutable := flag.Bool("mutable", false, "enable live mutations via POST /v1/mutate (snapshot-isolated)")
 	flag.Parse()
 
 	opts := []keysearch.Option{
@@ -43,6 +46,9 @@ func main() {
 		keysearch.WithParallelism(*parallelism),
 		keysearch.WithScoreCache(*scoreCache),
 		keysearch.WithExecutionCache(*execCache),
+	}
+	if *mutable {
+		opts = append(opts, keysearch.WithMutations())
 	}
 	var (
 		eng *keysearch.Engine
@@ -65,8 +71,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("engine ready: %d tables, %d rows, %d query templates, parallelism %d",
-		eng.NumTables(), eng.NumRows(), eng.NumTemplates(), eng.Parallelism())
+	log.Printf("engine ready: %d tables, %d rows, %d query templates, parallelism %d, mutable %v",
+		eng.NumTables(), eng.NumRows(), eng.NumTemplates(), eng.Parallelism(), eng.MutationsEnabled())
 
 	srv := httpapi.New(eng,
 		httpapi.WithSessionTTL(*ttl),

@@ -39,24 +39,29 @@ type Question struct {
 // behind server-side session IDs with TTL eviction.
 type Construction struct {
 	eng  *Engine
+	snap *snapshot
 	sess *core.Session
 }
 
 // Construct starts an incremental construction session for the keyword
-// query. The context cancels the initial hierarchy expansion.
+// query. The context cancels the initial hierarchy expansion. The
+// session pins the engine snapshot current at its start: a dialogue
+// spanning mutation batches keeps answering against the consistent view
+// it began on (snapshot isolation at session granularity).
 func (e *Engine) Construct(ctx context.Context, req ConstructRequest) (*Construction, error) {
-	c, _, err := e.candidatesFor(ctx, req.Query)
+	s := e.current()
+	c, _, err := e.candidatesFor(ctx, s, req.Query)
 	if err != nil {
 		return nil, err
 	}
-	sess, err := core.NewSessionContext(ctx, e.model, c, core.SessionConfig{
+	sess, err := core.NewSessionContext(ctx, s.model, c, core.SessionConfig{
 		Threshold:       req.Threshold,
 		StopAtRemaining: req.StopAtRemaining,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Construction{eng: e, sess: sess}, nil
+	return &Construction{eng: e, snap: s, sess: sess}, nil
 }
 
 // Done reports whether construction has converged to at most
@@ -94,5 +99,5 @@ func (c *Construction) Reject(ctx context.Context, q Question) error {
 // Candidates returns the currently remaining structured queries, ranked
 // by probability (empty until the interpretation space is materialised).
 func (c *Construction) Candidates() []Result {
-	return c.eng.wrap(c.sess.Remaining())
+	return c.eng.wrap(c.snap, c.sess.Remaining())
 }

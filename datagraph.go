@@ -26,7 +26,8 @@ type TupleTree struct {
 // families of Section 2.2 on the same data. The tuple graph is built
 // lazily on first use; the lazy build is safe under concurrent calls.
 func (e *Engine) SearchTrees(ctx context.Context, keywords string, k int) ([]TupleTree, error) {
-	if !e.built {
+	s := e.current()
+	if s == nil {
 		return nil, fmt.Errorf("keysearch: call Build before searching")
 	}
 	toks := parse(keywords)
@@ -36,10 +37,7 @@ func (e *Engine) SearchTrees(ctx context.Context, keywords string, k int) ([]Tup
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	e.dgraphOnce.Do(func() {
-		e.dgraph = datagraph.Build(e.db)
-	})
-	trees, err := e.dgraph.Search(toks, datagraph.Options{K: k})
+	trees, err := s.dataGraph().Search(toks, datagraph.Options{K: k})
 	if err != nil {
 		return nil, err
 	}
@@ -54,7 +52,7 @@ func (e *Engine) SearchTrees(ctx context.Context, keywords string, k int) ([]Tup
 			return nodes[i].Row < nodes[j].Row
 		})
 		for _, n := range nodes {
-			t := e.db.Table(n.Table)
+			t := s.db.Table(n.Table)
 			tuple, ok := t.Row(n.Row)
 			if !ok {
 				continue

@@ -80,21 +80,25 @@ func DemoMusicWith(seed int64, opts ...Option) (*Engine, error) {
 // the demo datasets, for use in examples and quickstarts. The returned
 // queries are tokens that genuinely occur in the demo data.
 func (e *Engine) SampleQueries(n int) []string {
-	if !e.built {
+	s := e.current()
+	if s == nil {
 		return nil
 	}
 	// Tokens occurring in more than one attribute are ambiguous.
 	var out []string
 	seen := map[string]bool{}
-	for _, attr := range e.ix.Attributes() {
-		t := e.db.Table(attr.Table)
+	for _, attr := range s.ix.Attributes() {
+		t := s.db.Table(attr.Table)
 		ci := t.Schema.ColumnIndex(attr.Column)
 		for _, row := range t.Rows() {
+			if !t.Live(row.RowID) {
+				continue
+			}
 			for _, tok := range parse(row.Values[ci]) {
 				if seen[tok] || len(tok) < 4 {
 					continue
 				}
-				if len(e.ix.Lookup(tok)) > 1 {
+				if len(s.ix.Lookup(tok)) > 1 {
 					seen[tok] = true
 					out = append(out, tok)
 					if len(out) >= n {
@@ -107,9 +111,13 @@ func (e *Engine) SampleQueries(n int) []string {
 	return out
 }
 
-// SaveTo serialises the engine's database (schema and rows) to the
-// writer; indexes are rebuilt on load. Use Load to restore.
+// SaveTo serialises the engine's database (schema and live rows of the
+// current snapshot) to the writer; indexes are rebuilt on load. Use Load
+// to restore.
 func (e *Engine) SaveTo(w io.Writer) error {
+	if s := e.current(); s != nil {
+		return s.db.Save(w)
+	}
 	return e.db.Save(w)
 }
 

@@ -97,14 +97,14 @@ func TestCancelledContextAborts(t *testing.T) {
 	// Target the materialisation stage directly: candidates generated
 	// under a live context, the interpretation space materialised under a
 	// cancelled one.
-	c, _, err := eng.candidatesFor(context.Background(), "london 2010")
+	c, _, err := eng.candidatesFor(context.Background(), eng.current(), "london 2010")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := query.GenerateCompleteContext(ctx, c, eng.cat, query.GenerateConfig{}); !errors.Is(err, context.Canceled) {
+	if _, err := query.GenerateCompleteContext(ctx, c, eng.current().cat, query.GenerateConfig{}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("GenerateCompleteContext error = %v, want context.Canceled", err)
 	}
-	if _, err := eng.model.RankContext(ctx, nil); !errors.Is(err, context.Canceled) {
+	if _, err := eng.current().model.RankContext(ctx, nil); !errors.Is(err, context.Canceled) {
 		t.Fatalf("RankContext error = %v, want context.Canceled", err)
 	}
 }

@@ -1,0 +1,139 @@
+package keysearch
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// FuzzApplyMutations drives arbitrary mutation scripts against a small
+// engine and enforces the incremental-maintenance contract on every
+// input: whatever sequence of batches (valid or rejected) the bytes
+// decode to, the engine must stay internally consistent and answer
+// byte-identically to an engine freshly built over the surviving rows.
+//
+// Script encoding (one mutation per 3-byte group, batch boundaries every
+// 1 + b%3 mutations): byte 0 selects the op and table, byte 1 the row
+// key, byte 2 the replacement words. Invalid mutations (missing keys,
+// duplicate inserts) are expected — rejected batches must change
+// nothing.
+func FuzzApplyMutations(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5})
+	f.Add([]byte{9, 200, 13, 77, 0, 0, 255, 31, 8})
+	f.Add([]byte("insert update delete churn"))
+	f.Add(bytes.Repeat([]byte{42, 7}, 24))
+
+	words := []string{"tom", "hanks", "london", "sky", "mail", "stone", "stone stone", ""}
+
+	f.Fuzz(func(t *testing.T, script []byte) {
+		eng := fuzzEngine(t)
+		serial := 0
+		var batch []Mutation
+		flush := func() {
+			if len(batch) == 0 {
+				return
+			}
+			before := eng.Epoch()
+			if _, err := eng.Apply(bg, batch); err != nil {
+				// Rejected batches must be invisible.
+				if eng.Epoch() != before {
+					t.Fatalf("rejected batch advanced epoch: %v", err)
+				}
+			}
+			batch = nil
+		}
+		for i := 0; i+2 < len(script); i += 3 {
+			op, kb, wb := script[i], script[i+1], script[i+2]
+			table := "actor"
+			if op&1 == 1 {
+				table = "movie"
+			}
+			key := fmt.Sprintf("%s%d", table[:1], kb%16)
+			switch op % 3 {
+			case 0:
+				serial++
+				vals := []string{fmt.Sprintf("f%d", serial), words[int(wb)%len(words)]}
+				if table == "movie" {
+					vals = append(vals, fmt.Sprintf("%d", 1990+int(wb)%30))
+				}
+				batch = append(batch, Mutation{Op: OpInsert, Table: table, Values: vals})
+			case 1:
+				vals := []string{key, words[int(wb)%len(words)]}
+				if table == "movie" {
+					vals = append(vals, fmt.Sprintf("%d", 1990+int(wb)%30))
+				}
+				batch = append(batch, Mutation{Op: OpUpdate, Table: table, Key: key, Values: vals})
+			default:
+				batch = append(batch, Mutation{Op: OpDelete, Table: table, Key: key})
+			}
+			if len(batch) >= 1+int(op)%3 {
+				flush()
+			}
+		}
+		flush()
+
+		// Differential bar: fresh build over the surviving rows.
+		fresh := fuzzRebuild(t, eng)
+		if got, want := eng.NumRows(), fresh.NumRows(); got != want {
+			t.Fatalf("NumRows: mutated %d, rebuilt %d", got, want)
+		}
+		gk, wk := eng.Keywords("", 0), fresh.Keywords("", 0)
+		gj, _ := json.Marshal(gk)
+		wj, _ := json.Marshal(wk)
+		if !bytes.Equal(gj, wj) {
+			t.Fatalf("term dictionaries diverge:\n mutated %s\n rebuilt %s", gj, wj)
+		}
+		for _, q := range []string{"tom", "london stone", "hanks terminal", "sky"} {
+			got, gotErr := eng.Search(bg, SearchRequest{Query: q, K: 4, RowLimit: 2})
+			want, wantErr := fresh.Search(bg, SearchRequest{Query: q, K: 4, RowLimit: 2})
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("Search(%q) errors diverge: %v vs %v", q, gotErr, wantErr)
+			}
+			if gotErr != nil {
+				continue
+			}
+			gj, _ := json.Marshal(got)
+			wj, _ := json.Marshal(want)
+			if !bytes.Equal(gj, wj) {
+				t.Fatalf("Search(%q) diverges:\n mutated %s\n rebuilt %s", q, gj, wj)
+			}
+		}
+	})
+}
+
+// fuzzEngine builds the small fixed engine every fuzz execution starts
+// from. Keys follow the a<n>/m<n> shape the script generator addresses.
+func fuzzEngine(t *testing.T) *Engine {
+	t.Helper()
+	eng, err := New(movieSchema(), WithMutations(), WithCoOccurrence())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := [][]string{
+		{"actor", "a0", "Tom Hanks"},
+		{"actor", "a1", "Jack London"},
+		{"actor", "a2", "Sky Stone"},
+		{"movie", "m0", "The Terminal", "2004"},
+		{"movie", "m1", "Sky Mail", "1999"},
+		{"acts", "a0", "m0", "Viktor"},
+		{"acts", "a1", "m1", "Joe"},
+		{"acts", "a2", "m1", "Clerk"},
+	}
+	for _, r := range rows {
+		if err := eng.Insert(r[0], r[1:]...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Build(); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// fuzzRebuild is rebuiltEngine without testing.T fatality differences —
+// shared here for clarity of the fuzz body.
+func fuzzRebuild(t *testing.T, eng *Engine) *Engine {
+	t.Helper()
+	return rebuiltEngine(t, eng, WithMutations(), WithCoOccurrence())
+}

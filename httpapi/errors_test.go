@@ -1,0 +1,149 @@
+package httpapi
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	keysearch "repro"
+)
+
+// postRaw sends an arbitrary body (not necessarily JSON) and returns the
+// status code.
+func postRaw(t *testing.T, client *http.Client, url, body string) int {
+	t.Helper()
+	resp, err := client.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestHTTPMalformedBodies: every POST endpoint rejects syntactically
+// broken, type-mismatched, and unknown-field bodies with 400.
+func TestHTTPMalformedBodies(t *testing.T) {
+	eng := demoEngine(t)
+	ts := httptest.NewServer(New(eng))
+	defer ts.Close()
+
+	endpoints := []string{"/v1/search", "/v1/diversify", "/v1/rows", "/v1/mutate", "/v1/construct"}
+	bodies := []struct {
+		name, body string
+	}{
+		{"truncated", `{"query": "tom`},
+		{"not json", `this is not json`},
+		{"wrong type", `{"query": 42}`},
+		{"unknown field", `{"query": "tom", "surprise": true}`},
+		{"array instead of object", `[1,2,3]`},
+	}
+	for _, ep := range endpoints {
+		for _, b := range bodies {
+			if code := postRaw(t, ts.Client(), ts.URL+ep, b.body); code != http.StatusBadRequest {
+				t.Errorf("%s with %s body: status = %d, want 400", ep, b.name, code)
+			}
+		}
+	}
+}
+
+// TestHTTPWrongMethods: the method-scoped mux patterns reject mismatched
+// verbs with 405.
+func TestHTTPWrongMethods(t *testing.T) {
+	eng := demoEngine(t)
+	ts := httptest.NewServer(New(eng))
+	defer ts.Close()
+
+	check := func(method, path string, want int) {
+		t.Helper()
+		req, err := http.NewRequest(method, ts.URL+path, strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("%s %s: status = %d, want %d", method, path, resp.StatusCode, want)
+		}
+	}
+	check(http.MethodGet, "/v1/search", http.StatusMethodNotAllowed)
+	check(http.MethodGet, "/v1/mutate", http.StatusMethodNotAllowed)
+	check(http.MethodDelete, "/v1/rows", http.StatusMethodNotAllowed)
+	check(http.MethodPost, "/v1/keywords", http.StatusMethodNotAllowed)
+	check(http.MethodPut, "/healthz", http.StatusMethodNotAllowed)
+	check(http.MethodPost, "/v1/unknown", http.StatusNotFound)
+}
+
+// TestHTTPExpiredConstructSession: a session answered after its TTL is
+// gone (404), and construct actions validate their inputs.
+func TestHTTPExpiredConstructSession(t *testing.T) {
+	eng := demoEngine(t)
+	now := time.Now()
+	clock := func() time.Time { return now }
+	ts := httptest.NewServer(New(eng, WithSessionTTL(time.Minute), WithClock(clock)))
+	defer ts.Close()
+
+	q := eng.SampleQueries(1)[0]
+	var step ConstructStepResponse
+	if code := post(t, ts.Client(), ts.URL+"/v1/construct", ConstructStepRequest{
+		Action: "start",
+		Start:  &keysearch.ConstructRequest{Query: q, StopAtRemaining: 1},
+	}, &step); code != http.StatusOK {
+		t.Fatalf("start = %d", code)
+	}
+	if step.SessionID == "" {
+		t.Fatal("no session id")
+	}
+
+	// Advance past the TTL: the session is purged.
+	now = now.Add(2 * time.Minute)
+	var eres ErrorResponse
+	if code := post(t, ts.Client(), ts.URL+"/v1/construct", ConstructStepRequest{
+		Action: "accept", SessionID: step.SessionID,
+	}, &eres); code != http.StatusNotFound {
+		t.Fatalf("accept on expired session = %d, want 404", code)
+	}
+	if !strings.Contains(eres.Error, "expired") {
+		t.Fatalf("error = %q", eres.Error)
+	}
+	// Same for candidates and cancel.
+	if code := post(t, ts.Client(), ts.URL+"/v1/construct", ConstructStepRequest{
+		Action: "candidates", SessionID: step.SessionID,
+	}, &eres); code != http.StatusNotFound {
+		t.Fatalf("candidates on expired session = %d, want 404", code)
+	}
+	if code := post(t, ts.Client(), ts.URL+"/v1/construct", ConstructStepRequest{
+		Action: "cancel", SessionID: step.SessionID,
+	}, &eres); code != http.StatusNotFound {
+		t.Fatalf("cancel on expired session = %d, want 404", code)
+	}
+
+	// Bad construct inputs.
+	if code := post(t, ts.Client(), ts.URL+"/v1/construct", ConstructStepRequest{Action: "start"}, &eres); code != http.StatusBadRequest {
+		t.Fatalf("start without body = %d, want 400", code)
+	}
+	if code := post(t, ts.Client(), ts.URL+"/v1/construct", ConstructStepRequest{Action: "dance"}, &eres); code != http.StatusBadRequest {
+		t.Fatalf("unknown action = %d, want 400", code)
+	}
+}
+
+// TestHTTPKeywordsValidation: the only GET endpoint with parameters
+// rejects a bad limit.
+func TestHTTPKeywordsValidation(t *testing.T) {
+	eng := demoEngine(t)
+	ts := httptest.NewServer(New(eng))
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/keywords?prefix=t&limit=banana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad limit = %d, want 400", resp.StatusCode)
+	}
+}

@@ -9,9 +9,16 @@
 //	POST /v1/search     keysearch.SearchRequest    → keysearch.SearchResponse
 //	POST /v1/diversify  keysearch.DiversifyRequest → keysearch.SearchResponse
 //	POST /v1/rows       keysearch.RowsRequest      → keysearch.RowsResponse
+//	POST /v1/mutate     MutateRequest              → MutateResponse
 //	POST /v1/construct  ConstructStepRequest       → ConstructStepResponse
 //	GET  /v1/keywords?prefix=&limit=               → KeywordsResponse
 //	GET  /healthz                                  → HealthResponse
+//
+// /v1/mutate applies a live insert/update/delete batch atomically on an
+// engine built with keysearch.WithMutations (403 otherwise; 400 on any
+// validation error, in which case nothing of the batch is applied).
+// /healthz reports the snapshot epoch, which increases by one per
+// committed batch, so operators can follow ingestion progress.
 //
 // Construction is a dialogue, so /v1/construct is sessionized: "start"
 // creates a server-side session and returns its ID plus the first
@@ -52,11 +59,27 @@ type KeywordsResponse struct {
 // HealthResponse answers GET /healthz. Parallelism reports the engine's
 // pipeline worker count and ExecutionCache whether plan execution shares
 // a per-request selection cache, so operators can verify the deployed
-// tuning.
+// tuning. Mutable reports whether /v1/mutate is enabled and Epoch the
+// current snapshot epoch (0 at build, +1 per committed mutation batch).
 type HealthResponse struct {
 	Status         string `json:"status"`
 	Parallelism    int    `json:"parallelism"`
 	ExecutionCache bool   `json:"execution_cache"`
+	Mutable        bool   `json:"mutable"`
+	Epoch          uint64 `json:"epoch"`
+}
+
+// MutateRequest carries one mutation batch for POST /v1/mutate.
+type MutateRequest struct {
+	Mutations []keysearch.Mutation `json:"mutations"`
+}
+
+// MutateResponse reports the committed batch.
+type MutateResponse struct {
+	// Epoch is the snapshot epoch the batch committed as.
+	Epoch uint64 `json:"epoch"`
+	// Applied is the number of mutations applied.
+	Applied int `json:"applied"`
 }
 
 // ConstructStepRequest drives one step of a sessionized construction
@@ -151,6 +174,7 @@ func New(eng *keysearch.Engine, opts ...Option) *Server {
 	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
 	s.mux.HandleFunc("POST /v1/diversify", s.handleDiversify)
 	s.mux.HandleFunc("POST /v1/rows", s.handleRows)
+	s.mux.HandleFunc("POST /v1/mutate", s.handleMutate)
 	s.mux.HandleFunc("POST /v1/construct", s.handleConstruct)
 	s.mux.HandleFunc("GET /v1/keywords", s.handleKeywords)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -158,6 +182,8 @@ func New(eng *keysearch.Engine, opts ...Option) *Server {
 			Status:         "ok",
 			Parallelism:    s.eng.Parallelism(),
 			ExecutionCache: s.eng.ExecutionCacheEnabled(),
+			Mutable:        s.eng.MutationsEnabled(),
+			Epoch:          s.eng.Epoch(),
 		})
 	})
 	return s
@@ -241,6 +267,24 @@ func (s *Server) handleRows(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	req, err := decode[MutateRequest](r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.eng.Apply(r.Context(), req.Mutations)
+	if err != nil {
+		status := statusFor(err)
+		if errors.Is(err, keysearch.ErrMutationsDisabled) {
+			status = http.StatusForbidden
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, MutateResponse{Epoch: res.Epoch, Applied: res.Applied})
 }
 
 func (s *Server) handleKeywords(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,187 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	keysearch "repro"
+)
+
+// mutableDemoEngine builds a fresh mutable movie engine (not the shared
+// read-only one: these tests change data).
+func mutableDemoEngine(t *testing.T) *keysearch.Engine {
+	t.Helper()
+	eng, err := keysearch.DemoMoviesWith(7, keysearch.WithMutations())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func getJSON(t *testing.T, client *http.Client, url string, out any) int {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHTTPMutateLifecycle(t *testing.T) {
+	eng := mutableDemoEngine(t)
+	ts := httptest.NewServer(New(eng))
+	defer ts.Close()
+
+	var health HealthResponse
+	if code := getJSON(t, ts.Client(), ts.URL+"/healthz", &health); code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+	if !health.Mutable || health.Epoch != 0 {
+		t.Fatalf("healthz = %+v, want mutable epoch 0", health)
+	}
+
+	var mres MutateResponse
+	code := post(t, ts.Client(), ts.URL+"/v1/mutate", MutateRequest{Mutations: []keysearch.Mutation{
+		{Op: keysearch.OpInsert, Table: "actor", Values: []string{"zz1", "Zelda Zeppelin"}},
+	}}, &mres)
+	if code != http.StatusOK || mres.Epoch != 1 || mres.Applied != 1 {
+		t.Fatalf("mutate: code=%d resp=%+v", code, mres)
+	}
+
+	// The inserted row is immediately searchable.
+	var sres keysearch.SearchResponse
+	if code := post(t, ts.Client(), ts.URL+"/v1/search", keysearch.SearchRequest{Query: "zeppelin", K: 3}, &sres); code != http.StatusOK {
+		t.Fatalf("search after mutate = %d", code)
+	}
+	if len(sres.Results) == 0 {
+		t.Fatal("mutation not visible to search")
+	}
+
+	// The epoch advanced on /healthz.
+	if getJSON(t, ts.Client(), ts.URL+"/healthz", &health); health.Epoch != 1 {
+		t.Fatalf("healthz epoch = %d, want 1", health.Epoch)
+	}
+
+	// Delete it again; the keyword disappears.
+	if code := post(t, ts.Client(), ts.URL+"/v1/mutate", MutateRequest{Mutations: []keysearch.Mutation{
+		{Op: keysearch.OpDelete, Table: "actor", Key: "zz1"},
+	}}, &mres); code != http.StatusOK || mres.Epoch != 2 {
+		t.Fatalf("delete: code=%d resp=%+v", code, mres)
+	}
+	var eres ErrorResponse
+	if code := post(t, ts.Client(), ts.URL+"/v1/search", keysearch.SearchRequest{Query: "zeppelin"}, &eres); code != http.StatusBadRequest {
+		t.Fatalf("search for deleted keyword = %d, want 400", code)
+	}
+}
+
+func TestHTTPMutateValidationErrors(t *testing.T) {
+	eng := mutableDemoEngine(t)
+	ts := httptest.NewServer(New(eng))
+	defer ts.Close()
+
+	cases := []struct {
+		name string
+		muts []keysearch.Mutation
+		want string
+	}{
+		{"empty batch", nil, "empty mutation batch"},
+		{"unknown table", []keysearch.Mutation{{Op: keysearch.OpInsert, Table: "ghost", Values: []string{"x"}}}, "unknown table"},
+		{"unknown op", []keysearch.Mutation{{Op: "replace", Table: "actor", Values: []string{"a", "b"}}}, "unknown op"},
+		{"wrong arity", []keysearch.Mutation{{Op: keysearch.OpInsert, Table: "actor", Values: []string{"only"}}}, "expects"},
+		{"missing key", []keysearch.Mutation{{Op: keysearch.OpDelete, Table: "actor"}}, "empty key"},
+		{"unknown key", []keysearch.Mutation{{Op: keysearch.OpDelete, Table: "actor", Key: "nope"}}, "no row with"},
+	}
+	for _, tc := range cases {
+		var eres ErrorResponse
+		code := post(t, ts.Client(), ts.URL+"/v1/mutate", MutateRequest{Mutations: tc.muts}, &eres)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", tc.name, code)
+		}
+		if !strings.Contains(eres.Error, tc.want) {
+			t.Errorf("%s: error %q, want substring %q", tc.name, eres.Error, tc.want)
+		}
+	}
+
+	// Nothing leaked and the epoch never moved.
+	var health HealthResponse
+	getJSON(t, ts.Client(), ts.URL+"/healthz", &health)
+	if health.Epoch != 0 {
+		t.Fatalf("epoch after rejected batches = %d, want 0", health.Epoch)
+	}
+}
+
+func TestHTTPMutateDisabled(t *testing.T) {
+	eng := demoEngine(t) // shared immutable engine
+	ts := httptest.NewServer(New(eng))
+	defer ts.Close()
+
+	var eres ErrorResponse
+	code := post(t, ts.Client(), ts.URL+"/v1/mutate", MutateRequest{Mutations: []keysearch.Mutation{
+		{Op: keysearch.OpInsert, Table: "actor", Values: []string{"x1", "X"}},
+	}}, &eres)
+	if code != http.StatusForbidden {
+		t.Fatalf("mutate on immutable engine = %d, want 403", code)
+	}
+	if !strings.Contains(eres.Error, "disabled") {
+		t.Fatalf("error = %q", eres.Error)
+	}
+	var health HealthResponse
+	getJSON(t, ts.Client(), ts.URL+"/healthz", &health)
+	if health.Mutable {
+		t.Fatal("healthz reports mutable on immutable engine")
+	}
+}
+
+// TestHTTPMutateConcurrentWithSearch hammers /v1/mutate and /v1/search
+// concurrently through the full HTTP stack; every search must return a
+// consistent 200/400 outcome and every mutation must commit in order.
+func TestHTTPMutateConcurrentWithSearch(t *testing.T) {
+	eng := mutableDemoEngine(t)
+	ts := httptest.NewServer(New(eng))
+	defer ts.Close()
+
+	q := eng.SampleQueries(1)[0]
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10; i++ {
+			var mres MutateResponse
+			key := "cc" + string(rune('a'+i))
+			if code := post(t, ts.Client(), ts.URL+"/v1/mutate", MutateRequest{Mutations: []keysearch.Mutation{
+				{Op: keysearch.OpInsert, Table: "actor", Values: []string{key, "Touring Artist"}},
+				{Op: keysearch.OpDelete, Table: "actor", Key: key},
+			}}, &mres); code != http.StatusOK {
+				t.Errorf("mutate %d failed: %d", i, code)
+				return
+			}
+			if mres.Epoch != uint64(i+1) {
+				t.Errorf("epoch = %d, want %d", mres.Epoch, i+1)
+			}
+		}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("mutation loop did not finish")
+		}
+		var sres keysearch.SearchResponse
+		if code := post(t, ts.Client(), ts.URL+"/v1/search", keysearch.SearchRequest{Query: q, K: 2}, &sres); code != http.StatusOK {
+			t.Fatalf("search during mutations = %d", code)
+		}
+	}
+}

@@ -1,0 +1,312 @@
+// Package benchmut is the mutation benchmark harness: it measures what
+// keeping the index fresh under a changing database costs, comparing the
+// incremental path (Engine.Apply with copy-on-write snapshots) against
+// the only alternative a frozen engine has — reloading the rows and
+// rebuilding every index and statistic from scratch.
+//
+// The workload is a steady-state mutation batch against the demo movie
+// dataset: one batch inserts a block of new actors, deletes them again
+// within the same batch (exercising intra-batch visibility), and toggles
+// the titles of a block of movies, so repeated batches keep the database
+// size bounded while continuously churning posting lists, the inverted
+// index, and the ranking statistics. Legs:
+//
+//   - full-rebuild:  reload the serialised rows and Build a fresh engine
+//     (gob decode + posting lists + inverted index + catalogue + model) —
+//     the per-batch cost of serving fresh data without Apply,
+//   - apply-batch:   one Engine.Apply of the batch,
+//   - apply+search:  Apply followed by one Search, the read-after-write
+//     freshness path a live ingest pipeline exercises.
+//
+// Two front-ends consume the harness: the BenchmarkMutations* functions
+// (go test -bench=Mutations) for interactive runs and CI smoke, and
+// cmd/bench, which writes BENCH_mutations.json so the mutation path's
+// perf trajectory is tracked from PR to PR.
+package benchmut
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+
+	keysearch "repro"
+	"repro/internal/datagen"
+)
+
+// Seed pins the dataset; Scale 1.0 keeps the rebuild leg affordable in
+// CI while staying large enough that rebuild-vs-apply is meaningful.
+const (
+	Seed  = 21
+	Scale = 1.0
+)
+
+// MutatedMovies and ChurnActors size one batch: 2*ChurnActors inserts+
+// deletes and MutatedMovies updates per Apply.
+const (
+	MutatedMovies = 10
+	ChurnActors   = 10
+)
+
+// BatchSize is the number of mutations per measured batch.
+const BatchSize = 2*ChurnActors + MutatedMovies
+
+// Mode selects one benchmark leg.
+type Mode string
+
+const (
+	// ModeRebuild reloads the dump and rebuilds the engine from scratch.
+	ModeRebuild Mode = "full-rebuild"
+	// ModeApply applies one incremental mutation batch.
+	ModeApply Mode = "apply-batch"
+	// ModeApplySearch applies one batch and immediately searches.
+	ModeApplySearch Mode = "apply+search"
+)
+
+// Modes lists every leg in report order.
+func Modes() []Mode { return []Mode{ModeRebuild, ModeApply, ModeApplySearch} }
+
+// Env is the lazily built benchmark environment.
+type Env struct {
+	once sync.Once
+	err  error
+
+	eng        *keysearch.Engine
+	dump       []byte   // serialised pristine database for the rebuild leg
+	movieKeys  []string // movies whose titles the batch toggles
+	origTitles []string
+	origYears  []string
+	query      string
+	parity     int
+}
+
+// NewEnv creates an environment; the dataset is built on first use.
+func NewEnv() *Env { return &Env{} }
+
+func (e *Env) init() {
+	e.once.Do(func() {
+		// Generate the dataset directly so the batch builder knows real
+		// movie keys and their current values, then feed the engine
+		// through the dump — the same bytes the rebuild leg reloads.
+		db, err := datagen.IMDB(datagen.IMDBConfig{
+			Movies:    int(400 * Scale),
+			Actors:    int(300 * Scale),
+			Directors: int(80 * Scale),
+			Companies: int(40 * Scale),
+			Seed:      Seed,
+		})
+		if err != nil {
+			e.err = err
+			return
+		}
+		movies := db.Table("movie")
+		for _, row := range movies.Rows()[:MutatedMovies] {
+			e.movieKeys = append(e.movieKeys, row.Values[0])
+			e.origTitles = append(e.origTitles, row.Values[1])
+			e.origYears = append(e.origYears, row.Values[2])
+		}
+		var buf bytes.Buffer
+		if err := db.Save(&buf); err != nil {
+			e.err = err
+			return
+		}
+		e.dump = buf.Bytes()
+		eng, err := keysearch.Load(bytes.NewReader(e.dump),
+			keysearch.WithCoOccurrence(), keysearch.WithMutations())
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.eng = eng
+		qs := eng.SampleQueries(1)
+		if len(qs) == 0 {
+			e.err = fmt.Errorf("benchmut: no sample queries")
+			return
+		}
+		e.query = qs[0]
+	})
+}
+
+// batch builds one steady-state mutation batch. Odd parities append a
+// churn token to each sampled movie title, even parities restore the
+// original, so the database alternates between exactly two states.
+func (e *Env) batch(parity int) []keysearch.Mutation {
+	muts := make([]keysearch.Mutation, 0, BatchSize)
+	for i := 0; i < ChurnActors; i++ {
+		key := fmt.Sprintf("bench-a%d", i)
+		muts = append(muts, keysearch.Mutation{
+			Op: keysearch.OpInsert, Table: "actor",
+			Values: []string{key, fmt.Sprintf("Transient Benchling %d", i)},
+		})
+	}
+	for i, key := range e.movieKeys {
+		title := e.origTitles[i]
+		if parity%2 == 1 {
+			title += " churned"
+		}
+		muts = append(muts, keysearch.Mutation{
+			Op: keysearch.OpUpdate, Table: "movie", Key: key,
+			Values: []string{key, title, e.origYears[i]},
+		})
+	}
+	for i := 0; i < ChurnActors; i++ {
+		muts = append(muts, keysearch.Mutation{
+			Op: keysearch.OpDelete, Table: "actor", Key: fmt.Sprintf("bench-a%d", i),
+		})
+	}
+	return muts
+}
+
+// RunRequest executes one benchmark operation under the given mode.
+func (e *Env) RunRequest(mode Mode) error {
+	e.init()
+	if e.err != nil {
+		return e.err
+	}
+	switch mode {
+	case ModeRebuild:
+		eng, err := keysearch.Load(bytes.NewReader(e.dump),
+			keysearch.WithCoOccurrence(), keysearch.WithMutations())
+		if err != nil {
+			return err
+		}
+		if eng.NumRows() == 0 {
+			return fmt.Errorf("benchmut: rebuilt engine is empty")
+		}
+		return nil
+	case ModeApply:
+		e.parity++
+		_, err := e.eng.Apply(context.Background(), e.batch(e.parity))
+		return err
+	case ModeApplySearch:
+		e.parity++
+		if _, err := e.eng.Apply(context.Background(), e.batch(e.parity)); err != nil {
+			return err
+		}
+		_, err := e.eng.Search(context.Background(), keysearch.SearchRequest{Query: e.query, K: 3})
+		return err
+	default:
+		return fmt.Errorf("benchmut: unknown mode %q", mode)
+	}
+}
+
+// Verify cross-checks the harness: after an even number of batches the
+// engine must answer byte-identically to the pristine reloaded engine.
+func (e *Env) Verify() error {
+	e.init()
+	if e.err != nil {
+		return e.err
+	}
+	for i := 0; i < 2; i++ {
+		if err := e.RunRequest(ModeApply); err != nil {
+			return err
+		}
+	}
+	if e.parity%2 == 1 {
+		if err := e.RunRequest(ModeApply); err != nil {
+			return err
+		}
+	}
+	pristine, err := keysearch.Load(bytes.NewReader(e.dump),
+		keysearch.WithCoOccurrence(), keysearch.WithMutations())
+	if err != nil {
+		return err
+	}
+	got, gotErr := e.eng.Search(context.Background(), keysearch.SearchRequest{Query: e.query, K: 5, RowLimit: 2})
+	want, wantErr := pristine.Search(context.Background(), keysearch.SearchRequest{Query: e.query, K: 5, RowLimit: 2})
+	if gotErr != nil || wantErr != nil {
+		return fmt.Errorf("benchmut: verify searches failed: %v / %v", gotErr, wantErr)
+	}
+	gj, _ := json.Marshal(got)
+	wj, _ := json.Marshal(want)
+	if !bytes.Equal(gj, wj) {
+		return fmt.Errorf("benchmut: mutated engine diverged from pristine rebuild:\n got %.200s\nwant %.200s", gj, wj)
+	}
+	return nil
+}
+
+// Run executes one mode inside a testing benchmark body.
+func (e *Env) Run(b *testing.B, mode Mode) {
+	if err := e.RunRequest(mode); err != nil { // warm build outside the timer
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.RunRequest(mode); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Row is one measured leg as persisted to BENCH_mutations.json.
+type Row struct {
+	Name        string `json:"name"`
+	Ops         int    `json:"ops"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	// SpeedupVsRebuild is the full-rebuild leg's ns/op divided by this
+	// row's ns/op — how much cheaper staying fresh is than rebuilding.
+	SpeedupVsRebuild float64 `json:"speedup_vs_rebuild,omitempty"`
+}
+
+// Report is the top-level measurement set.
+type Report struct {
+	Dataset   string `json:"dataset"`
+	BatchSize int    `json:"batch_size"`
+	Rows      []Row  `json:"rows"`
+}
+
+// Measure runs every leg through testing.Benchmark and derives speedups
+// against the full-rebuild baseline.
+func Measure() (*Report, error) {
+	env := NewEnv()
+	if err := env.Verify(); err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Dataset:   fmt.Sprintf("demo-movies scaled %.1fx", Scale),
+		BatchSize: BatchSize,
+	}
+	var firstErr error
+	for _, mode := range Modes() {
+		mode := mode
+		r := testing.Benchmark(func(b *testing.B) {
+			if firstErr != nil {
+				b.Skip("earlier leg failed")
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := env.RunRequest(mode); err != nil {
+					firstErr = err
+					b.Skip(err)
+				}
+			}
+		})
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		rep.Rows = append(rep.Rows, Row{
+			Name:        string(mode),
+			Ops:         r.N,
+			NsPerOp:     r.NsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+	var rebuildNs int64
+	for _, r := range rep.Rows {
+		if r.Name == string(ModeRebuild) {
+			rebuildNs = r.NsPerOp
+		}
+	}
+	for i := range rep.Rows {
+		if rebuildNs > 0 && rep.Rows[i].NsPerOp > 0 {
+			rep.Rows[i].SpeedupVsRebuild = float64(rebuildNs) / float64(rep.Rows[i].NsPerOp)
+		}
+	}
+	return rep, nil
+}

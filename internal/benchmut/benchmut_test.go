@@ -1,0 +1,20 @@
+package benchmut
+
+import "testing"
+
+// sharedEnv keeps one environment across the benchmark legs, as cmd/bench
+// does, so the dataset is built once.
+var sharedEnv = NewEnv()
+
+// TestVerify proves the harness workload is sound: after an even number
+// of batches the mutated engine answers byte-identically to a pristine
+// reload — the same differential bar the engine tests enforce.
+func TestVerify(t *testing.T) {
+	if err := NewEnv().Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMutationsRebuild(b *testing.B)     { sharedEnv.Run(b, ModeRebuild) }
+func BenchmarkMutationsApply(b *testing.B)       { sharedEnv.Run(b, ModeApply) }
+func BenchmarkMutationsApplySearch(b *testing.B) { sharedEnv.Run(b, ModeApplySearch) }

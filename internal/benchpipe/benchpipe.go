@@ -153,14 +153,14 @@ func (e *Env) Run(b *testing.B, c Case) {
 
 // Row is one measured grid point as persisted to BENCH_pipeline.json.
 type Row struct {
-	Name        string  `json:"name"`
-	Keywords    int     `json:"keywords"`
-	Parallelism int     `json:"parallelism"`
-	NoCache     bool    `json:"no_cache,omitempty"`
-	Ops         int     `json:"ops"`
-	NsPerOp     int64   `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Name        string `json:"name"`
+	Keywords    int    `json:"keywords"`
+	Parallelism int    `json:"parallelism"`
+	NoCache     bool   `json:"no_cache,omitempty"`
+	Ops         int    `json:"ops"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
 	// SpeedupVsSequential is the p=1 (same keyword count, same cache
 	// setting) ns/op divided by this row's ns/op; 0 when no baseline row
 	// exists in the measured set.

@@ -1,0 +1,195 @@
+package datagraph
+
+import (
+	"maps"
+	"sort"
+
+	"repro/internal/relstore"
+)
+
+// This file implements incremental data-graph maintenance: Apply folds a
+// relstore change log into a copy-on-write clone of the graph. A changed
+// row's node is first removed wholesale (its containment entries and
+// every incident edge) and then re-added from the post-change database:
+// outgoing edges come from the row's own foreign keys, incoming edges
+// from the equality indexes of every table referencing the row's table.
+// Because Build keeps every list in canonical (table, row) order, the
+// patched graph is structurally identical to one freshly built over the
+// new database — the differential tests compare them map-for-map.
+
+// Apply returns a new graph over newDB with the change log folded in.
+// The receiver is never modified: the adjacency and containment map
+// containers are cloned up front, and every affected list is replaced by
+// a fresh copy, so readers of the pre-change graph stay consistent.
+func (g *Graph) Apply(newDB *relstore.Database, changes []relstore.RowChange) *Graph {
+	ng := &Graph{
+		db:         newDB,
+		adj:        maps.Clone(g.adj),
+		containing: maps.Clone(g.containing),
+	}
+
+	// Net effect per row: the first Old (nil if the batch inserted the
+	// row) and the last New (nil if it deleted it). A row inserted and
+	// deleted within one batch nets out to nothing.
+	type netChange struct {
+		old, new []string
+		hasOld   bool
+	}
+	order := make([]Node, 0, len(changes))
+	net := make(map[Node]*netChange)
+	for _, ch := range changes {
+		n := Node{Table: ch.Table, Row: ch.RowID}
+		nc := net[n]
+		if nc == nil {
+			nc = &netChange{old: ch.Old, hasOld: ch.Old != nil}
+			net[n] = nc
+			order = append(order, n)
+		}
+		nc.new = ch.New
+	}
+
+	added := make(map[Node]bool)
+	for _, n := range order {
+		if net[n].new != nil {
+			added[n] = true
+		}
+	}
+
+	// Phase 1: remove every pre-existing changed node.
+	for _, n := range order {
+		nc := net[n]
+		if !nc.hasOld {
+			continue
+		}
+		for _, tok := range distinctTokens(newDB, n.Table, nc.old) {
+			ng.patchContaining(tok, n, false)
+		}
+		for _, nbr := range ng.adj[n] {
+			if nbr == n {
+				continue
+			}
+			ng.adj[nbr] = nodesWithoutAll(ng.adj[nbr], n)
+			if len(ng.adj[nbr]) == 0 {
+				delete(ng.adj, nbr)
+			}
+		}
+		delete(ng.adj, n)
+	}
+
+	// Phase 2: add every post-change node from the new database.
+	for _, n := range order {
+		nc := net[n]
+		if nc.new == nil {
+			continue
+		}
+		for _, tok := range distinctTokens(newDB, n.Table, nc.new) {
+			ng.patchContaining(tok, n, true)
+		}
+		for _, nbr := range neighbours(newDB, n, nc.new, added) {
+			// Both endpoints of the edge get an entry; for a self-loop
+			// (a row whose FK references its own key) both land in the
+			// same list, exactly as Build records it.
+			ng.adj[n] = nodesInsert(ng.adj[n], nbr)
+			ng.adj[nbr] = nodesInsert(ng.adj[nbr], n)
+		}
+	}
+	return ng
+}
+
+// neighbours computes the edge multiset of one node from the post-change
+// database: the row's own foreign-key targets plus the rows referencing
+// it. Incoming edges whose FK-owning row is itself an added node are
+// skipped — that row's own outgoing scan contributes the edge, so it is
+// counted exactly once.
+func neighbours(db *relstore.Database, n Node, vals []string, added map[Node]bool) []Node {
+	t := db.Table(n.Table)
+	if t == nil {
+		return nil
+	}
+	var out []Node
+	for _, fk := range t.Schema.ForeignKeys {
+		ref := db.Table(fk.RefTable)
+		if ref == nil {
+			continue
+		}
+		ci := t.Schema.ColumnIndex(fk.Column)
+		for _, refID := range ref.LookupEqual(fk.RefColumn, vals[ci]) {
+			out = append(out, Node{Table: fk.RefTable, Row: refID})
+		}
+	}
+	for _, u := range db.Tables() {
+		for _, fk := range u.Schema.ForeignKeys {
+			if fk.RefTable != n.Table {
+				continue
+			}
+			rci := t.Schema.ColumnIndex(fk.RefColumn)
+			if rci < 0 {
+				continue
+			}
+			for _, ownerID := range u.LookupEqual(fk.Column, vals[rci]) {
+				owner := Node{Table: u.Schema.Name, Row: ownerID}
+				if owner == n || added[owner] {
+					continue
+				}
+				out = append(out, owner)
+			}
+		}
+	}
+	return out
+}
+
+// distinctTokens returns the distinct tokens across the indexed columns
+// of one row's values — the containment contribution of its node.
+func distinctTokens(db *relstore.Database, table string, vals []string) []string {
+	t := db.Table(table)
+	if t == nil {
+		return nil
+	}
+	var out []string
+	seen := make(map[string]bool)
+	for ci, col := range t.Schema.Columns {
+		if !col.Indexed {
+			continue
+		}
+		for _, tok := range relstore.Tokenize(vals[ci]) {
+			if !seen[tok] {
+				seen[tok] = true
+				out = append(out, tok)
+			}
+		}
+	}
+	return out
+}
+
+// patchContaining inserts or removes one node of one term's containment
+// list, replacing the list functionally.
+func (g *Graph) patchContaining(tok string, n Node, add bool) {
+	if add {
+		g.containing[tok] = nodesInsert(g.containing[tok], n)
+		return
+	}
+	g.containing[tok] = nodesWithoutAll(g.containing[tok], n)
+	if len(g.containing[tok]) == 0 {
+		delete(g.containing, tok)
+	}
+}
+
+// nodesInsert returns a new list with n inserted at its canonical sorted
+// position; the input is shared with the pre-batch graph and never
+// modified.
+func nodesInsert(nodes []Node, n Node) []Node {
+	at := sort.Search(len(nodes), func(i int) bool { return !nodeLess(nodes[i], n) })
+	out := make([]Node, 0, len(nodes)+1)
+	return append(append(append(out, nodes[:at]...), n), nodes[at:]...)
+}
+
+// nodesWithoutAll returns a new list with every occurrence of n removed.
+func nodesWithoutAll(nodes []Node, n Node) []Node {
+	out := make([]Node, 0, len(nodes))
+	for _, m := range nodes {
+		if m != n {
+			out = append(out, m)
+		}
+	}
+	return out
+}

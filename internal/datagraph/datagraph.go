@@ -47,7 +47,10 @@ type Graph struct {
 }
 
 // Build materialises the data graph: one node per tuple, one undirected
-// edge per foreign-key reference between tuples.
+// edge per foreign-key reference between tuples. Tombstoned rows are
+// skipped. Containment and adjacency lists are kept in canonical
+// (table, row) order, so an incrementally maintained graph (Apply) is
+// structurally identical to a freshly built one.
 func Build(db *relstore.Database) *Graph {
 	g := &Graph{
 		db:         db,
@@ -62,6 +65,9 @@ func Build(db *relstore.Database) *Graph {
 				continue
 			}
 			for _, row := range t.Rows() {
+				if !t.Live(row.RowID) {
+					continue
+				}
 				for _, tok := range relstore.Tokenize(row.Values[ci]) {
 					n := Node{Table: name, Row: row.RowID}
 					g.containing[tok] = append(g.containing[tok], n)
@@ -76,6 +82,9 @@ func Build(db *relstore.Database) *Graph {
 			}
 			ci := t.Schema.ColumnIndex(fk.Column)
 			for _, row := range t.Rows() {
+				if !t.Live(row.RowID) {
+					continue
+				}
 				for _, refID := range ref.LookupEqual(fk.RefColumn, row.Values[ci]) {
 					a := Node{Table: name, Row: row.RowID}
 					b := Node{Table: fk.RefTable, Row: refID}
@@ -85,9 +94,13 @@ func Build(db *relstore.Database) *Graph {
 			}
 		}
 	}
-	// Deduplicate containment lists (a term can repeat within one value).
+	// Deduplicate containment lists (a term can repeat within one value)
+	// and bring every list into canonical order.
 	for tok, nodes := range g.containing {
-		g.containing[tok] = dedupeNodes(nodes)
+		g.containing[tok] = sortNodes(dedupeNodes(nodes))
+	}
+	for n, nbrs := range g.adj {
+		g.adj[n] = sortNodes(nbrs)
 	}
 	return g
 }
@@ -102,6 +115,21 @@ func dedupeNodes(nodes []Node) []Node {
 		}
 	}
 	return out
+}
+
+// nodeLess is the canonical (table, row) node order of every list.
+func nodeLess(a, b Node) bool {
+	if a.Table != b.Table {
+		return a.Table < b.Table
+	}
+	return a.Row < b.Row
+}
+
+// sortNodes sorts a node list in place into canonical order (duplicates,
+// e.g. parallel FK edges, are preserved) and returns it.
+func sortNodes(nodes []Node) []Node {
+	sort.Slice(nodes, func(i, j int) bool { return nodeLess(nodes[i], nodes[j]) })
+	return nodes
 }
 
 // NumNodes returns the number of tuples in the database (graph nodes).

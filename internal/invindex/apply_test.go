@@ -1,0 +1,195 @@
+package invindex
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/relstore"
+)
+
+// applyTestDB builds a small two-table database with prepared indexes.
+func applyTestDB(t *testing.T) *relstore.Database {
+	t.Helper()
+	db := relstore.NewDatabase("apply")
+	person, err := db.CreateTable(&relstore.TableSchema{
+		Name:       "person",
+		Columns:    []relstore.Column{{Name: "id"}, {Name: "name", Indexed: true}, {Name: "bio", Indexed: true}},
+		PrimaryKey: "id",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	city, err := db.CreateTable(&relstore.TableSchema{
+		Name:       "city",
+		Columns:    []relstore.Column{{Name: "id"}, {Name: "name", Indexed: true}},
+		PrimaryKey: "id",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range [][]string{
+		{"p1", "alice rivers", "writer of rivers and stone"},
+		{"p2", "bob stone", "stone stone mason"},
+		{"p3", "carol", ""},
+	} {
+		if _, err := person.Insert(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, r := range [][]string{{"c1", "london"}, {"c2", "stone harbor"}} {
+		if _, err := city.Insert(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Prepare()
+	return db
+}
+
+// assertIndexesEqual compares every statistic the ranking model and the
+// candidate generator read between an incrementally maintained index and
+// a freshly built one over the same database.
+func assertIndexesEqual(t *testing.T, got, want *Index) {
+	t.Helper()
+	if got.NumTerms() != want.NumTerms() {
+		t.Errorf("NumTerms: got %d, want %d", got.NumTerms(), want.NumTerms())
+	}
+	if !reflect.DeepEqual(got.terms, want.terms) {
+		t.Errorf("terms dictionary diverges:\n got %v\nwant %v", got.terms, want.terms)
+	}
+	if got.TotalDocs() != want.TotalDocs() {
+		t.Errorf("TotalDocs: got %d, want %d", got.TotalDocs(), want.TotalDocs())
+	}
+	for _, term := range want.terms {
+		gp, wp := got.Lookup(term), want.Lookup(term)
+		if !reflect.DeepEqual(gp, wp) {
+			t.Errorf("Lookup(%q):\n got %+v\nwant %+v", term, gp, wp)
+		}
+	}
+	for _, attr := range want.Attributes() {
+		if g, w := got.AttrTokens(attr), want.AttrTokens(attr); g != w {
+			t.Errorf("AttrTokens(%s): got %d, want %d", attr, g, w)
+		}
+		if g, w := got.AttrVocabulary(attr), want.AttrVocabulary(attr); g != w {
+			t.Errorf("AttrVocabulary(%s): got %d, want %d", attr, g, w)
+		}
+		if g, w := got.AttrDocs(attr), want.AttrDocs(attr); g != w {
+			t.Errorf("AttrDocs(%s): got %d, want %d", attr, g, w)
+		}
+		for _, term := range want.terms {
+			if g, w := got.TermCount(term, attr), want.TermCount(term, attr); g != w {
+				t.Errorf("TermCount(%q, %s): got %d, want %d", term, attr, g, w)
+			}
+			if g, w := got.DocCount(term, attr), want.DocCount(term, attr); g != w {
+				t.Errorf("DocCount(%q, %s): got %d, want %d", term, attr, g, w)
+			}
+			if g, w := got.ATF(term, attr, 1), want.ATF(term, attr, 1); g != w {
+				t.Errorf("ATF(%q, %s): got %v, want %v", term, attr, g, w)
+			}
+			if g, w := got.IDF(term, attr), want.IDF(term, attr); g != w {
+				t.Errorf("IDF(%q, %s): got %v, want %v", term, attr, g, w)
+			}
+		}
+	}
+	// Spot-check the global statistic on a vanished term too.
+	for _, term := range []string{"stone", "rivers", "ghost"} {
+		if g, w := got.GlobalIDF(term), want.GlobalIDF(term); math.Abs(g-w) > 0 {
+			t.Errorf("GlobalIDF(%q): got %v, want %v", term, g, w)
+		}
+	}
+}
+
+func TestIndexApplyMatchesBuild(t *testing.T) {
+	db := applyTestDB(t)
+	ix := Build(db)
+	db2, changes, err := db.Apply([]relstore.Mutation{
+		{Op: relstore.OpInsert, Table: "person", Values: []string{"p4", "dara stone", "new in london"}},
+		{Op: relstore.OpUpdate, Table: "person", Key: "p2", Values: []string{"p2", "bob boulder", "granite mason"}},
+		{Op: relstore.OpDelete, Table: "city", Key: "c2"},
+		{Op: relstore.OpUpdate, Table: "person", Key: "p3", Values: []string{"p3", "carol", "now has a bio"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ix.Apply(db2, changes)
+	assertIndexesEqual(t, got, Build(db2))
+
+	// The source index is untouched.
+	assertIndexesEqual(t, ix, Build(db))
+	if !ix.Contains("harbor") {
+		t.Fatal("source index lost a term")
+	}
+	if got.Contains("harbor") {
+		t.Fatal("deleted term survives in patched index")
+	}
+	if !got.Contains("granite") {
+		t.Fatal("new term missing from patched index")
+	}
+}
+
+func TestIndexApplyRandomized(t *testing.T) {
+	db := applyTestDB(t)
+	ix := Build(db)
+	rng := rand.New(rand.NewSource(11))
+	words := []string{"alice", "stone", "rivers", "london", "mason", "kelp", "onyx", "", "stone stone"}
+	serial := 0
+	for round := 0; round < 30; round++ {
+		var muts []relstore.Mutation
+		used := map[string]bool{}
+		for n := 1 + rng.Intn(3); n > 0; n-- {
+			tb := db.Tables()[rng.Intn(db.NumTables())]
+			name := tb.Schema.Name
+			switch rng.Intn(3) {
+			case 0:
+				serial++
+				vals := make([]string, len(tb.Schema.Columns))
+				vals[0] = name + "k" + string(rune('a'+serial%26)) + string(rune('a'+(serial/26)%26))
+				for i := 1; i < len(vals); i++ {
+					vals[i] = words[rng.Intn(len(words))]
+				}
+				if used[name+vals[0]] {
+					continue
+				}
+				used[name+vals[0]] = true
+				muts = append(muts, relstore.Mutation{Op: relstore.OpInsert, Table: name, Values: vals})
+			default:
+				id := -1
+				for try := 0; try < 20 && id < 0; try++ {
+					cand := rng.Intn(tb.Len())
+					if tb.Live(cand) {
+						id = cand
+					}
+				}
+				if id < 0 {
+					continue
+				}
+				key := tb.Rows()[id].Values[0]
+				if used[name+key] {
+					continue
+				}
+				used[name+key] = true
+				if rng.Intn(2) == 0 {
+					vals := append([]string(nil), tb.Rows()[id].Values...)
+					vals[1+rng.Intn(len(vals)-1)] = words[rng.Intn(len(words))]
+					muts = append(muts, relstore.Mutation{Op: relstore.OpUpdate, Table: name, Key: key, Values: vals})
+				} else {
+					muts = append(muts, relstore.Mutation{Op: relstore.OpDelete, Table: name, Key: key})
+				}
+			}
+		}
+		if len(muts) == 0 {
+			continue
+		}
+		db2, changes, err := db.Apply(muts)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		ix = ix.Apply(db2, changes)
+		db = db2
+		assertIndexesEqual(t, ix, Build(db))
+		if t.Failed() {
+			t.Fatalf("diverged at round %d (muts %+v)", round, muts)
+		}
+	}
+}

@@ -104,6 +104,9 @@ func Build(db *relstore.Database) *Index {
 				ix.schemaColumns[tok] = append(ix.schemaColumns[tok], attr)
 			}
 			for _, row := range t.Rows() {
+				if !t.Live(row.RowID) {
+					continue
+				}
 				toks := relstore.Tokenize(row.Values[ci])
 				st.totalTokens += len(toks)
 				st.docs++

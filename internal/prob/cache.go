@@ -3,6 +3,7 @@ package prob
 import (
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/invindex"
 	"repro/internal/query"
@@ -24,6 +25,9 @@ type scoreCache struct {
 	prior sync.Map // template ID (int) -> float64
 	kw    sync.Map // keyword sub-term key (string) -> float64
 	joint sync.Map // attr + keyword bag key (string) -> float64
+	// size counts stored kw+joint entries (stores happen once per key),
+	// so InheritCache can bound its transplant walk without iterating.
+	size atomic.Int64
 }
 
 func newScoreCache() *scoreCache {
@@ -61,6 +65,70 @@ func jointKey(keywords []string, attr invindex.AttrRef) string {
 	return sb.String()
 }
 
+// maxInheritedEntries bounds the transplant walk of InheritCache: past
+// this size, copying the warmed cache under the writer lock would cost
+// more per batch than letting the next queries re-memoise, so the new
+// snapshot starts with a cold kw/joint cache (priors, a handful of
+// floats, always transfer). The bound keeps Apply latency proportional
+// to the batch even on servers whose query diversity has grown the
+// cache without limit.
+const maxInheritedEntries = 1 << 16
+
+// InheritCache transplants the surviving memoised sub-terms of old's
+// cache into m's, dropping every entry whose value depends on a stale
+// attribute (keys of staleAttrs are "table.column" strings). It is the
+// cache-invalidation half of incremental index maintenance: after a
+// mutation batch, the rebased model keeps the sub-terms of untouched
+// attributes — template priors depend only on the (immutable) catalogue
+// and survive wholesale; schema-term probabilities are configuration
+// constants and survive too; value and joint probabilities are functions
+// of one attribute's statistics and survive iff that attribute is clean.
+//
+// The transplant walk is O(cached entries), capped by
+// maxInheritedEntries; memoisation is transparent, so skipping the
+// transplant never changes a score, only re-derivation cost.
+//
+// Call before the new model is published; InheritCache is not
+// synchronised against concurrent scoring on m.
+func (m *Model) InheritCache(old *Model, staleAttrs map[string]bool) {
+	if m.cache == nil || old == nil || old.cache == nil {
+		return
+	}
+	if old.cache.size.Load() > maxInheritedEntries {
+		old.cache.prior.Range(func(k, v any) bool {
+			m.cache.prior.Store(k, v)
+			return true
+		})
+		return
+	}
+	valueKind := query.KindValue.String()
+	old.cache.prior.Range(func(k, v any) bool {
+		m.cache.prior.Store(k, v)
+		return true
+	})
+	old.cache.kw.Range(func(k, v any) bool {
+		key := k.(string)
+		// kwKey layout: kind \x00 keyword \x00 target.
+		if kind, rest, ok := strings.Cut(key, "\x00"); ok && kind == valueKind {
+			if _, attr, ok := strings.Cut(rest, "\x00"); ok && staleAttrs[attr] {
+				return true
+			}
+		}
+		m.cache.kw.Store(k, v)
+		m.cache.size.Add(1)
+		return true
+	})
+	old.cache.joint.Range(func(k, v any) bool {
+		// jointKey layout: attr \x00 keyword [\x00 keyword ...].
+		if attr, _, ok := strings.Cut(k.(string), "\x00"); ok && staleAttrs[attr] {
+			return true
+		}
+		m.cache.joint.Store(k, v)
+		m.cache.size.Add(1)
+		return true
+	})
+}
+
 // templatePrior returns the cached prior, computing and storing it on the
 // first request for the template.
 func (c *scoreCache) templatePrior(id int, compute func() float64) float64 {
@@ -79,7 +147,9 @@ func (c *scoreCache) keywordProb(ki query.KeywordInterpretation, compute func() 
 		return v.(float64)
 	}
 	p := compute()
-	c.kw.Store(k, p)
+	if _, loaded := c.kw.LoadOrStore(k, p); !loaded {
+		c.size.Add(1)
+	}
 	return p
 }
 
@@ -90,6 +160,8 @@ func (c *scoreCache) jointProb(keywords []string, attr invindex.AttrRef, compute
 		return v.(float64)
 	}
 	p := compute()
-	c.joint.Store(k, p)
+	if _, loaded := c.joint.LoadOrStore(k, p); !loaded {
+		c.size.Add(1)
+	}
 	return p
 }

@@ -1,0 +1,88 @@
+package prob
+
+import (
+	"testing"
+
+	"repro/internal/invindex"
+	"repro/internal/query"
+)
+
+// TestInheritCacheInvalidation: entries of stale attributes are dropped,
+// everything else survives the transplant.
+func TestInheritCacheInvalidation(t *testing.T) {
+	oldM := &Model{cache: newScoreCache()}
+	newM := &Model{cache: newScoreCache()}
+
+	clean := invindex.AttrRef{Table: "movie", Column: "title"}
+	dirty := invindex.AttrRef{Table: "actor", Column: "name"}
+
+	kiClean := query.KeywordInterpretation{Kind: query.KindValue, Keyword: "terminal", Attr: clean}
+	kiDirty := query.KeywordInterpretation{Kind: query.KindValue, Keyword: "hanks", Attr: dirty}
+	kiSchema := query.KeywordInterpretation{Kind: query.KindTable, Keyword: "actor", Table: "actor"}
+	kiColDirty := query.KeywordInterpretation{Kind: query.KindColumn, Keyword: "name", Attr: dirty}
+
+	oldM.cache.prior.Store(7, 0.25)
+	oldM.cache.kw.Store(kwKey(kiClean), 0.5)
+	oldM.cache.kw.Store(kwKey(kiDirty), 0.5)
+	oldM.cache.kw.Store(kwKey(kiSchema), 0.5)
+	oldM.cache.kw.Store(kwKey(kiColDirty), 0.5)
+	oldM.cache.joint.Store(jointKey([]string{"tom", "hanks"}, dirty), 0.5)
+	oldM.cache.joint.Store(jointKey([]string{"the", "terminal"}, clean), 0.5)
+
+	newM.InheritCache(oldM, map[string]bool{dirty.String(): true})
+
+	mustHave := func(m *Model, store string, key any, want bool) {
+		t.Helper()
+		var ok bool
+		switch store {
+		case "prior":
+			_, ok = m.cache.prior.Load(key)
+		case "kw":
+			_, ok = m.cache.kw.Load(key)
+		case "joint":
+			_, ok = m.cache.joint.Load(key)
+		}
+		if ok != want {
+			t.Errorf("%s[%v]: present=%v, want %v", store, key, ok, want)
+		}
+	}
+	mustHave(newM, "prior", 7, true)
+	mustHave(newM, "kw", kwKey(kiClean), true)
+	mustHave(newM, "kw", kwKey(kiDirty), false)
+	// Schema-term probabilities are configuration constants: they survive
+	// even when their attribute's data statistics changed.
+	mustHave(newM, "kw", kwKey(kiSchema), true)
+	mustHave(newM, "kw", kwKey(kiColDirty), true)
+	mustHave(newM, "joint", jointKey([]string{"tom", "hanks"}, dirty), false)
+	mustHave(newM, "joint", jointKey([]string{"the", "terminal"}, clean), true)
+}
+
+// TestInheritCacheSizeCap: an oversized cache only transplants the
+// template priors — the kw/joint walk is skipped so Apply latency stays
+// bounded regardless of accumulated query diversity.
+func TestInheritCacheSizeCap(t *testing.T) {
+	oldM := &Model{cache: newScoreCache()}
+	newM := &Model{cache: newScoreCache()}
+	ki := query.KeywordInterpretation{Kind: query.KindValue, Keyword: "x",
+		Attr: invindex.AttrRef{Table: "t", Column: "c"}}
+	oldM.cache.prior.Store(1, 0.5)
+	oldM.cache.kw.Store(kwKey(ki), 0.5)
+	oldM.cache.size.Store(maxInheritedEntries + 1)
+
+	newM.InheritCache(oldM, nil)
+	if _, ok := newM.cache.prior.Load(1); !ok {
+		t.Fatal("priors must transfer even past the size cap")
+	}
+	if _, ok := newM.cache.kw.Load(kwKey(ki)); ok {
+		t.Fatal("kw entries must not transfer past the size cap")
+	}
+}
+
+// TestInheritCacheDisabled: no-ops cleanly when either side has no cache.
+func TestInheritCacheDisabled(t *testing.T) {
+	withCache := &Model{cache: newScoreCache()}
+	without := &Model{}
+	without.InheritCache(withCache, nil)
+	withCache.InheritCache(without, nil)
+	withCache.InheritCache(nil, nil)
+}

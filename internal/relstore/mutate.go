@@ -1,0 +1,373 @@
+package relstore
+
+import (
+	"fmt"
+	"maps"
+	"slices"
+	"sort"
+)
+
+// This file implements live row mutations over a built database. The
+// design is copy-on-write at table granularity with incremental index
+// maintenance inside the copy:
+//
+//   - Database.Apply never modifies the receiver. It returns a new
+//     Database sharing every untouched table (and therefore that table's
+//     rows, equality indexes, and posting lists) with the old one.
+//   - A touched table is cloned shallowly — the row slice and the index
+//     map *containers* are copied, the per-value row lists and per-token
+//     posting lists stay shared — and then patched functionally: every
+//     affected row list / posting list is replaced by a fresh updated
+//     copy, so slices reachable from the old database are never written.
+//   - Deletes tombstone the row instead of renumbering: RowIDs are
+//     assigned once and never reused, which keeps every RowID-keyed
+//     structure (posting lists, equality indexes, bitsets) valid without
+//     a rebuild. All iteration and lazy index construction skips
+//     tombstones via Table.Live.
+//
+// The result: a mutation batch costs O(size of the touched tables' index
+// maps + affected lists), never O(database); re-tokenisation is limited
+// to the changed cell values; and a reader holding the old Database sees
+// a perfectly consistent pre-batch view forever (snapshot isolation —
+// the engine layer publishes the returned database with an atomic
+// pointer swap).
+
+// Op is a mutation kind.
+type Op string
+
+// The three row mutation kinds of Database.Apply.
+const (
+	OpInsert Op = "insert"
+	OpUpdate Op = "update"
+	OpDelete Op = "delete"
+)
+
+// Mutation is one row change. Insert carries the full value list; Update
+// and Delete address the row by its primary-key value (Key) and Update
+// carries the full replacement value list.
+type Mutation struct {
+	Op     Op
+	Table  string
+	Key    string
+	Values []string
+}
+
+// RowChange records one applied row mutation in terms of the physical
+// row: Old is nil for an insert, New is nil for a delete, and both are
+// set for an update. Downstream incremental maintainers (inverted index,
+// data graph, ranking statistics) consume RowChanges to patch exactly
+// the affected entries.
+type RowChange struct {
+	Table string
+	RowID int
+	// Old holds the pre-change values (shared, read-only); nil for inserts.
+	Old []string
+	// New holds the post-change values (shared, read-only); nil for deletes.
+	New []string
+}
+
+// Apply validates and applies a mutation batch, returning the new
+// database and the per-row change log in application order. The receiver
+// is never modified; on error the returned database is nil and no change
+// is visible anywhere. The batch is applied in order, so later mutations
+// see earlier ones (an inserted row can be updated or deleted by key
+// within one batch).
+func (db *Database) Apply(muts []Mutation) (*Database, []RowChange, error) {
+	if len(muts) == 0 {
+		return nil, nil, fmt.Errorf("relstore: empty mutation batch")
+	}
+	ndb := &Database{Name: db.Name, tables: maps.Clone(db.tables), order: db.order}
+	touched := make(map[string]*Table)
+	tableFor := func(i int, name string) (*Table, error) {
+		if t, ok := touched[name]; ok {
+			return t, nil
+		}
+		t := db.tables[name]
+		if t == nil {
+			return nil, fmt.Errorf("relstore: mutation %d: unknown table %q", i, name)
+		}
+		nt := t.mutableCopy()
+		touched[name] = nt
+		ndb.tables[name] = nt
+		return nt, nil
+	}
+	changes := make([]RowChange, 0, len(muts))
+	for i, m := range muts {
+		switch m.Op {
+		case OpInsert:
+			t, err := tableFor(i, m.Table)
+			if err != nil {
+				return nil, nil, err
+			}
+			if len(m.Values) != len(t.Schema.Columns) {
+				return nil, nil, fmt.Errorf("relstore: mutation %d: table %s expects %d values, got %d",
+					i, m.Table, len(t.Schema.Columns), len(m.Values))
+			}
+			// Keyed tables reject duplicate keys: a second live row under
+			// one key would make that key unaddressable by update/delete
+			// forever (findByKey demands uniqueness), so the batch that
+			// would create it is the right place to fail.
+			if pk := t.Schema.PrimaryKey; pk != "" {
+				if pkVal := m.Values[t.Schema.ColumnIndex(pk)]; pkVal != "" && len(t.LookupEqual(pk, pkVal)) > 0 {
+					return nil, nil, fmt.Errorf("relstore: mutation %d: table %s already has a row with %s=%q",
+						i, m.Table, pk, pkVal)
+				}
+			}
+			vals := slices.Clone(m.Values)
+			id := t.applyInsert(vals)
+			changes = append(changes, RowChange{Table: m.Table, RowID: id, New: vals})
+		case OpUpdate:
+			t, err := tableFor(i, m.Table)
+			if err != nil {
+				return nil, nil, err
+			}
+			if len(m.Values) != len(t.Schema.Columns) {
+				return nil, nil, fmt.Errorf("relstore: mutation %d: table %s expects %d values, got %d",
+					i, m.Table, len(t.Schema.Columns), len(m.Values))
+			}
+			id, err := t.findByKey(i, m.Key)
+			if err != nil {
+				return nil, nil, err
+			}
+			old := t.rows[id].Values
+			// An update re-keying the row must not collide either.
+			if pk := t.Schema.PrimaryKey; pk != "" {
+				pki := t.Schema.ColumnIndex(pk)
+				if pkVal := m.Values[pki]; pkVal != old[pki] && pkVal != "" && len(t.LookupEqual(pk, pkVal)) > 0 {
+					return nil, nil, fmt.Errorf("relstore: mutation %d: table %s already has a row with %s=%q",
+						i, m.Table, pk, pkVal)
+				}
+			}
+			vals := slices.Clone(m.Values)
+			t.applyUpdate(id, vals)
+			changes = append(changes, RowChange{Table: m.Table, RowID: id, Old: old, New: vals})
+		case OpDelete:
+			t, err := tableFor(i, m.Table)
+			if err != nil {
+				return nil, nil, err
+			}
+			id, err := t.findByKey(i, m.Key)
+			if err != nil {
+				return nil, nil, err
+			}
+			old := t.rows[id].Values
+			t.applyDelete(id)
+			changes = append(changes, RowChange{Table: m.Table, RowID: id, Old: old})
+		default:
+			return nil, nil, fmt.Errorf("relstore: mutation %d: unknown op %q (want insert, update, or delete)", i, m.Op)
+		}
+	}
+	return ndb, changes, nil
+}
+
+// mutableCopy clones the table for copy-on-write patching: the row slice
+// and index containers are copied, the per-value row lists and posting
+// lists stay shared until a patch replaces them. The copy holds fresh
+// mutexes; the source's locks are taken so a concurrent lazy index build
+// on the live table cannot race the clone.
+func (t *Table) mutableCopy() *Table {
+	nt := &Table{
+		Schema:   t.Schema,
+		rows:     slices.Clone(t.rows),
+		dead:     slices.Clone(t.dead),
+		numDead:  t.numDead,
+		valueIdx: make(map[int]map[string][]int),
+		postings: make(map[int]*columnPostings),
+	}
+	t.idxMu.Lock()
+	for col, idx := range t.valueIdx {
+		nt.valueIdx[col] = maps.Clone(idx)
+	}
+	t.idxMu.Unlock()
+	t.postMu.RLock()
+	for col, cp := range t.postings {
+		nt.postings[col] = &columnPostings{terms: maps.Clone(cp.terms)}
+	}
+	t.postMu.RUnlock()
+	return nt
+}
+
+// findByKey resolves the live row addressed by the primary-key value.
+func (t *Table) findByKey(i int, key string) (int, error) {
+	pk := t.Schema.PrimaryKey
+	if pk == "" {
+		return 0, fmt.Errorf("relstore: mutation %d: table %s has no primary key; updates and deletes address rows by key",
+			i, t.Schema.Name)
+	}
+	if key == "" {
+		return 0, fmt.Errorf("relstore: mutation %d: empty key for table %s", i, t.Schema.Name)
+	}
+	ids := t.LookupEqual(pk, key)
+	if len(ids) == 0 {
+		return 0, fmt.Errorf("relstore: mutation %d: table %s has no row with %s=%q", i, t.Schema.Name, pk, key)
+	}
+	if len(ids) > 1 {
+		return 0, fmt.Errorf("relstore: mutation %d: table %s has %d rows with %s=%q; key must be unique",
+			i, t.Schema.Name, len(ids), pk, key)
+	}
+	return ids[0], nil
+}
+
+// applyInsert appends a row to the COW table, maintaining every built
+// index incrementally, and returns its RowID.
+func (t *Table) applyInsert(vals []string) int {
+	id := len(t.rows)
+	t.rows = append(t.rows, Tuple{RowID: id, Values: vals})
+	if t.dead != nil {
+		t.dead = append(t.dead, false)
+	}
+	for col, idx := range t.valueIdx {
+		idx[vals[col]] = SortedInsert(idx[vals[col]], id)
+	}
+	for col, cp := range t.postings {
+		cp.addValue(id, vals[col])
+	}
+	return id
+}
+
+// applyDelete tombstones the row, removing it from every built index.
+func (t *Table) applyDelete(id int) {
+	old := t.rows[id].Values
+	if t.dead == nil {
+		t.dead = make([]bool, len(t.rows))
+	}
+	t.dead[id] = true
+	t.numDead++
+	for col, idx := range t.valueIdx {
+		idx[old[col]] = SortedRemove(idx[old[col]], id)
+		if len(idx[old[col]]) == 0 {
+			delete(idx, old[col])
+		}
+	}
+	for col, cp := range t.postings {
+		cp.removeValue(id, old[col])
+	}
+}
+
+// applyUpdate replaces the row's values, re-indexing only the columns
+// whose value actually changed.
+func (t *Table) applyUpdate(id int, vals []string) {
+	old := t.rows[id].Values
+	t.rows[id] = Tuple{RowID: id, Values: vals}
+	for col, idx := range t.valueIdx {
+		if old[col] == vals[col] {
+			continue
+		}
+		idx[old[col]] = SortedRemove(idx[old[col]], id)
+		if len(idx[old[col]]) == 0 {
+			delete(idx, old[col])
+		}
+		idx[vals[col]] = SortedInsert(idx[vals[col]], id)
+	}
+	for col, cp := range t.postings {
+		if old[col] == vals[col] {
+			continue
+		}
+		cp.removeValue(id, old[col])
+		cp.addValue(id, vals[col])
+	}
+}
+
+// addValue tokenizes one cell value and folds it into the postings,
+// replacing affected posting lists functionally (the originals may be
+// shared with the pre-batch snapshot).
+func (cp *columnPostings) addValue(row int, value string) {
+	toks := Tokenize(value)
+	if len(toks) == 0 {
+		return
+	}
+	counts := make(map[string]int, len(toks))
+	for _, tok := range toks {
+		counts[tok]++
+	}
+	for tok, c := range counts {
+		cp.terms[tok] = cp.terms[tok].withRow(row, c)
+	}
+}
+
+// removeValue removes one cell value's tokens from the postings,
+// dropping token entries that become empty.
+func (cp *columnPostings) removeValue(row int, value string) {
+	toks := Tokenize(value)
+	seen := make(map[string]bool, len(toks))
+	for _, tok := range toks {
+		if seen[tok] {
+			continue
+		}
+		seen[tok] = true
+		if npl := cp.terms[tok].withoutRow(row); npl != nil {
+			cp.terms[tok] = npl
+		} else {
+			delete(cp.terms, tok)
+		}
+	}
+}
+
+// withRow returns a new posting list with the row's occurrence count
+// inserted at its sorted position. The receiver may be nil (first row of
+// a token) and is never modified.
+func (p *postingList) withRow(row, count int) *postingList {
+	if p == nil {
+		return &postingList{rows: []int{row}, counts: []int{count}, maxCount: count}
+	}
+	at := sort.SearchInts(p.rows, row)
+	np := &postingList{
+		rows:     make([]int, 0, len(p.rows)+1),
+		counts:   make([]int, 0, len(p.counts)+1),
+		maxCount: p.maxCount,
+	}
+	np.rows = append(append(append(np.rows, p.rows[:at]...), row), p.rows[at:]...)
+	np.counts = append(append(append(np.counts, p.counts[:at]...), count), p.counts[at:]...)
+	if count > np.maxCount {
+		np.maxCount = count
+	}
+	return np
+}
+
+// withoutRow returns a new posting list without the row, or nil when the
+// list becomes empty. The receiver is never modified.
+func (p *postingList) withoutRow(row int) *postingList {
+	if p == nil {
+		return nil
+	}
+	at := sort.SearchInts(p.rows, row)
+	if at >= len(p.rows) || p.rows[at] != row {
+		return p // row absent: share the unchanged list
+	}
+	if len(p.rows) == 1 {
+		return nil
+	}
+	np := &postingList{
+		rows:   make([]int, 0, len(p.rows)-1),
+		counts: make([]int, 0, len(p.counts)-1),
+	}
+	np.rows = append(append(np.rows, p.rows[:at]...), p.rows[at+1:]...)
+	np.counts = append(append(np.counts, p.counts[:at]...), p.counts[at+1:]...)
+	for _, c := range np.counts {
+		if c > np.maxCount {
+			np.maxCount = c
+		}
+	}
+	return np
+}
+
+// SortedInsert returns a new ascending slice with id inserted; the input
+// is never modified (it may be shared with a pre-batch snapshot). It is
+// the functional copy-on-write primitive of every RowID-list patch, here
+// and in the downstream incremental maintainers (invindex).
+func SortedInsert(ids []int, id int) []int {
+	at := sort.SearchInts(ids, id)
+	out := make([]int, 0, len(ids)+1)
+	return append(append(append(out, ids[:at]...), id), ids[at:]...)
+}
+
+// SortedRemove returns a new ascending slice without id (the input when
+// id is absent); the input is never modified.
+func SortedRemove(ids []int, id int) []int {
+	at := sort.SearchInts(ids, id)
+	if at >= len(ids) || ids[at] != id {
+		return ids
+	}
+	out := make([]int, 0, len(ids)-1)
+	return append(append(out, ids[:at]...), ids[at+1:]...)
+}

@@ -1,0 +1,372 @@
+package relstore
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// mutTestDB builds a small person/city/lives database with built posting
+// lists and equality indexes (Prepare), the steady state Apply patches.
+func mutTestDB(t *testing.T) *Database {
+	t.Helper()
+	db := NewDatabase("mut")
+	mustCreate := func(s *TableSchema) *Table {
+		tb, err := db.CreateTable(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb
+	}
+	person := mustCreate(&TableSchema{
+		Name:       "person",
+		Columns:    []Column{{Name: "id"}, {Name: "name", Indexed: true}},
+		PrimaryKey: "id",
+	})
+	city := mustCreate(&TableSchema{
+		Name:       "city",
+		Columns:    []Column{{Name: "id"}, {Name: "name", Indexed: true}},
+		PrimaryKey: "id",
+	})
+	mustCreate(&TableSchema{
+		Name:       "lives",
+		Columns:    []Column{{Name: "id"}, {Name: "pid"}, {Name: "cid"}, {Name: "note", Indexed: true}},
+		PrimaryKey: "id",
+		ForeignKeys: []ForeignKey{
+			{Column: "pid", RefTable: "person", RefColumn: "id"},
+			{Column: "cid", RefTable: "city", RefColumn: "id"},
+		},
+	})
+	for _, r := range [][]string{
+		{"p1", "alice rivers"}, {"p2", "bob stone stone"}, {"p3", "carol rivers"},
+	} {
+		if _, err := person.Insert(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, r := range [][]string{{"c1", "london"}, {"c2", "paris"}} {
+		if _, err := city.Insert(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lives := db.Table("lives")
+	for _, r := range [][]string{
+		{"l1", "p1", "c1", "moved 2001"}, {"l2", "p2", "c2", "born 1999"}, {"l3", "p3", "c1", "moved 1999"},
+	} {
+		if _, err := lives.Insert(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.ValidateRefs(); err != nil {
+		t.Fatal(err)
+	}
+	db.Prepare()
+	return db
+}
+
+// assertSelectionsAgree cross-checks the incrementally maintained posting
+// lists against the scan reference on every indexed column for a bag of
+// probe keywords.
+func assertSelectionsAgree(t *testing.T, db *Database, probes [][]string) {
+	t.Helper()
+	for _, tb := range db.Tables() {
+		for _, col := range tb.Schema.TextColumns() {
+			for _, bag := range probes {
+				got := SortedCopy(tb.SelectContains(col, bag))
+				want := tb.SelectContainsScan(col, bag)
+				if len(got) == 0 && len(want) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s.%s contains %v: postings %v, scan %v", tb.Schema.Name, col, bag, got, want)
+				}
+			}
+		}
+	}
+}
+
+// assertIndexesAgree cross-checks every built equality index against a
+// live-row scan.
+func assertIndexesAgree(t *testing.T, db *Database) {
+	t.Helper()
+	for _, tb := range db.Tables() {
+		for ci, col := range tb.Schema.Columns {
+			want := make(map[string][]int)
+			for _, r := range tb.Rows() {
+				if !tb.Live(r.RowID) {
+					continue
+				}
+				want[r.Values[ci]] = append(want[r.Values[ci]], r.RowID)
+			}
+			for v, ids := range want {
+				got := tb.LookupEqual(col.Name, v)
+				if !reflect.DeepEqual(SortedCopy(got), ids) {
+					t.Errorf("%s.%s = %q: index %v, scan %v", tb.Schema.Name, col.Name, v, got, ids)
+				}
+			}
+		}
+	}
+}
+
+var mutProbes = [][]string{
+	{"rivers"}, {"stone"}, {"stone", "stone"}, {"moved"}, {"1999"},
+	{"moved", "1999"}, {"zeta"}, {"london"}, {"dara", "bridge"},
+}
+
+func TestApplyInsertUpdateDelete(t *testing.T) {
+	db := mutTestDB(t)
+	db2, changes, err := db.Apply([]Mutation{
+		{Op: OpInsert, Table: "person", Values: []string{"p4", "dara bridge"}},
+		{Op: OpUpdate, Table: "person", Key: "p2", Values: []string{"p2", "bob boulder"}},
+		{Op: OpDelete, Table: "lives", Key: "l2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 3 {
+		t.Fatalf("changes = %d, want 3", len(changes))
+	}
+	if changes[0].Old != nil || changes[0].New == nil || changes[0].RowID != 3 {
+		t.Fatalf("insert change = %+v", changes[0])
+	}
+	if changes[1].Old == nil || changes[1].New == nil {
+		t.Fatalf("update change = %+v", changes[1])
+	}
+	if changes[2].New != nil || changes[2].Old == nil {
+		t.Fatalf("delete change = %+v", changes[2])
+	}
+
+	// The original database is untouched (copy-on-write).
+	if db.NumRows() != 8 || db.Table("person").NumLive() != 3 {
+		t.Fatal("source database changed")
+	}
+	if got := db.Table("person").SelectContains("name", []string{"stone"}); len(got) != 1 {
+		t.Fatalf("source postings changed: %v", got)
+	}
+	if got := db.Table("lives").LookupEqual("id", "l2"); len(got) != 1 {
+		t.Fatalf("source index changed: %v", got)
+	}
+
+	// The new database reflects the batch.
+	if db2.NumRows() != 8 { // +1 insert, -1 delete
+		t.Fatalf("new NumRows = %d, want 8", db2.NumRows())
+	}
+	if got := db2.Table("person").SelectContains("name", []string{"bridge"}); len(got) != 1 {
+		t.Fatalf("inserted row not selectable: %v", got)
+	}
+	if got := db2.Table("person").SelectContains("name", []string{"stone"}); len(got) != 0 {
+		t.Fatalf("old value still selectable after update: %v", got)
+	}
+	if got := db2.Table("lives").LookupEqual("id", "l2"); len(got) != 0 {
+		t.Fatalf("deleted row still in index: %v", got)
+	}
+	if _, ok := db2.Table("lives").Row(1); ok {
+		t.Fatal("deleted row still readable")
+	}
+	assertSelectionsAgree(t, db2, mutProbes)
+	assertIndexesAgree(t, db2)
+}
+
+func TestApplyIntraBatchVisibility(t *testing.T) {
+	db := mutTestDB(t)
+	db2, _, err := db.Apply([]Mutation{
+		{Op: OpInsert, Table: "city", Values: []string{"c3", "berlin"}},
+		{Op: OpUpdate, Table: "city", Key: "c3", Values: []string{"c3", "hamburg"}},
+		{Op: OpInsert, Table: "city", Values: []string{"c4", "ghent"}},
+		{Op: OpDelete, Table: "city", Key: "c4"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	city := db2.Table("city")
+	if city.NumLive() != 3 {
+		t.Fatalf("NumLive = %d, want 3", city.NumLive())
+	}
+	if got := city.SelectContains("name", []string{"hamburg"}); len(got) != 1 {
+		t.Fatal("intra-batch update lost")
+	}
+	for _, gone := range []string{"berlin", "ghent"} {
+		if got := city.SelectContains("name", []string{gone}); len(got) != 0 {
+			t.Fatalf("%q still selectable", gone)
+		}
+	}
+	assertSelectionsAgree(t, db2, [][]string{{"hamburg"}, {"berlin"}, {"ghent"}, {"london"}})
+}
+
+func TestApplyValidationErrors(t *testing.T) {
+	db := mutTestDB(t)
+	cases := []struct {
+		name string
+		muts []Mutation
+		want string
+	}{
+		{"empty", nil, "empty mutation batch"},
+		{"bad op", []Mutation{{Op: "merge", Table: "city"}}, "unknown op"},
+		{"bad table", []Mutation{{Op: OpInsert, Table: "nope", Values: []string{"x"}}}, "unknown table"},
+		{"bad arity insert", []Mutation{{Op: OpInsert, Table: "city", Values: []string{"c9"}}}, "expects 2 values"},
+		{"bad arity update", []Mutation{{Op: OpUpdate, Table: "city", Key: "c1", Values: []string{"c1"}}}, "expects 2 values"},
+		{"missing key", []Mutation{{Op: OpUpdate, Table: "city", Key: "", Values: []string{"c9", "x"}}}, "empty key"},
+		{"unknown key", []Mutation{{Op: OpDelete, Table: "city", Key: "c9"}}, "no row with"},
+	}
+	for _, tc := range cases {
+		if _, _, err := db.Apply(tc.muts); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+	// Duplicate keys are rejected at insert and at re-keying updates:
+	// a second live row under one key would be unaddressable forever.
+	if _, _, err := db.Apply([]Mutation{{Op: OpInsert, Table: "city", Values: []string{"c1", "dupe"}}}); err == nil ||
+		!strings.Contains(err.Error(), "already has a row") {
+		t.Fatalf("duplicate insert: err = %v", err)
+	}
+	if _, _, err := db.Apply([]Mutation{{Op: OpUpdate, Table: "city", Key: "c2", Values: []string{"c1", "paris"}}}); err == nil ||
+		!strings.Contains(err.Error(), "already has a row") {
+		t.Fatalf("re-keying update onto live key: err = %v", err)
+	}
+
+	// Deleted keys stop resolving and become insertable again; double
+	// delete fails cleanly.
+	db2, _, err := db.Apply([]Mutation{{Op: OpDelete, Table: "city", Key: "c1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db2.Apply([]Mutation{{Op: OpDelete, Table: "city", Key: "c1"}}); err == nil {
+		t.Fatal("double delete accepted")
+	}
+	if _, _, err := db2.Apply([]Mutation{{Op: OpInsert, Table: "city", Values: []string{"c1", "londres"}}}); err != nil {
+		t.Fatalf("re-insert of deleted key rejected: %v", err)
+	}
+}
+
+func TestApplyDuplicateTokenCounts(t *testing.T) {
+	db := mutTestDB(t)
+	// "stone stone" satisfies the duplicated bag; after deleting p2 the
+	// maxCount shortcut must be maintained so the bag matches nothing.
+	if got := db.Table("person").SelectContains("name", []string{"stone", "stone"}); len(got) != 1 {
+		t.Fatalf("precondition: %v", got)
+	}
+	db2, _, err := db.Apply([]Mutation{{Op: OpDelete, Table: "person", Key: "p2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db2.Table("person").SelectContains("name", []string{"stone", "stone"}); len(got) != 0 {
+		t.Fatalf("stale duplicated-bag match: %v", got)
+	}
+	// Re-insert with a single occurrence: the bag still must not match.
+	db3, _, err := db2.Apply([]Mutation{{Op: OpInsert, Table: "person", Values: []string{"p5", "gia stone"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db3.Table("person").SelectContains("name", []string{"stone", "stone"}); len(got) != 0 {
+		t.Fatalf("maxCount not maintained: %v", got)
+	}
+	if got := db3.Table("person").SelectContains("name", []string{"stone"}); len(got) != 1 {
+		t.Fatalf("single stone: %v", got)
+	}
+	assertSelectionsAgree(t, db3, mutProbes)
+}
+
+// TestApplyRandomizedDifferential drives random mutation chains and
+// cross-checks postings vs scan and indexes vs scan after every batch,
+// plus execution agreement of a fixed join plan.
+func TestApplyRandomizedDifferential(t *testing.T) {
+	db := mutTestDB(t)
+	rng := rand.New(rand.NewSource(7))
+	words := []string{"alice", "stone", "rivers", "moved", "1999", "quartz", "delta"}
+	plan := &JoinPlan{
+		Nodes: []JoinNode{
+			{Table: "person", Predicates: []Predicate{{Column: "name", Keywords: []string{"rivers"}}}},
+			{Table: "lives"},
+			{Table: "city"},
+		},
+		Edges: []JoinEdge{
+			{From: 1, To: 0, FromColumn: "pid", ToColumn: "id"},
+			{From: 1, To: 2, FromColumn: "cid", ToColumn: "id"},
+		},
+	}
+	serial := 0
+	for round := 0; round < 40; round++ {
+		var muts []Mutation
+		// Each key is targeted at most once per batch, so a later mutation
+		// cannot address a row an earlier one deleted.
+		usedKeys := make(map[string]bool)
+		for n := 1 + rng.Intn(3); n > 0; n-- {
+			tb := db.Tables()[rng.Intn(db.NumTables())]
+			name := tb.Schema.Name
+			textCol := tb.Schema.TextColumns()[0]
+			ci := tb.Schema.ColumnIndex(textCol)
+			switch rng.Intn(3) {
+			case 0:
+				serial++
+				vals := make([]string, len(tb.Schema.Columns))
+				for i := range vals {
+					vals[i] = "k" + name + string(rune('0'+serial%10)) + string(rune('a'+serial/10%26))
+				}
+				vals[0] = name + "key" + string(rune('a'+serial%26)) + string(rune('a'+serial/26%26))
+				vals[ci] = words[rng.Intn(len(words))] + " " + words[rng.Intn(len(words))]
+				if usedKeys[name+"\x00"+vals[0]] {
+					continue
+				}
+				usedKeys[name+"\x00"+vals[0]] = true
+				muts = append(muts, Mutation{Op: OpInsert, Table: name, Values: vals})
+			case 1:
+				if id := liveRow(rng, tb); id >= 0 {
+					vals := append([]string(nil), tb.Rows()[id].Values...)
+					if usedKeys[name+"\x00"+vals[0]] {
+						continue
+					}
+					usedKeys[name+"\x00"+vals[0]] = true
+					vals[ci] = words[rng.Intn(len(words))]
+					muts = append(muts, Mutation{Op: OpUpdate, Table: name, Key: vals[0], Values: vals})
+				}
+			default:
+				if id := liveRow(rng, tb); id >= 0 {
+					key := tb.Rows()[id].Values[0]
+					if usedKeys[name+"\x00"+key] {
+						continue
+					}
+					usedKeys[name+"\x00"+key] = true
+					muts = append(muts, Mutation{Op: OpDelete, Table: name, Key: key})
+				}
+			}
+		}
+		if len(muts) == 0 {
+			continue
+		}
+		ndb, _, err := db.Apply(muts)
+		if err != nil {
+			// Key collisions on random inserts are possible; skip.
+			if strings.Contains(err.Error(), "already has a row with") {
+				continue
+			}
+			t.Fatalf("round %d: %v", round, err)
+		}
+		db = ndb
+		assertSelectionsAgree(t, db, mutProbes)
+		assertIndexesAgree(t, db)
+		got, err := db.Execute(plan, ExecuteOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := db.ExecuteScan(plan, ExecuteOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round %d: Execute %v, ExecuteScan %v", round, got, want)
+		}
+	}
+}
+
+func liveRow(rng *rand.Rand, t *Table) int {
+	if t.NumLive() == 0 {
+		return -1
+	}
+	for {
+		id := rng.Intn(t.Len())
+		if t.Live(id) {
+			return id
+		}
+	}
+}

@@ -26,6 +26,9 @@ func (db *Database) Save(w io.Writer) error {
 	for _, t := range db.Tables() {
 		pt := persistedTable{Schema: *t.Schema}
 		for _, row := range t.Rows() {
+			if !t.Live(row.RowID) {
+				continue
+			}
 			vals := make([]string, len(row.Values))
 			copy(vals, row.Values)
 			pt.Rows = append(pt.Rows, vals)

@@ -65,10 +65,14 @@ func (cp *columnPostings) addRow(row int, value string) {
 	}
 }
 
-// buildColumnPostings constructs the postings of one column from scratch.
-func buildColumnPostings(rows []Tuple, col int) *columnPostings {
+// buildColumnPostings constructs the postings of one column from scratch,
+// skipping tombstoned rows.
+func (t *Table) buildColumnPostings(col int) *columnPostings {
 	cp := &columnPostings{terms: make(map[string]*postingList)}
-	for _, r := range rows {
+	for _, r := range t.rows {
+		if !t.Live(r.RowID) {
+			continue
+		}
 		cp.addRow(r.RowID, r.Values[col])
 	}
 	return cp
@@ -89,7 +93,7 @@ func (t *Table) ensurePostings(col int) *columnPostings {
 	if cp := t.postings[col]; cp != nil {
 		return cp
 	}
-	cp = buildColumnPostings(t.rows, col)
+	cp = t.buildColumnPostings(col)
 	t.postings[col] = cp
 	return cp
 }
@@ -169,12 +173,14 @@ func intersectSorted(a, b []int) []int {
 	return out
 }
 
-// allRowIDs returns a fresh ascending identity slice over all rows (RowIDs
-// are assigned densely from 0 in insertion order).
+// allRowIDs returns a fresh ascending slice of all live RowIDs (RowIDs
+// are assigned densely from 0 in insertion order; tombstones are skipped).
 func (t *Table) allRowIDs() []int {
-	out := make([]int, len(t.rows))
-	for i := range out {
-		out[i] = i
+	out := make([]int, 0, t.NumLive())
+	for i := range t.rows {
+		if t.Live(i) {
+			out = append(out, i)
+		}
 	}
 	return out
 }

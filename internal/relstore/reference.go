@@ -22,6 +22,9 @@ func (t *Table) SelectContainsScan(column string, keywords []string) []int {
 	}
 	var out []int
 	for _, r := range t.rows {
+		if !t.Live(r.RowID) {
+			continue
+		}
 		if ContainsBag(r.Values[ci], keywords) {
 			out = append(out, r.RowID)
 		}
@@ -47,6 +50,9 @@ func (t *Table) candidateRowsScan(preds []Predicate) []int {
 	var out []int
 rows:
 	for _, r := range t.rows {
+		if !t.Live(r.RowID) {
+			continue
+		}
 		for i, p := range preds {
 			if !ContainsBag(r.Values[cols[i]], p.Keywords) {
 				continue rows

@@ -87,11 +87,19 @@ type Tuple struct {
 // Reads (Row, Value, LookupEqual, SelectContains, Execute over the
 // database) are safe for concurrent use; Insert is not and must complete
 // before concurrent reads begin (the load-then-Build lifecycle of the
-// public API).
+// public API). Post-build row changes never touch a live Table: they go
+// through Database.Apply (see mutate.go), which clones the affected
+// tables copy-on-write and leaves every existing reader's view intact.
 type Table struct {
 	Schema *TableSchema
 
 	rows []Tuple
+	// dead marks tombstoned rows (nil until the first delete; parallel to
+	// rows once allocated). RowIDs are never reused, so every derived
+	// structure keyed by RowID stays valid across deletes; iteration and
+	// lazy index construction skip dead rows via Live.
+	dead    []bool
+	numDead int
 	// value indexes per column: column position -> value -> row ids.
 	// Built lazily for columns used in joins or PK lookups; idxMu guards
 	// lazy construction under concurrent readers.
@@ -139,24 +147,36 @@ func (t *Table) Insert(values ...string) (int, error) {
 	return id, nil
 }
 
-// Len returns the number of rows.
+// Len returns the physical number of row slots, tombstones included.
+// Derived structures sized by RowID (bitsets, dense arrays) use Len;
+// data-level cardinality is NumLive.
 func (t *Table) Len() int { return len(t.rows) }
 
-// Row returns the tuple with the given RowID.
+// NumLive returns the number of live (non-tombstoned) rows.
+func (t *Table) NumLive() int { return len(t.rows) - t.numDead }
+
+// Live reports whether the RowID names an existing, non-deleted row.
+func (t *Table) Live(id int) bool {
+	return id >= 0 && id < len(t.rows) && (t.dead == nil || !t.dead[id])
+}
+
+// Row returns the tuple with the given RowID; deleted rows report ok=false.
 func (t *Table) Row(id int) (Tuple, bool) {
-	if id < 0 || id >= len(t.rows) {
+	if !t.Live(id) {
 		return Tuple{}, false
 	}
 	return t.rows[id], true
 }
 
-// Rows returns the backing row slice; callers must not mutate it.
+// Rows returns the backing row slice, tombstoned slots included; callers
+// must not mutate it and must skip rows for which Live reports false when
+// iterating a table that has seen deletes.
 func (t *Table) Rows() []Tuple { return t.rows }
 
 // Value returns the named column's value of the given row.
 func (t *Table) Value(id int, column string) (string, bool) {
 	ci := t.Schema.ColumnIndex(column)
-	if ci < 0 || id < 0 || id >= len(t.rows) {
+	if ci < 0 || !t.Live(id) {
 		return "", false
 	}
 	return t.rows[id].Values[ci], true
@@ -172,6 +192,9 @@ func (t *Table) ensureIndex(col int) map[string][]int {
 	}
 	idx := make(map[string][]int)
 	for _, r := range t.rows {
+		if !t.Live(r.RowID) {
+			continue
+		}
 		idx[r.Values[col]] = append(idx[r.Values[col]], r.RowID)
 	}
 	t.valueIdx[col] = idx
@@ -262,11 +285,11 @@ func (db *Database) TableNames() []string {
 // NumTables returns the number of tables.
 func (db *Database) NumTables() int { return len(db.order) }
 
-// NumRows returns the total number of rows across all tables.
+// NumRows returns the total number of live rows across all tables.
 func (db *Database) NumRows() int {
 	n := 0
 	for _, t := range db.tables {
-		n += t.Len()
+		n += t.NumLive()
 	}
 	return n
 }

@@ -44,6 +44,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/datagraph"
 	"repro/internal/invindex"
@@ -88,6 +89,7 @@ type config struct {
 	parallelism        int
 	scoreCacheOff      bool
 	execCacheOff       bool
+	mutable            bool
 }
 
 // Option configures an Engine at construction time.
@@ -172,6 +174,16 @@ func WithExecutionCache(enabled bool) Option {
 	return func(c *config) { c.execCacheOff = !enabled }
 }
 
+// WithMutations enables live row mutations: Engine.Apply accepts
+// insert/update/delete batches after Build, incrementally maintaining
+// every index and statistic and publishing each batch as a new immutable
+// snapshot (see Apply for the isolation contract). Without this option
+// the engine keeps its frozen-after-Build contract and Apply returns
+// ErrMutationsDisabled.
+func WithMutations() Option {
+	return func(c *config) { c.mutable = true }
+}
+
 func newConfig(opts []Option) config {
 	cfg := config{maxJoinPath: 4}
 	for _, o := range opts {
@@ -189,27 +201,75 @@ func newConfig(opts []Option) config {
 	return cfg
 }
 
-// Engine is a keyword-search engine over one database.
-//
-// Lifecycle: New → Insert rows → Build → serve. Before Build the Engine
-// is a single-goroutine loader; after Build it is immutable and safe for
-// unlimited concurrent Search / Diversify / SearchRows / SearchTrees /
-// Construct calls (each Construction session itself belongs to one
-// client, but any number of sessions may run concurrently).
-type Engine struct {
-	cfg   config
+// snapshot is one immutable, self-consistent view of the engine: the
+// database, the inverted index, the schema graph, the template
+// catalogue, and the ranking model, all derived from the same row set.
+// Every request pins exactly one snapshot for its whole lifetime, so a
+// mutation batch committing mid-request can never tear a response.
+// Snapshots are never modified after publication — Apply builds the next
+// one copy-on-write and swaps the engine's pointer atomically.
+type snapshot struct {
+	epoch uint64
 	db    *relstore.Database
 	ix    *invindex.Index
 	graph *schemagraph.Graph
 	cat   *query.Catalog
 	model *prob.Model
+
+	// dg is the lazily built data graph for the data-based baseline,
+	// scoped to this snapshot's row set. When the previous snapshot had
+	// materialised its graph, Apply seeds the next snapshot's eagerly via
+	// incremental maintenance; otherwise it stays lazy.
+	dgMu sync.Mutex
+	dg   atomic.Pointer[datagraph.Graph]
+}
+
+// dataGraph returns the snapshot's data graph, building it on first use.
+// The double-checked lock keeps the lazy build safe and single under
+// concurrent SearchTrees.
+func (s *snapshot) dataGraph() *datagraph.Graph {
+	if g := s.dg.Load(); g != nil {
+		return g
+	}
+	s.dgMu.Lock()
+	defer s.dgMu.Unlock()
+	if g := s.dg.Load(); g != nil {
+		return g
+	}
+	g := datagraph.Build(s.db)
+	s.dg.Store(g)
+	return g
+}
+
+// Engine is a keyword-search engine over one database.
+//
+// Lifecycle: New → Insert rows → Build → serve. Before Build the Engine
+// is a single-goroutine loader; after Build it is safe for unlimited
+// concurrent Search / Diversify / SearchRows / SearchTrees / Construct
+// calls (each Construction session itself belongs to one client, but any
+// number of sessions may run concurrently).
+//
+// By default the engine is immutable after Build. With WithMutations,
+// Engine.Apply accepts live insert/update/delete batches: each batch is
+// folded copy-on-write into a new snapshot that is published with one
+// atomic pointer swap, while every in-flight request keeps reading the
+// snapshot it pinned on entry (snapshot isolation; readers never block
+// writers and vice versa).
+type Engine struct {
+	cfg   config
+	db    *relstore.Database // loading-phase database; snapshot 0 adopts it at Build
 	built bool
 
-	// dgraph is the lazily built data graph for the data-based baseline;
-	// the sync.Once keeps the lazy build safe under concurrent SearchTrees.
-	dgraphOnce sync.Once
-	dgraph     *datagraph.Graph
+	// snap is the current published snapshot (nil before Build).
+	snap atomic.Pointer[snapshot]
+	// applyMu serialises writers: at most one Apply builds the next
+	// snapshot at a time, always forking from the latest one.
+	applyMu sync.Mutex
 }
+
+// current returns the published snapshot (nil before Build). Callers
+// load it once per request and use only that view throughout.
+func (e *Engine) current() *snapshot { return e.snap.Load() }
 
 // New creates an Engine with the given schema.
 func New(tables []Table, opts ...Option) (*Engine, error) {
@@ -261,41 +321,63 @@ func (e *Engine) Insert(table string, values ...string) error {
 // Build indexes the data and generates the query-template catalogue.
 // It must be called once after loading and before any search; the Build
 // call must happen-before any concurrent use of the Engine (start your
-// server goroutines after Build returns). After Build the Engine never
-// mutates shared state, which is what makes it race-free.
+// server goroutines after Build returns). After Build the Engine's
+// shared state only changes through Apply's atomic snapshot swaps, which
+// is what makes it race-free.
 func (e *Engine) Build() error {
 	if e.built {
 		return fmt.Errorf("keysearch: already built")
 	}
 	e.db.Prepare() // posting lists + join indexes, built once up front
-	e.ix = invindex.Build(e.db)
-	e.graph = schemagraph.FromDatabase(e.db)
-	e.cat = query.BuildCatalog(e.graph, schemagraph.EnumerateOptions{
+	ix := invindex.Build(e.db)
+	graph := schemagraph.FromDatabase(e.db)
+	cat := query.BuildCatalog(graph, schemagraph.EnumerateOptions{
 		MaxNodes: e.cfg.maxJoinPath,
 		MaxTrees: e.cfg.maxTemplates,
 	})
-	e.model = prob.New(e.ix, e.cat, prob.Config{
+	s := &snapshot{
+		db:    e.db,
+		ix:    ix,
+		graph: graph,
+		cat:   cat,
+		model: e.newModel(ix, cat),
+	}
+	e.snap.Store(s)
+	e.built = true
+	return nil
+}
+
+// newModel builds the ranking model for a snapshot. Build and Apply both
+// use it, so an incrementally maintained snapshot configures its model —
+// including the recomputed smoothing floor Pu — exactly as a fresh build
+// over the same rows would.
+func (e *Engine) newModel(ix *invindex.Index, cat *query.Catalog) *prob.Model {
+	return prob.New(ix, cat, prob.Config{
 		Alpha:             e.cfg.alpha,
 		UseCoOccurrence:   e.cfg.useCoOccurrence,
 		Parallelism:       e.cfg.parallelism,
 		DisableScoreCache: e.cfg.scoreCacheOff,
 	})
-	e.built = true
-	return nil
 }
 
 // NumTables returns the number of tables.
 func (e *Engine) NumTables() int { return e.db.NumTables() }
 
-// NumRows returns the number of loaded rows.
-func (e *Engine) NumRows() int { return e.db.NumRows() }
+// NumRows returns the number of live rows in the current snapshot.
+func (e *Engine) NumRows() int {
+	if s := e.current(); s != nil {
+		return s.db.NumRows()
+	}
+	return e.db.NumRows()
+}
 
 // NumTemplates returns the number of query templates (0 before Build).
 func (e *Engine) NumTemplates() int {
-	if e.cat == nil {
+	s := e.current()
+	if s == nil {
 		return 0
 	}
-	return len(e.cat.Templates)
+	return len(s.cat.Templates)
 }
 
 // Parallelism returns the effective worker count of the interpretation
@@ -312,16 +394,17 @@ func parse(keywords string) []string {
 }
 
 // candidatesFor tokenises the query (honouring "label:keyword" syntax,
-// Section 2.2.7) and generates the per-keyword candidates.
-func (e *Engine) candidatesFor(ctx context.Context, keywords string) (*query.Candidates, [][]int, error) {
-	if !e.built {
+// Section 2.2.7) and generates the per-keyword candidates against one
+// pinned snapshot.
+func (e *Engine) candidatesFor(ctx context.Context, s *snapshot, keywords string) (*query.Candidates, [][]int, error) {
+	if s == nil {
 		return nil, nil, fmt.Errorf("keysearch: call Build before searching")
 	}
 	toks, labels := parseLabeled(keywords)
 	if len(toks) == 0 {
 		return nil, nil, fmt.Errorf("keysearch: empty keyword query")
 	}
-	c, err := query.GenerateCandidatesContext(ctx, e.ix, toks, query.GenerateOptionsConfig{
+	c, err := query.GenerateCandidatesContext(ctx, s.ix, toks, query.GenerateOptionsConfig{
 		IncludeSchemaTerms: e.cfg.includeSchemaTerms,
 		IncludeAggregates:  e.cfg.enableAggregates,
 	})
@@ -334,34 +417,37 @@ func (e *Engine) candidatesFor(ctx context.Context, keywords string) (*query.Can
 	}
 	var segments [][]int
 	if e.cfg.segmentPhrases {
-		segments = e.detectSegments(toks, labels, e.cfg.segmentThreshold)
+		segments = detectSegments(s.ix, toks, labels, e.cfg.segmentThreshold)
 	}
 	return c, segments, nil
 }
 
-// interpret materialises and ranks the interpretation space, honouring
-// context cancellation in every expensive phase.
-func (e *Engine) interpret(ctx context.Context, keywords string) ([]prob.Scored, *query.Candidates, error) {
-	c, segments, err := e.candidatesFor(ctx, keywords)
+// interpret materialises and ranks the interpretation space over one
+// pinned snapshot, honouring context cancellation in every expensive
+// phase.
+func (e *Engine) interpret(ctx context.Context, s *snapshot, keywords string) ([]prob.Scored, *query.Candidates, error) {
+	c, segments, err := e.candidatesFor(ctx, s, keywords)
 	if err != nil {
 		return nil, nil, err
 	}
-	space, err := query.GenerateCompleteContext(ctx, c, e.cat, query.GenerateConfig{
+	space, err := query.GenerateCompleteContext(ctx, c, s.cat, query.GenerateConfig{
 		Parallelism: e.cfg.parallelism,
 	})
 	if err != nil {
 		return nil, nil, err
 	}
 	space = query.FilterSegments(space, segments)
-	ranked, err := e.model.RankContext(ctx, space)
+	ranked, err := s.model.RankContext(ctx, space)
 	if err != nil {
 		return nil, nil, err
 	}
 	return ranked, c, nil
 }
 
-// wrap converts scored interpretations to public results.
-func (e *Engine) wrap(scored []prob.Scored) []Result {
+// wrap converts scored interpretations to public results bound to the
+// snapshot they were ranked under, so deferred execution (Rows, Count,
+// previews) reads the same view that produced the ranking.
+func (e *Engine) wrap(s *snapshot, scored []prob.Scored) []Result {
 	out := make([]Result, len(scored))
 	for i, sc := range scored {
 		sql, _ := sc.Q.SQL()
@@ -372,7 +458,7 @@ func (e *Engine) wrap(scored []prob.Scored) []Result {
 			Tables:      tablesOf(sc.Q),
 			Aggregate:   sc.Q.Aggregate(),
 			q:           sc.Q,
-			eng:         e,
+			snap:        s,
 		}
 	}
 	return out
@@ -393,8 +479,9 @@ func tablesOf(q *query.Interpretation) []string {
 // it never re-scans the data and is safe to expose on a hot service
 // endpoint.
 func (e *Engine) Keywords(prefix string, limit int) []string {
-	if !e.built {
+	s := e.current()
+	if s == nil {
 		return nil
 	}
-	return e.ix.TermsWithPrefix(prefix, limit)
+	return s.ix.TermsWithPrefix(prefix, limit)
 }

@@ -64,32 +64,35 @@ func (o *Ontology) NumClasses() int { return o.o.NumClasses() }
 // to one client dialogue; run independent sessions concurrently instead.
 type OntologyConstruction struct {
 	eng  *Engine
+	snap *snapshot
 	sess *freeq.Session
 }
 
 // ConstructWithOntology starts a FreeQ-style construction session using
-// the ontology's class structure for its questions.
+// the ontology's class structure for its questions. Like Construct, the
+// session pins the engine snapshot current at its start.
 func (e *Engine) ConstructWithOntology(ctx context.Context, req ConstructRequest, o *Ontology) (*OntologyConstruction, error) {
-	if !e.built {
+	s := e.current()
+	if s == nil {
 		return nil, fmt.Errorf("keysearch: call Build before constructing")
 	}
 	toks := parse(req.Query)
 	if len(toks) == 0 {
 		return nil, fmt.Errorf("keysearch: empty keyword query")
 	}
-	c, err := query.GenerateCandidatesContext(ctx, e.ix, toks, query.GenerateOptionsConfig{
+	c, err := query.GenerateCandidatesContext(ctx, s.ix, toks, query.GenerateOptionsConfig{
 		IncludeSchemaTerms: e.cfg.includeSchemaTerms,
 	})
 	if err != nil {
 		return nil, err
 	}
-	sess, err := freeq.NewSessionContext(ctx, e.model, c, o.o, freeq.Config{
+	sess, err := freeq.NewSessionContext(ctx, s.model, c, o.o, freeq.Config{
 		StopAtRemaining: req.StopAtRemaining,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &OntologyConstruction{eng: e, sess: sess}, nil
+	return &OntologyConstruction{eng: e, snap: s, sess: sess}, nil
 }
 
 // Done reports whether the session has converged.
@@ -149,7 +152,7 @@ func (c *OntologyConstruction) Reject(ctx context.Context, q OntologyQuestion) e
 
 // Candidates returns the remaining structured queries once materialised.
 func (c *OntologyConstruction) Candidates() []Result {
-	return c.eng.wrap(c.sess.Remaining())
+	return c.eng.wrap(c.snap, c.sess.Remaining())
 }
 
 // OntologyMatch is one table-to-class match found by instance overlap.

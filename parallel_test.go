@@ -193,40 +193,40 @@ func TestStageCancellation(t *testing.T) {
 	q := toks[0] + " " + toks[1] + " " + toks[2]
 
 	// Stage inputs, prepared under a live context.
-	cands, _, err := eng.candidatesFor(live, q)
+	cands, _, err := eng.candidatesFor(live, eng.current(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	space, err := query.GenerateCompleteContext(live, cands, eng.cat, query.GenerateConfig{Parallelism: 4})
+	space, err := query.GenerateCompleteContext(live, cands, eng.current().cat, query.GenerateConfig{Parallelism: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(space) == 0 {
 		t.Fatal("empty interpretation space")
 	}
-	ranked, err := eng.model.RankContext(live, space)
+	ranked, err := eng.current().model.RankContext(live, space)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	t.Run("generate", func(t *testing.T) {
-		if _, err := query.GenerateCompleteContext(cancelled, cands, eng.cat, query.GenerateConfig{Parallelism: 4}); !errors.Is(err, context.Canceled) {
+		if _, err := query.GenerateCompleteContext(cancelled, cands, eng.current().cat, query.GenerateConfig{Parallelism: 4}); !errors.Is(err, context.Canceled) {
 			t.Fatalf("GenerateCompleteContext error = %v, want context.Canceled", err)
 		}
 	})
 	t.Run("rank", func(t *testing.T) {
-		if _, err := eng.model.RankContext(cancelled, space); !errors.Is(err, context.Canceled) {
+		if _, err := eng.current().model.RankContext(cancelled, space); !errors.Is(err, context.Canceled) {
 			t.Fatalf("RankContext error = %v, want context.Canceled", err)
 		}
 	})
 	t.Run("topk", func(t *testing.T) {
-		_, _, err := topk.TopKContext(cancelled, eng.db, ranked, &topk.TFScorer{IX: eng.ix}, topk.Options{K: 5, Parallelism: 4})
+		_, _, err := topk.TopKContext(cancelled, eng.current().db, ranked, &topk.TFScorer{IX: eng.current().ix}, topk.Options{K: 5, Parallelism: 4})
 		if !errors.Is(err, context.Canceled) {
 			t.Fatalf("TopKContext error = %v, want context.Canceled", err)
 		}
 	})
 	t.Run("rank-sequential-model", func(t *testing.T) {
-		m := prob.New(eng.ix, eng.cat, prob.Config{})
+		m := prob.New(eng.current().ix, eng.current().cat, prob.Config{})
 		if _, err := m.RankContext(cancelled, space); !errors.Is(err, context.Canceled) {
 			t.Fatalf("sequential RankContext error = %v, want context.Canceled", err)
 		}

@@ -63,8 +63,8 @@ func applyLabels(c *query.Candidates, labels map[int]string) {
 // unlabelled, with a phrase-pair score at or above the threshold
 // (Section 2.2.1's query segmentation). Runs of phrased pairs merge into
 // one segment ("tom hanks movie" with phrased tom–hanks yields
-// [[0 1]]).
-func (e *Engine) detectSegments(toks []string, labels map[int]string, threshold float64) [][]int {
+// [[0 1]]). The pair scores come from the request's pinned snapshot.
+func detectSegments(ix *invindex.Index, toks []string, labels map[int]string, threshold float64) [][]int {
 	var segments [][]int
 	var cur []int
 	flush := func() {
@@ -78,7 +78,7 @@ func (e *Engine) detectSegments(toks []string, labels map[int]string, threshold 
 	for i := 0; i+1 < len(toks); i++ {
 		_, l1 := labels[i]
 		_, l2 := labels[i+1]
-		if l1 || l2 || e.ix.PhrasePairScore(toks[i], toks[i+1]) < threshold {
+		if l1 || l2 || ix.PhrasePairScore(toks[i], toks[i+1]) < threshold {
 			flush()
 			continue
 		}
