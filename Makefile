@@ -6,7 +6,7 @@
 GO ?= go
 
 .PHONY: build test race vet fmt lint staticcheck fuzz fuzz-smoke \
-	bench bench-quick bench-exec bench-mut bench-guard golden check
+	bench bench-quick bench-exec bench-mut bench-dur bench-guard golden check
 
 build:
 	$(GO) build ./...
@@ -39,37 +39,44 @@ lint: fmt vet staticcheck
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzNormalizeKeywords -fuzztime 30s ./internal/query
 	$(GO) test -run '^$$' -fuzz FuzzApplyMutations -fuzztime 30s .
+	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime 30s ./internal/durable
 
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzNormalizeKeywords -fuzztime 20s ./internal/query
 	$(GO) test -run '^$$' -fuzz FuzzApplyMutations -fuzztime 20s .
+	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime 20s ./internal/durable
 
-# bench writes the pipeline grid, the executor legs, and the mutation
-# legs to BENCH_*.json — the perf-trajectory artifacts CI archives on
-# every run.
+# bench writes the pipeline grid, the executor legs, the mutation legs,
+# and the durability legs to BENCH_*.json — the perf-trajectory
+# artifacts CI archives on every run.
 bench:
-	$(GO) run ./cmd/bench -out BENCH_pipeline.json -exec-out BENCH_executor.json -mut-out BENCH_mutations.json
+	$(GO) run ./cmd/bench -out BENCH_pipeline.json -exec-out BENCH_executor.json -mut-out BENCH_mutations.json -dur-out BENCH_durability.json
 
 bench-quick:
-	$(GO) run ./cmd/bench -quick -out BENCH_pipeline.json -exec-out BENCH_executor.json -mut-out BENCH_mutations.json
+	$(GO) run ./cmd/bench -quick -out BENCH_pipeline.json -exec-out BENCH_executor.json -mut-out BENCH_mutations.json -dur-out BENCH_durability.json
 
-# bench-exec / bench-mut measure one grid in isolation.
+# bench-exec / bench-mut / bench-dur measure one grid in isolation.
 bench-exec:
 	$(GO) run ./cmd/bench -only executor -exec-out BENCH_executor.json
 
 bench-mut:
 	$(GO) run ./cmd/bench -only mutate -mut-out BENCH_mutations.json
 
-# bench-guard re-measures the executor and mutation grids and fails when
-# a tracked speedup regressed >25% vs the committed baselines. Speedups
+bench-dur:
+	$(GO) run ./cmd/bench -only durable -dur-out BENCH_durability.json
+
+# bench-guard re-measures the executor, mutation, and durability grids
+# and fails when a tracked speedup (postings-vs-scan, apply-vs-rebuild,
+# recover-vs-build) regressed >25% vs the committed baselines. Speedups
 # are within-run ratios, so the guard transfers across machines; the
 # pipeline grid is excluded because its parallel speedups depend on the
 # host's core count.
 bench-guard:
 	cp BENCH_executor.json /tmp/bench_base_executor.json
 	cp BENCH_mutations.json /tmp/bench_base_mutations.json
-	$(GO) run ./cmd/bench -only executor,mutate \
-		-compare /tmp/bench_base_executor.json,/tmp/bench_base_mutations.json -threshold 0.25
+	cp BENCH_durability.json /tmp/bench_base_durability.json
+	$(GO) run ./cmd/bench -only executor,mutate,durable \
+		-compare /tmp/bench_base_executor.json,/tmp/bench_base_mutations.json,/tmp/bench_base_durability.json -threshold 0.25
 
 # golden regenerates testdata/golden after an intentional ranking change.
 # Plain `make test` fails if golden files drift without this.

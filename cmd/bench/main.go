@@ -8,19 +8,22 @@
 //     execution, with and without the per-request selection cache, plus
 //     the allocation-free count probe) → BENCH_executor.json, and
 //   - the mutation legs (full rebuild vs incremental Engine.Apply vs
-//     apply+search) → BENCH_mutations.json.
+//     apply+search) → BENCH_mutations.json, and
+//   - the durability legs (fresh build vs open-from-snapshot vs WAL
+//     replay, plus checkpoint latency) → BENCH_durability.json.
 //
 // Usage:
 //
 //	go run ./cmd/bench [-out BENCH_pipeline.json] [-exec-out BENCH_executor.json]
-//	                   [-mut-out BENCH_mutations.json]
-//	                   [-only all|pipeline|executor|mutate[,...]] [-quick]
+//	                   [-mut-out BENCH_mutations.json] [-dur-out BENCH_durability.json]
+//	                   [-only all|pipeline|executor|mutate|durable[,...]] [-quick]
 //	                   [-compare base1.json[,base2.json...]] [-threshold 0.25]
 //
 // The output records ns/op, allocations, and speedups against each grid's
 // baseline (sequential for the pipeline, scan for the executor, full
-// rebuild for mutations), alongside the host shape (CPU count,
-// GOMAXPROCS) needed to interpret absolute numbers.
+// rebuild for mutations, fresh build for durability), alongside the
+// host shape (CPU count, GOMAXPROCS) needed to interpret absolute
+// numbers.
 //
 // # Regression guard
 //
@@ -44,6 +47,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/benchdur"
 	"repro/internal/benchexec"
 	"repro/internal/benchmut"
 	"repro/internal/benchpipe"
@@ -75,6 +79,15 @@ type mutationReport struct {
 	NumCPU      int    `json:"num_cpu"`
 	GOMAXPROCS  int    `json:"gomaxprocs"`
 	*benchmut.Report
+}
+
+// durabilityReport is the top-level shape of BENCH_durability.json.
+type durabilityReport struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	NumCPU      int    `json:"num_cpu"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	*benchdur.Report
 }
 
 // speedups extracts the machine-transferable metric of one report as
@@ -113,11 +126,22 @@ func mutationSpeedups(rows []benchmut.Row) speedups {
 	return out
 }
 
+func durabilitySpeedups(rows []benchdur.Row) speedups {
+	out := make(speedups)
+	for _, r := range rows {
+		if r.SpeedupVsBuild > 0 && r.Name != string(benchdur.ModeBuild) {
+			out[r.Name] = r.SpeedupVsBuild
+		}
+	}
+	return out
+}
+
 func main() {
 	out := flag.String("out", "BENCH_pipeline.json", "pipeline grid output file")
 	execOut := flag.String("exec-out", "BENCH_executor.json", "executor legs output file")
 	mutOut := flag.String("mut-out", "BENCH_mutations.json", "mutation legs output file")
-	only := flag.String("only", "all", "comma-separated grids to run: all, pipeline, executor, mutate")
+	durOut := flag.String("dur-out", "BENCH_durability.json", "durability legs output file")
+	only := flag.String("only", "all", "comma-separated grids to run: all, pipeline, executor, mutate, durable")
 	quick := flag.Bool("quick", false, "run the trimmed quick pipeline grid")
 	compare := flag.String("compare", "", "comma-separated baseline BENCH_*.json files to guard against (see Regression guard)")
 	threshold := flag.Float64("threshold", 0.25, "maximum tolerated relative speedup regression vs the baseline")
@@ -127,12 +151,12 @@ func main() {
 	for _, part := range strings.Split(*only, ",") {
 		switch part = strings.TrimSpace(part); part {
 		case "all":
-			want["pipeline"], want["executor"], want["mutate"] = true, true, true
-		case "pipeline", "executor", "mutate":
+			want["pipeline"], want["executor"], want["mutate"], want["durable"] = true, true, true, true
+		case "pipeline", "executor", "mutate", "durable":
 			want[part] = true
 		case "":
 		default:
-			log.Fatalf("unknown -only value %q (want all, pipeline, executor, or mutate)", part)
+			log.Fatalf("unknown -only value %q (want all, pipeline, executor, mutate, or durable)", part)
 		}
 	}
 	if len(want) == 0 {
@@ -230,6 +254,27 @@ func main() {
 		fresh["mutate"] = mutationSpeedups(rep.Rows)
 	}
 
+	if want["durable"] {
+		log.Printf("running durability benchmark legs...")
+		rep, err := benchdur.Measure()
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeJSON(*durOut, durabilityReport{
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			GoVersion:   runtime.Version(),
+			NumCPU:      runtime.NumCPU(),
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			Report:      rep,
+		})
+		for _, r := range rep.Rows {
+			log.Printf("%-16s %12d ns/op  %8d allocs/op  speedup %.2fx vs build",
+				r.Name, r.NsPerOp, r.AllocsPerOp, r.SpeedupVsBuild)
+		}
+		log.Printf("wrote %s", *durOut)
+		fresh["durable"] = durabilitySpeedups(rep.Rows)
+	}
+
 	// Regression guard: every baseline row's speedup must be within
 	// threshold of the fresh measurement.
 	failed := false
@@ -284,6 +329,12 @@ func loadBaseline(path string) (string, speedups, error) {
 		return false
 	}
 	switch {
+	case has("speedup_vs_build"):
+		var rep durabilityReport
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			return "", nil, fmt.Errorf("baseline %s: %w", path, err)
+		}
+		return "durable", durabilitySpeedups(rep.Rows), nil
 	case has("speedup_vs_rebuild"):
 		var rep mutationReport
 		if err := json.Unmarshal(raw, &rep); err != nil {

@@ -1,27 +1,43 @@
 // Command serve runs the keyword-search engine as an HTTP JSON service
 // over one of the bundled demo datasets (or a database dump written by
-// Engine.SaveTo).
+// Engine.SaveTo), optionally persisted in a durable state directory.
 //
 // Usage:
 //
-//	go run ./cmd/serve [-addr :8080] [-seed N] [-music] [-db dump] [-ttl 15m] [-mutable]
+//	go run ./cmd/serve [-addr :8080] [-seed N] [-music] [-db dump] [-ttl 15m]
+//	                   [-mutable] [-data-dir DIR]
 //
 // Quickstart:
 //
-//	go run ./cmd/serve -mutable &
+//	go run ./cmd/serve -mutable -data-dir ./state &
 //	curl -s localhost:8080/v1/search -d '{"query":"hanks","k":3}'
-//	curl -s localhost:8080/v1/construct -d '{"action":"start","start":{"query":"hanks","stop_at_remaining":1}}'
 //	curl -s localhost:8080/v1/mutate -d '{"mutations":[{"op":"insert","table":"actor","values":["a9001","Nora Ephron"]}]}'
+//	curl -s -X POST localhost:8080/v1/checkpoint
+//	kill %1   # graceful: drains HTTP, checkpoints, closes the WAL
+//	go run ./cmd/serve -mutable -data-dir ./state   # recovers: no rebuild
 //
-// See package repro/httpapi for the endpoint and session protocol, and
-// docs/mutations.md for the live-mutation snapshot model.
+// With -data-dir the boot is open-or-build: an existing state directory
+// is recovered (snapshot + write-ahead-log tail, surviving crashes mid-
+// write), an empty one is initialised from the selected dataset. On
+// SIGINT/SIGTERM the server drains in-flight requests, runs a final
+// checkpoint, and closes the log, so the next boot reads one snapshot
+// and replays nothing.
+//
+// See package repro/httpapi for the endpoint and session protocol,
+// docs/mutations.md for the live-mutation snapshot model, and
+// docs/persistence.md for the durability design.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
+	"io/fs"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	keysearch "repro"
@@ -39,6 +55,9 @@ func main() {
 	scoreCache := flag.Bool("score-cache", true, "memoise score sub-terms across requests")
 	execCache := flag.Bool("exec-cache", true, "share keyword selections across the plans of one request")
 	mutable := flag.Bool("mutable", false, "enable live mutations via POST /v1/mutate (snapshot-isolated)")
+	dataDir := flag.String("data-dir", "", "durable state directory: recover it if present, initialise it otherwise")
+	checkpointEvery := flag.Duration("checkpoint-interval", 30*time.Second, "background checkpoint interval (with -data-dir)")
+	checkpointBatches := flag.Int("checkpoint-batches", 256, "checkpoint as soon as this many WAL batches accumulate (with -data-dir)")
 	flag.Parse()
 
 	opts := []keysearch.Option{
@@ -50,37 +69,88 @@ func main() {
 	if *mutable {
 		opts = append(opts, keysearch.WithMutations())
 	}
-	var (
-		eng *keysearch.Engine
-		err error
-	)
-	switch {
-	case *dbPath != "":
-		f, ferr := os.Open(*dbPath)
-		if ferr != nil {
-			log.Fatal(ferr)
-		}
-		eng, err = keysearch.Load(f, opts...)
-		f.Close()
-	case *music:
-		// The 5-table chain schema needs join paths of length 5.
-		eng, err = keysearch.DemoMusicWith(*seed, opts...)
-	default:
-		eng, err = keysearch.DemoMoviesWith(*seed, opts...)
+	if *dataDir != "" {
+		opts = append(opts,
+			keysearch.WithDurability(*dataDir),
+			keysearch.WithCheckpointPolicy(*checkpointEvery, *checkpointBatches),
+		)
 	}
+
+	eng, err := buildEngine(*dataDir, *dbPath, *music, *seed, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("engine ready: %d tables, %d rows, %d query templates, parallelism %d, mutable %v",
-		eng.NumTables(), eng.NumRows(), eng.NumTemplates(), eng.Parallelism(), eng.MutationsEnabled())
+	log.Printf("engine ready: %d tables, %d rows, %d query templates, parallelism %d, mutable %v, durable %v (epoch %d)",
+		eng.NumTables(), eng.NumRows(), eng.NumTemplates(), eng.Parallelism(), eng.MutationsEnabled(),
+		eng.Durable(), eng.Epoch())
 
 	srv := httpapi.New(eng,
 		httpapi.WithSessionTTL(*ttl),
 		httpapi.WithMaxSessions(*maxSessions),
 	)
+	httpSrv := &http.Server{Addr: *addr, Handler: logRequests(srv)}
+
+	// Graceful drain: stop accepting, finish in-flight requests, then
+	// flush durability (final checkpoint + WAL close) before exiting.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		log.Printf("shutting down: draining HTTP...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+		if eng.Durable() {
+			log.Printf("shutting down: final checkpoint + closing WAL...")
+		}
+		if err := eng.Close(); err != nil {
+			log.Printf("engine close: %v", err)
+		}
+	}()
+
 	log.Printf("serving on %s (try: curl -s localhost%s/v1/search -d '{\"query\":\"hanks\",\"k\":3}')",
 		*addr, *addr)
-	log.Fatal(http.ListenAndServe(*addr, logRequests(srv)))
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
+	log.Printf("bye")
+}
+
+// buildEngine implements open-or-build: recover dataDir when it holds a
+// snapshot, otherwise build from the dump or demo dataset (durably when
+// dataDir is set, so the next boot recovers).
+func buildEngine(dataDir, dbPath string, music bool, seed int64, opts []keysearch.Option) (*keysearch.Engine, error) {
+	if dataDir != "" {
+		eng, err := keysearch.Open(dataDir, opts...)
+		if err == nil {
+			log.Printf("recovered state directory %s (replaying WAL tail of %d batches)",
+				dataDir, eng.PendingWALBatches())
+			return eng, nil
+		}
+		if !errors.Is(err, fs.ErrNotExist) {
+			return nil, err
+		}
+		log.Printf("state directory %s is empty: building from dataset", dataDir)
+	}
+	switch {
+	case dbPath != "":
+		f, err := os.Open(dbPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return keysearch.Load(f, opts...)
+	case music:
+		// The 5-table chain schema needs join paths of length 5.
+		return keysearch.DemoMusicWith(seed, opts...)
+	default:
+		return keysearch.DemoMoviesWith(seed, opts...)
+	}
 }
 
 // logRequests is a minimal access log.

@@ -113,7 +113,9 @@ func (e *Engine) SampleQueries(n int) []string {
 
 // SaveTo serialises the engine's database (schema and live rows of the
 // current snapshot) to the writer; indexes are rebuilt on load. Use Load
-// to restore.
+// to restore. For a full-state round trip that skips the rebuild and
+// preserves physical row identity (tombstones, RowIDs, posting lists),
+// use SaveSnapshot / OpenSnapshot instead.
 func (e *Engine) SaveTo(w io.Writer) error {
 	if s := e.current(); s != nil {
 		return s.db.Save(w)

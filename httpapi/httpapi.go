@@ -10,6 +10,7 @@
 //	POST /v1/diversify  keysearch.DiversifyRequest → keysearch.SearchResponse
 //	POST /v1/rows       keysearch.RowsRequest      → keysearch.RowsResponse
 //	POST /v1/mutate     MutateRequest              → MutateResponse
+//	POST /v1/checkpoint (admin, empty body)        → keysearch.CheckpointStats
 //	POST /v1/construct  ConstructStepRequest       → ConstructStepResponse
 //	GET  /v1/keywords?prefix=&limit=               → KeywordsResponse
 //	GET  /healthz                                  → HealthResponse
@@ -19,6 +20,14 @@
 // validation error, in which case nothing of the batch is applied).
 // /healthz reports the snapshot epoch, which increases by one per
 // committed batch, so operators can follow ingestion progress.
+//
+// /v1/checkpoint is the durability admin endpoint: on an engine with a
+// state directory (keysearch.WithDurability / Open) it forces a
+// checkpoint — snapshot file rewritten, write-ahead log truncated,
+// tombstones compacted past the threshold — and returns its stats; 403
+// on a memory-only engine. /healthz reports the durability posture
+// (durable flag, WAL batches pending replay, last checkpointed epoch)
+// so operators can alert on recovery cost growing unbounded.
 //
 // Construction is a dialogue, so /v1/construct is sessionized: "start"
 // creates a server-side session and returns its ID plus the first
@@ -61,12 +70,19 @@ type KeywordsResponse struct {
 // a per-request selection cache, so operators can verify the deployed
 // tuning. Mutable reports whether /v1/mutate is enabled and Epoch the
 // current snapshot epoch (0 at build, +1 per committed mutation batch).
+// Durable reports whether the engine persists to a state directory;
+// when it does, WALBatches is the number of mutation batches a crash
+// right now would replay and LastCheckpointEpoch the epoch of the
+// on-disk snapshot file.
 type HealthResponse struct {
 	Status         string `json:"status"`
 	Parallelism    int    `json:"parallelism"`
 	ExecutionCache bool   `json:"execution_cache"`
 	Mutable        bool   `json:"mutable"`
 	Epoch          uint64 `json:"epoch"`
+	Durable        bool   `json:"durable"`
+	WALBatches     int    `json:"wal_batches"`
+	LastCheckpoint uint64 `json:"last_checkpoint_epoch"`
 }
 
 // MutateRequest carries one mutation batch for POST /v1/mutate.
@@ -175,6 +191,7 @@ func New(eng *keysearch.Engine, opts ...Option) *Server {
 	s.mux.HandleFunc("POST /v1/diversify", s.handleDiversify)
 	s.mux.HandleFunc("POST /v1/rows", s.handleRows)
 	s.mux.HandleFunc("POST /v1/mutate", s.handleMutate)
+	s.mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("POST /v1/construct", s.handleConstruct)
 	s.mux.HandleFunc("GET /v1/keywords", s.handleKeywords)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -184,6 +201,9 @@ func New(eng *keysearch.Engine, opts ...Option) *Server {
 			ExecutionCache: s.eng.ExecutionCacheEnabled(),
 			Mutable:        s.eng.MutationsEnabled(),
 			Epoch:          s.eng.Epoch(),
+			Durable:        s.eng.Durable(),
+			WALBatches:     s.eng.PendingWALBatches(),
+			LastCheckpoint: s.eng.LastCheckpointEpoch(),
 		})
 	})
 	return s
@@ -285,6 +305,22 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, MutateResponse{Epoch: res.Epoch, Applied: res.Applied})
+}
+
+// handleCheckpoint forces a durability checkpoint (admin operation):
+// the body is ignored, the response is the keysearch.CheckpointStats of
+// the completed checkpoint. 403 when the engine has no state directory.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	stats, err := s.eng.Checkpoint(r.Context())
+	if err != nil {
+		status := statusFor(err)
+		if errors.Is(err, keysearch.ErrDurabilityDisabled) {
+			status = http.StatusForbidden
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, stats)
 }
 
 func (s *Server) handleKeywords(w http.ResponseWriter, r *http.Request) {

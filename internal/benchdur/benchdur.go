@@ -1,0 +1,368 @@
+// Package benchdur is the durability benchmark harness: it measures
+// what surviving a restart costs with and without the durability
+// subsystem, and what durable operation costs while running. Legs:
+//
+//   - fresh-build:   reload the serialised rows and Build a fresh
+//     engine (tokenise the corpus, build every index, enumerate the
+//     catalogue) — the restart price a memory-only engine always pays,
+//     and the baseline of the speedup column,
+//   - open-snapshot: keysearch.Open of a checkpointed state directory
+//     (decode the snapshot file, replay an empty WAL) — the restart
+//     price after a clean shutdown or a recent checkpoint,
+//   - wal-replay:    keysearch.Open of a state directory whose WAL
+//     holds ReplayBatches mutation batches — the restart price after a
+//     crash; divide by ReplayBatches for the per-batch replay cost,
+//   - checkpoint:    one durable Apply batch plus an explicit
+//     Checkpoint (snapshot rewrite, fsync, WAL truncation) — the
+//     steady-state cost of bounding recovery.
+//
+// Two front-ends consume the harness: the BenchmarkDurability*
+// functions (go test -bench=Durability) for interactive runs and CI
+// smoke, and cmd/bench, which writes BENCH_durability.json so the
+// recover-vs-build trajectory is tracked from PR to PR and its speedup
+// column guarded by cmd/bench -compare.
+package benchdur
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	keysearch "repro"
+	"repro/internal/datagen"
+)
+
+// Seed and Scale pin the dataset to the benchpipe 2.5x shape: large
+// enough that corpus tokenisation dominates Build (what snapshots
+// avoid), small enough for CI.
+const (
+	Seed  = 21
+	Scale = 2.5
+)
+
+// ReplayBatches is the WAL length of the crash-recovery fixture.
+const ReplayBatches = 8
+
+// BatchSize is the number of mutations per logged batch.
+const BatchSize = 6
+
+// Mode selects one benchmark leg.
+type Mode string
+
+const (
+	// ModeBuild reloads the dump and rebuilds the engine from scratch.
+	ModeBuild Mode = "fresh-build"
+	// ModeOpen opens a checkpointed state directory (empty WAL).
+	ModeOpen Mode = "open-snapshot"
+	// ModeReplay opens a state directory with ReplayBatches WAL batches.
+	ModeReplay Mode = "wal-replay"
+	// ModeCheckpoint applies one batch durably and checkpoints.
+	ModeCheckpoint Mode = "checkpoint"
+)
+
+// Modes lists every leg in report order.
+func Modes() []Mode { return []Mode{ModeBuild, ModeOpen, ModeReplay, ModeCheckpoint} }
+
+// Env is the lazily built benchmark environment: one logical dataset
+// served three ways (row dump, checkpointed directory, crash-shaped
+// directory) plus a live durable engine for the checkpoint leg.
+type Env struct {
+	once sync.Once
+	err  error
+	root string // state directories live under here
+
+	dump     []byte // serialised rows: the fresh-build leg's input
+	cleanDir string // checkpointed state: snapshot(epoch=ReplayBatches), empty WAL
+	crashDir string // crash state: snapshot(epoch=0), WAL of ReplayBatches batches
+	ckptEng  *keysearch.Engine
+	ckptSeq  int
+}
+
+// NewEnv creates an environment rooted at dir (a temp dir in tests;
+// cmd/bench passes os.MkdirTemp output). State is built on first use.
+func NewEnv(dir string) *Env { return &Env{root: dir} }
+
+// batch is one steady-state mutation batch: BatchSize/2 inserts of
+// transient actors and their deletions in the next batch, so the
+// database size stays bounded while the WAL grows.
+func churnBatch(seq int) []keysearch.Mutation {
+	muts := make([]keysearch.Mutation, 0, BatchSize)
+	for i := 0; i < BatchSize/2; i++ {
+		muts = append(muts, keysearch.Mutation{
+			Op: keysearch.OpInsert, Table: "actor",
+			Values: []string{fmt.Sprintf("dur-%d-%d", seq, i), fmt.Sprintf("Transient Durling %d", i)},
+		})
+	}
+	for i := 0; i < BatchSize/2; i++ {
+		muts = append(muts, keysearch.Mutation{
+			Op: keysearch.OpDelete, Table: "actor", Key: fmt.Sprintf("dur-%d-%d", seq, i),
+		})
+	}
+	return muts
+}
+
+func (e *Env) init() {
+	e.once.Do(func() {
+		if e.root == "" {
+			dir, err := os.MkdirTemp("", "benchdur")
+			if err != nil {
+				e.err = err
+				return
+			}
+			e.root = dir
+		}
+		db, err := datagen.IMDB(datagen.IMDBConfig{
+			Movies:    int(400 * Scale),
+			Actors:    int(300 * Scale),
+			Directors: int(80 * Scale),
+			Companies: int(40 * Scale),
+			Seed:      Seed,
+		})
+		if err != nil {
+			e.err = err
+			return
+		}
+		var buf bytes.Buffer
+		if err := db.Save(&buf); err != nil {
+			e.err = err
+			return
+		}
+		e.dump = buf.Bytes()
+
+		// Crash-shaped directory: epoch-0 snapshot + ReplayBatches WAL
+		// records (never checkpointed, never closed — exactly a crash).
+		e.crashDir = e.root + "/crash"
+		crashEng, err := keysearch.Load(bytes.NewReader(e.dump), e.durOpts(e.crashDir)...)
+		if err != nil {
+			e.err = err
+			return
+		}
+		for i := 0; i < ReplayBatches; i++ {
+			if _, err := crashEng.Apply(context.Background(), churnBatch(i)); err != nil {
+				e.err = err
+				return
+			}
+		}
+
+		// Checkpointed directory: same batches folded into the snapshot.
+		e.cleanDir = e.root + "/clean"
+		cleanEng, err := keysearch.Load(bytes.NewReader(e.dump), e.durOpts(e.cleanDir)...)
+		if err != nil {
+			e.err = err
+			return
+		}
+		for i := 0; i < ReplayBatches; i++ {
+			if _, err := cleanEng.Apply(context.Background(), churnBatch(i)); err != nil {
+				e.err = err
+				return
+			}
+		}
+		if err := cleanEng.Close(); err != nil { // final checkpoint + WAL close
+			e.err = err
+			return
+		}
+
+		// Live durable engine for the checkpoint leg.
+		ckptDir := e.root + "/ckpt"
+		e.ckptEng, e.err = keysearch.Load(bytes.NewReader(e.dump), e.durOpts(ckptDir)...)
+	})
+}
+
+// durOpts are the engine options of every durable fixture: mutations
+// on, background checkpointing out of the way (legs checkpoint
+// explicitly), durable into dir.
+func (e *Env) durOpts(dir string) []keysearch.Option {
+	return []keysearch.Option{
+		keysearch.WithCoOccurrence(),
+		keysearch.WithMutations(),
+		keysearch.WithDurability(dir),
+		keysearch.WithCheckpointPolicy(time.Hour, 1<<30),
+	}
+}
+
+// RunRequest executes one benchmark operation under the given mode.
+func (e *Env) RunRequest(mode Mode) error {
+	e.init()
+	if e.err != nil {
+		return e.err
+	}
+	switch mode {
+	case ModeBuild:
+		eng, err := keysearch.Load(bytes.NewReader(e.dump), keysearch.WithCoOccurrence())
+		if err != nil {
+			return err
+		}
+		if eng.NumRows() == 0 {
+			return fmt.Errorf("benchdur: rebuilt engine is empty")
+		}
+		return nil
+	case ModeOpen:
+		eng, err := keysearch.Open(e.cleanDir)
+		if err != nil {
+			return err
+		}
+		if eng.Epoch() != ReplayBatches {
+			return fmt.Errorf("benchdur: opened engine at epoch %d, want %d", eng.Epoch(), ReplayBatches)
+		}
+		return nil
+	case ModeReplay:
+		eng, err := keysearch.Open(e.crashDir)
+		if err != nil {
+			return err
+		}
+		if eng.Epoch() != ReplayBatches || eng.PendingWALBatches() != ReplayBatches {
+			return fmt.Errorf("benchdur: replay recovered epoch %d / %d pending, want %d/%d",
+				eng.Epoch(), eng.PendingWALBatches(), ReplayBatches, ReplayBatches)
+		}
+		return nil
+	case ModeCheckpoint:
+		if _, err := e.ckptEng.Apply(context.Background(), churnBatch(1000+e.ckptSeq)); err != nil {
+			return err
+		}
+		e.ckptSeq++
+		_, err := e.ckptEng.Checkpoint(context.Background())
+		return err
+	default:
+		return fmt.Errorf("benchdur: unknown mode %q", mode)
+	}
+}
+
+// Verify cross-checks the harness: both recovery paths must answer
+// byte-identically to a fresh build over the same logical rows (the
+// churn batches net out, so the dump is that row set).
+func (e *Env) Verify() error {
+	e.init()
+	if e.err != nil {
+		return e.err
+	}
+	pristine, err := keysearch.Load(bytes.NewReader(e.dump), keysearch.WithCoOccurrence())
+	if err != nil {
+		return err
+	}
+	qs := pristine.SampleQueries(2)
+	if len(qs) == 0 {
+		return fmt.Errorf("benchdur: no sample queries")
+	}
+	for _, dir := range []string{e.cleanDir, e.crashDir} {
+		recovered, err := keysearch.Open(dir)
+		if err != nil {
+			return err
+		}
+		for _, q := range qs {
+			req := keysearch.SearchRequest{Query: q, K: 5, RowLimit: 2}
+			got, gotErr := recovered.Search(context.Background(), req)
+			want, wantErr := pristine.Search(context.Background(), req)
+			if gotErr != nil || wantErr != nil {
+				return fmt.Errorf("benchdur: verify searches failed: %v / %v", gotErr, wantErr)
+			}
+			gj, _ := json.Marshal(got)
+			wj, _ := json.Marshal(want)
+			if !bytes.Equal(gj, wj) {
+				return fmt.Errorf("benchdur: recovered engine (%s) diverged from fresh build:\n got %.200s\nwant %.200s", dir, gj, wj)
+			}
+		}
+	}
+	return nil
+}
+
+// Run executes one mode inside a testing benchmark body.
+func (e *Env) Run(b *testing.B, mode Mode) {
+	if err := e.RunRequest(mode); err != nil { // warm build outside the timer
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.RunRequest(mode); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Row is one measured leg as persisted to BENCH_durability.json.
+type Row struct {
+	Name        string `json:"name"`
+	Ops         int    `json:"ops"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	// SpeedupVsBuild is the fresh-build leg's ns/op divided by this
+	// row's — how much cheaper recovery is than rebuilding. Set on the
+	// recovery legs only (the checkpoint leg is a write-path cost, not a
+	// recovery path, and is tracked by its absolute trajectory instead).
+	SpeedupVsBuild float64 `json:"speedup_vs_build,omitempty"`
+}
+
+// Report is the top-level measurement set.
+type Report struct {
+	Dataset       string `json:"dataset"`
+	ReplayBatches int    `json:"replay_batches"`
+	BatchSize     int    `json:"batch_size"`
+	Rows          []Row  `json:"rows"`
+}
+
+// Measure runs every leg through testing.Benchmark and derives the
+// recover-vs-build speedups.
+func Measure() (*Report, error) {
+	root, err := os.MkdirTemp("", "benchdur")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(root)
+	env := NewEnv(root)
+	if err := env.Verify(); err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Dataset:       fmt.Sprintf("demo-movies scaled %.1fx", Scale),
+		ReplayBatches: ReplayBatches,
+		BatchSize:     BatchSize,
+	}
+	var firstErr error
+	for _, mode := range Modes() {
+		mode := mode
+		r := testing.Benchmark(func(b *testing.B) {
+			if firstErr != nil {
+				b.Skip("earlier leg failed")
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := env.RunRequest(mode); err != nil {
+					firstErr = err
+					b.Skip(err)
+				}
+			}
+		})
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		rep.Rows = append(rep.Rows, Row{
+			Name:        string(mode),
+			Ops:         r.N,
+			NsPerOp:     r.NsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+	var buildNs int64
+	for _, r := range rep.Rows {
+		if r.Name == string(ModeBuild) {
+			buildNs = r.NsPerOp
+		}
+	}
+	for i := range rep.Rows {
+		name := rep.Rows[i].Name
+		if name != string(ModeOpen) && name != string(ModeReplay) {
+			continue
+		}
+		if buildNs > 0 && rep.Rows[i].NsPerOp > 0 {
+			rep.Rows[i].SpeedupVsBuild = float64(buildNs) / float64(rep.Rows[i].NsPerOp)
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,23 @@
+package benchdur
+
+import "testing"
+
+// TestVerify pins the harness's own correctness bar: recovered engines
+// answer byte-identically to a fresh build.
+func TestVerify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the scaled dataset three ways")
+	}
+	if err := NewEnv(t.TempDir()).Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The BenchmarkDurability* legs feed `go test -bench=Durability` and the
+// CI benchmark smoke (1 iteration, so regressions in the fixtures fail
+// fast without paying a full measurement).
+
+func BenchmarkDurabilityFreshBuild(b *testing.B)   { NewEnv(b.TempDir()).Run(b, ModeBuild) }
+func BenchmarkDurabilityOpenSnapshot(b *testing.B) { NewEnv(b.TempDir()).Run(b, ModeOpen) }
+func BenchmarkDurabilityWALReplay(b *testing.B)    { NewEnv(b.TempDir()).Run(b, ModeReplay) }
+func BenchmarkDurabilityCheckpoint(b *testing.B)   { NewEnv(b.TempDir()).Run(b, ModeCheckpoint) }

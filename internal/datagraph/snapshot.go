@@ -1,0 +1,120 @@
+package datagraph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/durable"
+	"repro/internal/relstore"
+)
+
+// This file implements the data graph's snapshot codec. The engine
+// persists a graph only when it was materialised at save time (the
+// graph is lazy — SearchTrees builds it on first use), so a warm
+// BANKS-style baseline stays warm across a restart without forcing
+// cold deployments to pay the build.
+//
+// Table names are interned against the database's table list and nodes
+// encoded as (table index, row) pairs; adjacency keys, neighbour lists,
+// and containment tokens are all written in canonical sorted order, so
+// the encoding is deterministic and a decoded graph re-encodes
+// byte-identically.
+
+// EncodeSnapshot appends the graph's snapshot encoding to e.
+func (g *Graph) EncodeSnapshot(e *durable.Enc) {
+	names := g.db.TableNames()
+	tableIdx := make(map[string]int, len(names))
+	for i, n := range names {
+		tableIdx[n] = i
+	}
+	encodeNode := func(n Node) {
+		e.Uvarint(uint64(tableIdx[n.Table]))
+		e.Uvarint(uint64(n.Row))
+	}
+
+	keys := make([]Node, 0, len(g.adj))
+	for n := range g.adj {
+		keys = append(keys, n)
+	}
+	sort.Slice(keys, func(i, j int) bool { return nodeLess(keys[i], keys[j]) })
+	e.Uvarint(uint64(len(keys)))
+	for _, n := range keys {
+		encodeNode(n)
+		nbrs := g.adj[n] // already in canonical order, duplicates preserved
+		e.Uvarint(uint64(len(nbrs)))
+		for _, nbr := range nbrs {
+			encodeNode(nbr)
+		}
+	}
+
+	toks := make([]string, 0, len(g.containing))
+	for tok := range g.containing {
+		toks = append(toks, tok)
+	}
+	sort.Strings(toks)
+	e.Uvarint(uint64(len(toks)))
+	for _, tok := range toks {
+		e.String(tok)
+		nodes := g.containing[tok]
+		e.Uvarint(uint64(len(nodes)))
+		for _, n := range nodes {
+			encodeNode(n)
+		}
+	}
+}
+
+// DecodeSnapshot reconstructs a graph over db from its snapshot
+// encoding.
+func DecodeSnapshot(d *durable.Dec, db *relstore.Database) (*Graph, error) {
+	names := db.TableNames()
+	decodeNode := func() (Node, bool) {
+		ti := int(d.Uvarint())
+		row := int(d.Uvarint())
+		if d.Err() != nil || ti < 0 || ti >= len(names) {
+			return Node{}, false
+		}
+		return Node{Table: names[ti], Row: row}, true
+	}
+	g := &Graph{
+		db:         db,
+		adj:        make(map[Node][]Node),
+		containing: make(map[string][]Node),
+	}
+
+	nadj := int(d.Uvarint())
+	for i := 0; i < nadj && d.Err() == nil; i++ {
+		n, ok := decodeNode()
+		if !ok {
+			return nil, fmt.Errorf("datagraph: decode snapshot: bad adjacency node")
+		}
+		nnbrs := int(d.Uvarint())
+		nbrs := make([]Node, 0, min(nnbrs, d.Remaining()))
+		for j := 0; j < nnbrs && d.Err() == nil; j++ {
+			nbr, ok := decodeNode()
+			if !ok {
+				return nil, fmt.Errorf("datagraph: decode snapshot: bad neighbour of %s", n)
+			}
+			nbrs = append(nbrs, nbr)
+		}
+		g.adj[n] = nbrs
+	}
+
+	ntoks := int(d.Uvarint())
+	for i := 0; i < ntoks && d.Err() == nil; i++ {
+		tok := d.String()
+		nnodes := int(d.Uvarint())
+		nodes := make([]Node, 0, min(nnodes, d.Remaining()))
+		for j := 0; j < nnodes && d.Err() == nil; j++ {
+			n, ok := decodeNode()
+			if !ok {
+				return nil, fmt.Errorf("datagraph: decode snapshot: bad containment node for %q", tok)
+			}
+			nodes = append(nodes, n)
+		}
+		g.containing[tok] = nodes
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("datagraph: decode snapshot: %w", err)
+	}
+	return g, nil
+}

@@ -1,0 +1,71 @@
+package datagraph
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/durable"
+	"repro/internal/relstore"
+)
+
+// snapshotGraph builds the apply-test graph after churn, so adjacency
+// holds RowID gaps and parallel-edge duplicates where the fixture has
+// them.
+func snapshotGraph(t *testing.T) (*Graph, *relstore.Database) {
+	t.Helper()
+	db := graphTestDB(t)
+	g := Build(db)
+	ndb, changes, err := db.Apply([]relstore.Mutation{
+		{Op: relstore.OpDelete, Table: "actor", Key: "a1"},
+		{Op: relstore.OpInsert, Table: "actor", Values: []string{"a7", "Returning Star"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Apply(ndb, changes), ndb
+}
+
+func TestGraphSnapshotRoundTrip(t *testing.T) {
+	g, db := snapshotGraph(t)
+	var enc durable.Enc
+	g.EncodeSnapshot(&enc)
+	got, err := DecodeSnapshot(durable.NewDec(enc.Bytes()), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, got, g)
+	if got.NumEdges() != g.NumEdges() {
+		t.Fatalf("NumEdges = %d, want %d", got.NumEdges(), g.NumEdges())
+	}
+}
+
+func TestGraphSnapshotByteStable(t *testing.T) {
+	g, db := snapshotGraph(t)
+	var e1, e2 durable.Enc
+	g.EncodeSnapshot(&e1)
+	g.EncodeSnapshot(&e2)
+	if !bytes.Equal(e1.Bytes(), e2.Bytes()) {
+		t.Fatal("same graph encoded to different bytes")
+	}
+	decoded, err := DecodeSnapshot(durable.NewDec(e1.Bytes()), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e3 durable.Enc
+	decoded.EncodeSnapshot(&e3)
+	if !bytes.Equal(e1.Bytes(), e3.Bytes()) {
+		t.Fatal("decode→encode did not reproduce the bytes")
+	}
+}
+
+func TestGraphSnapshotRejectsCorruption(t *testing.T) {
+	g, db := snapshotGraph(t)
+	var enc durable.Enc
+	g.EncodeSnapshot(&enc)
+	raw := enc.Bytes()
+	for _, cut := range []int{0, 2, len(raw) / 2} {
+		if _, err := DecodeSnapshot(durable.NewDec(raw[:cut]), db); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package durable
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestEncDecRoundTrip(t *testing.T) {
+	var e Enc
+	e.Uvarint(0)
+	e.Uvarint(1<<63 + 17)
+	e.Int(-42)
+	e.Int(math.MaxInt64 >> 1)
+	e.Bool(true)
+	e.Bool(false)
+	e.Byte(0xAB)
+	e.Float(3.14159)
+	e.Float(math.Inf(-1))
+	e.String("")
+	e.String("hello, snapshot")
+	e.Ints(nil)
+	e.Ints([]int{-1, 0, 7, 1 << 40})
+	e.Strings([]string{"a", "", "ccc"})
+
+	d := NewDec(e.Bytes())
+	if got := d.Uvarint(); got != 0 {
+		t.Errorf("Uvarint = %d, want 0", got)
+	}
+	if got := d.Uvarint(); got != 1<<63+17 {
+		t.Errorf("Uvarint = %d", got)
+	}
+	if got := d.Int(); got != -42 {
+		t.Errorf("Int = %d, want -42", got)
+	}
+	if got := d.Int(); got != math.MaxInt64>>1 {
+		t.Errorf("Int = %d", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if got := d.Byte(); got != 0xAB {
+		t.Errorf("Byte = %x", got)
+	}
+	if got := d.Float(); got != 3.14159 {
+		t.Errorf("Float = %v", got)
+	}
+	if got := d.Float(); !math.IsInf(got, -1) {
+		t.Errorf("Float = %v, want -Inf", got)
+	}
+	if got := d.String(); got != "" {
+		t.Errorf("String = %q", got)
+	}
+	if got := d.String(); got != "hello, snapshot" {
+		t.Errorf("String = %q", got)
+	}
+	if got := d.Ints(); got != nil {
+		t.Errorf("Ints = %v, want nil", got)
+	}
+	if got := d.Ints(); !reflect.DeepEqual(got, []int{-1, 0, 7, 1 << 40}) {
+		t.Errorf("Ints = %v", got)
+	}
+	if got := d.Strings(); !reflect.DeepEqual(got, []string{"a", "", "ccc"}) {
+		t.Errorf("Strings = %v", got)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("Err = %v", err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("Remaining = %d, want 0", d.Remaining())
+	}
+}
+
+func TestDecLatchesErrors(t *testing.T) {
+	d := NewDec([]byte{0x80}) // truncated varint
+	_ = d.Uvarint()
+	if d.Err() == nil {
+		t.Fatal("truncated varint not detected")
+	}
+	// Subsequent reads stay at zero values without panicking.
+	if d.Int() != 0 || d.String() != "" || d.Ints() != nil {
+		t.Fatal("reads after error not zero-valued")
+	}
+}
+
+func TestDecLengthBomb(t *testing.T) {
+	var e Enc
+	e.Uvarint(1 << 40) // declared length far beyond the input
+	d := NewDec(e.Bytes())
+	if got := d.Ints(); got != nil {
+		t.Fatalf("Ints on bomb = %v", got)
+	}
+	if d.Err() == nil {
+		t.Fatal("oversized declared length not rejected")
+	}
+}
+
+func TestSnapshotContainerRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sw, err := NewSnapshotWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Section("alpha", []byte("payload-a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Section("beta", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sr, err := NewSnapshotReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, payload, err := sr.Next()
+	if err != nil || name != "alpha" || string(payload) != "payload-a" {
+		t.Fatalf("section 1 = (%q, %q, %v)", name, payload, err)
+	}
+	name, payload, err = sr.Next()
+	if err != nil || name != "beta" || len(payload) != 0 {
+		t.Fatalf("section 2 = (%q, %q, %v)", name, payload, err)
+	}
+	if _, _, err := sr.Next(); err != io.EOF {
+		t.Fatalf("end marker: err = %v, want io.EOF", err)
+	}
+}
+
+func TestSnapshotContainerDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	sw, _ := NewSnapshotWriter(&buf)
+	if err := sw.Section("data", bytes.Repeat([]byte("x"), 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Flip one payload byte: the section read must fail with a checksum
+	// error rather than return corrupt data.
+	for _, at := range []int{len(raw) - 20, len(snapMagic) + 10} {
+		mut := append([]byte(nil), raw...)
+		mut[at] ^= 0x40
+		sr, err := NewSnapshotReader(bytes.NewReader(mut))
+		if err != nil {
+			continue // magic corruption: also acceptable detection
+		}
+		if _, _, err := sr.Next(); err == nil {
+			t.Fatalf("corruption at byte %d not detected", at)
+		}
+	}
+
+	// Bad magic.
+	if _, err := NewSnapshotReader(strings.NewReader("not a snapshot at all")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}

@@ -1,0 +1,276 @@
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// This file implements the mutation write-ahead log. The on-disk format
+// is a sequence of self-delimiting records:
+//
+//	u32  payload length (little-endian)
+//	u32  CRC-32C of the payload
+//	u64  epoch (little-endian) ─┐
+//	...  body                   ├─ the checksummed payload
+//	                            ─┘
+//
+// A record is appended with one write followed by fsync, before the
+// engine publishes the batch's snapshot, so every acknowledged batch is
+// recoverable. Crash tolerance is prefix-based: a torn final record —
+// any truncation or bit corruption of the tail — is detected by the
+// length/CRC framing, and recovery keeps the longest valid prefix. The
+// epoch stamp ties each record to the snapshot it produced, which lets
+// recovery skip records already folded into a checkpointed snapshot and
+// detect gaps (missing records) as corruption.
+
+// walHeaderSize is the fixed per-record framing overhead (length + CRC).
+const walHeaderSize = 8
+
+// maxWALRecord bounds a single record's payload; a declared length
+// beyond it is treated as a torn/corrupt tail rather than an
+// allocation request.
+const maxWALRecord = 1 << 30
+
+// Record is one recovered WAL entry.
+type Record struct {
+	// Epoch is the snapshot epoch the logged batch committed as.
+	Epoch uint64
+	// Body is the batch encoding (opaque to this package).
+	Body []byte
+}
+
+// WAL is an append-only mutation log. Appends are serialised by the
+// caller (the engine holds its writer lock across Append); Sync-per-
+// append is the default durability contract.
+type WAL struct {
+	f    *os.File
+	path string
+	sync bool
+	// size is the byte length of the valid record prefix — everything
+	// before it is durable, everything after it is rolled back when an
+	// append fails partway.
+	size int64
+	// records counts appends since open or the last Reset.
+	records int
+	// broken latches when a failed append could not be rolled back: the
+	// log's tail state is then unknown, and accepting further appends
+	// could lose an acknowledged batch behind a torn record. Every later
+	// Append fails until the log is re-opened (which re-truncates).
+	broken bool
+}
+
+// RecoverWAL opens (creating if absent) the log at path, scans the
+// longest valid record prefix, truncates any torn tail so subsequent
+// appends extend a clean log, and returns the recovered records. sync
+// selects fsync-per-append.
+func RecoverWAL(path string, sync bool) (*WAL, []Record, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, fmt.Errorf("durable: read wal: %w", err)
+	}
+	recs, valid := ScanWAL(raw)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: open wal: %w", err)
+	}
+	if int64(valid) < int64(len(raw)) {
+		if err := f.Truncate(int64(valid)); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("durable: truncate torn wal tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(int64(valid), io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("durable: seek wal: %w", err)
+	}
+	return &WAL{f: f, path: path, sync: sync, size: int64(valid), records: len(recs)}, recs, nil
+}
+
+// ScanWAL decodes the longest valid record prefix of raw, returning the
+// records and the byte length of that prefix. It never fails: anything
+// after the first torn or corrupt record is ignored, which is exactly
+// the recovery semantics of a crash mid-append.
+func ScanWAL(raw []byte) ([]Record, int) {
+	var recs []Record
+	off := 0
+	for {
+		rest := raw[off:]
+		if len(rest) < walHeaderSize {
+			return recs, off
+		}
+		n := binary.LittleEndian.Uint32(rest)
+		crc := binary.LittleEndian.Uint32(rest[4:])
+		if n < 8 || n > maxWALRecord || int(n) > len(rest)-walHeaderSize {
+			return recs, off
+		}
+		payload := rest[walHeaderSize : walHeaderSize+int(n)]
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return recs, off
+		}
+		recs = append(recs, Record{
+			Epoch: binary.LittleEndian.Uint64(payload),
+			Body:  payload[8:],
+		})
+		off += walHeaderSize + int(n)
+	}
+}
+
+// AppendRecord frames one record into buf (for tests and size
+// accounting the engine layer shares with Append).
+func AppendRecord(buf []byte, epoch uint64, body []byte) []byte {
+	payloadLen := 8 + len(body)
+	var hdr [walHeaderSize + 8]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(payloadLen))
+	binary.LittleEndian.PutUint64(hdr[walHeaderSize:], epoch)
+	crc := crc32.Update(0, castagnoli, hdr[walHeaderSize:])
+	crc = crc32.Update(crc, castagnoli, body)
+	binary.LittleEndian.PutUint32(hdr[4:], crc)
+	buf = append(buf, hdr[:]...)
+	return append(buf, body...)
+}
+
+// Append durably logs one record: a single write of the framed record
+// followed by fsync (unless sync is disabled). The caller must not
+// publish the corresponding snapshot until Append returns nil.
+//
+// A failed append is rolled back by truncating the file to the last
+// valid prefix, so the log never holds a record for a batch the caller
+// did not acknowledge (such a record would be replayed on recovery and
+// could shadow a later retry logged under the same epoch). If the
+// rollback itself fails, the log latches broken and refuses further
+// appends — loud failure instead of silent loss.
+func (w *WAL) Append(epoch uint64, body []byte) error {
+	if w.broken {
+		return fmt.Errorf("durable: wal is broken after an unrecoverable append failure; re-open to recover")
+	}
+	// ScanWAL treats any record over maxWALRecord as a torn tail, so an
+	// oversized record must be rejected here — before it is written and
+	// acknowledged — or recovery would silently truncate it away together
+	// with every record logged after it.
+	if len(body) > maxWALRecord-8 {
+		return fmt.Errorf("durable: wal record of %d bytes exceeds the %d-byte bound", len(body), maxWALRecord-8)
+	}
+	frame := AppendRecord(nil, epoch, body)
+	_, werr := w.f.Write(frame)
+	if werr == nil && w.sync {
+		werr = w.f.Sync()
+	}
+	if werr != nil {
+		if terr := w.rollback(); terr != nil {
+			w.broken = true
+			return fmt.Errorf("durable: wal append: %w (rollback also failed: %v)", werr, terr)
+		}
+		return fmt.Errorf("durable: wal append: %w", werr)
+	}
+	w.size += int64(len(frame))
+	w.records++
+	return nil
+}
+
+// rollback truncates the file back to the valid prefix after a failed
+// append (fsync included: a truncate that is not on disk protects
+// nothing).
+func (w *WAL) rollback() error {
+	if err := w.f.Truncate(w.size); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(w.size, io.SeekStart); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Records returns the number of records in the log (recovered + appended
+// since the last Reset).
+func (w *WAL) Records() int { return w.records }
+
+// Reset truncates the log to empty — called after a checkpoint has made
+// its records redundant. The caller serialises Reset against Append. A
+// successful Reset also clears a broken log: empty is a known state.
+func (w *WAL) Reset() error {
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("durable: wal reset: %w", err)
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("durable: wal reset seek: %w", err)
+	}
+	if w.sync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("durable: wal reset sync: %w", err)
+		}
+	}
+	w.size = 0
+	w.records = 0
+	w.broken = false
+	return nil
+}
+
+// SetRecords overrides the record count — used by recovery when some
+// scanned records were already folded into the snapshot and must not be
+// reported as pending.
+func (w *WAL) SetRecords(n int) { w.records = n }
+
+// Close flushes and closes the log file. Safe to call twice.
+func (w *WAL) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	f := w.f
+	w.f = nil
+	if w.sync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("durable: wal close sync: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("durable: wal close: %w", err)
+	}
+	return nil
+}
+
+// SyncDir fsyncs a directory so a just-renamed file inside it survives a
+// crash. Best effort: some platforms reject directory fsync, which is
+// reported as nil because the rename itself is still atomic.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}
+
+// WriteFileAtomic writes data to path via a temp file in the same
+// directory, fsyncs it, and renames it into place, so readers (and
+// crash recovery) only ever observe the old or the new complete file.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("durable: create temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("durable: sync temp: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("durable: close temp: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("durable: rename into place: %w", err)
+	}
+	return SyncDir(dir)
+}

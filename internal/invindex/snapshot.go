@@ -1,0 +1,192 @@
+package invindex
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/durable"
+	"repro/internal/relstore"
+)
+
+// This file implements the inverted index's snapshot codec. The index
+// is the most expensive derived structure to rebuild (it tokenises the
+// whole corpus), so engine snapshots persist it rather than re-deriving
+// it on open. Serialised state: the per-attribute unigram statistics
+// and the term postings — everything the ranking model reads. The
+// sorted term dictionary is re-derived from the postings keys (it is
+// exactly their sorted set), and schema-term match tables are rebuilt
+// from the database schema, both cheap and deterministic.
+//
+// Determinism: attributes are encoded in index order, terms and
+// attribute keys sorted, so the same index always encodes to the same
+// bytes, and a decoded index re-encodes identically.
+
+// EncodeSnapshot appends the index's snapshot encoding to e.
+func (ix *Index) EncodeSnapshot(e *durable.Enc) {
+	e.Uvarint(uint64(len(ix.attrs)))
+	for _, a := range ix.attrs {
+		e.String(a.Table)
+		e.String(a.Column)
+	}
+	e.Uvarint(uint64(ix.totalDocs))
+
+	// Per-attribute statistics, in attribute order.
+	for _, a := range ix.attrs {
+		st := ix.stats[a.String()]
+		e.Uvarint(uint64(st.totalTokens))
+		e.Uvarint(uint64(st.docs))
+		terms := make([]string, 0, len(st.termCount))
+		for term := range st.termCount {
+			terms = append(terms, term)
+		}
+		sort.Strings(terms)
+		e.Uvarint(uint64(len(terms)))
+		for _, term := range terms {
+			e.String(term)
+			e.Uvarint(uint64(st.termCount[term]))
+			e.Uvarint(uint64(st.docCount[term]))
+		}
+	}
+
+	// Postings: term → attribute index → posting, everything sorted.
+	attrIdx := make(map[string]int, len(ix.attrs))
+	for i, a := range ix.attrs {
+		attrIdx[a.String()] = i
+	}
+	terms := make([]string, 0, len(ix.postings))
+	for term := range ix.postings {
+		terms = append(terms, term)
+	}
+	sort.Strings(terms)
+	e.Uvarint(uint64(len(terms)))
+	for _, term := range terms {
+		pmap := ix.postings[term]
+		keys := make([]string, 0, len(pmap))
+		for k := range pmap {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		e.String(term)
+		e.Uvarint(uint64(len(keys)))
+		for _, k := range keys {
+			p := pmap[k]
+			e.Uvarint(uint64(attrIdx[k]))
+			e.Uvarint(uint64(p.Count))
+			e.Uvarint(uint64(p.DocCount))
+			e.Ints(p.Rows)
+		}
+	}
+}
+
+// DecodeSnapshot reconstructs an index over db from its snapshot
+// encoding. db must be the database the index was built over (the
+// engine decodes the database section first); attribute identity is
+// cross-checked against its schema.
+func DecodeSnapshot(d *durable.Dec, db *relstore.Database) (*Index, error) {
+	ix := &Index{
+		db:            db,
+		postings:      make(map[string]map[string]*Posting),
+		stats:         make(map[string]*attrStats),
+		schemaTables:  make(map[string][]string),
+		schemaColumns: make(map[string][]AttrRef),
+	}
+
+	nattrs := int(d.Uvarint())
+	for i := 0; i < nattrs && d.Err() == nil; i++ {
+		ix.attrs = append(ix.attrs, AttrRef{Table: d.String(), Column: d.String()})
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("invindex: decode snapshot: %w", err)
+	}
+	// The attribute list must match the schema-derived one exactly —
+	// it is what ties stats and postings to real columns.
+	want := attrsOf(db)
+	if len(want) != len(ix.attrs) {
+		return nil, fmt.Errorf("invindex: decode snapshot: %d attributes, schema has %d", len(ix.attrs), len(want))
+	}
+	for i := range want {
+		if want[i] != ix.attrs[i] {
+			return nil, fmt.Errorf("invindex: decode snapshot: attribute %d is %s, schema says %s",
+				i, ix.attrs[i], want[i])
+		}
+	}
+	ix.totalDocs = int(d.Uvarint())
+
+	for _, a := range ix.attrs {
+		st := &attrStats{
+			totalTokens: int(d.Uvarint()),
+			docs:        int(d.Uvarint()),
+			termCount:   make(map[string]int),
+			docCount:    make(map[string]int),
+		}
+		nterms := int(d.Uvarint())
+		for i := 0; i < nterms && d.Err() == nil; i++ {
+			term := d.String()
+			st.termCount[term] = int(d.Uvarint())
+			st.docCount[term] = int(d.Uvarint())
+		}
+		st.vocabulary = len(st.termCount)
+		ix.stats[a.String()] = st
+	}
+
+	nterms := int(d.Uvarint())
+	terms := make([]string, 0, min(nterms, d.Remaining()))
+	for i := 0; i < nterms && d.Err() == nil; i++ {
+		term := d.String()
+		nposts := int(d.Uvarint())
+		pmap := make(map[string]*Posting, min(nposts, d.Remaining()))
+		for j := 0; j < nposts && d.Err() == nil; j++ {
+			ai := int(d.Uvarint())
+			if ai < 0 || ai >= len(ix.attrs) {
+				return nil, fmt.Errorf("invindex: decode snapshot: term %q: attribute index %d out of range", term, ai)
+			}
+			attr := ix.attrs[ai]
+			pmap[attr.String()] = &Posting{
+				Attr:     attr,
+				Count:    int(d.Uvarint()),
+				DocCount: int(d.Uvarint()),
+				Rows:     d.Ints(),
+			}
+		}
+		ix.postings[term] = pmap
+		terms = append(terms, term)
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("invindex: decode snapshot: %w", err)
+	}
+	// The term dictionary is the sorted postings key set; terms were
+	// encoded sorted, so re-sorting is a no-op guard on corrupt input.
+	sort.Strings(terms)
+	ix.terms = terms
+
+	// Schema-term match tables derive from the schema alone, in the
+	// same table/column order Build uses.
+	for _, t := range db.Tables() {
+		for _, tok := range relstore.Tokenize(t.Schema.Name) {
+			ix.schemaTables[tok] = append(ix.schemaTables[tok], t.Schema.Name)
+		}
+		for _, col := range t.Schema.Columns {
+			if !col.Indexed {
+				continue
+			}
+			attr := AttrRef{Table: t.Schema.Name, Column: col.Name}
+			for _, tok := range relstore.Tokenize(col.Name) {
+				ix.schemaColumns[tok] = append(ix.schemaColumns[tok], attr)
+			}
+		}
+	}
+	return ix, nil
+}
+
+// attrsOf lists every indexed attribute of db in Build's order.
+func attrsOf(db *relstore.Database) []AttrRef {
+	var out []AttrRef
+	for _, t := range db.Tables() {
+		for _, col := range t.Schema.Columns {
+			if col.Indexed {
+				out = append(out, AttrRef{Table: t.Schema.Name, Column: col.Name})
+			}
+		}
+	}
+	return out
+}

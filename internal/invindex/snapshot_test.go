@@ -1,0 +1,89 @@
+package invindex
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/durable"
+	"repro/internal/relstore"
+)
+
+// snapshotIndex builds an index over the apply-test database after a
+// mutation batch, so the snapshot carries tombstone-shaped postings.
+func snapshotIndex(t *testing.T) (*Index, *relstore.Database) {
+	t.Helper()
+	db := applyTestDB(t)
+	ix := Build(db)
+	ndb, changes, err := db.Apply([]relstore.Mutation{
+		{Op: relstore.OpDelete, Table: "person", Key: "p2"},
+		{Op: relstore.OpInsert, Table: "person", Values: []string{"p9", "Fresh Newcomer", "new in town"}},
+		{Op: relstore.OpUpdate, Table: "city", Key: "c1", Values: []string{"c1", "greater london"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix.Apply(ndb, changes), ndb
+}
+
+func TestIndexSnapshotRoundTrip(t *testing.T) {
+	ix, db := snapshotIndex(t)
+	var enc durable.Enc
+	ix.EncodeSnapshot(&enc)
+	got, err := DecodeSnapshot(durable.NewDec(enc.Bytes()), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIndexesEqual(t, got, ix)
+	if got.TotalDocs() != ix.TotalDocs() {
+		t.Fatalf("TotalDocs = %d, want %d", got.TotalDocs(), ix.TotalDocs())
+	}
+	if !reflect.DeepEqual(got.schemaTables, ix.schemaTables) {
+		t.Fatalf("schemaTables diverged: %v vs %v", got.schemaTables, ix.schemaTables)
+	}
+	if !reflect.DeepEqual(got.schemaColumns, ix.schemaColumns) {
+		t.Fatalf("schemaColumns diverged: %v vs %v", got.schemaColumns, ix.schemaColumns)
+	}
+}
+
+func TestIndexSnapshotByteStable(t *testing.T) {
+	ix, db := snapshotIndex(t)
+	var e1, e2 durable.Enc
+	ix.EncodeSnapshot(&e1)
+	ix.EncodeSnapshot(&e2)
+	if !bytes.Equal(e1.Bytes(), e2.Bytes()) {
+		t.Fatal("same index encoded to different bytes")
+	}
+	decoded, err := DecodeSnapshot(durable.NewDec(e1.Bytes()), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e3 durable.Enc
+	decoded.EncodeSnapshot(&e3)
+	if !bytes.Equal(e1.Bytes(), e3.Bytes()) {
+		t.Fatal("decode→encode did not reproduce the bytes")
+	}
+}
+
+func TestIndexSnapshotRejectsCorruption(t *testing.T) {
+	ix, db := snapshotIndex(t)
+	var enc durable.Enc
+	ix.EncodeSnapshot(&enc)
+	raw := enc.Bytes()
+	for _, cut := range []int{0, 3, len(raw) / 2} {
+		if _, err := DecodeSnapshot(durable.NewDec(raw[:cut]), db); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// An index over a different schema must be rejected.
+	other := relstore.NewDatabase("other")
+	if _, err := other.CreateTable(&relstore.TableSchema{
+		Name:    "thing",
+		Columns: []relstore.Column{{Name: "body", Indexed: true}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSnapshot(durable.NewDec(raw), other); err == nil {
+		t.Fatal("schema mismatch accepted")
+	}
+}

@@ -1,41 +1,44 @@
 package relstore
 
 import (
-	"encoding/gob"
 	"fmt"
 	"io"
+
+	"repro/internal/durable"
 )
 
-// persistedTable is the on-disk representation of one table.
-type persistedTable struct {
-	Schema TableSchema
-	Rows   [][]string
-}
+// This file is the logical-dump entry point (Database.Save / Load): a
+// compact "schema + live rows" serialisation whose indexes are rebuilt
+// after load. It used to be a standalone encoding/gob path; it is now
+// routed through the snapshot codec of snapshot.go (live rows only, no
+// tombstones, no posting lists) wrapped in the same checksummed section
+// container the engine's full snapshots use, so there is exactly one
+// on-disk vocabulary to maintain and dumps are byte-stable across runs:
+// tables are written in creation order and rows in RowID order, so
+// saving the same database twice produces identical bytes. Dumps
+// written by the old gob path are not readable by this version (Load
+// reports a bad-magic error); regenerate them from the source data, or
+// convert with a build that still carries the gob reader.
 
-// persistedDatabase is the on-disk representation of a database.
-type persistedDatabase struct {
-	Name   string
-	Tables []persistedTable
-}
+// databaseSection names the logical dump's single container section.
+const databaseSection = "database"
 
-// Save serialises the database (schema and rows) to the writer using
-// encoding/gob. Indexes are not persisted; they are rebuilt lazily after
-// Load.
+// Save serialises the database (schema and live rows) to the writer.
+// Tombstoned rows are dropped and RowIDs renumber densely on Load;
+// indexes and posting lists are rebuilt lazily after load. Use the
+// engine-level snapshot codec instead when physical state (tombstones,
+// RowID stability, posting lists) must survive the round trip.
 func (db *Database) Save(w io.Writer) error {
-	pd := persistedDatabase{Name: db.Name}
-	for _, t := range db.Tables() {
-		pt := persistedTable{Schema: *t.Schema}
-		for _, row := range t.Rows() {
-			if !t.Live(row.RowID) {
-				continue
-			}
-			vals := make([]string, len(row.Values))
-			copy(vals, row.Values)
-			pt.Rows = append(pt.Rows, vals)
-		}
-		pd.Tables = append(pd.Tables, pt)
+	sw, err := durable.NewSnapshotWriter(w)
+	if err != nil {
+		return fmt.Errorf("relstore: save: %w", err)
 	}
-	if err := gob.NewEncoder(w).Encode(&pd); err != nil {
+	var enc durable.Enc
+	db.EncodeSnapshot(&enc, EncodeOptions{})
+	if err := sw.Section(databaseSection, enc.Bytes()); err != nil {
+		return fmt.Errorf("relstore: save: %w", err)
+	}
+	if err := sw.Close(); err != nil {
 		return fmt.Errorf("relstore: save: %w", err)
 	}
 	return nil
@@ -44,25 +47,25 @@ func (db *Database) Save(w io.Writer) error {
 // Load reads a database previously written by Save, validating schemas
 // and referential declarations.
 func Load(r io.Reader) (*Database, error) {
-	var pd persistedDatabase
-	if err := gob.NewDecoder(r).Decode(&pd); err != nil {
+	sr, err := durable.NewSnapshotReader(r)
+	if err != nil {
 		return nil, fmt.Errorf("relstore: load: %w", err)
 	}
-	db := NewDatabase(pd.Name)
-	for i := range pd.Tables {
-		schema := pd.Tables[i].Schema
-		t, err := db.CreateTable(&schema)
+	for {
+		name, payload, err := sr.Next()
+		if err == io.EOF {
+			return nil, fmt.Errorf("relstore: load: no %s section", databaseSection)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("relstore: load: %w", err)
 		}
-		for _, vals := range pd.Tables[i].Rows {
-			if _, err := t.Insert(vals...); err != nil {
-				return nil, fmt.Errorf("relstore: load: %w", err)
-			}
+		if name != databaseSection {
+			continue // future sections are skippable by design
 		}
+		db, err := DecodeSnapshot(durable.NewDec(payload))
+		if err != nil {
+			return nil, fmt.Errorf("relstore: load: %w", err)
+		}
+		return db, nil
 	}
-	if err := db.ValidateRefs(); err != nil {
-		return nil, fmt.Errorf("relstore: load: %w", err)
-	}
-	return db, nil
 }

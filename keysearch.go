@@ -45,6 +45,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/datagraph"
 	"repro/internal/invindex"
@@ -90,6 +91,14 @@ type config struct {
 	scoreCacheOff      bool
 	execCacheOff       bool
 	mutable            bool
+
+	// Durability tunables (see durability.go). durDir empty = memory-only.
+	durDir             string
+	checkpointInterval time.Duration
+	checkpointBatches  int
+	compactRatio       float64
+	walSyncOff         bool
+	rebuildIndexes     bool
 }
 
 // Option configures an Engine at construction time.
@@ -174,6 +183,55 @@ func WithExecutionCache(enabled bool) Option {
 	return func(c *config) { c.execCacheOff = !enabled }
 }
 
+// WithDurability persists the engine under dir: Build writes an initial
+// snapshot there (and truncates any stale mutation log), every Apply
+// batch is appended to a write-ahead log before its snapshot is
+// published, and a background policy (see WithCheckpointPolicy)
+// checkpoints the state — a fresh snapshot file, a truncated WAL, and
+// tombstone compaction of churned tables. Use Open to recover the
+// engine from dir after a restart (latest snapshot + WAL tail replay).
+// See docs/persistence.md for the on-disk formats and crash semantics.
+func WithDurability(dir string) Option {
+	return func(c *config) { c.durDir = dir }
+}
+
+// WithCheckpointPolicy tunes background checkpointing of a durable
+// engine: a checkpoint runs when the WAL holds batches and interval has
+// elapsed, or as soon as batches accumulate past the batch bound.
+// Non-positive arguments keep the defaults (30s, 256 batches).
+func WithCheckpointPolicy(interval time.Duration, batches int) Option {
+	return func(c *config) {
+		c.checkpointInterval = interval
+		c.checkpointBatches = batches
+	}
+}
+
+// WithCompactionThreshold sets the tombstone-compaction trigger: at
+// checkpoint time, any table whose dead/live row ratio exceeds ratio is
+// rebuilt without tombstones (rebuild-and-swap), bounding the physical
+// row space — and with it the copy-on-write clone cost of every later
+// Apply — after heavy delete churn. Non-positive keeps the default 0.5.
+func WithCompactionThreshold(ratio float64) Option {
+	return func(c *config) { c.compactRatio = ratio }
+}
+
+// WithWALSync toggles fsync-per-batch on the write-ahead log (default
+// on). Disabling it trades the crash-durability of the latest batches
+// for mutation throughput — snapshots and checkpoints still sync.
+func WithWALSync(enabled bool) Option {
+	return func(c *config) { c.walSyncOff = !enabled }
+}
+
+// WithRebuildIndexes makes OpenSnapshot / Open ignore the persisted
+// derived structures (inverted index, data graph) and re-derive them
+// from the row data instead — slower to open, but a recovery path for
+// snapshots whose derived sections are from an older build, and proof
+// that persisted indexes never diverge from re-derived ones (the
+// differential tests open both ways).
+func WithRebuildIndexes() Option {
+	return func(c *config) { c.rebuildIndexes = true }
+}
+
 // WithMutations enables live row mutations: Engine.Apply accepts
 // insert/update/delete batches after Build, incrementally maintaining
 // every index and statistic and publishing each batch as a new immutable
@@ -197,6 +255,15 @@ func newConfig(opts []Option) config {
 	}
 	if cfg.parallelism <= 0 {
 		cfg.parallelism = runtime.GOMAXPROCS(0)
+	}
+	if cfg.checkpointInterval <= 0 {
+		cfg.checkpointInterval = 30 * time.Second
+	}
+	if cfg.checkpointBatches <= 0 {
+		cfg.checkpointBatches = 256
+	}
+	if cfg.compactRatio <= 0 {
+		cfg.compactRatio = 0.5
 	}
 	return cfg
 }
@@ -262,9 +329,14 @@ type Engine struct {
 
 	// snap is the current published snapshot (nil before Build).
 	snap atomic.Pointer[snapshot]
-	// applyMu serialises writers: at most one Apply builds the next
-	// snapshot at a time, always forking from the latest one.
+	// applyMu serialises writers: at most one Apply (or Checkpoint)
+	// builds the next snapshot at a time, always forking from the latest
+	// one.
 	applyMu sync.Mutex
+
+	// dur is the durability runtime (nil for a memory-only engine); see
+	// durability.go.
+	dur *durState
 }
 
 // current returns the published snapshot (nil before Build). Callers
@@ -344,6 +416,16 @@ func (e *Engine) Build() error {
 	}
 	e.snap.Store(s)
 	e.built = true
+	if e.cfg.durDir != "" {
+		// A durable Build starts the state directory fresh: snapshot
+		// epoch 0 on disk, any stale mutation log truncated. Recovery of
+		// an existing directory goes through Open instead.
+		if err := e.initDurability(); err != nil {
+			e.snap.Store(nil)
+			e.built = false
+			return err
+		}
+	}
 	return nil
 }
 

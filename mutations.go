@@ -85,6 +85,11 @@ func (e *Engine) Epoch() uint64 {
 // arriving after Apply returns see the whole batch. Construction
 // sessions keep the snapshot they started on. Writers are serialised;
 // readers never block.
+//
+// Durability: on an engine with WithDurability, the batch is appended
+// to the write-ahead log — fsynced by default — before the snapshot
+// swap, so every batch Apply acknowledged survives a crash and is
+// replayed by Open. A batch whose log append fails is not published.
 func (e *Engine) Apply(ctx context.Context, muts []Mutation) (*ApplyResult, error) {
 	if !e.built {
 		return nil, fmt.Errorf("keysearch: call Build before applying mutations")
@@ -101,6 +106,26 @@ func (e *Engine) Apply(ctx context.Context, muts []Mutation) (*ApplyResult, erro
 		return nil, err
 	}
 
+	next, err := e.nextSnapshot(muts)
+	if err != nil {
+		return nil, err
+	}
+	if e.dur != nil {
+		if err := e.dur.logBatch(next.epoch, muts); err != nil {
+			return nil, fmt.Errorf("keysearch: write-ahead log: %w", err)
+		}
+	}
+	e.snap.Store(next)
+	if e.dur != nil {
+		e.dur.noteBatch(e.cfg.checkpointBatches)
+	}
+	return &ApplyResult{Epoch: next.epoch, Applied: len(muts)}, nil
+}
+
+// nextSnapshot validates the batch against the current snapshot and
+// builds its successor copy-on-write, without publishing it. Callers
+// hold applyMu (or, during Open's replay, have exclusive access).
+func (e *Engine) nextSnapshot(muts []Mutation) (*snapshot, error) {
 	cur := e.current()
 	rmuts := make([]relstore.Mutation, len(muts))
 	for i, m := range muts {
@@ -127,8 +152,7 @@ func (e *Engine) Apply(ctx context.Context, muts []Mutation) (*ApplyResult, erro
 		// it incrementally so SearchTrees stays warm across mutations.
 		next.dg.Store(g.Apply(ndb, changes))
 	}
-	e.snap.Store(next)
-	return &ApplyResult{Epoch: next.epoch, Applied: len(muts)}, nil
+	return next, nil
 }
 
 // staleAttrs collects the "table.column" attributes whose statistics a
