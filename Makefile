@@ -6,7 +6,8 @@
 GO ?= go
 
 .PHONY: build test race vet fmt lint staticcheck fuzz fuzz-smoke \
-	bench bench-quick bench-exec bench-mut bench-dur bench-guard golden check
+	bench bench-quick bench-exec bench-mut bench-dur bench-load \
+	bench-guard loadtest golden check
 
 build:
 	$(GO) build ./...
@@ -64,6 +65,19 @@ bench-mut:
 
 bench-dur:
 	$(GO) run ./cmd/bench -only durable -dur-out BENCH_durability.json
+
+# bench-load runs the serving-path load grid (saturation ramp, open
+# loop at half the knee, 8x oversubscription against the admission
+# gate) on a ~1M-row dataset. It takes minutes at full size and is
+# therefore not part of `make bench`; CI runs the -quick variant.
+bench-load:
+	$(GO) run ./cmd/bench -only load -load-out BENCH_load.json
+
+# loadtest is an interactive closed-loop run against an in-process
+# server; see cmd/loadtest -help for open-loop, saturation, and
+# external-server modes.
+loadtest:
+	$(GO) run ./cmd/loadtest
 
 # bench-guard re-measures the executor, mutation, and durability grids
 # and fails when a tracked speedup (postings-vs-scan, apply-vs-rebuild,

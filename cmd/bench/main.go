@@ -10,14 +10,23 @@
 //   - the mutation legs (full rebuild vs incremental Engine.Apply vs
 //     apply+search) → BENCH_mutations.json, and
 //   - the durability legs (fresh build vs open-from-snapshot vs WAL
-//     replay, plus checkpoint latency) → BENCH_durability.json.
+//     replay, plus checkpoint latency) → BENCH_durability.json, and
+//   - the serving-path load legs (closed-loop saturation ramp over real
+//     HTTP, an open-loop coordinated-omission-honest steady-state leg,
+//     and an 8×-oversubscribed run against an admission-gated server)
+//     → BENCH_load.json.
 //
 // Usage:
 //
 //	go run ./cmd/bench [-out BENCH_pipeline.json] [-exec-out BENCH_executor.json]
 //	                   [-mut-out BENCH_mutations.json] [-dur-out BENCH_durability.json]
-//	                   [-only all|pipeline|executor|mutate|durable[,...]] [-quick]
+//	                   [-load-out BENCH_load.json] [-load-rows 1000000]
+//	                   [-only all|pipeline|executor|mutate|durable|load[,...]] [-quick]
 //	                   [-compare base1.json[,base2.json...]] [-threshold 0.25]
+//
+// The load grid is NOT part of -only all: it generates a million-row
+// dataset and runs for minutes, so it is requested explicitly
+// (-only load, or -only all,load). -quick shrinks it to CI size.
 //
 // The output records ns/op, allocations, and speedups against each grid's
 // baseline (sequential for the pipeline, scan for the executor, full
@@ -49,6 +58,7 @@ import (
 
 	"repro/internal/benchdur"
 	"repro/internal/benchexec"
+	"repro/internal/benchload"
 	"repro/internal/benchmut"
 	"repro/internal/benchpipe"
 )
@@ -88,6 +98,15 @@ type durabilityReport struct {
 	NumCPU      int    `json:"num_cpu"`
 	GOMAXPROCS  int    `json:"gomaxprocs"`
 	*benchdur.Report
+}
+
+// loadReport is the top-level shape of BENCH_load.json.
+type loadReport struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	NumCPU      int    `json:"num_cpu"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	*benchload.Report
 }
 
 // speedups extracts the machine-transferable metric of one report as
@@ -136,12 +155,24 @@ func durabilitySpeedups(rows []benchdur.Row) speedups {
 	return out
 }
 
+func loadSpeedups(rows []benchload.Row) speedups {
+	out := make(speedups)
+	for _, r := range rows {
+		if r.GoodputVsSaturation > 0 {
+			out[r.Name] = r.GoodputVsSaturation
+		}
+	}
+	return out
+}
+
 func main() {
 	out := flag.String("out", "BENCH_pipeline.json", "pipeline grid output file")
 	execOut := flag.String("exec-out", "BENCH_executor.json", "executor legs output file")
 	mutOut := flag.String("mut-out", "BENCH_mutations.json", "mutation legs output file")
 	durOut := flag.String("dur-out", "BENCH_durability.json", "durability legs output file")
-	only := flag.String("only", "all", "comma-separated grids to run: all, pipeline, executor, mutate, durable")
+	loadOut := flag.String("load-out", "BENCH_load.json", "serving-path load legs output file")
+	loadRows := flag.Int("load-rows", 0, "load grid dataset size in rows (default 1000000, or 25000 with -quick)")
+	only := flag.String("only", "all", "comma-separated grids to run: all, pipeline, executor, mutate, durable, load (load is not in all)")
 	quick := flag.Bool("quick", false, "run the trimmed quick pipeline grid")
 	compare := flag.String("compare", "", "comma-separated baseline BENCH_*.json files to guard against (see Regression guard)")
 	threshold := flag.Float64("threshold", 0.25, "maximum tolerated relative speedup regression vs the baseline")
@@ -152,11 +183,11 @@ func main() {
 		switch part = strings.TrimSpace(part); part {
 		case "all":
 			want["pipeline"], want["executor"], want["mutate"], want["durable"] = true, true, true, true
-		case "pipeline", "executor", "mutate", "durable":
+		case "pipeline", "executor", "mutate", "durable", "load":
 			want[part] = true
 		case "":
 		default:
-			log.Fatalf("unknown -only value %q (want all, pipeline, executor, mutate, or durable)", part)
+			log.Fatalf("unknown -only value %q (want all, pipeline, executor, mutate, durable, or load)", part)
 		}
 	}
 	if len(want) == 0 {
@@ -275,6 +306,33 @@ func main() {
 		fresh["durable"] = durabilitySpeedups(rep.Rows)
 	}
 
+	if want["load"] {
+		log.Printf("running serving-path load legs (quick=%v)...", *quick)
+		rep, err := benchload.Measure(benchload.Config{
+			Quick:      *quick,
+			TargetRows: *loadRows,
+		}, log.Printf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeJSON(*loadOut, loadReport{
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			GoVersion:   runtime.Version(),
+			NumCPU:      runtime.NumCPU(),
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			Report:      rep,
+		})
+		for _, r := range rep.Rows {
+			extra := ""
+			if r.GoodputVsSaturation > 0 {
+				extra = fmt.Sprintf("  goodput/saturation %.2f", r.GoodputVsSaturation)
+			}
+			log.Printf("%-16s %8.0f good/s  p50 %7.1fms  p99 %8.1fms%s", r.Name, r.GoodputRPS, r.P50MS, r.P99MS, extra)
+		}
+		log.Printf("wrote %s", *loadOut)
+		fresh["load"] = loadSpeedups(rep.Rows)
+	}
+
 	// Regression guard: every baseline row's speedup must be within
 	// threshold of the fresh measurement.
 	failed := false
@@ -329,6 +387,12 @@ func loadBaseline(path string) (string, speedups, error) {
 		return false
 	}
 	switch {
+	case has("goodput_vs_saturation"):
+		var rep loadReport
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			return "", nil, fmt.Errorf("baseline %s: %w", path, err)
+		}
+		return "load", loadSpeedups(rep.Rows), nil
 	case has("speedup_vs_build"):
 		var rep durabilityReport
 		if err := json.Unmarshal(raw, &rep); err != nil {

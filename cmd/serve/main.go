@@ -6,6 +6,15 @@
 //
 //	go run ./cmd/serve [-addr :8080] [-seed N] [-music] [-db dump] [-ttl 15m]
 //	                   [-mutable] [-data-dir DIR]
+//	                   [-max-concurrent N] [-max-queue N] [-queue-timeout 1s]
+//	                   [-request-timeout 5s]
+//
+// The last four flags are the overload protection of the serving path:
+// -max-concurrent bounds requests executing at once, -max-queue bounds
+// the wait line (excess is shed with 429, expired waits with 503, both
+// with Retry-After), and -request-timeout gives every /v1/ request a
+// default deadline that propagates through the engine and maps to 504.
+// All are off by default; /healthz reports limits and shed counters.
 //
 // Quickstart:
 //
@@ -58,6 +67,10 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable state directory: recover it if present, initialise it otherwise")
 	checkpointEvery := flag.Duration("checkpoint-interval", 30*time.Second, "background checkpoint interval (with -data-dir)")
 	checkpointBatches := flag.Int("checkpoint-batches", 256, "checkpoint as soon as this many WAL batches accumulate (with -data-dir)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "cap on concurrently executing /v1/ requests (0 = unlimited)")
+	maxQueue := flag.Int("max-queue", 0, "cap on /v1/ requests waiting for a slot; excess shed with 429 (with -max-concurrent)")
+	queueTimeout := flag.Duration("queue-timeout", time.Second, "longest a request may wait for a slot before a 503 shed (with -max-concurrent)")
+	requestTimeout := flag.Duration("request-timeout", 0, "default per-request deadline on /v1/ endpoints, 504 on expiry (0 = none)")
 	flag.Parse()
 
 	opts := []keysearch.Option{
@@ -87,7 +100,17 @@ func main() {
 	srv := httpapi.New(eng,
 		httpapi.WithSessionTTL(*ttl),
 		httpapi.WithMaxSessions(*maxSessions),
+		httpapi.WithAdmission(httpapi.AdmissionConfig{
+			MaxConcurrent: *maxConcurrent,
+			MaxQueue:      *maxQueue,
+			QueueTimeout:  *queueTimeout,
+		}),
+		httpapi.WithRequestTimeout(*requestTimeout),
 	)
+	if *maxConcurrent > 0 {
+		log.Printf("admission: max-concurrent %d, max-queue %d, queue-timeout %v",
+			*maxConcurrent, *maxQueue, *queueTimeout)
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: logRequests(srv)}
 
 	// Graceful drain: stop accepting, finish in-flight requests, then

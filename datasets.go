@@ -76,6 +76,19 @@ func DemoMusicWith(seed int64, opts ...Option) (*Engine, error) {
 	return eng, nil
 }
 
+// NewFromDatabase builds a ready Engine over an arbitrary relational
+// database — the constructor the load-generation harness uses to stand
+// up engines over million-row datagen datasets without a serialise/
+// deserialise round trip. Options are applied as given (no dataset
+// defaults are injected; pass WithMaxJoinPath etc. explicitly).
+func NewFromDatabase(db *relstore.Database, opts ...Option) (*Engine, error) {
+	eng := fromDatabase(db, opts...)
+	if err := eng.Build(); err != nil {
+		return nil, err
+	}
+	return eng, nil
+}
+
 // SampleQueries returns ambiguous keyword queries that work well against
 // the demo datasets, for use in examples and quickstarts. The returned
 // queries are tokens that genuinely occur in the demo data.

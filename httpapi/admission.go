@@ -1,0 +1,186 @@
+package httpapi
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// AdmissionConfig bounds the work a Server accepts — the overload
+// protection of the serving path. A request to a /v1/ endpoint first
+// passes the admission gate: up to MaxConcurrent requests execute at
+// once; up to MaxQueue more wait in arrival order for a slot; anything
+// beyond that is shed immediately with 429. A queued request that waits
+// longer than QueueTimeout is shed with 503. Both shed responses carry
+// a Retry-After header and a structured JSON body, so well-behaved
+// clients back off instead of hammering a saturated server.
+//
+// The zero value disables the gate (MaxConcurrent <= 0 = unlimited).
+// GET /healthz deliberately bypasses admission: it is the endpoint
+// operators and load balancers use to observe an overloaded server, so
+// it must stay responsive exactly when the gate is busiest.
+type AdmissionConfig struct {
+	// MaxConcurrent caps requests executing inside handlers (<= 0 =
+	// unlimited, gate disabled).
+	MaxConcurrent int
+	// MaxQueue caps requests waiting for an execution slot (< 0 = 0:
+	// shed as soon as MaxConcurrent is reached).
+	MaxQueue int
+	// QueueTimeout is the longest a request may wait in the queue
+	// before being shed (<= 0 selects the default 1s).
+	QueueTimeout time.Duration
+	// RetryAfter is the back-off hint returned on shed responses
+	// (<= 0 selects the default 1s).
+	RetryAfter time.Duration
+}
+
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// WithAdmission enables the admission gate on the /v1/ endpoints.
+func WithAdmission(cfg AdmissionConfig) Option {
+	return func(s *Server) {
+		if cfg.MaxConcurrent > 0 {
+			s.admission = cfg.withDefaults()
+			s.gate = newGate(s.admission, s.stats)
+		}
+	}
+}
+
+// WithRequestTimeout sets a default per-request deadline on every /v1/
+// endpoint: the request context is given the deadline on admission, it
+// propagates through the engine's context-first API (candidate
+// generation, ranking, plan execution all observe it), and an expired
+// request returns 504 with a structured deadline_exceeded body instead
+// of holding its concurrency slot indefinitely. Clients that disconnect
+// early still cancel sooner; d <= 0 (the default) sets no deadline.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(s *Server) {
+		if d > 0 {
+			s.reqTimeout = d
+		}
+	}
+}
+
+// gate is the runtime of one admission configuration: a slot semaphore
+// whose blocked senders form the (FIFO) wait line, and a queue-capacity
+// semaphore that bounds how long that line may grow.
+type gate struct {
+	cfg   AdmissionConfig
+	slots chan struct{} // cap MaxConcurrent; holding a token = executing
+	queue chan struct{} // cap MaxQueue; holding a token = waiting in line
+	stats *metrics.ServingStats
+}
+
+func newGate(cfg AdmissionConfig, stats *metrics.ServingStats) *gate {
+	return &gate{
+		cfg:   cfg,
+		slots: make(chan struct{}, cfg.MaxConcurrent),
+		queue: make(chan struct{}, cfg.MaxQueue),
+		stats: stats,
+	}
+}
+
+// admit blocks until the request may execute, or sheds it. On success
+// the caller must invoke the returned release exactly once. On shedding
+// (ok = false) the 429/503 response has already been written.
+func (g *gate) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	// Fast path: a free execution slot, no queueing.
+	select {
+	case g.slots <- struct{}{}:
+		return func() { <-g.slots }, true
+	default:
+	}
+	// Reserve a place in the wait line; a full line sheds instantly.
+	select {
+	case g.queue <- struct{}{}:
+	default:
+		g.stats.ShedQueueFull()
+		writeShed(w, http.StatusTooManyRequests, "queue_full",
+			"server is at capacity and its wait queue is full", g.cfg.RetryAfter)
+		return nil, false
+	}
+	g.stats.StartQueued()
+	timer := time.NewTimer(g.cfg.QueueTimeout)
+	defer timer.Stop()
+	defer func() {
+		g.stats.EndQueued()
+		<-g.queue
+	}()
+	select {
+	case g.slots <- struct{}{}:
+		return func() { <-g.slots }, true
+	case <-timer.C:
+		g.stats.ShedQueueTimeout()
+		writeShed(w, http.StatusServiceUnavailable, "queue_timeout",
+			"server is overloaded; request timed out waiting for an execution slot", g.cfg.RetryAfter)
+		return nil, false
+	case <-r.Context().Done():
+		writeError(w, 499, r.Context().Err())
+		return nil, false
+	}
+}
+
+// writeShed writes one structured overload rejection with its back-off
+// hint (Retry-After is whole seconds per RFC 9110, rounded up so a
+// sub-second hint never becomes "retry immediately").
+func writeShed(w http.ResponseWriter, status int, code, msg string, retryAfter time.Duration) {
+	secs := int64((retryAfter + time.Second - 1) / time.Second)
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeJSON(w, status, ErrorResponse{
+		Error:             msg,
+		Code:              code,
+		RetryAfterSeconds: secs,
+	})
+}
+
+// statusRecorder captures the response status so the serving loop can
+// count deadline-exceeded (504) completions without threading counters
+// through every handler.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+// serveAdmitted runs one /v1/ request through the overload-protection
+// path: admission gate (when configured), in-flight accounting, and the
+// default per-request deadline.
+func (s *Server) serveAdmitted(w http.ResponseWriter, r *http.Request) {
+	if s.gate != nil {
+		release, ok := s.gate.admit(w, r)
+		if !ok {
+			return
+		}
+		defer release()
+	}
+	s.stats.StartRequest()
+	defer s.stats.EndRequest()
+	if s.reqTimeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), s.reqTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	s.handler.ServeHTTP(rec, r)
+	if rec.status == http.StatusGatewayTimeout {
+		s.stats.DeadlineExceeded()
+	}
+}

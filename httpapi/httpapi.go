@@ -36,7 +36,25 @@
 // "cancel" deletes the session. Sessions are evicted after a TTL of
 // inactivity and capped in number, so abandoned dialogues cannot leak.
 //
-// Errors are returned as {"error": "..."} with a 4xx/5xx status.
+// # Overload protection
+//
+// The /v1/ endpoints sit behind an optional admission gate
+// (WithAdmission): a bounded number of requests execute concurrently, a
+// bounded FIFO queue absorbs bursts, and everything beyond that is shed
+// — 429 when the queue is full, 503 when a queued request waits longer
+// than the queue timeout — with a Retry-After header and a structured
+// {"error", "code", "retry_after_seconds"} body. WithRequestTimeout adds
+// a default per-request deadline that propagates through the engine's
+// context-first API; an expired request returns 504 with code
+// "deadline_exceeded". GET /healthz bypasses the gate (it must answer
+// exactly when the server is saturated) and reports the gate's live
+// counters — in-flight, queued, shed totals, and their high-water marks
+// — plus the configured limits.
+//
+// Errors are returned as {"error": "..."} with a 4xx/5xx status;
+// overload and deadline errors additionally carry a machine-readable
+// "code" (queue_full, queue_timeout, deadline_exceeded, client_closed)
+// and shed responses a "retry_after_seconds" back-off hint.
 package httpapi
 
 import (
@@ -48,15 +66,23 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	keysearch "repro"
+	"repro/internal/metrics"
 )
 
-// ErrorResponse is the JSON shape of every error reply.
+// ErrorResponse is the JSON shape of every error reply. Code is set for
+// overload and deadline errors (queue_full, queue_timeout,
+// deadline_exceeded, client_closed) so clients can branch without
+// parsing prose; RetryAfterSeconds mirrors the Retry-After header on
+// 429/503 shed responses.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error             string `json:"error"`
+	Code              string `json:"code,omitempty"`
+	RetryAfterSeconds int64  `json:"retry_after_seconds,omitempty"`
 }
 
 // KeywordsResponse answers GET /v1/keywords.
@@ -73,16 +99,29 @@ type KeywordsResponse struct {
 // Durable reports whether the engine persists to a state directory;
 // when it does, WALBatches is the number of mutation batches a crash
 // right now would replay and LastCheckpointEpoch the epoch of the
-// on-disk snapshot file.
+// on-disk snapshot file. Admission reports the overload-protection
+// posture: the configured limits and the live serving counters.
 type HealthResponse struct {
-	Status         string `json:"status"`
-	Parallelism    int    `json:"parallelism"`
-	ExecutionCache bool   `json:"execution_cache"`
-	Mutable        bool   `json:"mutable"`
-	Epoch          uint64 `json:"epoch"`
-	Durable        bool   `json:"durable"`
-	WALBatches     int    `json:"wal_batches"`
-	LastCheckpoint uint64 `json:"last_checkpoint_epoch"`
+	Status         string          `json:"status"`
+	Parallelism    int             `json:"parallelism"`
+	ExecutionCache bool            `json:"execution_cache"`
+	Mutable        bool            `json:"mutable"`
+	Epoch          uint64          `json:"epoch"`
+	Durable        bool            `json:"durable"`
+	WALBatches     int             `json:"wal_batches"`
+	LastCheckpoint uint64          `json:"last_checkpoint_epoch"`
+	Admission      AdmissionHealth `json:"admission"`
+}
+
+// AdmissionHealth is the /healthz view of the serving path: the
+// configured admission limits (zero MaxConcurrent = gate disabled) and
+// the live counters of requests in flight, waiting, shed, and expired.
+type AdmissionHealth struct {
+	MaxConcurrent    int   `json:"max_concurrent"`
+	MaxQueue         int   `json:"max_queue"`
+	QueueTimeoutMS   int64 `json:"queue_timeout_ms"`
+	RequestTimeoutMS int64 `json:"request_timeout_ms"`
+	metrics.ServingSnapshot
 }
 
 // MutateRequest carries one mutation batch for POST /v1/mutate.
@@ -145,6 +184,16 @@ func WithClock(now func() time.Time) Option {
 	return func(s *Server) { s.now = now }
 }
 
+// WithHandlerWrapper wraps the handler the admitted /v1/ requests
+// dispatch to — *inside* the admission gate and the default deadline,
+// so the wrapper's work occupies a concurrency slot exactly like engine
+// work does. Load tests use it to stand in slow handlers; middleware
+// such as per-endpoint instrumentation fits here too. GET /healthz is
+// outside the wrapper (it bypasses admission entirely).
+func WithHandlerWrapper(wrap func(http.Handler) http.Handler) Option {
+	return func(s *Server) { s.wrap = wrap }
+}
+
 // Server is the HTTP front-end over one built Engine. It is safe for
 // concurrent use: the Engine is immutable, and each construction session
 // carries its own lock.
@@ -154,6 +203,19 @@ type Server struct {
 	maxSessions int
 	now         func() time.Time
 	mux         *http.ServeMux
+	// handler is what admitted /v1/ requests dispatch to: the mux,
+	// possibly wrapped (WithHandlerWrapper).
+	handler http.Handler
+	wrap    func(http.Handler) http.Handler
+
+	// Overload protection (see admission.go): gate is nil when no
+	// admission limit is configured, reqTimeout zero when requests get
+	// no default deadline; stats is always live so /healthz reports
+	// in-flight counts even on an ungated server.
+	admission  AdmissionConfig
+	gate       *gate
+	reqTimeout time.Duration
+	stats      *metrics.ServingStats
 
 	mu       sync.Mutex
 	sessions map[string]*constructSession
@@ -175,6 +237,7 @@ func New(eng *keysearch.Engine, opts ...Option) *Server {
 		ttl:         15 * time.Minute,
 		maxSessions: 1024,
 		now:         time.Now,
+		stats:       &metrics.ServingStats{},
 		sessions:    make(map[string]*constructSession),
 	}
 	for _, o := range opts {
@@ -204,13 +267,31 @@ func New(eng *keysearch.Engine, opts ...Option) *Server {
 			Durable:        s.eng.Durable(),
 			WALBatches:     s.eng.PendingWALBatches(),
 			LastCheckpoint: s.eng.LastCheckpointEpoch(),
+			Admission: AdmissionHealth{
+				MaxConcurrent:    s.admission.MaxConcurrent,
+				MaxQueue:         s.admission.MaxQueue,
+				QueueTimeoutMS:   s.admission.QueueTimeout.Milliseconds(),
+				RequestTimeoutMS: s.reqTimeout.Milliseconds(),
+				ServingSnapshot:  s.stats.Snapshot(),
+			},
 		})
 	})
+	s.handler = s.mux
+	if s.wrap != nil {
+		s.handler = s.wrap(s.mux)
+	}
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. The /v1/ endpoints run through the
+// overload-protection path (admission gate, in-flight accounting,
+// default deadline); /healthz and unknown paths go straight to the mux
+// so observability survives saturation.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if strings.HasPrefix(r.URL.Path, "/v1/") {
+		s.serveAdmitted(w, r)
+		return
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -220,19 +301,31 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// writeError writes a structured error body. Deadline and cancellation
+// statuses get their machine-readable code here, so every handler that
+// maps an engine error through statusFor reports them identically.
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+	resp := ErrorResponse{Error: err.Error()}
+	switch status {
+	case http.StatusGatewayTimeout:
+		resp.Code = "deadline_exceeded"
+	case 499:
+		resp.Code = "client_closed"
+	}
+	writeJSON(w, status, resp)
 }
 
 // statusFor maps engine errors onto HTTP statuses: cancelled requests
-// report client closure, everything else is a bad request (the engine
-// only fails on unusable queries once built).
+// report client closure, deadline expiry (whether from the client's
+// context or the server's default request timeout) is a gateway
+// timeout, and everything else is a bad request (the engine only fails
+// on unusable queries once built).
 func statusFor(err error) int {
-	if errors.Is(err, context.Canceled) {
-		return 499 // client closed request (nginx convention)
-	}
 	if errors.Is(err, context.DeadlineExceeded) {
 		return http.StatusGatewayTimeout
+	}
+	if errors.Is(err, context.Canceled) {
+		return 499 // client closed request (nginx convention)
 	}
 	return http.StatusBadRequest
 }

@@ -1,0 +1,286 @@
+// Package benchload measures the serving path under load: it stands up
+// the real HTTP server (repro/httpapi) over a generated million-row
+// dataset, discovers the saturation throughput with a closed-loop
+// concurrency ramp, replays an open-loop (coordinated-omission-honest)
+// leg below the knee, and then oversubscribes an admission-gated server
+// eightfold to measure what overload protection preserves.
+//
+// The machine-transferable column is goodput_vs_saturation: the ratio
+// of goodput under 8× oversubscription (with the gate set at the
+// measured saturation concurrency) to the saturation goodput itself.
+// On a server whose admission control works, the ratio stays near 1 —
+// excess load is shed at the door and the accepted requests proceed at
+// full speed; without protection it collapses as every request queues
+// behind an unbounded backlog. Like the other bench ratios (scan vs
+// postings, rebuild vs apply), it is measured within one run on one
+// machine, so it transfers across hosts and CI runners where raw
+// req/s numbers do not.
+package benchload
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"repro/httpapi"
+	"repro/internal/loadgen"
+)
+
+// Config sizes the load measurement.
+type Config struct {
+	// TargetRows is the generated dataset size (default 1,000,000;
+	// quick mode 25,000).
+	TargetRows int
+	// Seed fixes dataset and workload generation (default 42).
+	Seed int64
+	// StepDuration is the length of each saturation-ramp step and half
+	// the length of the overload leg (default 5s; quick 700ms).
+	StepDuration time.Duration
+	// MaxWorkers bounds the saturation ramp (default 128; quick 16).
+	MaxWorkers int
+	// Quick selects the CI-sized variant of all defaults.
+	Quick bool
+}
+
+func (c *Config) defaults() {
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.TargetRows <= 0 {
+		if c.Quick {
+			c.TargetRows = 25000
+		} else {
+			c.TargetRows = 1000000
+		}
+	}
+	if c.StepDuration <= 0 {
+		if c.Quick {
+			c.StepDuration = 700 * time.Millisecond
+		} else {
+			c.StepDuration = 5 * time.Second
+		}
+	}
+	if c.MaxWorkers <= 0 {
+		if c.Quick {
+			c.MaxWorkers = 16
+		} else {
+			c.MaxWorkers = 128
+		}
+	}
+}
+
+// Row is one measured leg of BENCH_load.json.
+type Row struct {
+	Name          string  `json:"name"`
+	Mode          string  `json:"mode"`
+	Workers       int     `json:"workers"`
+	TargetRPS     float64 `json:"target_rps,omitempty"`
+	Requests      int64   `json:"requests"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	GoodputRPS    float64 `json:"goodput_rps"`
+	P50MS         float64 `json:"p50_ms"`
+	P95MS         float64 `json:"p95_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	MaxMS         float64 `json:"max_ms"`
+	Shed429       int64   `json:"shed_429,omitempty"`
+	Shed503       int64   `json:"shed_503,omitempty"`
+	Deadline504   int64   `json:"deadline_504,omitempty"`
+	Errors        int64   `json:"errors,omitempty"`
+	// GoodputVsSaturation is the transferable guard column, set on the
+	// overload leg only: goodput under 8× oversubscription divided by
+	// the saturation goodput. ≈1 when shedding protects the server.
+	GoodputVsSaturation float64 `json:"goodput_vs_saturation,omitempty"`
+}
+
+// Report is the top-level shape of BENCH_load.json (wrapped with host
+// metadata by cmd/bench).
+type Report struct {
+	Dataset       string  `json:"dataset"`
+	DatasetRows   int     `json:"dataset_rows"`
+	WorkloadOps   int     `json:"workload_ops"`
+	SaturationRPS float64 `json:"saturation_rps"`
+	AtWorkers     int     `json:"saturation_workers"`
+	// Overload records the admission posture of the overload leg and
+	// the server-side counters after it ran, proving the queue bound
+	// held ("no unbounded queue growth").
+	Overload OverloadStats `json:"overload"`
+	Rows     []Row         `json:"rows"`
+}
+
+// OverloadStats is the server-side view after the overload leg.
+type OverloadStats struct {
+	MaxConcurrent    int   `json:"max_concurrent"`
+	MaxQueue         int   `json:"max_queue"`
+	MaxQueuedSeen    int64 `json:"max_queued_seen"`
+	MaxInFlightSeen  int64 `json:"max_in_flight_seen"`
+	ShedQueueFull    int64 `json:"shed_queue_full"`
+	ShedQueueTimeout int64 `json:"shed_queue_timeout"`
+	DeadlineExceeded int64 `json:"deadline_exceeded"`
+}
+
+func row(name string, r *loadgen.Result) Row {
+	return Row{
+		Name:          name,
+		Mode:          r.Mode,
+		Workers:       r.Workers,
+		TargetRPS:     r.TargetRPS,
+		Requests:      r.Requests,
+		ThroughputRPS: r.ThroughputRPS,
+		GoodputRPS:    r.GoodputRPS,
+		P50MS:         r.P50MS,
+		P95MS:         r.P95MS,
+		P99MS:         r.P99MS,
+		MaxMS:         r.MaxMS,
+		Shed429:       r.Shed429,
+		Shed503:       r.Shed503,
+		Deadline504:   r.Deadline504,
+		Errors:        r.Errors,
+	}
+}
+
+// Measure runs the full load grid. Progress lines go through logf (may
+// be nil) because the full-size run takes minutes: dataset build alone
+// is ~5s at a million rows, and each ramp step runs StepDuration.
+func Measure(cfg Config, logf func(format string, args ...any)) (*Report, error) {
+	cfg.defaults()
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	logf("building %d-row movies dataset (seed %d)...", cfg.TargetRows, cfg.Seed)
+	dcfg := loadgen.DatasetConfig{Kind: loadgen.KindMovies, TargetRows: cfg.TargetRows, Seed: cfg.Seed}
+	db, err := loadgen.BuildDataset(dcfg)
+	if err != nil {
+		return nil, err
+	}
+	rows := db.NumRows()
+	logf("dataset ready: %d rows; building engine (indexes, templates)...", rows)
+	eng, err := loadgen.BuildEngine(dcfg)
+	if err != nil {
+		return nil, err
+	}
+	ops, err := loadgen.BuildWorkload(db, dcfg.Kind, loadgen.WorkloadConfig{Ops: 512, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		Dataset:     fmt.Sprintf("datagen movies target=%d seed=%d", cfg.TargetRows, cfg.Seed),
+		DatasetRows: rows,
+		WorkloadOps: len(ops),
+	}
+	ctx := context.Background()
+
+	// Leg 1: saturation discovery on the ungated server.
+	ts := httptest.NewServer(httpapi.New(eng))
+	logf("saturation ramp: doubling workers up to %d, %v per step...", cfg.MaxWorkers, cfg.StepDuration)
+	sat, err := loadgen.FindSaturation(ctx, loadgen.SaturationOptions{
+		Base:         loadgen.Options{BaseURL: ts.URL, Ops: ops},
+		MaxWorkers:   cfg.MaxWorkers,
+		StepDuration: cfg.StepDuration,
+	})
+	if err != nil {
+		ts.Close()
+		return nil, err
+	}
+	for _, step := range sat.Steps {
+		logf("  %s", step)
+		rep.Rows = append(rep.Rows, row(fmt.Sprintf("saturate-w%d", step.Workers), step))
+	}
+	rep.SaturationRPS = sat.SaturationRPS
+	rep.AtWorkers = sat.AtWorkers
+	logf("saturation: %.0f req/s at %d workers", sat.SaturationRPS, sat.AtWorkers)
+
+	// Leg 2: open-loop at half the knee — the honest steady-state tail,
+	// with latencies measured from scheduled arrivals.
+	halfRate := sat.SaturationRPS / 2
+	if halfRate < 1 {
+		halfRate = 1
+	}
+	open, err := loadgen.Run(ctx, loadgen.Options{
+		BaseURL:  ts.URL,
+		Ops:      ops,
+		Workers:  cfg.MaxWorkers,
+		RateRPS:  halfRate,
+		Duration: 2 * cfg.StepDuration,
+	})
+	ts.Close()
+	if err != nil {
+		return nil, err
+	}
+	logf("  %s", open)
+	rep.Rows = append(rep.Rows, row("open-half-knee", open))
+
+	// Leg 3: overload. Gate the server at the measured knee, then
+	// oversubscribe it 8×: goodput should hold near saturation while
+	// the excess is shed at the door.
+	mc := sat.AtWorkers
+	if mc < 2 {
+		mc = 2
+	}
+	acfg := httpapi.AdmissionConfig{
+		MaxConcurrent: mc,
+		MaxQueue:      2 * mc,
+		QueueTimeout:  200 * time.Millisecond,
+	}
+	gated := httptest.NewServer(httpapi.New(eng,
+		httpapi.WithAdmission(acfg),
+		httpapi.WithRequestTimeout(5*time.Second),
+	))
+	defer gated.Close()
+	logf("overload: gate at %d slots + %d queue, driving %d workers...", mc, 2*mc, 8*mc)
+	over, err := loadgen.Run(ctx, loadgen.Options{
+		BaseURL:  gated.URL,
+		Ops:      ops,
+		Workers:  8 * mc,
+		Duration: 2 * cfg.StepDuration,
+	})
+	if err != nil {
+		return nil, err
+	}
+	logf("  %s", over)
+	orow := row("overload-8x", over)
+	if sat.SaturationRPS > 0 {
+		orow.GoodputVsSaturation = over.GoodputRPS / sat.SaturationRPS
+	}
+	rep.Rows = append(rep.Rows, orow)
+
+	// Server-side proof of the queue bound.
+	health, err := fetchHealth(gated.URL)
+	if err != nil {
+		return nil, err
+	}
+	rep.Overload = OverloadStats{
+		MaxConcurrent:    acfg.MaxConcurrent,
+		MaxQueue:         acfg.MaxQueue,
+		MaxQueuedSeen:    health.Admission.MaxQueued,
+		MaxInFlightSeen:  health.Admission.MaxInFlight,
+		ShedQueueFull:    health.Admission.ShedQueueFull,
+		ShedQueueTimeout: health.Admission.ShedQueueTimeout,
+		DeadlineExceeded: health.Admission.DeadlineExceeded,
+	}
+	if health.Admission.MaxQueued > int64(acfg.MaxQueue) {
+		return nil, fmt.Errorf("benchload: queue grew past its bound (%d > %d)",
+			health.Admission.MaxQueued, acfg.MaxQueue)
+	}
+	logf("overload server-side: maxQueued %d (bound %d), shed %d+%d",
+		health.Admission.MaxQueued, acfg.MaxQueue,
+		health.Admission.ShedQueueFull, health.Admission.ShedQueueTimeout)
+	return rep, nil
+}
+
+func fetchHealth(base string) (*httpapi.HealthResponse, error) {
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var h httpapi.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}

@@ -1,0 +1,54 @@
+package benchload
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMeasureQuick runs the whole grid at toy scale: the point is that
+// every leg executes, the report is shaped right, and the overload leg
+// proves its queue bound — not that the numbers mean anything.
+func TestMeasureQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load grid takes a few seconds")
+	}
+	rep, err := Measure(Config{
+		Quick:        true,
+		TargetRows:   4000,
+		StepDuration: 300 * time.Millisecond,
+		MaxWorkers:   4,
+	}, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DatasetRows == 0 || rep.WorkloadOps == 0 {
+		t.Fatalf("report missing dataset shape: %+v", rep)
+	}
+	if rep.SaturationRPS <= 0 || rep.AtWorkers < 1 {
+		t.Fatalf("no saturation point: %+v", rep)
+	}
+	var sawOpen, sawOverload bool
+	for _, r := range rep.Rows {
+		if r.Requests == 0 {
+			t.Fatalf("row %s measured nothing", r.Name)
+		}
+		switch r.Name {
+		case "open-half-knee":
+			sawOpen = true
+			if r.Mode != "open" || r.TargetRPS <= 0 {
+				t.Fatalf("open leg malformed: %+v", r)
+			}
+		case "overload-8x":
+			sawOverload = true
+			if r.GoodputVsSaturation <= 0 {
+				t.Fatalf("overload leg missing the guard column: %+v", r)
+			}
+		}
+	}
+	if !sawOpen || !sawOverload {
+		t.Fatalf("missing legs (open=%v overload=%v): %+v", sawOpen, sawOverload, rep.Rows)
+	}
+	if rep.Overload.MaxQueuedSeen > int64(rep.Overload.MaxQueue) {
+		t.Fatalf("queue bound violated: %+v", rep.Overload)
+	}
+}

@@ -1,6 +1,7 @@
 package datagen
 
 import (
+	"bytes"
 	"math/rand"
 	"strings"
 	"testing"
@@ -46,6 +47,20 @@ func TestPools(t *testing.T) {
 	}
 }
 
+// save serialises a database to bytes for byte-identity comparison.
+func save(t *testing.T, db *relstore.Database) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestIMDBDeterministic pins the determinism contract the load harness
+// and the demo datasets rely on: the same config yields byte-identical
+// serialised data — every row, every value, every ordering — not just
+// matching counts.
 func TestIMDBDeterministic(t *testing.T) {
 	cfg := IMDBConfig{Movies: 50, Actors: 40, Directors: 10, Companies: 5, Seed: 7}
 	db1, err := IMDB(cfg)
@@ -56,13 +71,54 @@ func TestIMDBDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if db1.NumRows() != db2.NumRows() {
-		t.Fatal("IMDB not deterministic in row count")
+	b1, b2 := save(t, db1), save(t, db2)
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("IMDB not byte-identical across runs (sizes %d vs %d)", len(b1), len(b2))
 	}
-	a1, _ := db1.Table("actor").Value(0, "name")
-	a2, _ := db2.Table("actor").Value(0, "name")
-	if a1 != a2 {
-		t.Fatalf("IMDB not deterministic: %q vs %q", a1, a2)
+	// A different seed must actually change the data.
+	cfg.Seed = 8
+	db3, err := IMDB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(b1, save(t, db3)) {
+		t.Fatal("IMDB ignored the seed")
+	}
+}
+
+// TestLyricsDeterministic is the same contract for the chain schema.
+func TestLyricsDeterministic(t *testing.T) {
+	cfg := LyricsConfig{Artists: 30, Seed: 5}
+	db1, err := Lyrics(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Lyrics(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(save(t, db1), save(t, db2)) {
+		t.Fatal("Lyrics not byte-identical across runs")
+	}
+}
+
+// TestWorkloadDeterministic: same database + same config → identical
+// intent streams, keyword for keyword.
+func TestWorkloadDeterministic(t *testing.T) {
+	db, err := IMDB(IMDBConfig{Movies: 80, Actors: 50, Directors: 12, Companies: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := WorkloadConfig{Queries: 60, Seed: 13}
+	in1 := MovieWorkload(db, cfg)
+	in2 := MovieWorkload(db, cfg)
+	if len(in1) != len(in2) {
+		t.Fatalf("intent counts: %d vs %d", len(in1), len(in2))
+	}
+	for i := range in1 {
+		if in1[i].String() != in2[i].String() || in1[i].MultiConcept != in2[i].MultiConcept {
+			t.Fatalf("intent %d diverged: %v vs %v", i, in1[i], in2[i])
+		}
 	}
 }
 

@@ -1,0 +1,335 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	keysearch "repro"
+	"repro/httpapi"
+)
+
+// testEnv builds one small engine + workload, shared across tests
+// (building even a small dataset engine is the slow part).
+type testEnv struct {
+	eng  *keysearch.Engine
+	ops  []Op
+	once sync.Once
+	err  error
+}
+
+var env testEnv
+
+func (e *testEnv) get(t *testing.T) (*keysearch.Engine, []Op) {
+	t.Helper()
+	e.once.Do(func() {
+		cfg := DatasetConfig{Kind: KindMovies, TargetRows: 4000, Seed: 42}
+		db, err := BuildDataset(cfg)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.eng, e.err = BuildEngine(cfg)
+		if e.err != nil {
+			return
+		}
+		e.ops, e.err = BuildWorkload(db, cfg.Kind, WorkloadConfig{Ops: 128, Seed: 7})
+	})
+	if e.err != nil {
+		t.Fatal(e.err)
+	}
+	return e.eng, e.ops
+}
+
+func TestWorkloadDeterminism(t *testing.T) {
+	cfg := DatasetConfig{Kind: KindMovies, TargetRows: 2000, Seed: 11}
+	db1, err := BuildDataset(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := BuildDataset(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcfg := WorkloadConfig{Ops: 200, Seed: 3}
+	ops1, err := BuildWorkload(db1, cfg.Kind, wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops2, err := BuildWorkload(db2, cfg.Kind, wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops1) != len(ops2) || len(ops1) != 200 {
+		t.Fatalf("op counts: %d vs %d", len(ops1), len(ops2))
+	}
+	kinds := map[OpKind]int{}
+	for i := range ops1 {
+		if ops1[i].Kind != ops2[i].Kind || !bytes.Equal(ops1[i].Body, ops2[i].Body) {
+			t.Fatalf("op %d diverged: %s %q vs %s %q",
+				i, ops1[i].Kind, ops1[i].Body, ops2[i].Kind, ops2[i].Body)
+		}
+		kinds[ops1[i].Kind]++
+	}
+	// The default mix must actually produce every class.
+	for _, k := range []OpKind{OpSearch, OpRows, OpDiversify, OpConstruct, OpMutate} {
+		if kinds[k] == 0 {
+			t.Fatalf("mix produced no %s ops: %v", k, kinds)
+		}
+	}
+}
+
+func TestMutateBodiesUnique(t *testing.T) {
+	tpl, err := json.Marshal(mutateTemplate(KindMovies, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, b2 := mutateBody(tpl, 1), mutateBody(tpl, 2)
+	if bytes.Equal(b1, b2) {
+		t.Fatalf("sequence not substituted: %s", b1)
+	}
+	var req httpapi.MutateRequest
+	if err := json.Unmarshal(b1, &req); err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Mutations) == 0 || req.Mutations[0].Values[0] != "lg-1" {
+		t.Fatalf("bad instantiated batch: %+v", req)
+	}
+}
+
+func TestClosedLoopRun(t *testing.T) {
+	eng, ops := env.get(t)
+	ts := httptest.NewServer(httpapi.New(eng))
+	defer ts.Close()
+
+	res, err := Run(context.Background(), Options{
+		BaseURL:  ts.URL,
+		Ops:      ops,
+		Workers:  4,
+		Duration: 700 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != "closed" || res.Requests == 0 {
+		t.Fatalf("res = %v", res)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("ungated run produced %d errors: %v", res.Errors, res)
+	}
+	if res.Goodput != res.Requests {
+		t.Fatalf("goodput %d != requests %d on an ungated run", res.Goodput, res.Requests)
+	}
+	if len(res.PerKind) == 0 || res.P50MS <= 0 {
+		t.Fatalf("missing aggregates: %v", res)
+	}
+	var sum int64
+	for _, ks := range res.PerKind {
+		sum += ks.Requests
+	}
+	if sum != res.Requests {
+		t.Fatalf("per-kind requests %d != total %d", sum, res.Requests)
+	}
+	// The run mixed mutations in; the engine must have advanced its
+	// epoch and still answer searches.
+	if eng.Epoch() == 0 {
+		t.Fatal("mutate ops did not commit any batch")
+	}
+}
+
+func TestOpenLoopRun(t *testing.T) {
+	eng, ops := env.get(t)
+	ts := httptest.NewServer(httpapi.New(eng))
+	defer ts.Close()
+
+	res, err := Run(context.Background(), Options{
+		BaseURL:  ts.URL,
+		Ops:      ops,
+		Workers:  16,
+		RateRPS:  150,
+		Duration: 700 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != "open" || res.TargetRPS != 150 {
+		t.Fatalf("res = %v", res)
+	}
+	// ~105 arrivals scheduled in 0.7s; allow wide slack for slow CI.
+	if res.Requests < 20 {
+		t.Fatalf("only %d requests issued at 150/s over 700ms", res.Requests)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("ungated open-loop run produced %d errors", res.Errors)
+	}
+}
+
+// TestOpenLoopMeasuresFromSchedule pins the coordinated-omission
+// property: with a server that stalls far longer than the arrival
+// interval, *every* scheduled arrival during the stall must record the
+// queueing delay it experienced — so the median reflects the stall even
+// though only a few requests were physically in flight.
+func TestOpenLoopMeasuresFromSchedule(t *testing.T) {
+	stall := 250 * time.Millisecond
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(stall)
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	ops := []Op{{Kind: OpSearch, Query: "x", Body: []byte(`{"query":"x"}`)}}
+	res, err := Run(context.Background(), Options{
+		BaseURL:  ts.URL,
+		Ops:      ops,
+		Workers:  2, // tiny cap: arrivals pile up waiting for a slot
+		RateRPS:  100,
+		Duration: 900 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests < 4 {
+		t.Fatalf("too few requests completed: %d", res.Requests)
+	}
+	// A coordinated (naive) client would report ~stall for every
+	// request; the schedule-anchored measurement must blow well past it
+	// for the later arrivals.
+	if res.MaxMS < 1.5*float64(stall.Milliseconds()) {
+		t.Fatalf("max %.0fms does not reflect schedule delay (stall %v)", res.MaxMS, stall)
+	}
+}
+
+// TestOverloadBoundedTailWithShedding is the acceptance test of the
+// tentpole: a saturating closed-loop run against a concurrency-limited
+// server must be answered with shedding, a wait queue that never grows
+// past its bound, and a bounded tail latency for everything the server
+// actually accepted — the "no unbounded queue growth" criterion.
+func TestOverloadBoundedTailWithShedding(t *testing.T) {
+	eng, ops := env.get(t)
+	const (
+		maxConcurrent = 2
+		maxQueue      = 4
+		queueTimeout  = 100 * time.Millisecond
+		reqTimeout    = 500 * time.Millisecond
+		handlerDelay  = 20 * time.Millisecond
+	)
+	srv := httpapi.New(eng,
+		httpapi.WithAdmission(httpapi.AdmissionConfig{
+			MaxConcurrent: maxConcurrent,
+			MaxQueue:      maxQueue,
+			QueueTimeout:  queueTimeout,
+		}),
+		httpapi.WithRequestTimeout(reqTimeout),
+		// Small-dataset handlers answer in microseconds; stand in the
+		// engine cost a million-row dataset exhibits so the gate
+		// genuinely saturates.
+		httpapi.WithHandlerWrapper(func(inner http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				select {
+				case <-time.After(handlerDelay):
+				case <-r.Context().Done():
+					w.WriteHeader(http.StatusGatewayTimeout)
+					return
+				}
+				inner.ServeHTTP(w, r)
+			})
+		}),
+	)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Single-request ops only: construct dialogues span several HTTP
+	// round trips, which would fold several queue waits into one
+	// recorded latency and muddy the per-request tail bound.
+	single := make([]Op, 0, len(ops))
+	for _, op := range ops {
+		if op.Kind != OpConstruct {
+			single = append(single, op)
+		}
+	}
+
+	res, err := Run(context.Background(), Options{
+		BaseURL:  ts.URL,
+		Ops:      single,
+		Workers:  16, // 16 ≫ 2+4: guaranteed oversubscription
+		Duration: 1200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shed429+res.Shed503 == 0 {
+		t.Fatalf("oversubscribed run shed nothing: %v", res)
+	}
+	if res.Goodput == 0 {
+		t.Fatalf("server served nothing under overload: %v", res)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("overload produced real errors, not sheds: %v", res)
+	}
+	// Bounded tail: every accepted request waited ≤ queueTimeout and
+	// executed ≤ reqTimeout; shed requests return almost immediately.
+	// Generous slack covers client-side scheduling on loaded CI.
+	bound := float64((queueTimeout + reqTimeout + 2*time.Second).Milliseconds())
+	if res.P99MS > bound || res.MaxMS > bound {
+		t.Fatalf("tail not bounded: p99 %.0fms max %.0fms bound %.0fms", res.P99MS, res.MaxMS, bound)
+	}
+
+	// The server-side view must agree: queue never past its bound.
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var h httpapi.HealthResponse
+	if err := json.NewDecoder(hr.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Admission.MaxQueued > maxQueue {
+		t.Fatalf("queue grew past its bound: %+v", h.Admission)
+	}
+	if h.Admission.MaxInFlight > maxConcurrent {
+		t.Fatalf("concurrency exceeded its bound: %+v", h.Admission)
+	}
+	if h.Admission.ShedQueueFull+h.Admission.ShedQueueTimeout == 0 {
+		t.Fatalf("server recorded no sheds: %+v", h.Admission)
+	}
+}
+
+func TestFindSaturation(t *testing.T) {
+	eng, ops := env.get(t)
+	srv := httpapi.New(eng,
+		// A fixed 4ms cost per request makes the saturation knee sharp
+		// and machine-independent: ~250 rps per concurrency slot.
+		httpapi.WithHandlerWrapper(func(inner http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				time.Sleep(4 * time.Millisecond)
+				inner.ServeHTTP(w, r)
+			})
+		}),
+	)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	sat, err := FindSaturation(context.Background(), SaturationOptions{
+		Base:         Options{BaseURL: ts.URL, Ops: ops},
+		StartWorkers: 1,
+		MaxWorkers:   8,
+		StepDuration: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sat.Steps) == 0 || sat.SaturationRPS <= 0 || sat.AtWorkers < 1 {
+		t.Fatalf("sat = %+v", sat)
+	}
+	// More workers must have helped at least once over one worker.
+	first := sat.Steps[0].GoodputRPS
+	if sat.SaturationRPS < first {
+		t.Fatalf("saturation %.0f below single-worker goodput %.0f", sat.SaturationRPS, first)
+	}
+}

@@ -1,0 +1,453 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/httpapi"
+	"repro/internal/metrics"
+)
+
+// Options configures one load run against a serving endpoint.
+type Options struct {
+	// BaseURL is the server to drive, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Ops is the pre-generated workload (BuildWorkload); runners cycle
+	// through it.
+	Ops []Op
+	// Duration is how long to generate load (default 5s).
+	Duration time.Duration
+	// Workers is the closed-loop concurrency (default 8). In open-loop
+	// mode it caps outstanding requests instead.
+	Workers int
+	// RateRPS, when positive, selects open-loop mode: requests are
+	// issued on a fixed schedule of RateRPS arrivals per second and
+	// latency is measured from the *scheduled* arrival time, so a
+	// stalled server inflates the recorded tail instead of silently
+	// slowing the clients (coordinated omission).
+	RateRPS float64
+	// RequestTimeout bounds each HTTP request (default 30s).
+	RequestTimeout time.Duration
+	// Client overrides the HTTP client (tests); BaseURL still applies.
+	Client *http.Client
+}
+
+func (o *Options) defaults() {
+	if o.Duration <= 0 {
+		o.Duration = 5 * time.Second
+	}
+	if o.Workers <= 0 {
+		o.Workers = 8
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	if o.Client == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConns = 4 * o.Workers
+		tr.MaxIdleConnsPerHost = 4 * o.Workers
+		o.Client = &http.Client{Transport: tr}
+	}
+}
+
+// KindStats aggregates one request class of a finished run.
+type KindStats struct {
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"`
+	P50MS    float64 `json:"p50_ms"`
+	P95MS    float64 `json:"p95_ms"`
+	P99MS    float64 `json:"p99_ms"`
+	MaxMS    float64 `json:"max_ms"`
+}
+
+// Result is the outcome of one load run. Goodput counts only 2xx
+// responses; sheds (429/503) and deadline expiries (504) are successes
+// of the *overload design* but failures of the individual request, so
+// they appear in their own counters and not in Goodput.
+type Result struct {
+	Mode       string        `json:"mode"` // "closed" or "open"
+	Workers    int           `json:"workers"`
+	TargetRPS  float64       `json:"target_rps,omitempty"`
+	Duration   time.Duration `json:"-"`
+	DurationMS int64         `json:"duration_ms"`
+
+	Requests      int64   `json:"requests"`
+	Goodput       int64   `json:"goodput_requests"`
+	Errors        int64   `json:"errors"`
+	Shed429       int64   `json:"shed_429"`
+	Shed503       int64   `json:"shed_503"`
+	Deadline504   int64   `json:"deadline_504"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	GoodputRPS    float64 `json:"goodput_rps"`
+
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+	MaxMS float64 `json:"max_ms"`
+
+	PerKind map[OpKind]KindStats `json:"per_kind"`
+
+	// Histogram is the merged latency histogram of all requests
+	// (scheduled-time latencies in open-loop mode).
+	Histogram *metrics.LatencyHistogram `json:"-"`
+}
+
+// workerState is the per-worker recording area: one histogram per kind
+// plus counters, merged after the run so the hot path takes no locks.
+type workerState struct {
+	hists  map[OpKind]*metrics.LatencyHistogram
+	counts map[OpKind]*int64 // requests per kind
+	errs   map[OpKind]*int64
+}
+
+func newWorkerState() *workerState {
+	ws := &workerState{
+		hists:  map[OpKind]*metrics.LatencyHistogram{},
+		counts: map[OpKind]*int64{},
+		errs:   map[OpKind]*int64{},
+	}
+	for _, k := range []OpKind{OpSearch, OpRows, OpDiversify, OpConstruct, OpMutate} {
+		ws.hists[k] = metrics.NewLatencyHistogram()
+		ws.counts[k] = new(int64)
+		ws.errs[k] = new(int64)
+	}
+	return ws
+}
+
+// runner holds the shared state of one run.
+type runner struct {
+	opts    Options
+	opIndex atomic.Uint64 // next op in the cycle
+	shed429 atomic.Int64
+	shed503 atomic.Int64
+	dl504   atomic.Int64
+}
+
+// mutateSeq is process-global so consecutive runs against the same
+// engine (saturation ramps, repeated bench legs) never reuse a primary
+// key from an earlier run's inserts.
+var mutateSeq atomic.Uint64
+
+var opPaths = map[OpKind]string{
+	OpSearch:    "/v1/search",
+	OpRows:      "/v1/rows",
+	OpDiversify: "/v1/diversify",
+	OpConstruct: "/v1/construct",
+	OpMutate:    "/v1/mutate",
+}
+
+// issue performs one op and returns its latency class. Construct ops
+// drive the whole dialogue (start → answer questions → cancel); the
+// recorded latency is the full session wall time, since that is what a
+// user of the interactive interface experiences.
+func (r *runner) issue(ctx context.Context, op Op) (status int, err error) {
+	body := op.Body
+	if op.Kind == OpMutate {
+		body = mutateBody(body, mutateSeq.Add(1))
+	}
+	status, resp, err := r.post(ctx, opPaths[op.Kind], body)
+	if err != nil || status != http.StatusOK {
+		return status, err
+	}
+	if op.Kind == OpConstruct {
+		return r.driveConstruct(ctx, resp)
+	}
+	return status, nil
+}
+
+// driveConstruct answers up to 6 questions of a freshly started
+// dialogue (alternating accept/reject like an exploring user), then
+// cancels the session so abandoned state never accumulates.
+func (r *runner) driveConstruct(ctx context.Context, startBody []byte) (int, error) {
+	var step httpapi.ConstructStepResponse
+	if err := json.Unmarshal(startBody, &step); err != nil {
+		return http.StatusOK, fmt.Errorf("construct start: %w", err)
+	}
+	actions := [2]string{"accept", "reject"}
+	for i := 0; i < 6 && !step.Done && step.Question != nil; i++ {
+		req, err := json.Marshal(httpapi.ConstructStepRequest{
+			Action:    actions[i%2],
+			SessionID: step.SessionID,
+		})
+		if err != nil {
+			return http.StatusOK, err
+		}
+		status, resp, err := r.post(ctx, "/v1/construct", req)
+		if err != nil || status != http.StatusOK {
+			return status, err
+		}
+		step = httpapi.ConstructStepResponse{}
+		if err := json.Unmarshal(resp, &step); err != nil {
+			return http.StatusOK, err
+		}
+	}
+	if !step.Done {
+		req, err := json.Marshal(httpapi.ConstructStepRequest{Action: "cancel", SessionID: step.SessionID})
+		if err != nil {
+			return http.StatusOK, err
+		}
+		if status, _, err := r.post(ctx, "/v1/construct", req); err != nil || status != http.StatusOK {
+			return status, err
+		}
+	}
+	return http.StatusOK, nil
+}
+
+func (r *runner) post(ctx context.Context, path string, body []byte) (int, []byte, error) {
+	rctx, cancel := context.WithTimeout(ctx, r.opts.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, r.opts.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.opts.Client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	switch resp.StatusCode {
+	case http.StatusTooManyRequests:
+		r.shed429.Add(1)
+	case http.StatusServiceUnavailable:
+		r.shed503.Add(1)
+	case http.StatusGatewayTimeout:
+		r.dl504.Add(1)
+	}
+	return resp.StatusCode, data, nil
+}
+
+// isError classifies a completed request for goodput accounting:
+// transport failures and unexpected statuses are errors; 2xx is good;
+// 429/503 sheds and 504 deadline expiries are the overload design
+// working as intended, tallied in their own counters instead.
+func isError(status int, err error) bool {
+	if err != nil || status == 0 {
+		return true
+	}
+	switch {
+	case status < 400:
+		return false
+	case status == http.StatusTooManyRequests,
+		status == http.StatusServiceUnavailable,
+		status == http.StatusGatewayTimeout:
+		return false
+	default:
+		return true
+	}
+}
+
+// next returns the op each worker should issue, cycling the list.
+func (r *runner) next() Op {
+	ops := r.opts.Ops
+	return ops[int(r.opIndex.Add(1)-1)%len(ops)]
+}
+
+// Run drives the endpoint for opts.Duration and aggregates the result.
+// RateRPS > 0 selects open-loop mode, otherwise closed-loop.
+func Run(ctx context.Context, opts Options) (*Result, error) {
+	opts.defaults()
+	if len(opts.Ops) == 0 {
+		return nil, errors.New("loadgen: no ops to run (BuildWorkload first)")
+	}
+	r := &runner{opts: opts}
+	if opts.RateRPS > 0 {
+		return r.runOpen(ctx)
+	}
+	return r.runClosed(ctx)
+}
+
+// runClosed is the closed-loop driver: Workers goroutines, each issuing
+// its next op as soon as the previous response arrives. Throughput is
+// an *output* (it falls as the server slows); per-request latency is
+// recorded as measured, which is honest in closed loop because the
+// issuing schedule adapts to the server.
+func (r *runner) runClosed(ctx context.Context) (*Result, error) {
+	ctx, cancel := context.WithTimeout(ctx, r.opts.Duration)
+	defer cancel()
+	states := make([]*workerState, r.opts.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < r.opts.Workers; w++ {
+		states[w] = newWorkerState()
+		wg.Add(1)
+		go func(ws *workerState) {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				op := r.next()
+				t0 := time.Now()
+				status, err := r.issue(ctx, op)
+				el := time.Since(t0)
+				if ctx.Err() != nil && (err != nil || status == 0) {
+					return // shutdown race, not a server failure
+				}
+				atomic.AddInt64(ws.counts[op.Kind], 1)
+				if isError(status, err) {
+					atomic.AddInt64(ws.errs[op.Kind], 1)
+				}
+				ws.hists[op.Kind].Record(el)
+			}
+		}(states[w])
+	}
+	wg.Wait()
+	return r.aggregate("closed", states, time.Since(start)), nil
+}
+
+// runOpen is the open-loop driver: arrivals are scheduled at fixed
+// intervals regardless of how the server is doing, and each request's
+// latency is measured from its *scheduled* start. A server stall
+// therefore back-fills the tail with the queueing delay every scheduled
+// arrival experienced — the coordinated-omission correction, by
+// construction rather than by after-the-fact adjustment. Workers caps
+// outstanding requests; when the cap is hit the arrival still keeps its
+// scheduled timestamp, it just waits for a slot (and the wait is in its
+// measured latency).
+func (r *runner) runOpen(ctx context.Context) (*Result, error) {
+	ctx, cancel := context.WithTimeout(ctx, r.opts.Duration)
+	defer cancel()
+	interval := time.Duration(float64(time.Second) / r.opts.RateRPS)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	slots := make(chan *workerState, r.opts.Workers)
+	for w := 0; w < r.opts.Workers; w++ {
+		slots <- newWorkerState()
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for sched := start; ctx.Err() == nil; sched = sched.Add(interval) {
+		if d := time.Until(sched); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+			}
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		var ws *workerState
+		select {
+		case ws = <-slots:
+		case <-ctx.Done():
+		}
+		if ws == nil {
+			break
+		}
+		wg.Add(1)
+		go func(ws *workerState, scheduled time.Time) {
+			defer wg.Done()
+			defer func() { slots <- ws }()
+			op := r.next()
+			status, err := r.issue(ctx, op)
+			el := time.Since(scheduled) // from the schedule, not the send
+			if ctx.Err() != nil && (err != nil || status == 0) {
+				return
+			}
+			atomic.AddInt64(ws.counts[op.Kind], 1)
+			if isError(status, err) {
+				atomic.AddInt64(ws.errs[op.Kind], 1)
+			}
+			ws.hists[op.Kind].Record(el)
+		}(ws, sched)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	states := make([]*workerState, 0, r.opts.Workers)
+	for len(states) < r.opts.Workers {
+		states = append(states, <-slots)
+	}
+	res := r.aggregate("open", states, elapsed)
+	res.TargetRPS = r.opts.RateRPS
+	return res, nil
+}
+
+// aggregate merges per-worker recordings into the run result.
+func (r *runner) aggregate(mode string, states []*workerState, elapsed time.Duration) *Result {
+	total := metrics.NewLatencyHistogram()
+	perKind := map[OpKind]KindStats{}
+	var requests, errs int64
+	kinds := []OpKind{OpSearch, OpRows, OpDiversify, OpConstruct, OpMutate}
+	for _, k := range kinds {
+		h := metrics.NewLatencyHistogram()
+		var kreq, kerr int64
+		for _, ws := range states {
+			h.Merge(ws.hists[k])
+			kreq += atomic.LoadInt64(ws.counts[k])
+			kerr += atomic.LoadInt64(ws.errs[k])
+		}
+		if kreq == 0 {
+			continue
+		}
+		perKind[k] = KindStats{
+			Requests: kreq,
+			Errors:   kerr,
+			P50MS:    ms(h.Quantile(0.50)),
+			P95MS:    ms(h.Quantile(0.95)),
+			P99MS:    ms(h.Quantile(0.99)),
+			MaxMS:    ms(h.Max()),
+		}
+		total.Merge(h)
+		requests += kreq
+		errs += kerr
+	}
+	shed429, shed503, dl504 := r.shed429.Load(), r.shed503.Load(), r.dl504.Load()
+	good := requests - errs - shed429 - shed503 - dl504
+	if good < 0 {
+		good = 0
+	}
+	secs := elapsed.Seconds()
+	return &Result{
+		Mode:          mode,
+		Workers:       r.opts.Workers,
+		Duration:      elapsed,
+		DurationMS:    elapsed.Milliseconds(),
+		Requests:      requests,
+		Goodput:       good,
+		Errors:        errs,
+		Shed429:       shed429,
+		Shed503:       shed503,
+		Deadline504:   dl504,
+		ThroughputRPS: float64(requests) / secs,
+		GoodputRPS:    float64(good) / secs,
+		P50MS:         ms(total.Quantile(0.50)),
+		P95MS:         ms(total.Quantile(0.95)),
+		P99MS:         ms(total.Quantile(0.99)),
+		MaxMS:         ms(total.Max()),
+		PerKind:       perKind,
+		Histogram:     total,
+	}
+}
+
+func ms(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e6
+}
+
+// String renders the one-line run summary.
+func (res *Result) String() string {
+	return fmt.Sprintf("%s w=%d n=%d good=%.0f/s thru=%.0f/s shed=%d/%d 504=%d err=%d p50=%.1fms p95=%.1fms p99=%.1fms",
+		res.Mode, res.Workers, res.Requests, res.GoodputRPS, res.ThroughputRPS,
+		res.Shed429, res.Shed503, res.Deadline504, res.Errors, res.P50MS, res.P95MS, res.P99MS)
+}
+
+// SortedKinds returns the per-kind keys in stable display order.
+func (res *Result) SortedKinds() []OpKind {
+	out := make([]OpKind, 0, len(res.PerKind))
+	for k := range res.PerKind {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,90 @@
+package loadgen
+
+import (
+	"context"
+	"time"
+)
+
+// SaturationOptions configures a saturation search.
+type SaturationOptions struct {
+	// Base is the run configuration each step starts from (Workers and
+	// RateRPS are overridden per step; closed-loop is always used).
+	Base Options
+	// StartWorkers is the first step's concurrency (default 1).
+	StartWorkers int
+	// MaxWorkers bounds the ramp (default 128).
+	MaxWorkers int
+	// StepDuration is how long each concurrency step runs (default the
+	// Base duration, or 3s).
+	StepDuration time.Duration
+	// MinGain is the relative goodput improvement a doubling must
+	// deliver to keep ramping (default 0.10, i.e. 10%).
+	MinGain float64
+}
+
+// SaturationResult reports the discovered saturation point: the highest
+// goodput observed across the concurrency ramp, the concurrency that
+// achieved it, and every step for the full throughput/latency curve.
+type SaturationResult struct {
+	SaturationRPS float64   `json:"saturation_rps"`
+	AtWorkers     int       `json:"at_workers"`
+	Steps         []*Result `json:"steps"`
+}
+
+// FindSaturation discovers the server's saturation throughput by
+// doubling closed-loop concurrency until goodput stops improving by at
+// least MinGain (or MaxWorkers is reached). The returned curve is the
+// classic throughput-vs-concurrency ramp: linear at first, flattening
+// at saturation — and, on a server with admission control, *staying*
+// flat past it instead of collapsing.
+func FindSaturation(ctx context.Context, opts SaturationOptions) (*SaturationResult, error) {
+	if opts.StartWorkers <= 0 {
+		opts.StartWorkers = 1
+	}
+	if opts.MaxWorkers <= 0 {
+		opts.MaxWorkers = 128
+	}
+	if opts.StepDuration <= 0 {
+		if opts.Base.Duration > 0 {
+			opts.StepDuration = opts.Base.Duration
+		} else {
+			opts.StepDuration = 3 * time.Second
+		}
+	}
+	if opts.MinGain <= 0 {
+		opts.MinGain = 0.10
+	}
+
+	out := &SaturationResult{}
+	best := 0.0
+	for w := opts.StartWorkers; w <= opts.MaxWorkers; w *= 2 {
+		stepOpts := opts.Base
+		stepOpts.Workers = w
+		stepOpts.RateRPS = 0 // saturation search is closed-loop
+		stepOpts.Duration = opts.StepDuration
+		res, err := Run(ctx, stepOpts)
+		if err != nil {
+			return nil, err
+		}
+		out.Steps = append(out.Steps, res)
+		if res.GoodputRPS > best {
+			if best > 0 && res.GoodputRPS < best*(1+opts.MinGain) {
+				// Improved, but below the gain bar: the curve has
+				// flattened — record and stop.
+				best = res.GoodputRPS
+				out.SaturationRPS = best
+				out.AtWorkers = w
+				break
+			}
+			best = res.GoodputRPS
+			out.SaturationRPS = best
+			out.AtWorkers = w
+		} else {
+			break // goodput fell: past the knee
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,189 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	keysearch "repro"
+	"repro/httpapi"
+	"repro/internal/datagen"
+	"repro/internal/relstore"
+)
+
+// OpKind names one request class of the mixed workload.
+type OpKind string
+
+const (
+	OpSearch    OpKind = "search"
+	OpRows      OpKind = "rows"
+	OpDiversify OpKind = "diversify"
+	OpConstruct OpKind = "construct"
+	OpMutate    OpKind = "mutate"
+)
+
+// Mix weights the request classes of the workload. Weights are
+// relative, not percentages; zero drops the class. The default mix is
+// read-heavy with a trickle of writes, the shape of an interactive
+// search service: half plain interpretation search, a fifth row
+// retrieval (the expensive joins), some diversification, some
+// interactive construction dialogues, and a few mutation batches.
+type Mix struct {
+	Search    int
+	Rows      int
+	Diversify int
+	Construct int
+	Mutate    int
+}
+
+// DefaultMix returns the standard read-heavy mix.
+func DefaultMix() Mix {
+	return Mix{Search: 50, Rows: 20, Diversify: 15, Construct: 10, Mutate: 5}
+}
+
+func (m Mix) total() int {
+	return m.Search + m.Rows + m.Diversify + m.Construct + m.Mutate
+}
+
+// Op is one pre-generated request of the workload: the keyword query it
+// carries (for reporting) and the request body ready to POST. Construct
+// ops are session openers — the runner drives the dialogue to
+// completion at issue time. Mutate ops are templates — the runner
+// substitutes a globally unique key sequence at issue time so replays
+// of the finite op list never collide on primary keys.
+type Op struct {
+	Kind  OpKind
+	Query string
+	Body  []byte
+}
+
+// WorkloadConfig tunes workload generation.
+type WorkloadConfig struct {
+	// Ops is the number of operations to generate (default 512). Runners
+	// cycle through the list, so it bounds variety, not run length.
+	Ops int
+	// Mix weights the request classes (zero value = DefaultMix).
+	Mix Mix
+	// K is the top-k of search/rows/diversify requests (default 10).
+	K    int
+	Seed int64
+}
+
+func (c *WorkloadConfig) defaults() {
+	if c.Ops <= 0 {
+		c.Ops = 512
+	}
+	if c.Mix.total() == 0 {
+		c.Mix = DefaultMix()
+	}
+	if c.K <= 0 {
+		c.K = 10
+	}
+}
+
+// BuildWorkload generates a deterministic mixed op stream against the
+// database: queries are sampled by the datagen workload generators
+// (Zipf-skewed names, multi-concept combinations), so the stream
+// contains the same heavy-tailed query population the paper's query
+// logs exhibit — including the surname pairs whose interpretation
+// fan-out makes row retrieval orders of magnitude more expensive than
+// the median. The same (db, cfg) always yields byte-identical ops.
+func BuildWorkload(db *relstore.Database, kind DatasetKind, cfg WorkloadConfig) ([]Op, error) {
+	cfg.defaults()
+	var intents []datagen.Intent
+	wcfg := datagen.WorkloadConfig{Queries: cfg.Ops, Seed: cfg.Seed}
+	switch kind {
+	case KindMusic:
+		intents = datagen.MusicWorkload(db, wcfg)
+	case KindMovies, "":
+		intents = datagen.MovieWorkload(db, wcfg)
+	default:
+		return nil, fmt.Errorf("loadgen: unknown dataset kind %q", kind)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x1dea))
+	ops := make([]Op, 0, cfg.Ops)
+	for i, in := range intents {
+		q := strings.Join(in.Keywords, " ")
+		var (
+			op   Op
+			body any
+		)
+		switch pickKind(rng, cfg.Mix) {
+		case OpSearch:
+			op = Op{Kind: OpSearch, Query: q}
+			body = keysearch.SearchRequest{Query: q, K: cfg.K}
+		case OpRows:
+			op = Op{Kind: OpRows, Query: q}
+			body = keysearch.RowsRequest{Query: q, K: cfg.K}
+		case OpDiversify:
+			op = Op{Kind: OpDiversify, Query: q}
+			body = keysearch.DiversifyRequest{Query: q, K: cfg.K, Lambda: 0.5}
+		case OpConstruct:
+			op = Op{Kind: OpConstruct, Query: q}
+			body = httpapi.ConstructStepRequest{
+				Action: "start",
+				Start:  &keysearch.ConstructRequest{Query: q},
+			}
+		case OpMutate:
+			op = Op{Kind: OpMutate, Query: q}
+			// Template batch: %d is replaced by a unique sequence number
+			// at issue time (see mutateBody).
+			b, err := json.Marshal(mutateTemplate(kind, i))
+			if err != nil {
+				return nil, err
+			}
+			op.Body = b
+			ops = append(ops, op)
+			continue
+		}
+		b, err := json.Marshal(body)
+		if err != nil {
+			return nil, err
+		}
+		op.Body = b
+		ops = append(ops, op)
+	}
+	return ops, nil
+}
+
+func pickKind(rng *rand.Rand, m Mix) OpKind {
+	n := rng.Intn(m.total())
+	if n -= m.Search; n < 0 {
+		return OpSearch
+	}
+	if n -= m.Rows; n < 0 {
+		return OpRows
+	}
+	if n -= m.Diversify; n < 0 {
+		return OpDiversify
+	}
+	if n -= m.Construct; n < 0 {
+		return OpConstruct
+	}
+	return OpMutate
+}
+
+// mutateTemplate builds an insert batch whose primary keys contain a
+// "%d" placeholder for the issue-time sequence number.
+func mutateTemplate(kind DatasetKind, i int) httpapi.MutateRequest {
+	table, cols := "actor", 2
+	if kind == KindMusic {
+		table, cols = "artist", 2
+	}
+	name := fmt.Sprintf("Loadgen Subject %d", i)
+	values := make([]string, cols)
+	values[0] = "lg-%d"
+	values[1] = name
+	return httpapi.MutateRequest{Mutations: []keysearch.Mutation{{
+		Op:     keysearch.OpInsert,
+		Table:  table,
+		Values: values,
+	}}}
+}
+
+// mutateBody instantiates a mutate template with a unique sequence
+// number, keeping primary keys collision-free across op-list replays.
+func mutateBody(template []byte, seq uint64) []byte {
+	return []byte(strings.ReplaceAll(string(template), "lg-%d", fmt.Sprintf("lg-%d", seq)))
+}

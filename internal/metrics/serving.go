@@ -1,0 +1,105 @@
+package metrics
+
+import "sync/atomic"
+
+// ServingStats is the shared counter block of the HTTP serving path:
+// the admission middleware and the request loop update it with atomic
+// operations, and /healthz snapshots it so operators (and the load
+// generator) can watch in-flight work, queue depth, and shed decisions
+// without locks on the hot path. Gauges track their high-water marks,
+// which is what turns "no unbounded queue growth" into an assertable
+// number.
+type ServingStats struct {
+	inFlight    atomic.Int64
+	maxInFlight atomic.Int64
+	queued      atomic.Int64
+	maxQueued   atomic.Int64
+
+	served           atomic.Int64
+	shedQueueFull    atomic.Int64
+	shedQueueTimeout atomic.Int64
+	deadlineExceeded atomic.Int64
+}
+
+// raiseHighWater lifts hw to at least v.
+func raiseHighWater(hw *atomic.Int64, v int64) {
+	for {
+		cur := hw.Load()
+		if v <= cur || hw.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// StartRequest marks one request admitted into a handler; the returned
+// value is the new in-flight count.
+func (s *ServingStats) StartRequest() int64 {
+	n := s.inFlight.Add(1)
+	raiseHighWater(&s.maxInFlight, n)
+	return n
+}
+
+// EndRequest marks one admitted request finished.
+func (s *ServingStats) EndRequest() {
+	s.inFlight.Add(-1)
+	s.served.Add(1)
+}
+
+// StartQueued marks one request entering the admission wait queue.
+func (s *ServingStats) StartQueued() {
+	n := s.queued.Add(1)
+	raiseHighWater(&s.maxQueued, n)
+}
+
+// EndQueued marks one request leaving the wait queue (admitted, timed
+// out, or abandoned).
+func (s *ServingStats) EndQueued() { s.queued.Add(-1) }
+
+// ShedQueueFull counts one request rejected because the wait queue was
+// at capacity.
+func (s *ServingStats) ShedQueueFull() { s.shedQueueFull.Add(1) }
+
+// ShedQueueTimeout counts one request rejected after waiting the full
+// queue timeout without a slot freeing up.
+func (s *ServingStats) ShedQueueTimeout() { s.shedQueueTimeout.Add(1) }
+
+// DeadlineExceeded counts one admitted request that failed with a
+// deadline-exceeded error (the 504 path).
+func (s *ServingStats) DeadlineExceeded() { s.deadlineExceeded.Add(1) }
+
+// ServingSnapshot is a point-in-time copy of the counters, shaped for
+// JSON embedding in /healthz.
+type ServingSnapshot struct {
+	// InFlight is the number of requests currently inside handlers;
+	// MaxInFlight is its high-water mark since start.
+	InFlight    int64 `json:"in_flight"`
+	MaxInFlight int64 `json:"max_in_flight"`
+	// Queued is the number of requests waiting in the admission queue;
+	// MaxQueued is its high-water mark (bounded by the queue capacity
+	// whenever the gate is working).
+	Queued    int64 `json:"queued"`
+	MaxQueued int64 `json:"max_queued"`
+	// Served counts admitted requests that ran to completion.
+	Served int64 `json:"served_total"`
+	// ShedQueueFull and ShedQueueTimeout count rejected requests by
+	// shed reason (instant 429s and waited-then-503s respectively).
+	ShedQueueFull    int64 `json:"shed_queue_full"`
+	ShedQueueTimeout int64 `json:"shed_queue_timeout"`
+	// DeadlineExceeded counts admitted requests that hit a deadline
+	// (the 504 responses).
+	DeadlineExceeded int64 `json:"deadline_exceeded_total"`
+}
+
+// Snapshot copies the current counter values.
+func (s *ServingStats) Snapshot() ServingSnapshot {
+	return ServingSnapshot{
+		InFlight:         s.inFlight.Load(),
+		MaxInFlight:      s.maxInFlight.Load(),
+		Queued:           s.queued.Load(),
+		MaxQueued:        s.maxQueued.Load(),
+		Served:           s.served.Load(),
+		ShedQueueFull:    s.shedQueueFull.Load(),
+		ShedQueueTimeout: s.shedQueueTimeout.Load(),
+		DeadlineExceeded: s.deadlineExceeded.Load(),
+	}
+}
