@@ -7,7 +7,7 @@ GO ?= go
 
 .PHONY: build test race vet fmt lint staticcheck fuzz fuzz-smoke \
 	bench bench-quick bench-exec bench-mut bench-dur bench-load \
-	bench-guard loadtest golden check
+	bench-adm bench-guard loadtest golden check cover
 
 build:
 	$(GO) build ./...
@@ -15,8 +15,11 @@ build:
 test:
 	$(GO) test ./...
 
+# -shuffle=on randomises test (and subtest) execution order, so
+# accidental inter-test state dependencies surface in CI instead of in
+# the field; the seed is printed on failure for reproduction.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...
@@ -73,6 +76,13 @@ bench-dur:
 bench-load:
 	$(GO) run ./cmd/bench -only load -load-out BENCH_load.json
 
+# bench-adm runs the adaptive-admission grid (static gate hand-placed
+# at the measured knee vs the AIMD governor discovering it vs no gate,
+# each 8x-oversubscribed) on a ~1M-row dataset. Like bench-load it
+# takes minutes and is not part of `make bench`; CI runs -quick.
+bench-adm:
+	$(GO) run ./cmd/bench -only admission -adm-out BENCH_admission.json
+
 # loadtest is an interactive closed-loop run against an in-process
 # server; see cmd/loadtest -help for open-loop, saturation, and
 # external-server modes.
@@ -96,6 +106,19 @@ bench-guard:
 # Plain `make test` fails if golden files drift without this.
 golden:
 	$(GO) test -run TestGolden . -update
+
+# cover enforces a coverage floor on the control-plane packages whose
+# correctness is all edge cases: the admission governor and the metrics
+# histograms. 85% is a floor, not a target — new branches in these
+# packages arrive with tests or fail CI.
+cover:
+	@for pkg in internal/admission internal/metrics; do \
+		$(GO) test -coverprofile=/tmp/cover_gate.out ./$$pkg >/dev/null || exit 1; \
+		pct=$$($(GO) tool cover -func=/tmp/cover_gate.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+		echo "$$pkg coverage: $$pct%"; \
+		awk -v p="$$pct" 'BEGIN { exit (p+0 < 85) ? 1 : 0 }' || \
+			{ echo "FAIL: $$pkg coverage $$pct% is below the 85% floor"; exit 1; }; \
+	done
 
 # check is the CI test job: vet + build + race-enabled tests.
 check: vet build race

@@ -14,19 +14,24 @@
 //   - the serving-path load legs (closed-loop saturation ramp over real
 //     HTTP, an open-loop coordinated-omission-honest steady-state leg,
 //     and an 8×-oversubscribed run against an admission-gated server)
-//     → BENCH_load.json.
+//     → BENCH_load.json, and
+//   - the adaptive-admission legs (static gate hand-placed at the
+//     measured knee vs the AIMD governor discovering it vs no gate at
+//     all, each 8×-oversubscribed) → BENCH_admission.json.
 //
 // Usage:
 //
 //	go run ./cmd/bench [-out BENCH_pipeline.json] [-exec-out BENCH_executor.json]
 //	                   [-mut-out BENCH_mutations.json] [-dur-out BENCH_durability.json]
-//	                   [-load-out BENCH_load.json] [-load-rows 1000000]
-//	                   [-only all|pipeline|executor|mutate|durable|load[,...]] [-quick]
+//	                   [-load-out BENCH_load.json] [-adm-out BENCH_admission.json]
+//	                   [-load-rows 1000000]
+//	                   [-only all|pipeline|executor|mutate|durable|load|admission[,...]] [-quick]
 //	                   [-compare base1.json[,base2.json...]] [-threshold 0.25]
 //
-// The load grid is NOT part of -only all: it generates a million-row
-// dataset and runs for minutes, so it is requested explicitly
-// (-only load, or -only all,load). -quick shrinks it to CI size.
+// The load and admission grids are NOT part of -only all: each
+// generates a million-row dataset and runs for minutes, so they are
+// requested explicitly (-only load, -only admission, or -only
+// all,load,admission). -quick shrinks them to CI size.
 //
 // The output records ns/op, allocations, and speedups against each grid's
 // baseline (sequential for the pipeline, scan for the executor, full
@@ -56,6 +61,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/benchadm"
 	"repro/internal/benchdur"
 	"repro/internal/benchexec"
 	"repro/internal/benchload"
@@ -107,6 +113,15 @@ type loadReport struct {
 	NumCPU      int    `json:"num_cpu"`
 	GOMAXPROCS  int    `json:"gomaxprocs"`
 	*benchload.Report
+}
+
+// admissionReport is the top-level shape of BENCH_admission.json.
+type admissionReport struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	NumCPU      int    `json:"num_cpu"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	*benchadm.Report
 }
 
 // speedups extracts the machine-transferable metric of one report as
@@ -165,14 +180,25 @@ func loadSpeedups(rows []benchload.Row) speedups {
 	return out
 }
 
+func admissionSpeedups(rows []benchadm.Row) speedups {
+	out := make(speedups)
+	for _, r := range rows {
+		if r.GoodputVsStaticKnee > 0 {
+			out[r.Name] = r.GoodputVsStaticKnee
+		}
+	}
+	return out
+}
+
 func main() {
 	out := flag.String("out", "BENCH_pipeline.json", "pipeline grid output file")
 	execOut := flag.String("exec-out", "BENCH_executor.json", "executor legs output file")
 	mutOut := flag.String("mut-out", "BENCH_mutations.json", "mutation legs output file")
 	durOut := flag.String("dur-out", "BENCH_durability.json", "durability legs output file")
 	loadOut := flag.String("load-out", "BENCH_load.json", "serving-path load legs output file")
-	loadRows := flag.Int("load-rows", 0, "load grid dataset size in rows (default 1000000, or 25000 with -quick)")
-	only := flag.String("only", "all", "comma-separated grids to run: all, pipeline, executor, mutate, durable, load (load is not in all)")
+	admOut := flag.String("adm-out", "BENCH_admission.json", "adaptive-admission legs output file")
+	loadRows := flag.Int("load-rows", 0, "load/admission grid dataset size in rows (default 1000000, or 25000 with -quick)")
+	only := flag.String("only", "all", "comma-separated grids to run: all, pipeline, executor, mutate, durable, load, admission (load and admission are not in all)")
 	quick := flag.Bool("quick", false, "run the trimmed quick pipeline grid")
 	compare := flag.String("compare", "", "comma-separated baseline BENCH_*.json files to guard against (see Regression guard)")
 	threshold := flag.Float64("threshold", 0.25, "maximum tolerated relative speedup regression vs the baseline")
@@ -183,11 +209,11 @@ func main() {
 		switch part = strings.TrimSpace(part); part {
 		case "all":
 			want["pipeline"], want["executor"], want["mutate"], want["durable"] = true, true, true, true
-		case "pipeline", "executor", "mutate", "durable", "load":
+		case "pipeline", "executor", "mutate", "durable", "load", "admission":
 			want[part] = true
 		case "":
 		default:
-			log.Fatalf("unknown -only value %q (want all, pipeline, executor, mutate, durable, or load)", part)
+			log.Fatalf("unknown -only value %q (want all, pipeline, executor, mutate, durable, load, or admission)", part)
 		}
 	}
 	if len(want) == 0 {
@@ -333,6 +359,33 @@ func main() {
 		fresh["load"] = loadSpeedups(rep.Rows)
 	}
 
+	if want["admission"] {
+		log.Printf("running adaptive-admission legs (quick=%v)...", *quick)
+		rep, err := benchadm.Measure(benchadm.Config{
+			Quick:      *quick,
+			TargetRows: *loadRows,
+		}, log.Printf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeJSON(*admOut, admissionReport{
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			GoVersion:   runtime.Version(),
+			NumCPU:      runtime.NumCPU(),
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			Report:      rep,
+		})
+		for _, r := range rep.Rows {
+			extra := ""
+			if r.GoodputVsStaticKnee > 0 {
+				extra = fmt.Sprintf("  goodput/static-knee %.2f", r.GoodputVsStaticKnee)
+			}
+			log.Printf("%-16s %8.0f good/s  p50 %7.1fms  p99 %8.1fms%s", r.Name, r.GoodputRPS, r.P50MS, r.P99MS, extra)
+		}
+		log.Printf("wrote %s", *admOut)
+		fresh["admission"] = admissionSpeedups(rep.Rows)
+	}
+
 	// Regression guard: every baseline row's speedup must be within
 	// threshold of the fresh measurement.
 	failed := false
@@ -387,6 +440,15 @@ func loadBaseline(path string) (string, speedups, error) {
 		return false
 	}
 	switch {
+	// goodput_vs_static_knee must be probed before goodput_vs_saturation:
+	// both are loadgen-derived reports and a future shape could carry
+	// both columns, in which case the more specific admission guard wins.
+	case has("goodput_vs_static_knee"):
+		var rep admissionReport
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			return "", nil, fmt.Errorf("baseline %s: %w", path, err)
+		}
+		return "admission", admissionSpeedups(rep.Rows), nil
 	case has("goodput_vs_saturation"):
 		var rep loadReport
 		if err := json.Unmarshal(raw, &rep); err != nil {

@@ -8,13 +8,20 @@
 //	                   [-mutable] [-data-dir DIR]
 //	                   [-max-concurrent N] [-max-queue N] [-queue-timeout 1s]
 //	                   [-request-timeout 5s]
+//	                   [-adaptive] [-adapt-min N] [-adapt-max N] [-adapt-window 500ms]
 //
-// The last four flags are the overload protection of the serving path:
-// -max-concurrent bounds requests executing at once, -max-queue bounds
-// the wait line (excess is shed with 429, expired waits with 503, both
-// with Retry-After), and -request-timeout gives every /v1/ request a
-// default deadline that propagates through the engine and maps to 504.
-// All are off by default; /healthz reports limits and shed counters.
+// The overload protection of the serving path comes in two modes.
+// Static: -max-concurrent bounds requests executing at once,
+// -max-queue bounds the wait line (excess is shed with 429, expired
+// waits with 503, both with Retry-After), and -request-timeout gives
+// every /v1/ request a default deadline that propagates through the
+// engine and maps to 504. Adaptive: -adaptive replaces the static
+// limit with the AIMD governor (docs/admission.md) — the concurrency
+// limit self-tunes between -adapt-min and -adapt-max from windowed
+// p99 observations (-adapt-window), and under queue pressure the
+// estimated-heaviest waiters are shed first. -max-queue and
+// -queue-timeout size the adaptive queue too. All are off by default;
+// /healthz reports limits, controller state, and shed counters.
 //
 // Quickstart:
 //
@@ -46,6 +53,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -71,6 +79,10 @@ func main() {
 	maxQueue := flag.Int("max-queue", 0, "cap on /v1/ requests waiting for a slot; excess shed with 429 (with -max-concurrent)")
 	queueTimeout := flag.Duration("queue-timeout", time.Second, "longest a request may wait for a slot before a 503 shed (with -max-concurrent)")
 	requestTimeout := flag.Duration("request-timeout", 0, "default per-request deadline on /v1/ endpoints, 504 on expiry (0 = none)")
+	adaptive := flag.Bool("adaptive", false, "self-tune the concurrency limit (AIMD governor with cost-aware shedding; supersedes -max-concurrent)")
+	adaptMin := flag.Int("adapt-min", 2, "adaptive concurrency floor (with -adaptive)")
+	adaptMax := flag.Int("adapt-max", 0, "adaptive concurrency ceiling (with -adaptive; 0 = 8x GOMAXPROCS)")
+	adaptWindow := flag.Duration("adapt-window", 500*time.Millisecond, "adaptive control-loop window (with -adaptive)")
 	flag.Parse()
 
 	opts := []keysearch.Option{
@@ -97,6 +109,13 @@ func main() {
 		eng.NumTables(), eng.NumRows(), eng.NumTemplates(), eng.Parallelism(), eng.MutationsEnabled(),
 		eng.Durable(), eng.Epoch())
 
+	adaptCeiling := 0 // 0 when -adaptive is off: governor disabled
+	if *adaptive {
+		adaptCeiling = *adaptMax
+		if adaptCeiling <= 0 {
+			adaptCeiling = 8 * runtime.GOMAXPROCS(0)
+		}
+	}
 	srv := httpapi.New(eng,
 		httpapi.WithSessionTTL(*ttl),
 		httpapi.WithMaxSessions(*maxSessions),
@@ -105,9 +124,20 @@ func main() {
 			MaxQueue:      *maxQueue,
 			QueueTimeout:  *queueTimeout,
 		}),
+		httpapi.WithAdaptiveAdmission(httpapi.AdaptiveConfig{
+			MinConcurrent: *adaptMin,
+			MaxConcurrent: adaptCeiling,
+			MaxQueue:      *maxQueue,
+			QueueTimeout:  *queueTimeout,
+			Window:        *adaptWindow,
+		}),
 		httpapi.WithRequestTimeout(*requestTimeout),
 	)
-	if *maxConcurrent > 0 {
+	switch {
+	case *adaptive:
+		log.Printf("admission: adaptive, limit %d..%d, window %v, max-queue %d, queue-timeout %v",
+			*adaptMin, adaptCeiling, *adaptWindow, *maxQueue, *queueTimeout)
+	case *maxConcurrent > 0:
 		log.Printf("admission: max-concurrent %d, max-queue %d, queue-timeout %v",
 			*maxConcurrent, *maxQueue, *queueTimeout)
 	}

@@ -1,0 +1,31 @@
+package keysearch
+
+// EstimateCost returns a cheap, admission-grade cost estimate for a
+// keyword query: the total posting-list mass (attribute-level document
+// frequencies summed over every attribute each keyword occurs in) on
+// the current snapshot. The estimate is what the compiled-plan layer
+// would go on to enumerate — candidate sets are posting-list driven —
+// so it separates sub-millisecond selective lookups from heavy-tail
+// multi-join queries by orders of magnitude without planning anything.
+// It never executes plans, allocates per-keyword only, and is safe to
+// call on the request path before admission.
+//
+// The floor is 1 (an unparseable or unknown-term query costs one
+// unit); a nil or un-built engine also reports 1.
+func (e *Engine) EstimateCost(keywords string) int64 {
+	s := e.current()
+	if s == nil {
+		return 1
+	}
+	toks, _ := parseLabeled(keywords)
+	var cost int64
+	for _, tok := range toks {
+		for _, p := range s.ix.Lookup(tok) {
+			cost += int64(p.DocCount)
+		}
+	}
+	if cost < 1 {
+		cost = 1
+	}
+	return cost
+}

@@ -1,0 +1,365 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	keysearch "repro"
+)
+
+// respRecord is one observed response for the differential test.
+type respRecord struct {
+	status     int
+	body       string
+	retryAfter string
+}
+
+// differentialSequence exercises every deterministic response shape:
+// success paths, validation errors, a forbidden mutation, a missing
+// construct session, and /healthz. Construction "start" is excluded —
+// its session IDs are random by design.
+func differentialSequence(t *testing.T, eng *keysearch.Engine) []struct{ method, path, body string } {
+	t.Helper()
+	return []struct{ method, path, body string }{
+		{"POST", "/v1/search", searchBody(t, eng)},
+		{"POST", "/v1/diversify", strings.Replace(searchBody(t, eng), `"k":3`, `"k":2`, 1)},
+		{"POST", "/v1/rows", searchBody(t, eng)},
+		{"POST", "/v1/search", `{"query":`},                                  // malformed JSON
+		{"POST", "/v1/mutate", `{"mutations":[]}`},                           // immutable engine: 403
+		{"POST", "/v1/construct", `{"action":"bogus"}`},                      // unknown action
+		{"POST", "/v1/construct", `{"action":"accept","session_id":"nope"}`}, // 404
+		{"GET", "/v1/keywords?prefix=a&limit=3", ""},
+		{"GET", "/healthz", ""},
+	}
+}
+
+func runSequence(t *testing.T, base string, seq []struct{ method, path, body string }) []respRecord {
+	t.Helper()
+	out := make([]respRecord, 0, len(seq))
+	for _, step := range seq {
+		req, err := http.NewRequest(step.method, base+step.path, strings.NewReader(step.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, respRecord{
+			status:     resp.StatusCode,
+			body:       string(body),
+			retryAfter: resp.Header.Get("Retry-After"),
+		})
+	}
+	return out
+}
+
+// TestAdaptiveDisabledIsByteIdentical is the PR acceptance
+// differential: a server carrying WithAdaptiveAdmission with the
+// governor disabled (MaxConcurrent 0) must answer byte-for-byte like
+// the plain PR 6 static gate — same bodies, same statuses, same
+// Retry-After, same /healthz shape. Both construction orders are
+// checked so neither server's initialisation can leak into the other.
+func TestAdaptiveDisabledIsByteIdentical(t *testing.T) {
+	eng := demoEngine(t)
+	static := AdmissionConfig{MaxConcurrent: 2, MaxQueue: 2, QueueTimeout: time.Second}
+	seq := differentialSequence(t, eng)
+
+	for _, order := range []string{"static-first", "disabled-first"} {
+		t.Run(order, func(t *testing.T) {
+			build := func(withDisabledGovernor bool) *httptest.Server {
+				opts := []Option{WithAdmission(static)}
+				if withDisabledGovernor {
+					opts = append(opts, WithAdaptiveAdmission(AdaptiveConfig{MaxConcurrent: 0}))
+				}
+				return httptest.NewServer(New(eng, opts...))
+			}
+			var a, b *httptest.Server
+			if order == "static-first" {
+				a, b = build(false), build(true)
+			} else {
+				b, a = build(true), build(false)
+			}
+			defer a.Close()
+			defer b.Close()
+
+			got := runSequence(t, b.URL, seq)
+			want := runSequence(t, a.URL, seq)
+			for i := range seq {
+				if got[i] != want[i] {
+					t.Errorf("step %d %s %s diverged:\nstatic:   %d %q (Retry-After %q)\ndisabled: %d %q (Retry-After %q)",
+						i, seq[i].method, seq[i].path,
+						want[i].status, want[i].body, want[i].retryAfter,
+						got[i].status, got[i].body, got[i].retryAfter)
+				}
+			}
+		})
+	}
+}
+
+// adaptiveTestServer builds a governed server whose handler blocks on
+// demand: requests carrying the release channel wait inside the
+// handler so tests control slot occupancy deterministically.
+func adaptiveTestServer(t *testing.T, eng *keysearch.Engine, cfg AdaptiveConfig, hold chan struct{}, entered chan struct{}) *httptest.Server {
+	t.Helper()
+	srv := New(eng,
+		WithAdaptiveAdmission(cfg),
+		WithHandlerWrapper(func(next http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if r.Header.Get("X-Block") != "" {
+					entered <- struct{}{}
+					<-hold
+				}
+				next.ServeHTTP(w, r)
+			})
+		}))
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postSearch(t *testing.T, url, body string, block bool) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest("POST", url+"/v1/search", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if block {
+		req.Header.Set("X-Block", "1")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestAdaptiveShedCarriesDrainHintAndHeadroom: with the single slot
+// held and no queue, the next request sheds with 429 queue_full, a
+// Retry-After header, and the adaptive extras — current limit and
+// headroom to the ceiling — in the body.
+func TestAdaptiveShedCarriesDrainHintAndHeadroom(t *testing.T) {
+	eng := demoEngine(t)
+	hold := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	ts := adaptiveTestServer(t, eng, AdaptiveConfig{
+		MinConcurrent: 1, MaxConcurrent: 8, InitialConcurrent: 1,
+		MaxQueue: 0, Window: time.Hour,
+	}, hold, entered)
+
+	body := searchBody(t, eng)
+	done := make(chan *http.Response, 1)
+	go func() { done <- postSearch(t, ts.URL, body, true) }()
+	<-entered // the only slot is now occupied
+
+	resp := postSearch(t, ts.URL, body, false)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After header")
+	}
+	var er ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Code != "queue_full" {
+		t.Fatalf("code = %q, want queue_full", er.Code)
+	}
+	if er.Limit != 1 {
+		t.Fatalf("shed body limit = %d, want 1", er.Limit)
+	}
+	if er.LimitHeadroom == nil || *er.LimitHeadroom != 7 {
+		t.Fatalf("shed body headroom = %v, want 7", er.LimitHeadroom)
+	}
+	if er.RetryAfterSeconds < 1 {
+		t.Fatalf("retry_after_seconds = %d, want >= 1", er.RetryAfterSeconds)
+	}
+
+	close(hold)
+	first := <-done
+	first.Body.Close()
+	if first.StatusCode != http.StatusOK {
+		t.Fatalf("blocked request finished %d, want 200", first.StatusCode)
+	}
+}
+
+// TestAdaptiveEvictsHeavyForCheap drives the cost-aware path over real
+// HTTP: with the slot held and a one-deep queue occupied by a heavy
+// query, a cheap newcomer evicts it (heavy gets 429 queue_evicted) and
+// is served once the slot frees.
+func TestAdaptiveEvictsHeavyForCheap(t *testing.T) {
+	eng := demoEngine(t)
+	hold := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	ts := adaptiveTestServer(t, eng, AdaptiveConfig{
+		MinConcurrent: 1, MaxConcurrent: 4, InitialConcurrent: 1,
+		MaxQueue: 1, QueueTimeout: 10 * time.Second, Window: time.Hour,
+		CostBands: []int64{2}, // cost 1 = cheap band, real queries are heavy
+	}, hold, entered)
+
+	// Occupy the slot.
+	blockedDone := make(chan *http.Response, 1)
+	go func() { blockedDone <- postSearch(t, ts.URL, searchBody(t, eng), true) }()
+	<-entered
+
+	// Queue a heavy query (a real corpus keyword: posting mass >= 2).
+	heavyBody := searchBody(t, eng)
+	cheapKeyword := findCheapKeyword(t, eng)
+	heavyDone := make(chan *http.Response, 1)
+	go func() { heavyDone <- postSearch(t, ts.URL, heavyBody, false) }()
+	waitFor(t, func() bool {
+		return getHealth(t, http.DefaultClient, ts.URL).Adaptive.Queued == 1
+	})
+
+	// The cheap newcomer takes the heavy waiter's place...
+	cheapDone := make(chan *http.Response, 1)
+	go func() {
+		cheapDone <- postSearch(t, ts.URL, fmt.Sprintf(`{"query":%q,"k":3}`, cheapKeyword), false)
+	}()
+	heavy := <-heavyDone
+	defer heavy.Body.Close()
+	if heavy.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("heavy waiter status = %d, want 429", heavy.StatusCode)
+	}
+	var er ErrorResponse
+	if err := json.NewDecoder(heavy.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Code != "queue_evicted" {
+		t.Fatalf("heavy waiter code = %q, want queue_evicted", er.Code)
+	}
+
+	// ...and is served when the slot frees.
+	close(hold)
+	blocked := <-blockedDone
+	blocked.Body.Close()
+	cheap := <-cheapDone
+	defer cheap.Body.Close()
+	if cheap.StatusCode != http.StatusOK {
+		t.Fatalf("cheap newcomer status = %d, want 200", cheap.StatusCode)
+	}
+
+	h := getHealth(t, http.DefaultClient, ts.URL)
+	if h.Adaptive == nil || !h.Adaptive.Enabled {
+		t.Fatal("healthz missing adaptive block on a governed server")
+	}
+	if len(h.Adaptive.Bands) != 2 {
+		t.Fatalf("bands = %d, want 2", len(h.Adaptive.Bands))
+	}
+	if h.Adaptive.Bands[1].Evicted != 1 {
+		t.Fatalf("heavy band evicted = %d, want 1\nbands: %+v", h.Adaptive.Bands[1].Evicted, h.Adaptive.Bands)
+	}
+}
+
+// findCheapKeyword scans the corpus for a keyword whose posting mass
+// is the cost floor (a token occurring exactly once in one attribute)
+// — the cheapest real query the engine can serve.
+func findCheapKeyword(t *testing.T, eng *keysearch.Engine) string {
+	t.Helper()
+	for _, p := range "abcdefghijklmnopqrstuvwxyz0123456789" {
+		for _, k := range eng.Keywords(string(p), 500) {
+			if eng.EstimateCost(k) == 1 {
+				return k
+			}
+		}
+	}
+	t.Fatal("demo corpus has no cost-1 keyword")
+	return ""
+}
+
+// waitFor polls a condition with a bounded deadline (observability
+// only — the admission decisions themselves are deterministic).
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAdaptiveHealthAndDefaults: a governed server reports controller
+// state on /healthz, derives cost bands from the corpus, and accounts
+// every admitted request in the band counters.
+func TestAdaptiveHealthAndDefaults(t *testing.T) {
+	eng := demoEngine(t)
+	srv := New(eng, WithAdaptiveAdmission(AdaptiveConfig{MaxConcurrent: 8}))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	const n = 5
+	body := searchBody(t, eng)
+	for i := 0; i < n; i++ {
+		resp, err := http.Post(ts.URL+"/v1/search", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	h := getHealth(t, http.DefaultClient, ts.URL)
+	a := h.Adaptive
+	if a == nil || !a.Enabled {
+		t.Fatal("adaptive block missing")
+	}
+	if a.Limit < 2 || a.Limit > 8 || a.MinLimit != 2 || a.MaxLimit != 8 {
+		t.Fatalf("controller bounds: %+v", a.ControllerState)
+	}
+	if len(a.Bands) != 3 { // derived p50/p90 bounds = 3 bands
+		t.Fatalf("derived bands = %d, want 3: %+v", len(a.Bands), a.Bands)
+	}
+	var admitted int64
+	for _, b := range a.Bands {
+		admitted += b.Admitted
+	}
+	if admitted != n {
+		t.Fatalf("band admitted total = %d, want %d", admitted, n)
+	}
+	if a.AvgServiceMS <= 0 {
+		t.Fatalf("avg service not observed: %+v", a)
+	}
+}
+
+// TestEstimateCostSeparatesQueries pins the admission-grade cost
+// signal end to end: unknown keywords cost the floor, corpus keywords
+// carry posting mass, and stacking keywords stacks cost.
+func TestEstimateCostSeparatesQueries(t *testing.T) {
+	eng := demoEngine(t)
+	if got := eng.EstimateCost(""); got != 1 {
+		t.Fatalf("empty query cost = %d, want 1", got)
+	}
+	if got := eng.EstimateCost("zzz-no-such-keyword"); got != 1 {
+		t.Fatalf("unknown keyword cost = %d, want 1", got)
+	}
+	qs := eng.SampleQueries(2)
+	if len(qs) < 2 {
+		t.Fatal("demo corpus has no sample queries")
+	}
+	c0 := eng.EstimateCost(qs[0])
+	if c0 < 2 {
+		t.Fatalf("ambiguous corpus keyword cost = %d, want >= 2", c0)
+	}
+	both := eng.EstimateCost(fmt.Sprintf("%s %s", qs[0], qs[1]))
+	if both != c0+eng.EstimateCost(qs[1]) {
+		t.Fatalf("cost not additive over keywords: %d + %d != %d",
+			c0, eng.EstimateCost(qs[1]), both)
+	}
+}

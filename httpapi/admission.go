@@ -164,6 +164,10 @@ func (r *statusRecorder) WriteHeader(status int) {
 // path: admission gate (when configured), in-flight accounting, and the
 // default per-request deadline.
 func (s *Server) serveAdmitted(w http.ResponseWriter, r *http.Request) {
+	if s.agov != nil {
+		s.serveAdaptive(w, r)
+		return
+	}
 	if s.gate != nil {
 		release, ok := s.gate.admit(w, r)
 		if !ok {

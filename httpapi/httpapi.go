@@ -71,6 +71,7 @@ import (
 	"time"
 
 	keysearch "repro"
+	"repro/internal/admission"
 	"repro/internal/metrics"
 )
 
@@ -83,6 +84,13 @@ type ErrorResponse struct {
 	Error             string `json:"error"`
 	Code              string `json:"code,omitempty"`
 	RetryAfterSeconds int64  `json:"retry_after_seconds,omitempty"`
+	// Limit and LimitHeadroom are set on adaptive-governor sheds
+	// (WithAdaptiveAdmission): the controller's current concurrency
+	// limit and the room left to its configured ceiling — headroom 0
+	// tells a client the server is already as wide open as it will
+	// get. Static-gate sheds omit both.
+	Limit         int  `json:"limit,omitempty"`
+	LimitHeadroom *int `json:"limit_headroom,omitempty"`
 }
 
 // KeywordsResponse answers GET /v1/keywords.
@@ -111,6 +119,10 @@ type HealthResponse struct {
 	WALBatches     int             `json:"wal_batches"`
 	LastCheckpoint uint64          `json:"last_checkpoint_epoch"`
 	Admission      AdmissionHealth `json:"admission"`
+	// Adaptive reports the self-sizing governor's controller state and
+	// per-cost-band shed counters; omitted entirely when the governor
+	// is disabled, so the static-gate health shape is unchanged.
+	Adaptive *AdaptiveHealth `json:"adaptive,omitempty"`
 }
 
 // AdmissionHealth is the /healthz view of the serving path: the
@@ -217,6 +229,13 @@ type Server struct {
 	reqTimeout time.Duration
 	stats      *metrics.ServingStats
 
+	// Adaptive governor (see adaptive.go): when enabled it supersedes
+	// the static gate on the /v1/ path. agov/agate are nil when off.
+	adaptive   AdaptiveConfig
+	adaptiveOn bool
+	agate      *admission.Gate
+	agov       *admission.Governor
+
 	mu       sync.Mutex
 	sessions map[string]*constructSession
 }
@@ -242,6 +261,11 @@ func New(eng *keysearch.Engine, opts ...Option) *Server {
 	}
 	for _, o := range opts {
 		o(s)
+	}
+	if s.adaptiveOn {
+		// Built after the option loop so the governor sees the final
+		// clock (WithClock) and engine configuration.
+		s.initAdaptive()
 	}
 	if s.maxSessions < 1 {
 		s.maxSessions = 1 // a non-positive cap would make eviction spin forever
@@ -274,6 +298,7 @@ func New(eng *keysearch.Engine, opts ...Option) *Server {
 				RequestTimeoutMS: s.reqTimeout.Milliseconds(),
 				ServingSnapshot:  s.stats.Snapshot(),
 			},
+			Adaptive: s.adaptiveHealth(),
 		})
 	})
 	s.handler = s.mux

@@ -1,0 +1,334 @@
+package admission
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Outcome is the result of a Gate.Acquire call.
+type Outcome int
+
+const (
+	// Admitted: the caller holds a slot and must call the returned
+	// release function when done.
+	Admitted Outcome = iota
+	// RejectedQueueFull: the queue was full and no queued waiter was
+	// estimated more expensive than the caller, so the caller was
+	// turned away immediately.
+	RejectedQueueFull
+	// Evicted: the caller was queued but later pushed out by queue
+	// pressure from a cheaper request (heaviest-first shedding).
+	Evicted
+	// TimedOut: the caller waited QueueTimeout without a slot
+	// freeing up.
+	TimedOut
+	// Canceled: the caller's context ended while it was queued.
+	Canceled
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Admitted:
+		return "admitted"
+	case RejectedQueueFull:
+		return "queue_full"
+	case Evicted:
+		return "queue_evicted"
+	case TimedOut:
+		return "queue_timeout"
+	default:
+		return "canceled"
+	}
+}
+
+// GateConfig sizes the resizable cost-banded gate.
+type GateConfig struct {
+	// Limit is the initial number of concurrent slots; resize later
+	// with SetLimit. Defaults to 1.
+	Limit int
+	// MaxQueue bounds the total number of queued waiters across all
+	// bands. 0 means no queue: every request past the limit is shed.
+	MaxQueue int
+	// QueueTimeout bounds how long a waiter may queue. 0 means no
+	// timeout.
+	QueueTimeout time.Duration
+	// BandBounds are the ascending exclusive upper cost bounds of the
+	// cheap bands: a request with cost < BandBounds[i] (and >= the
+	// previous bound) lands in band i; costs >= the last bound land
+	// in the final band. len(BandBounds)+1 bands in total. Empty
+	// means a single band, i.e. plain FIFO.
+	BandBounds []int64
+	// Stats, when set, keeps the serving-path queued gauge live so
+	// /healthz reports adaptive queue depth the same way the static
+	// gate does.
+	Stats *metrics.ServingStats
+}
+
+// waiter is one queued Acquire call. done is buffered so the resolver
+// (dispatch, eviction, timeout) never blocks on a racing receiver.
+type waiter struct {
+	cost  int64
+	band  int
+	seq   uint64
+	done  chan Outcome
+	timer *time.Timer
+}
+
+// BandStats are the per-cost-band admission counters.
+type BandStats struct {
+	// Bound is the exclusive upper cost bound of the band; 0 on the
+	// last (unbounded) band.
+	Bound    int64 `json:"bound,omitempty"`
+	Queued   int   `json:"queued"`
+	Admitted int64 `json:"admitted"`
+	Rejected int64 `json:"rejected"`
+	Evicted  int64 `json:"evicted"`
+	TimedOut int64 `json:"timed_out"`
+	Canceled int64 `json:"canceled"`
+}
+
+// Sheds returns the total requests of this band turned away for
+// queue-pressure reasons (full, evicted, timed out).
+func (b BandStats) Sheds() int64 { return b.Rejected + b.Evicted + b.TimedOut }
+
+type bandState struct {
+	q []*waiter
+	BandStats
+}
+
+// Gate is a resizable concurrency limiter with cost-banded queueing.
+// Within a band, waiters are strict FIFO; dispatch across bands picks
+// the globally oldest waiter, so bands do not starve each other while
+// slots exist. Only under queue *pressure* does cost matter: when the
+// queue is full, the youngest waiter of the heaviest backlogged band
+// is evicted to make room for a cheaper newcomer, and a newcomer at
+// least as heavy as every queued waiter is rejected outright.
+type Gate struct {
+	mu       sync.Mutex
+	cfg      GateConfig
+	limit    int
+	inFlight int
+	queued   int
+	seq      uint64
+	bands    []*bandState
+}
+
+// NewGate builds a gate with the configured initial limit.
+func NewGate(cfg GateConfig) *Gate {
+	if cfg.Limit < 1 {
+		cfg.Limit = 1
+	}
+	if cfg.MaxQueue < 0 {
+		cfg.MaxQueue = 0
+	}
+	bands := make([]*bandState, len(cfg.BandBounds)+1)
+	for i := range bands {
+		bands[i] = &bandState{}
+		if i < len(cfg.BandBounds) {
+			bands[i].Bound = cfg.BandBounds[i]
+		}
+	}
+	return &Gate{cfg: cfg, limit: cfg.Limit, bands: bands}
+}
+
+func (g *Gate) bandOf(cost int64) int {
+	for i, bound := range g.cfg.BandBounds {
+		if cost < bound {
+			return i
+		}
+	}
+	return len(g.cfg.BandBounds)
+}
+
+// Limit returns the current slot count.
+func (g *Gate) Limit() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.limit
+}
+
+// SetLimit resizes the gate. Growing dispatches queued waiters into
+// the new slots immediately; shrinking lets in-flight requests drain
+// naturally (no running request is interrupted).
+func (g *Gate) SetLimit(n int) {
+	if n < 1 {
+		n = 1
+	}
+	g.mu.Lock()
+	g.limit = n
+	g.dispatchLocked()
+	g.mu.Unlock()
+}
+
+// Acquire claims a slot for a request with the given estimated cost,
+// queueing when the gate is at its limit. The returned release
+// function is non-nil iff the outcome is Admitted and must be called
+// exactly once when the request finishes.
+func (g *Gate) Acquire(ctx context.Context, cost int64) (release func(), out Outcome) {
+	g.mu.Lock()
+	band := g.bandOf(cost)
+	if g.inFlight < g.limit && g.queued == 0 {
+		g.inFlight++
+		g.bands[band].Admitted++
+		g.mu.Unlock()
+		return g.releaseOnce(), Admitted
+	}
+	if g.queued >= g.cfg.MaxQueue {
+		// Queue pressure: shed by estimated cost. Find the victim —
+		// the youngest waiter of the heaviest backlogged band — and
+		// evict it only if the newcomer is strictly cheaper-banded;
+		// otherwise the newcomer itself is the heaviest and bounces.
+		v := g.victimLocked()
+		if v == nil || v.band <= band {
+			g.bands[band].Rejected++
+			g.mu.Unlock()
+			return nil, RejectedQueueFull
+		}
+		g.removeLocked(v)
+		g.bands[v.band].Evicted++
+		v.done <- Evicted
+	}
+	g.seq++
+	w := &waiter{cost: cost, band: band, seq: g.seq, done: make(chan Outcome, 1)}
+	g.bands[band].q = append(g.bands[band].q, w)
+	g.queued++
+	if g.cfg.Stats != nil {
+		g.cfg.Stats.StartQueued()
+	}
+	if g.cfg.QueueTimeout > 0 {
+		w.timer = time.AfterFunc(g.cfg.QueueTimeout, func() { g.expire(w) })
+	}
+	g.mu.Unlock()
+
+	select {
+	case out = <-w.done:
+	case <-ctx.Done():
+		g.mu.Lock()
+		if g.stillQueuedLocked(w) {
+			g.removeLocked(w)
+			g.bands[w.band].Canceled++
+			g.mu.Unlock()
+			return nil, Canceled
+		}
+		g.mu.Unlock()
+		// Lost the race: the waiter was resolved concurrently.
+		out = <-w.done
+		if out == Admitted {
+			// The client is gone; hand the slot straight back.
+			g.releaseOnce()()
+			return nil, Canceled
+		}
+	}
+	if out == Admitted {
+		return g.releaseOnce(), Admitted
+	}
+	return nil, out
+}
+
+// expire resolves a waiter whose queue timeout fired.
+func (g *Gate) expire(w *waiter) {
+	g.mu.Lock()
+	if !g.stillQueuedLocked(w) {
+		g.mu.Unlock()
+		return
+	}
+	g.removeLocked(w)
+	g.bands[w.band].TimedOut++
+	g.mu.Unlock()
+	w.done <- TimedOut
+}
+
+// releaseOnce returns the slot-release closure; idempotent so the
+// canceled-but-admitted race cannot double-free a slot.
+func (g *Gate) releaseOnce() func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			g.mu.Lock()
+			g.inFlight--
+			g.dispatchLocked()
+			g.mu.Unlock()
+		})
+	}
+}
+
+// dispatchLocked fills free slots with the globally oldest waiters.
+func (g *Gate) dispatchLocked() {
+	for g.inFlight < g.limit && g.queued > 0 {
+		bi := -1
+		for i, b := range g.bands {
+			if len(b.q) > 0 && (bi < 0 || b.q[0].seq < g.bands[bi].q[0].seq) {
+				bi = i
+			}
+		}
+		w := g.bands[bi].q[0]
+		g.removeLocked(w)
+		g.inFlight++
+		g.bands[bi].Admitted++
+		w.done <- Admitted
+	}
+}
+
+// victimLocked returns the youngest waiter of the heaviest backlogged
+// band, or nil when nothing is queued.
+func (g *Gate) victimLocked() *waiter {
+	for i := len(g.bands) - 1; i >= 0; i-- {
+		if q := g.bands[i].q; len(q) > 0 {
+			return q[len(q)-1]
+		}
+	}
+	return nil
+}
+
+func (g *Gate) stillQueuedLocked(w *waiter) bool {
+	for _, qw := range g.bands[w.band].q {
+		if qw == w {
+			return true
+		}
+	}
+	return false
+}
+
+// removeLocked unlinks a waiter from its band queue and settles the
+// queue bookkeeping (gauges, timer).
+func (g *Gate) removeLocked(w *waiter) {
+	q := g.bands[w.band].q
+	for i, qw := range q {
+		if qw == w {
+			g.bands[w.band].q = append(q[:i:i], q[i+1:]...)
+			break
+		}
+	}
+	g.queued--
+	if g.cfg.Stats != nil {
+		g.cfg.Stats.EndQueued()
+	}
+	if w.timer != nil {
+		w.timer.Stop()
+	}
+}
+
+// GateStats snapshots the gate: current occupancy plus cumulative
+// per-band counters.
+type GateStats struct {
+	Limit    int         `json:"limit"`
+	InFlight int         `json:"in_flight"`
+	Queued   int         `json:"queued"`
+	Bands    []BandStats `json:"bands"`
+}
+
+// Stats snapshots the gate.
+func (g *Gate) Stats() GateStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st := GateStats{Limit: g.limit, InFlight: g.inFlight, Queued: g.queued}
+	st.Bands = make([]BandStats, len(g.bands))
+	for i, b := range g.bands {
+		st.Bands[i] = b.BandStats
+		st.Bands[i].Queued = len(b.q)
+	}
+	return st
+}

@@ -1,0 +1,106 @@
+package admission
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Governor ties the sampler, the AIMD controller, and a resizable
+// gate together. Request completions are recorded into the current
+// window; when the injected clock passes the window boundary the
+// window is rotated into the controller and the gate is resized to
+// the controller's new limit. Rotation is lazy — it happens on the
+// completion that crosses the boundary — so the governor needs no
+// background goroutine and is fully deterministic under a fake clock.
+type Governor struct {
+	mu        sync.Mutex
+	now       func() time.Time
+	window    time.Duration
+	windowEnd time.Time
+	hist      *metrics.LatencyHistogram
+	completed int
+	ctrl      *Controller
+	gate      *Gate
+
+	// svcEWMA is the exponentially-weighted mean service time in
+	// nanoseconds, fed to RetryAfter so shed responses reflect the
+	// observed drain rate rather than a constant.
+	svcEWMA float64
+}
+
+// NewGovernor builds a governor over the given controller and gate
+// (gate may be nil for pure control-loop tests). now is the clock —
+// inject a fake in tests; window is the aggregation interval.
+func NewGovernor(ctrl *Controller, gate *Gate, window time.Duration, now func() time.Time) *Governor {
+	if now == nil {
+		now = time.Now
+	}
+	if window <= 0 {
+		window = 500 * time.Millisecond
+	}
+	g := &Governor{
+		now:       now,
+		window:    window,
+		hist:      metrics.NewLatencyHistogram(),
+		ctrl:      ctrl,
+		gate:      gate,
+		windowEnd: now().Add(window),
+	}
+	if gate != nil {
+		gate.SetLimit(ctrl.Limit())
+	}
+	return g
+}
+
+// ObserveCompletion records one finished request's service time and
+// rotates the window if the clock has crossed the boundary.
+func (g *Governor) ObserveCompletion(d time.Duration) {
+	g.mu.Lock()
+	g.hist.Record(d)
+	g.completed++
+	const decay = 0.1
+	if g.svcEWMA == 0 {
+		g.svcEWMA = float64(d)
+	} else {
+		g.svcEWMA = (1-decay)*g.svcEWMA + decay*float64(d)
+	}
+	now := g.now()
+	var resize int
+	rotated := false
+	if !now.Before(g.windowEnd) {
+		g.ctrl.Observe(Window{Completed: g.completed, P99: g.hist.Quantile(0.99)})
+		g.hist = metrics.NewLatencyHistogram()
+		g.completed = 0
+		g.windowEnd = now.Add(g.window)
+		resize = g.ctrl.Limit()
+		rotated = true
+	}
+	g.mu.Unlock()
+	if rotated && g.gate != nil {
+		g.gate.SetLimit(resize)
+	}
+}
+
+// Limit returns the controller's current limit.
+func (g *Governor) Limit() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.ctrl.Limit()
+}
+
+// AvgService returns the EWMA service time (zero before any
+// completion).
+func (g *Governor) AvgService() time.Duration {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return time.Duration(g.svcEWMA)
+}
+
+// State snapshots the controller for /healthz.
+func (g *Governor) State() ControllerState {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.ctrl.State()
+}

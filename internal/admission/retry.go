@@ -1,0 +1,36 @@
+package admission
+
+import "time"
+
+// RetryAfter estimates how long a shed client should wait before the
+// backlog it was turned away from has drained: the queued waiters
+// ahead of it (plus itself) drain at limit slots per average service
+// time, so the wait is ceil((queued+1)/limit) service times. The
+// result is clamped to [min, max]; with no observed service time yet
+// (avgService <= 0) it falls back to min.
+func RetryAfter(queued, limit int, avgService, min, max time.Duration) time.Duration {
+	if min < 0 {
+		min = 0
+	}
+	if max < min {
+		max = min
+	}
+	if avgService <= 0 {
+		return min
+	}
+	if limit < 1 {
+		limit = 1
+	}
+	if queued < 0 {
+		queued = 0
+	}
+	rounds := (queued + limit) / limit // ceil((queued+1)/limit)
+	d := time.Duration(rounds) * avgService
+	if d < min {
+		return min
+	}
+	if d > max {
+		return max
+	}
+	return d
+}

@@ -1,0 +1,48 @@
+package admission
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRetryAfterDrainScenarios is the table-driven pin on the
+// drain-rate-scaled Retry-After: the estimate is the time for the
+// backlog (plus the retrying client) to drain at limit slots per
+// average service time, clamped to [min, max].
+func TestRetryAfterDrainScenarios(t *testing.T) {
+	const (
+		minA = 1 * time.Second
+		maxA = 30 * time.Second
+	)
+	cases := []struct {
+		name       string
+		queued     int
+		limit      int
+		avgService time.Duration
+		want       time.Duration
+	}{
+		{"no signal yet falls back to min", 10, 4, 0, minA},
+		{"empty queue, fast service: floor", 0, 8, 10 * time.Millisecond, minA},
+		{"shallow queue drains within the floor", 7, 8, 200 * time.Millisecond, minA},
+		{"deep queue, slow drain", 39, 4, 500 * time.Millisecond, 5 * time.Second},
+		{"doubling the limit halves the wait", 39, 8, 500 * time.Millisecond, 2500 * time.Millisecond},
+		{"slower service scales the wait up", 39, 4, 1 * time.Second, 10 * time.Second},
+		{"pathological backlog is capped", 10000, 1, 2 * time.Second, maxA},
+		{"zero limit treated as one slot", 4, 0, 1 * time.Second, 5 * time.Second},
+		{"negative queue treated as empty", -3, 4, 4 * time.Second, 4 * time.Second},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := RetryAfter(tc.queued, tc.limit, tc.avgService, minA, maxA)
+			if got != tc.want {
+				t.Fatalf("RetryAfter(%d, %d, %v) = %v, want %v",
+					tc.queued, tc.limit, tc.avgService, got, tc.want)
+			}
+		})
+	}
+
+	// Degenerate clamp bounds are reconciled rather than inverted.
+	if got := RetryAfter(5, 1, time.Second, 10*time.Second, 2*time.Second); got != 10*time.Second {
+		t.Fatalf("inverted clamp: got %v", got)
+	}
+}

@@ -1,0 +1,322 @@
+// Package benchadm measures the adaptive admission governor against
+// its two fixed points: a static gate hand-placed at the measured
+// saturation knee (the best an omniscient operator can configure) and
+// an ungated server (what overload does with no protection at all).
+// All three are driven with the same 8x-oversubscribed closed-loop
+// workload over the same generated dataset, behind the real HTTP
+// serving path.
+//
+// The machine-transferable column is goodput_vs_static_knee on the
+// adaptive leg: goodput under the governor — which was told nothing
+// but a floor and a generous ceiling — divided by goodput under the
+// hand-tuned static gate. On a working governor the ratio stays near
+// 1: the control loop discovers the knee the operator had to measure.
+// Like the other bench ratios it is computed within one run on one
+// machine, so it transfers across hosts where raw req/s does not.
+//
+// The report also records the governor's own telemetry after the run
+// (converged limit, window decisions, per-cost-band shed counters), so
+// the artifact shows not just that goodput held but how: backoffs
+// happened, the limit stayed inside its bounds, and the cheap cost
+// band was shed at a lower rate than the heavy one.
+package benchadm
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"repro/httpapi"
+	"repro/internal/admission"
+	"repro/internal/loadgen"
+)
+
+// Config sizes the admission measurement.
+type Config struct {
+	// TargetRows is the generated dataset size (default 1,000,000;
+	// quick mode 25,000).
+	TargetRows int
+	// Seed fixes dataset and workload generation (default 42).
+	Seed int64
+	// StepDuration is the length of each saturation-ramp step; each
+	// overload leg runs twice as long (default 5s; quick 700ms).
+	StepDuration time.Duration
+	// MaxWorkers bounds the saturation ramp and sets the governor's
+	// concurrency ceiling (default 128; quick 16).
+	MaxWorkers int
+	// Window is the governor's control-loop window (default 500ms;
+	// quick 200ms).
+	Window time.Duration
+	// Quick selects the CI-sized variant of all defaults.
+	Quick bool
+}
+
+func (c *Config) defaults() {
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.TargetRows <= 0 {
+		if c.Quick {
+			c.TargetRows = 25000
+		} else {
+			c.TargetRows = 1000000
+		}
+	}
+	if c.StepDuration <= 0 {
+		if c.Quick {
+			c.StepDuration = 700 * time.Millisecond
+		} else {
+			c.StepDuration = 5 * time.Second
+		}
+	}
+	if c.MaxWorkers <= 0 {
+		if c.Quick {
+			c.MaxWorkers = 16
+		} else {
+			c.MaxWorkers = 128
+		}
+	}
+	if c.Window <= 0 {
+		if c.Quick {
+			c.Window = 200 * time.Millisecond
+		} else {
+			c.Window = 500 * time.Millisecond
+		}
+	}
+}
+
+// Row is one measured leg of BENCH_admission.json.
+type Row struct {
+	Name          string  `json:"name"`
+	Mode          string  `json:"mode"`
+	Workers       int     `json:"workers"`
+	Requests      int64   `json:"requests"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	GoodputRPS    float64 `json:"goodput_rps"`
+	P50MS         float64 `json:"p50_ms"`
+	P95MS         float64 `json:"p95_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	MaxMS         float64 `json:"max_ms"`
+	Shed429       int64   `json:"shed_429,omitempty"`
+	Shed503       int64   `json:"shed_503,omitempty"`
+	Deadline504   int64   `json:"deadline_504,omitempty"`
+	Errors        int64   `json:"errors,omitempty"`
+	// GoodputVsStaticKnee is the transferable guard column, set on the
+	// adaptive leg only: goodput under the governor divided by goodput
+	// under a static gate hand-placed at the measured knee. ≈1 when the
+	// control loop finds the knee on its own.
+	GoodputVsStaticKnee float64 `json:"goodput_vs_static_knee,omitempty"`
+}
+
+// GovernorOutcome is the governor's own view after the adaptive leg.
+type GovernorOutcome struct {
+	admission.ControllerState
+	AvgServiceMS float64               `json:"avg_service_ms"`
+	Bands        []admission.BandStats `json:"bands"`
+	// CheapShedRate / HeavyShedRate are sheds/(sheds+admitted) of the
+	// cheapest and heaviest cost bands: cost-aware shedding keeps the
+	// cheap rate below the heavy one.
+	CheapShedRate float64 `json:"cheap_shed_rate"`
+	HeavyShedRate float64 `json:"heavy_shed_rate"`
+}
+
+// Report is the top-level shape of BENCH_admission.json (wrapped with
+// host metadata by cmd/bench).
+type Report struct {
+	Dataset       string          `json:"dataset"`
+	DatasetRows   int             `json:"dataset_rows"`
+	WorkloadOps   int             `json:"workload_ops"`
+	SaturationRPS float64         `json:"saturation_rps"`
+	AtWorkers     int             `json:"saturation_workers"`
+	Governor      GovernorOutcome `json:"governor"`
+	Rows          []Row           `json:"rows"`
+}
+
+func row(name string, r *loadgen.Result) Row {
+	return Row{
+		Name:          name,
+		Mode:          r.Mode,
+		Workers:       r.Workers,
+		Requests:      r.Requests,
+		ThroughputRPS: r.ThroughputRPS,
+		GoodputRPS:    r.GoodputRPS,
+		P50MS:         r.P50MS,
+		P95MS:         r.P95MS,
+		P99MS:         r.P99MS,
+		MaxMS:         r.MaxMS,
+		Shed429:       r.Shed429,
+		Shed503:       r.Shed503,
+		Deadline504:   r.Deadline504,
+		Errors:        r.Errors,
+	}
+}
+
+// shedRate is sheds/(sheds+admitted); 0 when the band saw no traffic.
+func shedRate(b admission.BandStats) float64 {
+	total := b.Sheds() + b.Admitted
+	if total == 0 {
+		return 0
+	}
+	return float64(b.Sheds()) / float64(total)
+}
+
+// Measure runs the admission grid. Progress lines go through logf (may
+// be nil); the full-size run takes minutes.
+func Measure(cfg Config, logf func(format string, args ...any)) (*Report, error) {
+	cfg.defaults()
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	logf("building %d-row movies dataset (seed %d)...", cfg.TargetRows, cfg.Seed)
+	dcfg := loadgen.DatasetConfig{Kind: loadgen.KindMovies, TargetRows: cfg.TargetRows, Seed: cfg.Seed}
+	db, err := loadgen.BuildDataset(dcfg)
+	if err != nil {
+		return nil, err
+	}
+	rows := db.NumRows()
+	logf("dataset ready: %d rows; building engine (indexes, templates)...", rows)
+	eng, err := loadgen.BuildEngine(dcfg)
+	if err != nil {
+		return nil, err
+	}
+	ops, err := loadgen.BuildWorkload(db, dcfg.Kind, loadgen.WorkloadConfig{Ops: 512, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		Dataset:     fmt.Sprintf("datagen movies target=%d seed=%d", cfg.TargetRows, cfg.Seed),
+		DatasetRows: rows,
+		WorkloadOps: len(ops),
+	}
+	ctx := context.Background()
+
+	// Find the knee on the ungated server: the concurrency a perfectly
+	// informed operator would configure a static gate with.
+	ts := httptest.NewServer(httpapi.New(eng))
+	logf("saturation ramp: doubling workers up to %d, %v per step...", cfg.MaxWorkers, cfg.StepDuration)
+	sat, err := loadgen.FindSaturation(ctx, loadgen.SaturationOptions{
+		Base:         loadgen.Options{BaseURL: ts.URL, Ops: ops},
+		MaxWorkers:   cfg.MaxWorkers,
+		StepDuration: cfg.StepDuration,
+	})
+	ts.Close()
+	if err != nil {
+		return nil, err
+	}
+	for _, step := range sat.Steps {
+		logf("  %s", step)
+		rep.Rows = append(rep.Rows, row(fmt.Sprintf("saturate-w%d", step.Workers), step))
+	}
+	rep.SaturationRPS = sat.SaturationRPS
+	rep.AtWorkers = sat.AtWorkers
+	logf("saturation: %.0f req/s at %d workers", sat.SaturationRPS, sat.AtWorkers)
+
+	knee := sat.AtWorkers
+	if knee < 2 {
+		knee = 2
+	}
+	maxQueue := 2 * knee
+	queueTimeout := 200 * time.Millisecond
+	overloadWorkers := 8 * knee
+	overloadFor := 2 * cfg.StepDuration
+	overload := func(name string, srv *httpapi.Server) (*loadgen.Result, *httpapi.HealthResponse, error) {
+		hts := httptest.NewServer(srv)
+		defer hts.Close()
+		logf("%s: driving %d workers for %v...", name, overloadWorkers, overloadFor)
+		res, err := loadgen.Run(ctx, loadgen.Options{
+			BaseURL:  hts.URL,
+			Ops:      ops,
+			Workers:  overloadWorkers,
+			Duration: overloadFor,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		logf("  %s", res)
+		health, err := fetchHealth(hts.URL)
+		if err != nil {
+			return nil, nil, err
+		}
+		return res, health, nil
+	}
+
+	// Leg 1: static gate parked at the measured knee — the hand-tuned
+	// baseline the governor competes with.
+	static, _, err := overload("static-knee-8x", httpapi.New(eng,
+		httpapi.WithAdmission(httpapi.AdmissionConfig{
+			MaxConcurrent: knee,
+			MaxQueue:      maxQueue,
+			QueueTimeout:  queueTimeout,
+		}),
+		httpapi.WithRequestTimeout(5*time.Second),
+	))
+	if err != nil {
+		return nil, err
+	}
+	rep.Rows = append(rep.Rows, row("static-knee-8x", static))
+
+	// Leg 2: the governor, given only a floor and the ramp's worker
+	// bound as ceiling — no knowledge of the knee. Cost bands default
+	// to the corpus-derived p50/p90 of EstimateCost.
+	adaptive, ahealth, err := overload("adaptive-8x", httpapi.New(eng,
+		httpapi.WithAdaptiveAdmission(httpapi.AdaptiveConfig{
+			MinConcurrent: 2,
+			MaxConcurrent: cfg.MaxWorkers,
+			MaxQueue:      maxQueue,
+			QueueTimeout:  queueTimeout,
+			Window:        cfg.Window,
+		}),
+		httpapi.WithRequestTimeout(5*time.Second),
+	))
+	if err != nil {
+		return nil, err
+	}
+	arow := row("adaptive-8x", adaptive)
+	if static.GoodputRPS > 0 {
+		arow.GoodputVsStaticKnee = adaptive.GoodputRPS / static.GoodputRPS
+	}
+	rep.Rows = append(rep.Rows, arow)
+	if ahealth.Adaptive == nil {
+		return nil, fmt.Errorf("benchadm: adaptive leg reported no governor state")
+	}
+	rep.Governor = GovernorOutcome{
+		ControllerState: ahealth.Adaptive.ControllerState,
+		AvgServiceMS:    ahealth.Adaptive.AvgServiceMS,
+		Bands:           ahealth.Adaptive.Bands,
+	}
+	if n := len(ahealth.Adaptive.Bands); n > 0 {
+		rep.Governor.CheapShedRate = shedRate(ahealth.Adaptive.Bands[0])
+		rep.Governor.HeavyShedRate = shedRate(ahealth.Adaptive.Bands[n-1])
+	}
+	logf("governor: limit %d in [%d,%d] after %d windows (+%d/-%d), shed rates cheap %.3f heavy %.3f",
+		rep.Governor.Limit, rep.Governor.MinLimit, rep.Governor.MaxLimit, rep.Governor.Windows,
+		rep.Governor.Increases, rep.Governor.Backoffs,
+		rep.Governor.CheapShedRate, rep.Governor.HeavyShedRate)
+
+	// Leg 3: no protection at all — the collapse the other two prevent.
+	ungated, _, err := overload("ungated-8x", httpapi.New(eng))
+	if err != nil {
+		return nil, err
+	}
+	rep.Rows = append(rep.Rows, row("ungated-8x", ungated))
+
+	return rep, nil
+}
+
+func fetchHealth(base string) (*httpapi.HealthResponse, error) {
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var h httpapi.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}

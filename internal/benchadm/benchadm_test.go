@@ -1,0 +1,69 @@
+package benchadm
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMeasureQuick runs the whole admission grid at toy scale: every
+// leg executes, the report is shaped right, the guard column is
+// present, and the governor actually ran its control loop — not that
+// the numbers mean anything at this size.
+func TestMeasureQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("admission grid takes a few seconds")
+	}
+	// 60k rows, not the 4k other quick tests use: queries must cost
+	// real milliseconds for closed-loop clients to ever overlap (and so
+	// for the gates to engage) on a small or single-CPU machine.
+	rep, err := Measure(Config{
+		Quick:        true,
+		TargetRows:   60000,
+		StepDuration: 300 * time.Millisecond,
+		MaxWorkers:   4,
+		Window:       150 * time.Millisecond,
+	}, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DatasetRows == 0 || rep.WorkloadOps == 0 {
+		t.Fatalf("report missing dataset shape: %+v", rep)
+	}
+	if rep.SaturationRPS <= 0 || rep.AtWorkers < 1 {
+		t.Fatalf("no saturation point: %+v", rep)
+	}
+	var sawStatic, sawAdaptive, sawUngated bool
+	for _, r := range rep.Rows {
+		if r.Requests == 0 {
+			t.Fatalf("row %s measured nothing", r.Name)
+		}
+		switch r.Name {
+		case "static-knee-8x":
+			sawStatic = true
+			if r.Shed429+r.Shed503 == 0 {
+				t.Fatalf("static overload leg shed nothing: %+v", r)
+			}
+		case "adaptive-8x":
+			sawAdaptive = true
+			if r.GoodputVsStaticKnee <= 0 {
+				t.Fatalf("adaptive leg missing the guard column: %+v", r)
+			}
+		case "ungated-8x":
+			sawUngated = true
+		}
+	}
+	if !sawStatic || !sawAdaptive || !sawUngated {
+		t.Fatalf("missing legs (static=%v adaptive=%v ungated=%v): %+v",
+			sawStatic, sawAdaptive, sawUngated, rep.Rows)
+	}
+	g := rep.Governor
+	if g.Windows == 0 {
+		t.Fatalf("governor control loop never rotated a window: %+v", g)
+	}
+	if g.Limit < g.MinLimit || g.Limit > g.MaxLimit {
+		t.Fatalf("governor limit %d escaped [%d,%d]", g.Limit, g.MinLimit, g.MaxLimit)
+	}
+	if len(g.Bands) < 2 {
+		t.Fatalf("governor derived no cost bands: %+v", g)
+	}
+}

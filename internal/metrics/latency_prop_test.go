@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// randDuration draws from a heavy-tailed mix so the property tests
+// cover the exact linear range, mid octaves, and multi-second stalls.
+func randDuration(rng *rand.Rand) time.Duration {
+	switch rng.Intn(4) {
+	case 0:
+		return time.Duration(rng.Int63n(linearLimit)) // exact buckets
+	case 1:
+		return time.Duration(rng.Int63n(int64(time.Millisecond)))
+	case 2:
+		return time.Duration(rng.Int63n(int64(time.Second)))
+	default:
+		return time.Duration(rng.Int63n(int64(30 * time.Second)))
+	}
+}
+
+// TestMergeIsValueIdenticalToSingleHistogram is the per-worker
+// recording property the load harness relies on: N workers recording
+// into private histograms and merging afterwards must be
+// indistinguishable — bucket by bucket, not just at quantiles — from
+// one histogram that saw every sample.
+func TestMergeIsValueIdenticalToSingleHistogram(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		workers := 1 + rng.Intn(8)
+		perWorker := make([]*LatencyHistogram, workers)
+		single := NewLatencyHistogram()
+		for w := range perWorker {
+			perWorker[w] = NewLatencyHistogram()
+			for i, n := 0, rng.Intn(400); i < n; i++ {
+				d := randDuration(rng)
+				perWorker[w].Record(d)
+				single.Record(d)
+			}
+		}
+		merged := NewLatencyHistogram()
+		for _, h := range perWorker {
+			merged.Merge(h)
+		}
+		if !reflect.DeepEqual(merged, single) {
+			t.Fatalf("trial %d (%d workers): merged histogram differs from single-recorder\nmerged: total %d sum %d min %d max %d\nsingle: total %d sum %d min %d max %d",
+				trial, workers,
+				merged.total, merged.sum, merged.min, merged.max,
+				single.total, single.sum, single.min, single.max)
+		}
+		// The quantile surface must agree too (it reads the same
+		// buckets, but this pins the exported view).
+		for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+			if merged.Quantile(q) != single.Quantile(q) {
+				t.Fatalf("trial %d: Quantile(%v) diverged: %v vs %v",
+					trial, q, merged.Quantile(q), single.Quantile(q))
+			}
+		}
+	}
+}
+
+// TestMergeEmptyAndNil: merging nil or an empty histogram is a no-op
+// and must not disturb min/max.
+func TestMergeEmptyAndNil(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Record(5 * time.Millisecond)
+	before := *h
+	h.Merge(nil)
+	h.Merge(NewLatencyHistogram())
+	if !reflect.DeepEqual(*h, before) {
+		t.Fatal("merging nil/empty histograms changed the receiver")
+	}
+}
+
+// TestRecordCorrectedMatchesClosedForm: over randomized stall lengths
+// and schedules, the number of recorded observations must match the
+// closed form exactly, and the synthetic samples must never exceed
+// the measured latency.
+func TestRecordCorrectedMatchesClosedForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		interval := time.Duration(1 + rng.Int63n(int64(50*time.Millisecond)))
+		d := time.Duration(rng.Int63n(int64(2 * time.Second)))
+		h := NewLatencyHistogram()
+		h.RecordCorrected(d, interval)
+		want := 1 + max(int64(0), int64(d/interval)-1)
+		if got := h.Count(); got != want {
+			t.Fatalf("trial %d: RecordCorrected(%v, %v) recorded %d samples, want %d",
+				trial, d, interval, got, want)
+		}
+		if h.Max() > d {
+			t.Fatalf("trial %d: synthetic sample %v exceeds measured %v", trial, h.Max(), d)
+		}
+	}
+
+	// Exact boundary pins.
+	cases := []struct {
+		d, interval time.Duration
+		want        int64
+	}{
+		{0, time.Second, 1},
+		{time.Second, 0, 1},            // no schedule, no correction
+		{time.Second, -time.Second, 1}, // negative schedule ignored
+		{999 * time.Millisecond, time.Second, 1},
+		{time.Second, time.Second, 1},
+		{1999 * time.Millisecond, time.Second, 1},
+		{2 * time.Second, time.Second, 2},
+		{5 * time.Second, time.Second, 5},
+		{5*time.Second + 1, time.Second, 5},
+	}
+	for _, tc := range cases {
+		h := NewLatencyHistogram()
+		h.RecordCorrected(tc.d, tc.interval)
+		if h.Count() != tc.want {
+			t.Fatalf("RecordCorrected(%v, %v): %d samples, want %d",
+				tc.d, tc.interval, h.Count(), tc.want)
+		}
+	}
+}
+
+// TestRecordCorrectedBackfillSpacing pins the synthetic values
+// themselves (not just the count): back-fill at d-i*interval while
+// the value stays >= interval.
+func TestRecordCorrectedBackfillSpacing(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.RecordCorrected(10*time.Millisecond, 3*time.Millisecond)
+	// Samples: 10ms, 7ms, 4ms. Mean = 7ms, min 4ms, max 10ms.
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+	if h.Min() != 4*time.Millisecond || h.Max() != 10*time.Millisecond {
+		t.Fatalf("min/max = %v/%v, want 4ms/10ms", h.Min(), h.Max())
+	}
+	if h.Mean() != 7*time.Millisecond {
+		t.Fatalf("mean = %v, want 7ms", h.Mean())
+	}
+}
