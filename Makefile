@@ -7,7 +7,7 @@ GO ?= go
 
 .PHONY: build test race vet fmt lint staticcheck fuzz fuzz-smoke \
 	bench bench-quick bench-exec bench-mut bench-dur bench-load \
-	bench-adm bench-guard loadtest golden check cover
+	bench-adm bench-qc bench-guard loadtest golden check cover
 
 build:
 	$(GO) build ./...
@@ -83,6 +83,13 @@ bench-load:
 bench-adm:
 	$(GO) run ./cmd/bench -only admission -adm-out BENCH_admission.json
 
+# bench-qc runs the answer-cache grid (a Zipf-skewed repeated-query
+# stream over real HTTP, cache-off vs the engine-lifetime qcache) on a
+# ~1M-row dataset. Like bench-load it takes minutes and is not part of
+# `make bench`; CI runs -quick.
+bench-qc:
+	$(GO) run ./cmd/bench -only qcache -qc-out BENCH_qcache.json
+
 # loadtest is an interactive closed-loop run against an in-process
 # server; see cmd/loadtest -help for open-loop, saturation, and
 # external-server modes.
@@ -108,11 +115,12 @@ golden:
 	$(GO) test -run TestGolden . -update
 
 # cover enforces a coverage floor on the control-plane packages whose
-# correctness is all edge cases: the admission governor and the metrics
-# histograms. 85% is a floor, not a target — new branches in these
+# correctness is all edge cases: the admission governor, the metrics
+# histograms, and the answer cache (admission, eviction, invalidation,
+# persistence). 85% is a floor, not a target — new branches in these
 # packages arrive with tests or fail CI.
 cover:
-	@for pkg in internal/admission internal/metrics; do \
+	@for pkg in internal/admission internal/metrics internal/qcache; do \
 		$(GO) test -coverprofile=/tmp/cover_gate.out ./$$pkg >/dev/null || exit 1; \
 		pct=$$($(GO) tool cover -func=/tmp/cover_gate.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
 		echo "$$pkg coverage: $$pct%"; \

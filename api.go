@@ -147,14 +147,17 @@ func planRow(db *relstore.Database, plan *relstore.JoinPlan, rowIDs []int) map[s
 // checking the context between executions. One selection cache is shared
 // across all previews of the response (unless disabled on the engine):
 // the returned interpretations recombine the same keyword selections, so
-// each is computed once per request.
-func (e *Engine) attachPreviews(ctx context.Context, results []Result, limit int) error {
+// each is computed once per request. view, when non-nil, is the
+// request's handle on the engine-lifetime answer cache; it is threaded
+// through the selection cache so hot selections and plan results are
+// shared across requests too.
+func (e *Engine) attachPreviews(ctx context.Context, results []Result, limit int, view relstore.SharedStore) error {
 	if limit <= 0 {
 		return nil
 	}
 	var cache *relstore.SelectionCache
 	if !e.cfg.execCacheOff {
-		cache = relstore.NewSelectionCache()
+		cache = relstore.NewSelectionCacheShared(view)
 	}
 	for i := range results {
 		if err := ctx.Err(); err != nil {
@@ -174,6 +177,7 @@ func (e *Engine) attachPreviews(ctx context.Context, results []Result, limit int
 // cancels candidate generation, interpretation materialisation, and
 // ranking.
 func (e *Engine) Search(ctx context.Context, req SearchRequest) (*SearchResponse, error) {
+	view := e.answerView(req.Query) // view before snapshot: see answerView
 	s := e.current()
 	ranked, _, err := e.interpret(ctx, s, req.Query)
 	if err != nil {
@@ -184,7 +188,7 @@ func (e *Engine) Search(ctx context.Context, req SearchRequest) (*SearchResponse
 		ranked = ranked[:req.K]
 	}
 	resp.Results = e.wrap(s, ranked)
-	if err := e.attachPreviews(ctx, resp.Results, req.RowLimit); err != nil {
+	if err := e.attachPreviews(ctx, resp.Results, req.RowLimit, view); err != nil {
 		return nil, err
 	}
 	return resp, nil
@@ -194,6 +198,7 @@ func (e *Engine) Search(ctx context.Context, req SearchRequest) (*SearchResponse
 // DivQ interface). Interpretations with empty results are dropped first,
 // as in DivQ.
 func (e *Engine) Diversify(ctx context.Context, req DiversifyRequest) (*SearchResponse, error) {
+	view := e.answerView(req.Query) // view before snapshot: see answerView
 	s := e.current()
 	ranked, _, err := e.interpret(ctx, s, req.Query)
 	if err != nil {
@@ -205,7 +210,7 @@ func (e *Engine) Diversify(ctx context.Context, req DiversifyRequest) (*SearchRe
 	}
 	var cache *relstore.SelectionCache
 	if !e.cfg.execCacheOff {
-		cache = relstore.NewSelectionCache()
+		cache = relstore.NewSelectionCacheShared(view)
 	}
 	nonEmpty, err := divq.FilterNonEmptyCached(ctx, s.db, ranked, cache)
 	if err != nil {
@@ -213,7 +218,7 @@ func (e *Engine) Diversify(ctx context.Context, req DiversifyRequest) (*SearchRe
 	}
 	div := divq.Diversify(nonEmpty, divq.Config{Lambda: req.Lambda, K: req.K})
 	resp.Results = e.wrap(s, div)
-	if err := e.attachPreviews(ctx, resp.Results, req.RowLimit); err != nil {
+	if err := e.attachPreviews(ctx, resp.Results, req.RowLimit, view); err != nil {
 		return nil, err
 	}
 	return resp, nil
@@ -249,6 +254,7 @@ type RowsResponse struct {
 // interpretations of the keyword query, using threshold-style early
 // stopping so low-probability interpretations are never executed.
 func (e *Engine) SearchRows(ctx context.Context, req RowsRequest) (*RowsResponse, error) {
+	view := e.answerView(req.Query) // view before snapshot: see answerView
 	s := e.current()
 	ranked, _, err := e.interpret(ctx, s, req.Query)
 	if err != nil {
@@ -259,7 +265,7 @@ func (e *Engine) SearchRows(ctx context.Context, req RowsRequest) (*RowsResponse
 	}
 	results, _, err := topk.TopKContext(ctx, s.db, ranked, &topk.TFScorer{IX: s.ix}, topk.Options{
 		K: req.K, PerInterpretationLimit: 4 * req.K, Parallelism: e.cfg.parallelism,
-		DisableExecutionCache: e.cfg.execCacheOff,
+		DisableExecutionCache: e.cfg.execCacheOff, Shared: view,
 	})
 	if err != nil {
 		return nil, err

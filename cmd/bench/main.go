@@ -17,21 +17,24 @@
 //     → BENCH_load.json, and
 //   - the adaptive-admission legs (static gate hand-placed at the
 //     measured knee vs the AIMD governor discovering it vs no gate at
-//     all, each 8×-oversubscribed) → BENCH_admission.json.
+//     all, each 8×-oversubscribed) → BENCH_admission.json, and
+//   - the answer-cache legs (a Zipf-skewed repeated-query stream over
+//     real HTTP, cache-off vs the engine-lifetime qcache)
+//     → BENCH_qcache.json.
 //
 // Usage:
 //
 //	go run ./cmd/bench [-out BENCH_pipeline.json] [-exec-out BENCH_executor.json]
 //	                   [-mut-out BENCH_mutations.json] [-dur-out BENCH_durability.json]
 //	                   [-load-out BENCH_load.json] [-adm-out BENCH_admission.json]
-//	                   [-load-rows 1000000]
-//	                   [-only all|pipeline|executor|mutate|durable|load|admission[,...]] [-quick]
+//	                   [-qc-out BENCH_qcache.json] [-load-rows 1000000]
+//	                   [-only all|pipeline|executor|mutate|durable|load|admission|qcache[,...]] [-quick]
 //	                   [-compare base1.json[,base2.json...]] [-threshold 0.25]
 //
-// The load and admission grids are NOT part of -only all: each
+// The load, admission, and qcache grids are NOT part of -only all: each
 // generates a million-row dataset and runs for minutes, so they are
-// requested explicitly (-only load, -only admission, or -only
-// all,load,admission). -quick shrinks them to CI size.
+// requested explicitly (-only load, -only admission, -only qcache, or
+// -only all,load,admission,qcache). -quick shrinks them to CI size.
 //
 // The output records ns/op, allocations, and speedups against each grid's
 // baseline (sequential for the pipeline, scan for the executor, full
@@ -67,6 +70,7 @@ import (
 	"repro/internal/benchload"
 	"repro/internal/benchmut"
 	"repro/internal/benchpipe"
+	"repro/internal/benchqc"
 )
 
 // pipelineReport is the top-level shape of BENCH_pipeline.json.
@@ -122,6 +126,15 @@ type admissionReport struct {
 	NumCPU      int    `json:"num_cpu"`
 	GOMAXPROCS  int    `json:"gomaxprocs"`
 	*benchadm.Report
+}
+
+// qcacheReport is the top-level shape of BENCH_qcache.json.
+type qcacheReport struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	NumCPU      int    `json:"num_cpu"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	*benchqc.Report
 }
 
 // speedups extracts the machine-transferable metric of one report as
@@ -190,6 +203,16 @@ func admissionSpeedups(rows []benchadm.Row) speedups {
 	return out
 }
 
+func qcacheSpeedups(rows []benchqc.Row) speedups {
+	out := make(speedups)
+	for _, r := range rows {
+		if r.SpeedupVsCold > 0 {
+			out[r.Name] = r.SpeedupVsCold
+		}
+	}
+	return out
+}
+
 func main() {
 	out := flag.String("out", "BENCH_pipeline.json", "pipeline grid output file")
 	execOut := flag.String("exec-out", "BENCH_executor.json", "executor legs output file")
@@ -197,8 +220,9 @@ func main() {
 	durOut := flag.String("dur-out", "BENCH_durability.json", "durability legs output file")
 	loadOut := flag.String("load-out", "BENCH_load.json", "serving-path load legs output file")
 	admOut := flag.String("adm-out", "BENCH_admission.json", "adaptive-admission legs output file")
-	loadRows := flag.Int("load-rows", 0, "load/admission grid dataset size in rows (default 1000000, or 25000 with -quick)")
-	only := flag.String("only", "all", "comma-separated grids to run: all, pipeline, executor, mutate, durable, load, admission (load and admission are not in all)")
+	qcOut := flag.String("qc-out", "BENCH_qcache.json", "answer-cache legs output file")
+	loadRows := flag.Int("load-rows", 0, "load/admission/qcache grid dataset size in rows (default 1000000, or 25000 with -quick)")
+	only := flag.String("only", "all", "comma-separated grids to run: all, pipeline, executor, mutate, durable, load, admission, qcache (load, admission, and qcache are not in all)")
 	quick := flag.Bool("quick", false, "run the trimmed quick pipeline grid")
 	compare := flag.String("compare", "", "comma-separated baseline BENCH_*.json files to guard against (see Regression guard)")
 	threshold := flag.Float64("threshold", 0.25, "maximum tolerated relative speedup regression vs the baseline")
@@ -209,11 +233,11 @@ func main() {
 		switch part = strings.TrimSpace(part); part {
 		case "all":
 			want["pipeline"], want["executor"], want["mutate"], want["durable"] = true, true, true, true
-		case "pipeline", "executor", "mutate", "durable", "load", "admission":
+		case "pipeline", "executor", "mutate", "durable", "load", "admission", "qcache":
 			want[part] = true
 		case "":
 		default:
-			log.Fatalf("unknown -only value %q (want all, pipeline, executor, mutate, durable, load, or admission)", part)
+			log.Fatalf("unknown -only value %q (want all, pipeline, executor, mutate, durable, load, admission, or qcache)", part)
 		}
 	}
 	if len(want) == 0 {
@@ -386,6 +410,34 @@ func main() {
 		fresh["admission"] = admissionSpeedups(rep.Rows)
 	}
 
+	if want["qcache"] {
+		log.Printf("running answer-cache legs (quick=%v)...", *quick)
+		rep, err := benchqc.Measure(benchqc.Config{
+			Quick:      *quick,
+			TargetRows: *loadRows,
+		}, log.Printf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeJSON(*qcOut, qcacheReport{
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			GoVersion:   runtime.Version(),
+			NumCPU:      runtime.NumCPU(),
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			Report:      rep,
+		})
+		for _, r := range rep.Rows {
+			extra := ""
+			if r.SpeedupVsCold > 0 {
+				extra = fmt.Sprintf("  speedup %.2fx  hit rate %.1f%%  high water %d B",
+					r.SpeedupVsCold, 100*r.HitRate, r.HighWaterBytes)
+			}
+			log.Printf("%-16s %8.0f req/s  p50 %7.1fms  p99 %8.1fms%s", r.Name, r.ThroughputRPS, r.P50MS, r.P99MS, extra)
+		}
+		log.Printf("wrote %s", *qcOut)
+		fresh["qcache"] = qcacheSpeedups(rep.Rows)
+	}
+
 	// Regression guard: every baseline row's speedup must be within
 	// threshold of the fresh measurement.
 	failed := false
@@ -449,6 +501,12 @@ func loadBaseline(path string) (string, speedups, error) {
 			return "", nil, fmt.Errorf("baseline %s: %w", path, err)
 		}
 		return "admission", admissionSpeedups(rep.Rows), nil
+	case has("speedup_vs_cold"):
+		var rep qcacheReport
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			return "", nil, fmt.Errorf("baseline %s: %w", path, err)
+		}
+		return "qcache", qcacheSpeedups(rep.Rows), nil
 	case has("goodput_vs_saturation"):
 		var rep loadReport
 		if err := json.Unmarshal(raw, &rep); err != nil {

@@ -5,10 +5,17 @@
 // Usage:
 //
 //	go run ./cmd/serve [-addr :8080] [-seed N] [-music] [-db dump] [-ttl 15m]
-//	                   [-mutable] [-data-dir DIR]
+//	                   [-mutable] [-data-dir DIR] [-answer-cache BYTES]
 //	                   [-max-concurrent N] [-max-queue N] [-queue-timeout 1s]
 //	                   [-request-timeout 5s]
 //	                   [-adaptive] [-adapt-min N] [-adapt-max N] [-adapt-window 500ms]
+//
+// -answer-cache gives the engine-lifetime materialized answer cache a
+// byte budget (0, the default, disables it): hot keyword-bag selections
+// and candidate-network results are shared across requests, invalidated
+// incrementally by mutation batches, persisted at checkpoint, and
+// restored warm on recovery. /healthz reports its occupancy and hit
+// counters; see docs/qcache.md.
 //
 // The overload protection of the serving path comes in two modes.
 // Static: -max-concurrent bounds requests executing at once,
@@ -71,6 +78,7 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "pipeline worker count (0 = GOMAXPROCS, 1 = sequential)")
 	scoreCache := flag.Bool("score-cache", true, "memoise score sub-terms across requests")
 	execCache := flag.Bool("exec-cache", true, "share keyword selections across the plans of one request")
+	answerCache := flag.Int64("answer-cache", 0, "engine-lifetime answer cache byte budget; hot selections and plan results survive across requests (0 = disabled; needs -exec-cache)")
 	mutable := flag.Bool("mutable", false, "enable live mutations via POST /v1/mutate (snapshot-isolated)")
 	dataDir := flag.String("data-dir", "", "durable state directory: recover it if present, initialise it otherwise")
 	checkpointEvery := flag.Duration("checkpoint-interval", 30*time.Second, "background checkpoint interval (with -data-dir)")
@@ -90,6 +98,7 @@ func main() {
 		keysearch.WithParallelism(*parallelism),
 		keysearch.WithScoreCache(*scoreCache),
 		keysearch.WithExecutionCache(*execCache),
+		keysearch.WithAnswerCache(*answerCache),
 	}
 	if *mutable {
 		opts = append(opts, keysearch.WithMutations())
@@ -108,6 +117,10 @@ func main() {
 	log.Printf("engine ready: %d tables, %d rows, %d query templates, parallelism %d, mutable %v, durable %v (epoch %d)",
 		eng.NumTables(), eng.NumRows(), eng.NumTemplates(), eng.Parallelism(), eng.MutationsEnabled(),
 		eng.Durable(), eng.Epoch())
+	if stats, ok := eng.AnswerCacheStats(); ok {
+		log.Printf("answer cache: budget %d bytes, %d entries restored (%d bytes resident)",
+			stats.BudgetBytes, stats.Entries, stats.ResidentBytes)
+	}
 
 	adaptCeiling := 0 // 0 when -adaptive is off: governor disabled
 	if *adaptive {

@@ -15,6 +15,7 @@ import (
 	"repro/internal/datagraph"
 	"repro/internal/durable"
 	"repro/internal/invindex"
+	"repro/internal/qcache"
 	"repro/internal/query"
 	"repro/internal/relstore"
 	"repro/internal/schemagraph"
@@ -52,6 +53,7 @@ const (
 	sectionInvIndex  = "invindex"
 	sectionUsage     = "usage"
 	sectionDataGraph = "datagraph"
+	sectionQCache    = "qcache"
 )
 
 // ErrDurabilityDisabled is returned by Checkpoint on an engine built
@@ -92,10 +94,17 @@ func (e *Engine) SaveSnapshot(w io.Writer) error {
 	if s == nil {
 		return fmt.Errorf("keysearch: call Build before saving a snapshot")
 	}
-	return e.encodeSnapshot(s, w)
+	// SaveSnapshot runs without the writer lock, so the answer cache may
+	// hold entries published for snapshots newer than s; only the locked
+	// writers (Build's init, Checkpoint) persist the hot set.
+	return e.encodeSnapshot(s, w, false)
 }
 
-func (e *Engine) encodeSnapshot(s *snapshot, w io.Writer) error {
+// encodeSnapshot writes s as a sectioned container. includeCache also
+// persists the answer cache's hot set; it is only correct when the
+// caller holds applyMu, which guarantees every resident entry is valid
+// for exactly the snapshot being written.
+func (e *Engine) encodeSnapshot(s *snapshot, w io.Writer, includeCache bool) error {
 	sw, err := durable.NewSnapshotWriter(w)
 	if err != nil {
 		return err
@@ -148,6 +157,12 @@ func (e *Engine) encodeSnapshot(s *snapshot, w io.Writer) error {
 		var dg durable.Enc
 		g.EncodeSnapshot(&dg)
 		if err := sw.Section(sectionDataGraph, dg.Bytes()); err != nil {
+			return err
+		}
+	}
+
+	if includeCache && e.qc != nil {
+		if err := sw.Section(sectionQCache, e.qc.EncodeSnapshot()); err != nil {
 			return err
 		}
 	}
@@ -249,6 +264,18 @@ func OpenSnapshot(r io.Reader, opts ...Option) (*Engine, error) {
 	}
 
 	eng := &Engine{cfg: cfg, db: db}
+	if cfg.answerCacheBytes > 0 && !cfg.execCacheOff {
+		eng.qc = qcache.New(cfg.answerCacheBytes)
+		if raw := sections[sectionQCache]; raw != nil {
+			// Restore the persisted hot set so the engine restarts warm.
+			// The section was written under the writer lock, so every
+			// entry is valid for the snapshot decoded above; WAL replay
+			// (Open) invalidates through the publish path as usual.
+			if err := eng.qc.DecodeSnapshot(raw); err != nil {
+				return nil, fmt.Errorf("keysearch: open snapshot: %w", err)
+			}
+		}
+	}
 	s := &snapshot{
 		epoch: epoch,
 		db:    db,
@@ -312,12 +339,15 @@ func Open(dir string, opts ...Option) (*Engine, error) {
 			wal.Close()
 			return nil, fmt.Errorf("keysearch: open %s: %w", dir, err)
 		}
-		next, err := eng.nextSnapshot(muts)
+		next, stale, err := eng.nextSnapshot(muts)
 		if err != nil {
 			wal.Close()
 			return nil, fmt.Errorf("keysearch: open %s: replay epoch %d: %w", dir, rec.Epoch, err)
 		}
-		eng.snap.Store(next)
+		// publish (not a bare pointer store): replayed batches must
+		// invalidate any restored hot-set entries they touch, exactly as
+		// the original Apply did.
+		eng.publish(next, stale)
 		replayed++
 	}
 
@@ -378,7 +408,9 @@ func (e *Engine) initDurability() error {
 func (e *Engine) writeSnapshotFile(s *snapshot) error {
 	path := filepath.Join(e.cfg.durDir, snapshotFileName)
 	return durable.WriteFileAtomic(path, func(w io.Writer) error {
-		return e.encodeSnapshot(s, w)
+		// All writeSnapshotFile callers (initDurability, Checkpoint) hold
+		// applyMu, so persisting the hot set here is consistent with s.
+		return e.encodeSnapshot(s, w, true)
 	})
 }
 
@@ -479,7 +511,11 @@ func (e *Engine) Checkpoint(ctx context.Context) (*CheckpointStats, error) {
 	}
 	if len(compacted) > 0 {
 		s = e.compactSnapshot(s, compacted)
-		e.snap.Store(s)
+		// Compaction moves RowIDs at an unchanged epoch, and every cached
+		// answer speaks in RowIDs: publish through the answer cache with
+		// every attribute of the compacted tables so their entries are
+		// dropped atomically with the swap.
+		e.publish(s, relstore.AllTableAttrs(s.db, compacted))
 	}
 	if err := e.writeSnapshotFile(s); err != nil {
 		return nil, err

@@ -123,6 +123,52 @@ type HealthResponse struct {
 	// per-cost-band shed counters; omitted entirely when the governor
 	// is disabled, so the static-gate health shape is unchanged.
 	Adaptive *AdaptiveHealth `json:"adaptive,omitempty"`
+	// AnswerCache reports the engine-lifetime answer cache's budget,
+	// occupancy, and counters (WithAnswerCache / -answer-cache); omitted
+	// entirely when the cache is disabled.
+	AnswerCache *AnswerCacheHealth `json:"answer_cache,omitempty"`
+}
+
+// AnswerCacheHealth is the /healthz view of the engine-lifetime answer
+// cache: the configured byte budget, current and high-water resident
+// bytes (high-water ≤ budget always holds), the resident entry count,
+// and the lifetime counters — hits, misses, evictions (budget pressure),
+// invalidations (entries dropped by mutation batches), and the two
+// rejection classes (stale publishes discarded by the snapshot-validity
+// check, and admissions declined by the 2Q/cost-aware policy).
+type AnswerCacheHealth struct {
+	BudgetBytes    int64 `json:"budget_bytes"`
+	ResidentBytes  int64 `json:"resident_bytes"`
+	HighWaterBytes int64 `json:"high_water_bytes"`
+	Entries        int   `json:"entries"`
+
+	Hits             uint64 `json:"hits"`
+	Misses           uint64 `json:"misses"`
+	Evictions        uint64 `json:"evictions"`
+	Invalidations    uint64 `json:"invalidations"`
+	StalePutRejects  uint64 `json:"stale_put_rejects"`
+	AdmissionRejects uint64 `json:"admission_rejects"`
+}
+
+// answerCacheHealth assembles the /healthz answer-cache block, nil when
+// the cache is disabled.
+func answerCacheHealth(eng *keysearch.Engine) *AnswerCacheHealth {
+	stats, ok := eng.AnswerCacheStats()
+	if !ok {
+		return nil
+	}
+	return &AnswerCacheHealth{
+		BudgetBytes:      stats.BudgetBytes,
+		ResidentBytes:    stats.ResidentBytes,
+		HighWaterBytes:   stats.HighWaterBytes,
+		Entries:          stats.Entries,
+		Hits:             stats.Hits,
+		Misses:           stats.Misses,
+		Evictions:        stats.Evictions,
+		Invalidations:    stats.Invalidations,
+		StalePutRejects:  stats.StalePutRejects,
+		AdmissionRejects: stats.AdmissionRejects,
+	}
 }
 
 // AdmissionHealth is the /healthz view of the serving path: the
@@ -298,7 +344,8 @@ func New(eng *keysearch.Engine, opts ...Option) *Server {
 				RequestTimeoutMS: s.reqTimeout.Milliseconds(),
 				ServingSnapshot:  s.stats.Snapshot(),
 			},
-			Adaptive: s.adaptiveHealth(),
+			Adaptive:    s.adaptiveHealth(),
+			AnswerCache: answerCacheHealth(s.eng),
 		})
 	})
 	s.handler = s.mux

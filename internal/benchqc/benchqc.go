@@ -1,0 +1,244 @@
+// Package benchqc measures what the engine-lifetime answer cache
+// (internal/qcache) buys on the workload it was built for: a
+// Zipf-skewed repeated-query stream — the shape real keyword-search
+// logs have — against a million-row dataset. It stands up the real
+// HTTP server twice over identically built engines, one with the
+// answer cache and one without, drives both with the same skewed op
+// stream after identical warmups, and reports the throughput ratio.
+//
+// The machine-transferable column is speedup_vs_cold: cache-on
+// throughput divided by cache-off throughput, measured within one run
+// on one machine, so it transfers across hosts and CI runners where
+// raw req/s numbers do not. The hit_rate and resident/high-water byte
+// columns prove the ratio came from the cache actually serving hot
+// answers inside its budget, not from noise.
+package benchqc
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	keysearch "repro"
+	"repro/httpapi"
+	"repro/internal/loadgen"
+)
+
+// Config sizes the answer-cache measurement.
+type Config struct {
+	// TargetRows is the generated dataset size (default 1,000,000;
+	// quick mode 25,000).
+	TargetRows int
+	// Seed fixes dataset and workload generation (default 42).
+	Seed int64
+	// StepDuration is the length of each measured leg; warmups run half
+	// of it (default 5s; quick 700ms).
+	StepDuration time.Duration
+	// Workers is the closed-loop concurrency of both legs (default 8).
+	Workers int
+	// BudgetBytes is the answer-cache byte budget (default 64 MiB).
+	BudgetBytes int64
+	// ZipfS and HotSet shape the repeated-query stream (defaults 1.4
+	// over 16 distinct queries).
+	ZipfS  float64
+	HotSet int
+	// Quick selects the CI-sized variant of all defaults.
+	Quick bool
+}
+
+func (c *Config) defaults() {
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.TargetRows <= 0 {
+		if c.Quick {
+			c.TargetRows = 25000
+		} else {
+			c.TargetRows = 1000000
+		}
+	}
+	if c.StepDuration <= 0 {
+		if c.Quick {
+			c.StepDuration = 700 * time.Millisecond
+		} else {
+			c.StepDuration = 5 * time.Second
+		}
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.BudgetBytes <= 0 {
+		c.BudgetBytes = 64 << 20
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.4
+	}
+	if c.HotSet <= 0 {
+		c.HotSet = 16
+	}
+}
+
+// Row is one measured leg of BENCH_qcache.json.
+type Row struct {
+	Name          string  `json:"name"`
+	Workers       int     `json:"workers"`
+	Requests      int64   `json:"requests"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50MS         float64 `json:"p50_ms"`
+	P95MS         float64 `json:"p95_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	Errors        int64   `json:"errors,omitempty"`
+	// SpeedupVsCold is the transferable guard column, set on the
+	// cache-on leg only: its throughput divided by the cache-off leg's.
+	SpeedupVsCold float64 `json:"speedup_vs_cold,omitempty"`
+	// HitRate is the cache hit fraction over the measured leg only
+	// (warmup traffic excluded); cache-on leg only.
+	HitRate float64 `json:"hit_rate,omitempty"`
+	// ResidentBytes / HighWaterBytes prove the hot set lived inside its
+	// byte budget; cache-on leg only.
+	ResidentBytes  int64 `json:"resident_bytes,omitempty"`
+	HighWaterBytes int64 `json:"high_water_bytes,omitempty"`
+}
+
+// Report is the top-level shape of BENCH_qcache.json (wrapped with host
+// metadata by cmd/bench).
+type Report struct {
+	Dataset       string  `json:"dataset"`
+	DatasetRows   int     `json:"dataset_rows"`
+	WorkloadOps   int     `json:"workload_ops"`
+	ZipfS         float64 `json:"zipf_s"`
+	HotSet        int     `json:"hot_set"`
+	BudgetBytes   int64   `json:"budget_bytes"`
+	SpeedupVsCold float64 `json:"speedup_vs_cold"`
+	HitRate       float64 `json:"hit_rate"`
+	Rows          []Row   `json:"rows"`
+}
+
+// Measure runs both legs. Progress lines go through logf (may be nil)
+// because the full-size run builds two million-row engines.
+func Measure(cfg Config, logf func(format string, args ...any)) (*Report, error) {
+	cfg.defaults()
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	dcfg := loadgen.DatasetConfig{Kind: loadgen.KindMovies, TargetRows: cfg.TargetRows, Seed: cfg.Seed}
+	logf("building %d-row movies dataset (seed %d)...", cfg.TargetRows, cfg.Seed)
+	db, err := loadgen.BuildDataset(dcfg)
+	if err != nil {
+		return nil, err
+	}
+	// Row retrieval is where execution cost lives (the joins), so the
+	// stream leans on it: that is the work a hot answer amortises.
+	ops, err := loadgen.BuildWorkload(db, dcfg.Kind, loadgen.WorkloadConfig{
+		Ops:    512,
+		Seed:   cfg.Seed,
+		Mix:    loadgen.Mix{Search: 20, Rows: 60, Diversify: 20},
+		ZipfS:  cfg.ZipfS,
+		HotSet: cfg.HotSet,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Dataset:     fmt.Sprintf("datagen movies target=%d seed=%d", cfg.TargetRows, cfg.Seed),
+		DatasetRows: db.NumRows(),
+		WorkloadOps: len(ops),
+		ZipfS:       cfg.ZipfS,
+		HotSet:      cfg.HotSet,
+		BudgetBytes: cfg.BudgetBytes,
+	}
+
+	// Leg 1: cache-off baseline.
+	logf("building cache-off engine...")
+	off, err := runLeg(cfg, dcfg, ops, logf)
+	if err != nil {
+		return nil, err
+	}
+	offRow := Row{Name: "zipf-cache-off", Workers: cfg.Workers, Requests: off.res.Requests,
+		ThroughputRPS: off.res.ThroughputRPS, P50MS: off.res.P50MS, P95MS: off.res.P95MS,
+		P99MS: off.res.P99MS, Errors: off.res.Errors}
+	rep.Rows = append(rep.Rows, offRow)
+	logf("  cache-off: %s", off.res)
+
+	// Leg 2: cache-on, identically built and warmed.
+	logf("building cache-on engine (budget %d bytes)...", cfg.BudgetBytes)
+	on, err := runLeg(cfg, dcfg, ops, logf, keysearch.WithAnswerCache(cfg.BudgetBytes))
+	if err != nil {
+		return nil, err
+	}
+	onRow := Row{Name: "zipf-cache-on", Workers: cfg.Workers, Requests: on.res.Requests,
+		ThroughputRPS: on.res.ThroughputRPS, P50MS: on.res.P50MS, P95MS: on.res.P95MS,
+		P99MS: on.res.P99MS, Errors: on.res.Errors}
+	if off.res.ThroughputRPS > 0 {
+		onRow.SpeedupVsCold = on.res.ThroughputRPS / off.res.ThroughputRPS
+	}
+	onRow.HitRate = on.hitRate
+	onRow.ResidentBytes = on.stats.ResidentBytes
+	onRow.HighWaterBytes = on.stats.HighWaterBytes
+	rep.Rows = append(rep.Rows, onRow)
+	rep.SpeedupVsCold = onRow.SpeedupVsCold
+	rep.HitRate = onRow.HitRate
+	logf("  cache-on:  %s", on.res)
+	logf("speedup %.2fx, hit rate %.1f%%, resident %d / budget %d bytes (high water %d)",
+		rep.SpeedupVsCold, 100*rep.HitRate, onRow.ResidentBytes, cfg.BudgetBytes, onRow.HighWaterBytes)
+
+	if on.stats.HighWaterBytes > cfg.BudgetBytes {
+		return nil, fmt.Errorf("benchqc: cache high-water %d exceeded budget %d",
+			on.stats.HighWaterBytes, cfg.BudgetBytes)
+	}
+	return rep, nil
+}
+
+type legResult struct {
+	res     *loadgen.Result
+	stats   keysearch.AnswerCacheStats
+	hitRate float64
+}
+
+// runLeg builds a fresh engine (dataset generation is deterministic, so
+// both legs see byte-identical data), warms it for half a step — the
+// score cache on both legs, plus the answer cache on the cache-on leg,
+// so the measured delta is the answer cache alone, not warmup noise —
+// then measures a closed-loop run.
+func runLeg(cfg Config, dcfg loadgen.DatasetConfig, ops []loadgen.Op,
+	logf func(string, ...any), extra ...keysearch.Option) (*legResult, error) {
+	eng, err := loadgen.BuildEngine(dcfg, extra...)
+	if err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(httpapi.New(eng))
+	defer ts.Close()
+	ctx := context.Background()
+	base := loadgen.Options{BaseURL: ts.URL, Ops: ops, Workers: cfg.Workers}
+
+	warm := base
+	warm.Duration = cfg.StepDuration / 2
+	logf("  warmup %v, then measuring %v at %d workers...", warm.Duration, cfg.StepDuration, cfg.Workers)
+	if _, err := loadgen.Run(ctx, warm); err != nil {
+		return nil, err
+	}
+	before, _ := eng.AnswerCacheStats()
+
+	meas := base
+	meas.Duration = cfg.StepDuration
+	res, err := loadgen.Run(ctx, meas)
+	if err != nil {
+		return nil, err
+	}
+	if res.Errors > 0 {
+		return nil, fmt.Errorf("benchqc: leg produced %d errors", res.Errors)
+	}
+
+	out := &legResult{res: res}
+	if stats, ok := eng.AnswerCacheStats(); ok {
+		out.stats = stats
+		hits := stats.Hits - before.Hits
+		misses := stats.Misses - before.Misses
+		if hits+misses > 0 {
+			out.hitRate = float64(hits) / float64(hits+misses)
+		}
+	}
+	return out, nil
+}

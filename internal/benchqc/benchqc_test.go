@@ -1,0 +1,53 @@
+package benchqc
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMeasureQuick runs both legs at toy scale: the point is that the
+// grid executes, the report carries the guard columns, and the cache
+// actually served hits within its budget — not that the speedup number
+// means anything at 4000 rows.
+func TestMeasureQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("qcache grid takes a few seconds")
+	}
+	rep, err := Measure(Config{
+		Quick:        true,
+		TargetRows:   4000,
+		StepDuration: 300 * time.Millisecond,
+		Workers:      4,
+	}, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DatasetRows == 0 || rep.WorkloadOps == 0 {
+		t.Fatalf("report missing dataset shape: %+v", rep)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("want cache-off + cache-on rows, got %+v", rep.Rows)
+	}
+	off, on := rep.Rows[0], rep.Rows[1]
+	if off.Name != "zipf-cache-off" || on.Name != "zipf-cache-on" {
+		t.Fatalf("unexpected leg names: %q %q", off.Name, on.Name)
+	}
+	if off.Requests == 0 || on.Requests == 0 {
+		t.Fatalf("a leg measured nothing: %+v", rep.Rows)
+	}
+	if off.SpeedupVsCold != 0 {
+		t.Fatalf("guard column leaked onto the baseline row: %+v", off)
+	}
+	if on.SpeedupVsCold <= 0 {
+		t.Fatalf("cache-on leg missing the guard column: %+v", on)
+	}
+	if rep.SpeedupVsCold != on.SpeedupVsCold {
+		t.Fatalf("aggregate speedup %v != row %v", rep.SpeedupVsCold, on.SpeedupVsCold)
+	}
+	if on.HitRate <= 0 || on.HitRate > 1 {
+		t.Fatalf("implausible hit rate: %+v", on)
+	}
+	if on.HighWaterBytes == 0 || on.HighWaterBytes > rep.BudgetBytes {
+		t.Fatalf("budget accounting wrong: %+v (budget %d)", on, rep.BudgetBytes)
+	}
+}

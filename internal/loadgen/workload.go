@@ -68,6 +68,17 @@ type WorkloadConfig struct {
 	// K is the top-k of search/rows/diversify requests (default 10).
 	K    int
 	Seed int64
+
+	// ZipfS, when > 1, turns on the repeated-query mode: instead of one
+	// distinct query per op, queries are drawn from a hot set of HotSet
+	// distinct queries with Zipf(s=ZipfS) rank frequencies — rank 1
+	// dominating, a long repeated tail — the shape real query logs have
+	// and the regime an answer cache lives or dies in. Values ≤ 1 keep
+	// the default all-distinct stream (math/rand's Zipf requires s > 1).
+	ZipfS float64
+	// HotSet is the number of distinct queries behind the Zipf draw
+	// (default 64; only with ZipfS > 1).
+	HotSet int
 }
 
 func (c *WorkloadConfig) defaults() {
@@ -80,6 +91,9 @@ func (c *WorkloadConfig) defaults() {
 	if c.K <= 0 {
 		c.K = 10
 	}
+	if c.ZipfS > 1 && c.HotSet <= 0 {
+		c.HotSet = 64
+	}
 }
 
 // BuildWorkload generates a deterministic mixed op stream against the
@@ -91,8 +105,12 @@ func (c *WorkloadConfig) defaults() {
 // the median. The same (db, cfg) always yields byte-identical ops.
 func BuildWorkload(db *relstore.Database, kind DatasetKind, cfg WorkloadConfig) ([]Op, error) {
 	cfg.defaults()
+	distinct := cfg.Ops
+	if cfg.ZipfS > 1 && cfg.HotSet < distinct {
+		distinct = cfg.HotSet
+	}
 	var intents []datagen.Intent
-	wcfg := datagen.WorkloadConfig{Queries: cfg.Ops, Seed: cfg.Seed}
+	wcfg := datagen.WorkloadConfig{Queries: distinct, Seed: cfg.Seed}
 	switch kind {
 	case KindMusic:
 		intents = datagen.MusicWorkload(db, wcfg)
@@ -102,6 +120,18 @@ func BuildWorkload(db *relstore.Database, kind DatasetKind, cfg WorkloadConfig) 
 		return nil, fmt.Errorf("loadgen: unknown dataset kind %q", kind)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x1dea))
+	if cfg.ZipfS > 1 && len(intents) > 0 {
+		// Repeated-query mode: expand the hot set back to cfg.Ops draws
+		// with Zipf-ranked frequencies. The generators order queries by
+		// construction, so rank r maps to intent r — the first hot query
+		// dominates exactly as in a real log.
+		zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(intents)-1))
+		drawn := make([]datagen.Intent, cfg.Ops)
+		for i := range drawn {
+			drawn[i] = intents[zipf.Uint64()]
+		}
+		intents = drawn
+	}
 	ops := make([]Op, 0, cfg.Ops)
 	for i, in := range intents {
 		q := strings.Join(in.Keywords, " ")

@@ -1,0 +1,344 @@
+package qcache
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/relstore"
+)
+
+func attr(table string, col int) relstore.Attr { return relstore.Attr{Table: table, Col: col} }
+
+// admitSelection drives a selection through the 2Q gate: the first Put
+// only records the ghost entry, the second admits.
+func admitSelection(v *View, table string, col int, bag string, rows []int) {
+	v.PutSelection(table, col, bag, rows)
+	v.PutSelection(table, col, bag, rows)
+}
+
+func TestAdmissionNeedsSecondObservation(t *testing.T) {
+	s := New(1 << 20)
+	v := s.NewView(10)
+	v.PutSelection("actor", 1, "hanks", []int{1, 2, 3})
+	if st := s.Stats(); st.Entries != 0 || st.AdmissionRejects != 1 {
+		t.Fatalf("first Put should only leave a ghost: %+v", st)
+	}
+	if _, ok := v.GetSelection("actor", 1, "hanks"); ok {
+		t.Fatal("unadmitted entry served")
+	}
+	v.PutSelection("actor", 1, "hanks", []int{1, 2, 3})
+	if st := s.Stats(); st.Entries != 1 {
+		t.Fatalf("second Put should admit: %+v", st)
+	}
+	rows, ok := v.GetSelection("actor", 1, "hanks")
+	if !ok || len(rows) != 3 || rows[0] != 1 {
+		t.Fatalf("GetSelection = %v, %v", rows, ok)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("counters: %+v", st)
+	}
+	if st.ResidentBytes <= 0 || st.HighWaterBytes != st.ResidentBytes {
+		t.Fatalf("byte accounting: %+v", st)
+	}
+}
+
+func TestPlanAndCountNamespaces(t *testing.T) {
+	s := New(1 << 20)
+	v := s.NewView(10)
+	fp := []relstore.Attr{attr("actor", 1), attr("movie", relstore.MembershipCol)}
+	plan := [][]int{{1, 2}, {3, 4}}
+	v.PutPlan("k", fp, plan)
+	v.PutPlan("k", fp, plan)
+	v.PutCount("k", fp, 7)
+	v.PutCount("k", fp, 7)
+	got, ok := v.GetPlan("k")
+	if !ok || len(got) != 2 || got[1][0] != 3 {
+		t.Fatalf("GetPlan = %v, %v", got, ok)
+	}
+	n, ok := v.GetCount("k")
+	if !ok || n != 7 {
+		t.Fatalf("GetCount = %d, %v", n, ok)
+	}
+	// Same key string, different namespaces: both resident.
+	if st := s.Stats(); st.Entries != 2 {
+		t.Fatalf("expected 2 entries, got %+v", st)
+	}
+}
+
+func TestExistingEntryWinsRacingPut(t *testing.T) {
+	s := New(1 << 20)
+	v := s.NewView(10)
+	admitSelection(v, "actor", 1, "hanks", []int{1})
+	// A racing publisher of the same (deterministic) value must not
+	// disturb the resident entry.
+	v.PutSelection("actor", 1, "hanks", []int{1})
+	if st := s.Stats(); st.Entries != 1 {
+		t.Fatalf("duplicate Put changed the store: %+v", st)
+	}
+}
+
+func TestInvalidateDropsOnlyIntersecting(t *testing.T) {
+	s := New(1 << 20)
+	v := s.NewView(10)
+	admitSelection(v, "actor", 1, "hanks", []int{1})
+	admitSelection(v, "actor", 2, "drama", []int{2})
+	admitSelection(v, "movie", 1, "terminal", []int{3})
+	published := false
+	s.Invalidate([]relstore.Attr{attr("actor", 1)}, func() { published = true })
+	if !published {
+		t.Fatal("publish callback not invoked")
+	}
+	st := s.Stats()
+	if st.Entries != 2 || st.Invalidations != 1 {
+		t.Fatalf("expected only actor.1 dropped: %+v", st)
+	}
+	v2 := s.NewView(10)
+	if _, ok := v2.GetSelection("actor", 1, "hanks"); ok {
+		t.Fatal("invalidated entry served")
+	}
+	if _, ok := v2.GetSelection("actor", 2, "drama"); !ok {
+		t.Fatal("surviving entry not served")
+	}
+	if _, ok := v2.GetSelection("movie", 1, "terminal"); !ok {
+		t.Fatal("surviving entry not served")
+	}
+}
+
+func TestOldViewRejectedAfterInvalidation(t *testing.T) {
+	s := New(1 << 20)
+	old := s.NewView(10)
+	s.Invalidate([]relstore.Attr{attr("actor", 1)}, nil)
+	fresh := s.NewView(10)
+	admitSelection(fresh, "actor", 1, "hanks", []int{1})
+	// The old view predates the bump: it may still be reading the
+	// pre-batch snapshot, so the post-batch entry must not be served...
+	if _, ok := old.GetSelection("actor", 1, "hanks"); ok {
+		t.Fatal("entry published after the old view's clock was served to it")
+	}
+	// ...and its own computation must not be published.
+	old.PutSelection("actor", 1, "stale", []int{9})
+	old.PutSelection("actor", 1, "stale", []int{9})
+	if st := s.Stats(); st.StalePutRejects != 2 {
+		t.Fatalf("stale puts accepted: %+v", st)
+	}
+	if _, ok := fresh.GetSelection("actor", 1, "stale"); ok {
+		t.Fatal("stale entry resident")
+	}
+	// Attributes untouched by the batch stay usable from the old view.
+	admitSelection(fresh, "movie", 1, "terminal", []int{3})
+	if _, ok := old.GetSelection("movie", 1, "terminal"); !ok {
+		t.Fatal("old view rejected an untouched attribute")
+	}
+}
+
+func TestSegmentedLRUPromotionAndDemotion(t *testing.T) {
+	s := New(4096)
+	v := s.NewView(10)
+	// Admit several entries sized so a few promotions overflow the
+	// protected segment's 80% share.
+	rows := make([]int, 100) // 128 overhead + ~5 key + 800 payload ≈ 935B
+	for i := 0; i < 4; i++ {
+		admitSelection(v, "t", i, "bag", rows)
+	}
+	st := s.Stats()
+	if st.Entries < 3 {
+		t.Fatalf("setup: %+v", st)
+	}
+	// Hit every entry: each promotes to protected; the cap (3276B)
+	// forces demotions back to probation rather than unbounded growth.
+	for i := 0; i < 4; i++ {
+		v.GetSelection("t", i, "bag")
+	}
+	s.mu.Lock()
+	if s.protectedBytes > s.budget*protectedShare/100 {
+		s.mu.Unlock()
+		t.Fatalf("protected segment over its share: %d", s.protectedBytes)
+	}
+	demoted := s.probation.head != nil
+	s.mu.Unlock()
+	if !demoted {
+		t.Fatal("expected demotions into probation")
+	}
+}
+
+func TestEvictionPrefersLowScore(t *testing.T) {
+	s := New(3000)
+	cheap := s.NewView(1)
+	rows := make([]int, 128) // ~1160B per entry: two fit, three don't
+	admitSelection(cheap, "t", 1, "a", rows)
+	admitSelection(cheap, "t", 2, "b", rows)
+	if st := s.Stats(); st.Entries != 2 {
+		t.Fatalf("setup: %+v", st)
+	}
+	// A denser (pricier) newcomer evicts the cold cheap entries.
+	rich := s.NewView(1000)
+	admitSelection(rich, "t", 3, "c", rows)
+	st := s.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("expected evictions: %+v", st)
+	}
+	if _, ok := rich.GetSelection("t", 3, "c"); !ok {
+		t.Fatal("dense newcomer not admitted")
+	}
+	// Now the reverse: a cheap newcomer must NOT displace denser
+	// residents — rejected with zero evictions. Hit the surviving cheap
+	// entry once so its use count makes it denser than a fresh twin.
+	cheap.GetSelection("t", 2, "b")
+	pre := s.Stats()
+	admitSelection(cheap, "t", 4, "d", rows)
+	st = s.Stats()
+	if st.Evictions != pre.Evictions {
+		t.Fatalf("cheap newcomer evicted a denser resident: %+v", st)
+	}
+	if _, ok := cheap.GetSelection("t", 4, "d"); ok {
+		t.Fatal("cheap newcomer admitted over denser residents")
+	}
+}
+
+func TestOversizedEntryRejected(t *testing.T) {
+	s := New(256)
+	v := s.NewView(10)
+	admitSelection(v, "t", 1, "big", make([]int, 1000))
+	st := s.Stats()
+	if st.Entries != 0 || st.ResidentBytes != 0 {
+		t.Fatalf("oversized entry admitted: %+v", st)
+	}
+}
+
+func TestBudgetIsAHardCeiling(t *testing.T) {
+	const budget = 8192
+	s := New(budget)
+	v := s.NewView(10)
+	for i := 0; i < 200; i++ {
+		rows := make([]int, 10+i%50)
+		admitSelection(v, "t", i, "bag", rows)
+		st := s.Stats()
+		if st.ResidentBytes > budget || st.HighWaterBytes > budget {
+			t.Fatalf("budget exceeded at %d: %+v", i, st)
+		}
+	}
+	if st := s.Stats(); st.Entries == 0 || st.Evictions == 0 {
+		t.Fatalf("expected churn under pressure: %+v", st)
+	}
+}
+
+func TestGhostRotationForgetsAncientKeys(t *testing.T) {
+	s := New(1 << 20)
+	v := s.NewView(10)
+	v.PutSelection("t", 0, "target", []int{1}) // ghost in generation 0
+	// Flood two full generations of distinct keys: the target's ghost
+	// rotates out entirely.
+	for i := 0; i < 2*ghostGenCap+1; i++ {
+		v.PutSelection("t", 1, fmt.Sprintf("junk%d", i), []int{1})
+	}
+	v.PutSelection("t", 0, "target", []int{1})
+	if _, ok := v.GetSelection("t", 0, "target"); ok {
+		t.Fatal("forgotten ghost still counted toward admission")
+	}
+	// But a ghost only one rotation old still admits.
+	v.PutSelection("t", 0, "recent", []int{1})
+	for i := 0; i < ghostGenCap; i++ {
+		v.PutSelection("t", 1, fmt.Sprintf("junk2-%d", i), []int{1})
+	}
+	v.PutSelection("t", 0, "recent", []int{1})
+	if _, ok := v.GetSelection("t", 0, "recent"); !ok {
+		t.Fatal("previous-generation ghost not counted toward admission")
+	}
+}
+
+func TestPersistRoundtrip(t *testing.T) {
+	s := New(1 << 20)
+	v := s.NewView(42)
+	admitSelection(v, "actor", 1, "hanks", []int{1, 2, 3})
+	fp := []relstore.Attr{attr("actor", 1), attr("movie", relstore.MembershipCol)}
+	v.PutPlan("pk", fp, [][]int{{1, 2}, {3}})
+	v.PutPlan("pk", fp, [][]int{{1, 2}, {3}})
+	v.PutCount("ck", fp, 9)
+	v.PutCount("ck", fp, 9)
+	v.GetSelection("actor", 1, "hanks") // promote to protected
+
+	payload := s.EncodeSnapshot()
+	if string(payload) != string(s.EncodeSnapshot()) {
+		t.Fatal("encoding is not deterministic")
+	}
+	before := s.Stats()
+
+	r := New(1 << 20)
+	if err := r.DecodeSnapshot(payload); err != nil {
+		t.Fatal(err)
+	}
+	after := r.Stats()
+	if after.Entries != before.Entries || after.ResidentBytes != before.ResidentBytes {
+		t.Fatalf("restore drifted: %+v vs %+v", after, before)
+	}
+	rv := r.NewView(1)
+	if rows, ok := rv.GetSelection("actor", 1, "hanks"); !ok || len(rows) != 3 {
+		t.Fatalf("restored selection: %v, %v", rows, ok)
+	}
+	if plan, ok := rv.GetPlan("pk"); !ok || len(plan) != 2 || plan[0][1] != 2 {
+		t.Fatalf("restored plan: %v, %v", plan, ok)
+	}
+	if n, ok := rv.GetCount("ck"); !ok || n != 9 {
+		t.Fatalf("restored count: %d, %v", n, ok)
+	}
+	// Restored entries still carry their footprints: invalidation works.
+	r.Invalidate([]relstore.Attr{attr("movie", relstore.MembershipCol)}, nil)
+	rv2 := r.NewView(1)
+	if _, ok := rv2.GetPlan("pk"); ok {
+		t.Fatal("restored plan survived invalidation of its footprint")
+	}
+	if _, ok := rv2.GetCount("ck"); ok {
+		t.Fatal("restored count survived invalidation of its footprint")
+	}
+	if _, ok := rv2.GetSelection("actor", 1, "hanks"); !ok {
+		t.Fatal("unrelated restored entry dropped")
+	}
+}
+
+func TestDecodeClampsToSmallerBudget(t *testing.T) {
+	s := New(1 << 20)
+	v := s.NewView(10)
+	for i := 0; i < 8; i++ {
+		admitSelection(v, "t", i, "bag", make([]int, 64))
+	}
+	payload := s.EncodeSnapshot()
+	small := New(s.Stats().ResidentBytes / 2)
+	if err := small.DecodeSnapshot(payload); err != nil {
+		t.Fatal(err)
+	}
+	st := small.Stats()
+	if st.ResidentBytes > small.Budget() {
+		t.Fatalf("restore exceeded budget: %+v", st)
+	}
+	if st.Entries == 0 || st.Entries == 8 {
+		t.Fatalf("expected a partial restore: %+v", st)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	r := New(1024)
+	if err := r.DecodeSnapshot([]byte{0xff, 0x01, 0x02}); err == nil {
+		t.Fatal("garbage decoded")
+	}
+	if err := r.DecodeSnapshot(nil); err == nil {
+		t.Fatal("empty payload decoded")
+	}
+}
+
+func TestViewPriceFloor(t *testing.T) {
+	s := New(1 << 20)
+	v := s.NewView(-5) // degenerate estimate must not zero the score
+	if v.price < 1 {
+		t.Fatalf("price = %v", v.price)
+	}
+}
+
+func TestItoa(t *testing.T) {
+	cases := map[int]string{relstore.MembershipCol: "*", 0: "0", 7: "7", 12: "12", 123: "123"}
+	for in, want := range cases {
+		if got := itoa(in); got != want {
+			t.Errorf("itoa(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

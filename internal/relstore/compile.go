@@ -2,6 +2,9 @@ package relstore
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
+	"strings"
 )
 
 // This file implements compiled join plans: the execution-ready form of a
@@ -159,10 +162,123 @@ func (cp *CompiledPlan) CountRows(limit int, cache *SelectionCache) (int, error)
 	return n, nil
 }
 
-// run is the shared execution core: selection, semi-join pruning, and
+// cacheKey is the canonical identity of this plan's result stream in the
+// engine-lifetime answer cache. Nodes contribute their table plus their
+// predicates as sorted (column, canonical bag) pairs — predicate order
+// never affects the output, so permutations share one entry — while
+// edges are encoded verbatim: edge declaration order drives the DFS
+// enumeration order and therefore the JTT sequence. The limit is part of
+// the key because a truncated result stream is a different answer.
+// Separator bytes sit below the bag joiner ("\x00" inside CanonicalBag
+// output never delimits key fields).
+func (cp *CompiledPlan) cacheKey(limit int) string {
+	var b strings.Builder
+	for i := range cp.nodes {
+		node := &cp.nodes[i]
+		b.WriteString("\x01")
+		b.WriteString(node.table.Schema.Name)
+		preds := make([]string, len(node.preds))
+		for j, p := range node.preds {
+			preds[j] = strconv.Itoa(p.col) + "\x03" + CanonicalBag(p.keywords)
+		}
+		sort.Strings(preds)
+		for _, p := range preds {
+			b.WriteString("\x02")
+			b.WriteString(p)
+		}
+	}
+	b.WriteString("\x04")
+	for _, e := range cp.Source.Edges {
+		fi := cp.nodes[e.From].table.Schema.ColumnIndex(e.FromColumn)
+		ti := cp.nodes[e.To].table.Schema.ColumnIndex(e.ToColumn)
+		b.WriteString("\x02")
+		b.WriteString(strconv.Itoa(e.From) + "," + strconv.Itoa(fi) + "," +
+			strconv.Itoa(e.To) + "," + strconv.Itoa(ti))
+	}
+	b.WriteString("\x05")
+	b.WriteString(strconv.Itoa(limit))
+	return b.String()
+}
+
+// footprint is the set of attributes this plan's output is computed
+// from: every resolved predicate column, every join column (both ends of
+// every edge — enumeration and pruning read join values), and the
+// membership of unconstrained tables (their candidate set is "all live
+// rows"). Constrained nodes need no membership attribute: inserts and
+// deletes stale every column, so their predicate columns already cover
+// membership change. Unresolvable predicate columns contribute nothing —
+// they force an empty result under any data.
+func (cp *CompiledPlan) footprint() []Attr {
+	seen := make(map[Attr]bool)
+	var out []Attr
+	add := func(a Attr) {
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	for i := range cp.nodes {
+		node := &cp.nodes[i]
+		name := node.table.Schema.Name
+		if len(node.preds) == 0 {
+			add(Attr{Table: name, Col: MembershipCol})
+		}
+		for _, p := range node.preds {
+			if p.col >= 0 {
+				add(Attr{Table: name, Col: p.col})
+			}
+		}
+		for _, he := range cp.adj[i] {
+			add(Attr{Table: name, Col: he.fromCol})
+		}
+	}
+	sortAttrs(out)
+	return out
+}
+
+// run consults the engine-lifetime answer cache (when the request's
+// SelectionCache carries one) for the whole plan result before falling
+// back to runCore, and publishes fresh results — including empty ones;
+// proving emptiness costs the same selections and pruning as any other
+// answer. Cached values are row-ID lists shared read-only across
+// requests; the store guarantees they are valid for this request's
+// snapshot (see SharedStore).
+func (cp *CompiledPlan) run(cache *SelectionCache, limit int, collect bool) ([]JTT, int) {
+	if cache == nil || cache.shared == nil {
+		return cp.runCore(cache, limit, collect)
+	}
+	key := cp.cacheKey(limit)
+	if !collect {
+		if n, ok := cache.shared.GetCount(key); ok {
+			return nil, n
+		}
+		_, n := cp.runCore(cache, limit, false)
+		cache.shared.PutCount(key, cp.footprint(), n)
+		return nil, n
+	}
+	if rows, ok := cache.shared.GetPlan(key); ok {
+		if len(rows) == 0 {
+			return nil, 0
+		}
+		results := make([]JTT, len(rows))
+		for i, r := range rows {
+			results[i] = JTT{Rows: r}
+		}
+		return results, len(rows)
+	}
+	results, count := cp.runCore(cache, limit, true)
+	rows := make([][]int, len(results))
+	for i := range results {
+		rows[i] = results[i].Rows
+	}
+	cache.shared.PutPlan(key, cp.footprint(), rows)
+	return results, count
+}
+
+// runCore is the shared execution core: selection, semi-join pruning, and
 // rooted index-nested-loop enumeration. With collect it materialises
 // JTTs; otherwise it only counts.
-func (cp *CompiledPlan) run(cache *SelectionCache, limit int, collect bool) ([]JTT, int) {
+func (cp *CompiledPlan) runCore(cache *SelectionCache, limit int, collect bool) ([]JTT, int) {
 	n := len(cp.nodes)
 	cands := make([][]int, n)
 	for i := range cp.nodes {

@@ -14,8 +14,8 @@ import (
 // selection once and shares the resulting row list.
 //
 // Keys are (table, column position, canonical keyword bag), where the bag
-// is lower-cased and sorted so permutations of the same bag share one
-// entry. Values are the ascending RowID lists produced by the posting
+// is canonicalised by CanonicalBag so permutations of the same bag share
+// one entry. Values are the ascending RowID lists produced by the posting
 // machinery; they are shared between plans and with the posting lists
 // themselves, so callers must treat them as read-only.
 //
@@ -25,12 +25,23 @@ import (
 // underlying data is immutable after Build, a cached selection can never
 // go stale within a request, so caching changes how results are computed,
 // never which results are produced.
+//
+// A cache created with NewSelectionCacheShared additionally consults an
+// engine-lifetime SharedStore (repro/internal/qcache) on local misses and
+// publishes freshly computed selections and whole-plan results back to
+// it, promoting hot work across requests. The shared layer validates
+// every entry against the mutation history (see SharedStore), so sharing
+// never changes results either.
 type SelectionCache struct {
-	mu sync.RWMutex
-	m  map[selectionKey][]int
+	mu     sync.RWMutex
+	m      map[selectionKey][]int
+	shared SharedStore
 }
 
-// selectionKey identifies one memoised selection.
+// selectionKey identifies one memoised selection within a request. The
+// table is keyed by pointer — all plans of one request resolve tables
+// from the same snapshot — while the shared engine-lifetime layer keys by
+// table name and validates against the mutation history instead.
 type selectionKey struct {
 	t   *Table
 	col int
@@ -42,6 +53,13 @@ func NewSelectionCache() *SelectionCache {
 	return &SelectionCache{m: make(map[selectionKey][]int)}
 }
 
+// NewSelectionCacheShared creates a selection cache backed by an
+// engine-lifetime shared store. A nil shared store yields a plain
+// per-request cache.
+func NewSelectionCacheShared(shared SharedStore) *SelectionCache {
+	return &SelectionCache{m: make(map[selectionKey][]int), shared: shared}
+}
+
 // Len returns the number of distinct selections memoised so far.
 func (c *SelectionCache) Len() int {
 	c.mu.RLock()
@@ -49,8 +67,11 @@ func (c *SelectionCache) Len() int {
 	return len(c.m)
 }
 
-// bagKey canonicalises a keyword bag: lower-cased, sorted, NUL-joined.
-func bagKey(keywords []string) string {
+// CanonicalBag canonicalises a keyword bag: lower-cased, sorted,
+// NUL-joined. It is the one canonical key form shared by the per-request
+// SelectionCache and the engine-lifetime answer cache, so the two layers
+// can never disagree on whether two bags are the same selection.
+func CanonicalBag(keywords []string) string {
 	if len(keywords) == 0 {
 		return ""
 	}
@@ -73,22 +94,34 @@ func (c *SelectionCache) selection(t *Table, ci int, keywords []string) []int {
 	if c == nil {
 		return t.selectPostings(ci, keywords)
 	}
-	key := selectionKey{t: t, col: ci, bag: bagKey(keywords)}
+	key := selectionKey{t: t, col: ci, bag: CanonicalBag(keywords)}
 	c.mu.RLock()
 	rows, ok := c.m[key]
 	c.mu.RUnlock()
 	if ok {
 		return rows
 	}
-	rows = t.selectPostings(ci, keywords)
+	fromShared := false
+	if c.shared != nil {
+		rows, ok = c.shared.GetSelection(t.Schema.Name, ci, key.bag)
+		fromShared = ok
+	}
+	if !ok {
+		rows = t.selectPostings(ci, keywords)
+	}
 	c.mu.Lock()
 	// Re-check under the write lock: a racing goroutine may have stored
 	// the same (deterministic) selection; keep one copy either way.
+	stored := false
 	if prev, ok := c.m[key]; ok {
 		rows = prev
 	} else {
 		c.m[key] = rows
+		stored = true
 	}
 	c.mu.Unlock()
+	if stored && !fromShared && c.shared != nil {
+		c.shared.PutSelection(t.Schema.Name, ci, key.bag, rows)
+	}
 	return rows
 }

@@ -122,6 +122,13 @@ type Options struct {
 	// pure memoisation over the immutable database, so it never changes
 	// results. Disable only to measure its effect.
 	DisableExecutionCache bool
+	// Shared, when non-nil, is the request's view of the engine-lifetime
+	// answer cache (keysearch's WithAnswerCache): the per-request
+	// selection cache consults it on misses and publishes fresh
+	// selections and whole-plan results back, so repeated hot queries
+	// skip execution entirely. Ignored when DisableExecutionCache is set
+	// (the per-request cache is the promotion path).
+	Shared relstore.SharedStore
 }
 
 // executionCache returns the per-request selection cache, or nil when
@@ -130,7 +137,7 @@ func (o Options) executionCache() *relstore.SelectionCache {
 	if o.DisableExecutionCache {
 		return nil
 	}
-	return relstore.NewSelectionCache()
+	return relstore.NewSelectionCacheShared(o.Shared)
 }
 
 // Stats reports how much work early stopping saved.

@@ -50,6 +50,7 @@ import (
 	"repro/internal/datagraph"
 	"repro/internal/invindex"
 	"repro/internal/prob"
+	"repro/internal/qcache"
 	"repro/internal/query"
 	"repro/internal/relstore"
 	"repro/internal/schemagraph"
@@ -90,6 +91,7 @@ type config struct {
 	parallelism        int
 	scoreCacheOff      bool
 	execCacheOff       bool
+	answerCacheBytes   int64
 	mutable            bool
 
 	// Durability tunables (see durability.go). durDir empty = memory-only.
@@ -181,6 +183,22 @@ func WithScoreCache(enabled bool) Option {
 // results — disable it only to measure its effect.
 func WithExecutionCache(enabled bool) Option {
 	return func(c *config) { c.execCacheOff = !enabled }
+}
+
+// WithAnswerCache enables the engine-lifetime materialized answer cache
+// (internal/qcache) with the given byte budget; budgetBytes <= 0 keeps
+// it disabled (the default). The cache promotes hot keyword-bag
+// selections, candidate-network results, and interpretation counts from
+// the per-request execution cache into a shared store with 2Q admission
+// and cost-aware eviction, so repeated queries skip plan execution
+// entirely. Mutation batches incrementally invalidate only the entries
+// whose (table, column) footprint they touch, and a durable engine
+// persists the surviving hot set at checkpoint so Open restarts warm.
+// Caching never changes results — responses are byte-identical with the
+// cache on or off (see docs/qcache.md). Requires the execution cache
+// (the promotion source); WithExecutionCache(false) disables both.
+func WithAnswerCache(budgetBytes int64) Option {
+	return func(c *config) { c.answerCacheBytes = budgetBytes }
 }
 
 // WithDurability persists the engine under dir: Build writes an initial
@@ -334,6 +352,13 @@ type Engine struct {
 	// one.
 	applyMu sync.Mutex
 
+	// qc is the engine-lifetime answer cache (nil when disabled); see
+	// WithAnswerCache and internal/qcache. Snapshot publication of a
+	// mutation batch happens inside qc's critical section (publish), so
+	// cached answers can never be served to, or accepted from, a request
+	// on the wrong side of the batch.
+	qc *qcache.Store
+
 	// dur is the durability runtime (nil for a memory-only engine); see
 	// durability.go.
 	dur *durState
@@ -414,6 +439,9 @@ func (e *Engine) Build() error {
 		cat:   cat,
 		model: e.newModel(ix, cat),
 	}
+	if e.cfg.answerCacheBytes > 0 && !e.cfg.execCacheOff {
+		e.qc = qcache.New(e.cfg.answerCacheBytes)
+	}
 	e.snap.Store(s)
 	e.built = true
 	if e.cfg.durDir != "" {
@@ -469,6 +497,74 @@ func (e *Engine) Parallelism() int { return e.cfg.parallelism }
 // ExecutionCacheEnabled reports whether plan execution shares a
 // per-request selection cache (see WithExecutionCache).
 func (e *Engine) ExecutionCacheEnabled() bool { return !e.cfg.execCacheOff }
+
+// AnswerCacheEnabled reports whether the engine-lifetime answer cache is
+// active (see WithAnswerCache).
+func (e *Engine) AnswerCacheEnabled() bool { return e.qc != nil }
+
+// AnswerCacheStats is a point-in-time snapshot of the answer cache's
+// counters, mirrored into /healthz by the HTTP layer.
+type AnswerCacheStats struct {
+	BudgetBytes    int64
+	ResidentBytes  int64
+	HighWaterBytes int64
+	Entries        int
+
+	Hits             uint64
+	Misses           uint64
+	Evictions        uint64
+	Invalidations    uint64
+	StalePutRejects  uint64
+	AdmissionRejects uint64
+}
+
+// AnswerCacheStats returns the answer cache's counters; ok is false when
+// the cache is disabled.
+func (e *Engine) AnswerCacheStats() (stats AnswerCacheStats, ok bool) {
+	if e.qc == nil {
+		return AnswerCacheStats{}, false
+	}
+	s := e.qc.Stats()
+	return AnswerCacheStats{
+		BudgetBytes:      s.BudgetBytes,
+		ResidentBytes:    s.ResidentBytes,
+		HighWaterBytes:   s.HighWaterBytes,
+		Entries:          s.Entries,
+		Hits:             s.Hits,
+		Misses:           s.Misses,
+		Evictions:        s.Evictions,
+		Invalidations:    s.Invalidations,
+		StalePutRejects:  s.StalePutRejects,
+		AdmissionRejects: s.AdmissionRejects,
+	}, true
+}
+
+// answerView opens this request's handle on the answer cache, priced by
+// the query's estimated cost (cheap requests publish cheap entries).
+// It returns an explicit nil interface when the cache is disabled.
+// ORDER MATTERS: callers must obtain the view BEFORE loading the
+// snapshot with current() — the view's clock capture preceding the
+// snapshot load is what makes cache validity checks conservative (see
+// internal/qcache).
+func (e *Engine) answerView(keywords string) relstore.SharedStore {
+	if e.qc == nil {
+		return nil
+	}
+	return e.qc.NewView(e.EstimateCost(keywords))
+}
+
+// publish makes next the engine's current snapshot. When the answer
+// cache is on, the pointer swap happens inside the cache's invalidation
+// critical section with the batch's stale attributes, so no request can
+// observe the new snapshot while stale entries are still servable (or
+// publish stale entries afterwards). Callers must hold applyMu.
+func (e *Engine) publish(next *snapshot, stale []relstore.Attr) {
+	if e.qc == nil {
+		e.snap.Store(next)
+		return
+	}
+	e.qc.Invalidate(stale, func() { e.snap.Store(next) })
+}
 
 // parse tokenises a keyword query string.
 func parse(keywords string) []string {

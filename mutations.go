@@ -106,7 +106,7 @@ func (e *Engine) Apply(ctx context.Context, muts []Mutation) (*ApplyResult, erro
 		return nil, err
 	}
 
-	next, err := e.nextSnapshot(muts)
+	next, stale, err := e.nextSnapshot(muts)
 	if err != nil {
 		return nil, err
 	}
@@ -115,7 +115,7 @@ func (e *Engine) Apply(ctx context.Context, muts []Mutation) (*ApplyResult, erro
 			return nil, fmt.Errorf("keysearch: write-ahead log: %w", err)
 		}
 	}
-	e.snap.Store(next)
+	e.publish(next, stale)
 	if e.dur != nil {
 		e.dur.noteBatch(e.cfg.checkpointBatches)
 	}
@@ -123,9 +123,11 @@ func (e *Engine) Apply(ctx context.Context, muts []Mutation) (*ApplyResult, erro
 }
 
 // nextSnapshot validates the batch against the current snapshot and
-// builds its successor copy-on-write, without publishing it. Callers
-// hold applyMu (or, during Open's replay, have exclusive access).
-func (e *Engine) nextSnapshot(muts []Mutation) (*snapshot, error) {
+// builds its successor copy-on-write, without publishing it. It also
+// returns the batch's answer-cache invalidation set (nil when the cache
+// is off) for the publish step. Callers hold applyMu (or, during Open's
+// replay, have exclusive access).
+func (e *Engine) nextSnapshot(muts []Mutation) (*snapshot, []relstore.Attr, error) {
 	cur := e.current()
 	rmuts := make([]relstore.Mutation, len(muts))
 	for i, m := range muts {
@@ -133,7 +135,7 @@ func (e *Engine) nextSnapshot(muts []Mutation) (*snapshot, error) {
 	}
 	ndb, changes, err := cur.db.Apply(rmuts)
 	if err != nil {
-		return nil, fmt.Errorf("keysearch: %w", err)
+		return nil, nil, fmt.Errorf("keysearch: %w", err)
 	}
 	nix := cur.ix.Apply(ndb, changes)
 	model := e.newModel(nix, cur.cat)
@@ -152,7 +154,11 @@ func (e *Engine) nextSnapshot(muts []Mutation) (*snapshot, error) {
 		// it incrementally so SearchTrees stays warm across mutations.
 		next.dg.Store(g.Apply(ndb, changes))
 	}
-	return next, nil
+	var stale []relstore.Attr
+	if e.qc != nil {
+		stale = relstore.ChangedAttrs(ndb, changes)
+	}
+	return next, stale, nil
 }
 
 // staleAttrs collects the "table.column" attributes whose statistics a
