@@ -7,7 +7,7 @@ GO ?= go
 
 .PHONY: build test race vet fmt lint staticcheck fuzz fuzz-smoke \
 	bench bench-quick bench-exec bench-mut bench-dur bench-load \
-	bench-adm bench-qc bench-guard loadtest golden check cover
+	bench-adm bench-qc bench-shard bench-guard loadtest golden check cover
 
 build:
 	$(GO) build ./...
@@ -89,6 +89,14 @@ bench-adm:
 # `make bench`; CI runs -quick.
 bench-qc:
 	$(GO) run ./cmd/bench -only qcache -qc-out BENCH_qcache.json
+
+# bench-shard runs the sharding grid (single-process serving vs the
+# N-shard scatter-gather coordinator over identical data and ops) on a
+# ~1M-row dataset. The speedup_vs_1shard ratio needs free cores to
+# exceed 1 (docs/sharding.md); like bench-load it takes minutes and is
+# not part of `make bench`; CI runs -quick.
+bench-shard:
+	$(GO) run ./cmd/bench -only shard -shard-out BENCH_shard.json
 
 # loadtest is an interactive closed-loop run against an in-process
 # server; see cmd/loadtest -help for open-loop, saturation, and

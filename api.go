@@ -94,12 +94,14 @@ func (r Result) Count() (int, error) {
 // each row maps "table.column" to the value (occurrence index appended
 // for self-joins: "table#2.column").
 func (r Result) Rows(limit int) ([]map[string]string, error) {
-	return r.rows(limit, nil)
+	return r.rowsExec(limit, &relstore.LocalExecutor{DB: r.snap.db})
 }
 
-// rows is Rows with an optional request-scoped selection cache shared
-// across the results of one response.
-func (r Result) rows(limit int, cache *relstore.SelectionCache) ([]map[string]string, error) {
+// rowsExec is Rows through a request-scoped plan executor, the seam that
+// keeps deferred execution topology-blind: the same Result previews
+// correctly whether the executor runs in-process or scatter-gathers
+// across shards.
+func (r Result) rowsExec(limit int, exec relstore.PlanExecutor) ([]map[string]string, error) {
 	if r.q == nil {
 		return nil, fmt.Errorf("keysearch: result is not executable (obtained from JSON?)")
 	}
@@ -107,7 +109,7 @@ func (r Result) rows(limit int, cache *relstore.SelectionCache) ([]map[string]st
 	if err != nil {
 		return nil, err
 	}
-	jtts, err := r.snap.db.Execute(plan, relstore.ExecuteOptions{Limit: limit, Cache: cache})
+	jtts, err := exec.ExecutePlan(plan, limit)
 	if err != nil {
 		return nil, err
 	}
@@ -143,27 +145,40 @@ func planRow(db *relstore.Database, plan *relstore.JoinPlan, rowIDs []int) map[s
 	return row
 }
 
-// attachPreviews executes each result and stores up to limit rows,
-// checking the context between executions. One selection cache is shared
-// across all previews of the response (unless disabled on the engine):
-// the returned interpretations recombine the same keyword selections, so
-// each is computed once per request. view, when non-nil, is the
-// request's handle on the engine-lifetime answer cache; it is threaded
-// through the selection cache so hot selections and plan results are
-// shared across requests too.
-func (e *Engine) attachPreviews(ctx context.Context, results []Result, limit int, view relstore.SharedStore) error {
-	if limit <= 0 {
-		return nil
-	}
+// execProvider builds the plan executor for one request over its pinned
+// snapshot and answer-cache view. The engine's own provider is
+// localExec; a sharded coordinator substitutes its scatter-gather
+// executor. Every provider must satisfy the PlanExecutor contract
+// (exact Database.Execute semantics), which is what keeps responses
+// byte-identical across topologies.
+type execProvider func(s *snapshot, view relstore.SharedStore) relstore.PlanExecutor
+
+// localExec is the single-process provider: plans run in place with the
+// per-request selection cache (unless disabled), threaded through to the
+// engine-lifetime answer cache via view.
+func (e *Engine) localExec(s *snapshot, view relstore.SharedStore) relstore.PlanExecutor {
 	var cache *relstore.SelectionCache
 	if !e.cfg.execCacheOff {
 		cache = relstore.NewSelectionCacheShared(view)
+	}
+	return &relstore.LocalExecutor{DB: s.db, Cache: cache}
+}
+
+// attachPreviews executes each result through the request's executor and
+// stores up to limit rows, checking the context between executions. One
+// executor is shared across all previews of the response: the returned
+// interpretations recombine the same keyword selections, so each is
+// computed once per request (and shared across requests through the
+// answer-cache view behind the executor).
+func attachPreviews(ctx context.Context, results []Result, limit int, exec relstore.PlanExecutor) error {
+	if limit <= 0 {
+		return nil
 	}
 	for i := range results {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		rows, err := results[i].rows(limit, cache)
+		rows, err := results[i].rowsExec(limit, exec)
 		if err != nil {
 			continue
 		}
@@ -177,6 +192,11 @@ func (e *Engine) attachPreviews(ctx context.Context, results []Result, limit int
 // cancels candidate generation, interpretation materialisation, and
 // ranking.
 func (e *Engine) Search(ctx context.Context, req SearchRequest) (*SearchResponse, error) {
+	return e.searchExec(ctx, req, e.localExec)
+}
+
+// searchExec is Search over an injectable executor provider.
+func (e *Engine) searchExec(ctx context.Context, req SearchRequest, prov execProvider) (*SearchResponse, error) {
 	view := e.answerView(req.Query) // view before snapshot: see answerView
 	s := e.current()
 	ranked, _, err := e.interpret(ctx, s, req.Query)
@@ -188,8 +208,10 @@ func (e *Engine) Search(ctx context.Context, req SearchRequest) (*SearchResponse
 		ranked = ranked[:req.K]
 	}
 	resp.Results = e.wrap(s, ranked)
-	if err := e.attachPreviews(ctx, resp.Results, req.RowLimit, view); err != nil {
-		return nil, err
+	if req.RowLimit > 0 {
+		if err := attachPreviews(ctx, resp.Results, req.RowLimit, prov(s, view)); err != nil {
+			return nil, err
+		}
 	}
 	return resp, nil
 }
@@ -198,6 +220,13 @@ func (e *Engine) Search(ctx context.Context, req SearchRequest) (*SearchResponse
 // DivQ interface). Interpretations with empty results are dropped first,
 // as in DivQ.
 func (e *Engine) Diversify(ctx context.Context, req DiversifyRequest) (*SearchResponse, error) {
+	return e.diversifyExec(ctx, req, e.localExec)
+}
+
+// diversifyExec is Diversify over an injectable executor provider. The
+// non-empty filter and the previews each get their own executor, mirroring
+// the two per-phase selection caches the local path has always used.
+func (e *Engine) diversifyExec(ctx context.Context, req DiversifyRequest, prov execProvider) (*SearchResponse, error) {
 	view := e.answerView(req.Query) // view before snapshot: see answerView
 	s := e.current()
 	ranked, _, err := e.interpret(ctx, s, req.Query)
@@ -208,18 +237,16 @@ func (e *Engine) Diversify(ctx context.Context, req DiversifyRequest) (*SearchRe
 	if len(ranked) > 25 {
 		ranked = ranked[:25]
 	}
-	var cache *relstore.SelectionCache
-	if !e.cfg.execCacheOff {
-		cache = relstore.NewSelectionCacheShared(view)
-	}
-	nonEmpty, err := divq.FilterNonEmptyCached(ctx, s.db, ranked, cache)
+	nonEmpty, err := divq.FilterNonEmptyExec(ctx, prov(s, view), ranked)
 	if err != nil {
 		return nil, err
 	}
 	div := divq.Diversify(nonEmpty, divq.Config{Lambda: req.Lambda, K: req.K})
 	resp.Results = e.wrap(s, div)
-	if err := e.attachPreviews(ctx, resp.Results, req.RowLimit, view); err != nil {
-		return nil, err
+	if req.RowLimit > 0 {
+		if err := attachPreviews(ctx, resp.Results, req.RowLimit, prov(s, view)); err != nil {
+			return nil, err
+		}
 	}
 	return resp, nil
 }
@@ -254,6 +281,11 @@ type RowsResponse struct {
 // interpretations of the keyword query, using threshold-style early
 // stopping so low-probability interpretations are never executed.
 func (e *Engine) SearchRows(ctx context.Context, req RowsRequest) (*RowsResponse, error) {
+	return e.searchRowsExec(ctx, req, e.localExec)
+}
+
+// searchRowsExec is SearchRows over an injectable executor provider.
+func (e *Engine) searchRowsExec(ctx context.Context, req RowsRequest, prov execProvider) (*RowsResponse, error) {
 	view := e.answerView(req.Query) // view before snapshot: see answerView
 	s := e.current()
 	ranked, _, err := e.interpret(ctx, s, req.Query)
@@ -265,7 +297,7 @@ func (e *Engine) SearchRows(ctx context.Context, req RowsRequest) (*RowsResponse
 	}
 	results, _, err := topk.TopKContext(ctx, s.db, ranked, &topk.TFScorer{IX: s.ix}, topk.Options{
 		K: req.K, PerInterpretationLimit: 4 * req.K, Parallelism: e.cfg.parallelism,
-		DisableExecutionCache: e.cfg.execCacheOff, Shared: view,
+		Exec: prov(s, view),
 	})
 	if err != nil {
 		return nil, err

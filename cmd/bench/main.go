@@ -20,21 +20,25 @@
 //     all, each 8×-oversubscribed) → BENCH_admission.json, and
 //   - the answer-cache legs (a Zipf-skewed repeated-query stream over
 //     real HTTP, cache-off vs the engine-lifetime qcache)
-//     → BENCH_qcache.json.
+//     → BENCH_qcache.json, and
+//   - the sharding legs (single-process serving vs the N-shard
+//     scatter-gather coordinator over identical data and ops)
+//     → BENCH_shard.json.
 //
 // Usage:
 //
 //	go run ./cmd/bench [-out BENCH_pipeline.json] [-exec-out BENCH_executor.json]
 //	                   [-mut-out BENCH_mutations.json] [-dur-out BENCH_durability.json]
 //	                   [-load-out BENCH_load.json] [-adm-out BENCH_admission.json]
-//	                   [-qc-out BENCH_qcache.json] [-load-rows 1000000]
-//	                   [-only all|pipeline|executor|mutate|durable|load|admission|qcache[,...]] [-quick]
+//	                   [-qc-out BENCH_qcache.json] [-shard-out BENCH_shard.json]
+//	                   [-load-rows 1000000] [-shards 4]
+//	                   [-only all|pipeline|executor|mutate|durable|load|admission|qcache|shard[,...]] [-quick]
 //	                   [-compare base1.json[,base2.json...]] [-threshold 0.25]
 //
-// The load, admission, and qcache grids are NOT part of -only all: each
-// generates a million-row dataset and runs for minutes, so they are
-// requested explicitly (-only load, -only admission, -only qcache, or
-// -only all,load,admission,qcache). -quick shrinks them to CI size.
+// The load, admission, qcache, and shard grids are NOT part of -only
+// all: each generates a million-row dataset and runs for minutes, so
+// they are requested explicitly (-only load, -only shard, or -only
+// all,load,admission,qcache,shard). -quick shrinks them to CI size.
 //
 // The output records ns/op, allocations, and speedups against each grid's
 // baseline (sequential for the pipeline, scan for the executor, full
@@ -71,6 +75,7 @@ import (
 	"repro/internal/benchmut"
 	"repro/internal/benchpipe"
 	"repro/internal/benchqc"
+	"repro/internal/benchshard"
 )
 
 // pipelineReport is the top-level shape of BENCH_pipeline.json.
@@ -135,6 +140,15 @@ type qcacheReport struct {
 	NumCPU      int    `json:"num_cpu"`
 	GOMAXPROCS  int    `json:"gomaxprocs"`
 	*benchqc.Report
+}
+
+// shardReport is the top-level shape of BENCH_shard.json.
+type shardReport struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	NumCPU      int    `json:"num_cpu"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	*benchshard.Report
 }
 
 // speedups extracts the machine-transferable metric of one report as
@@ -213,6 +227,16 @@ func qcacheSpeedups(rows []benchqc.Row) speedups {
 	return out
 }
 
+func shardSpeedups(rows []benchshard.Row) speedups {
+	out := make(speedups)
+	for _, r := range rows {
+		if r.SpeedupVs1Shard > 0 {
+			out[r.Name] = r.SpeedupVs1Shard
+		}
+	}
+	return out
+}
+
 func main() {
 	out := flag.String("out", "BENCH_pipeline.json", "pipeline grid output file")
 	execOut := flag.String("exec-out", "BENCH_executor.json", "executor legs output file")
@@ -221,8 +245,10 @@ func main() {
 	loadOut := flag.String("load-out", "BENCH_load.json", "serving-path load legs output file")
 	admOut := flag.String("adm-out", "BENCH_admission.json", "adaptive-admission legs output file")
 	qcOut := flag.String("qc-out", "BENCH_qcache.json", "answer-cache legs output file")
-	loadRows := flag.Int("load-rows", 0, "load/admission/qcache grid dataset size in rows (default 1000000, or 25000 with -quick)")
-	only := flag.String("only", "all", "comma-separated grids to run: all, pipeline, executor, mutate, durable, load, admission, qcache (load, admission, and qcache are not in all)")
+	shardOut := flag.String("shard-out", "BENCH_shard.json", "sharding legs output file")
+	loadRows := flag.Int("load-rows", 0, "load/admission/qcache/shard grid dataset size in rows (default 1000000, or 25000 with -quick)")
+	shards := flag.Int("shards", 0, "shard grid: sharded-leg shard count (default 4)")
+	only := flag.String("only", "all", "comma-separated grids to run: all, pipeline, executor, mutate, durable, load, admission, qcache, shard (load, admission, qcache, and shard are not in all)")
 	quick := flag.Bool("quick", false, "run the trimmed quick pipeline grid")
 	compare := flag.String("compare", "", "comma-separated baseline BENCH_*.json files to guard against (see Regression guard)")
 	threshold := flag.Float64("threshold", 0.25, "maximum tolerated relative speedup regression vs the baseline")
@@ -233,11 +259,11 @@ func main() {
 		switch part = strings.TrimSpace(part); part {
 		case "all":
 			want["pipeline"], want["executor"], want["mutate"], want["durable"] = true, true, true, true
-		case "pipeline", "executor", "mutate", "durable", "load", "admission", "qcache":
+		case "pipeline", "executor", "mutate", "durable", "load", "admission", "qcache", "shard":
 			want[part] = true
 		case "":
 		default:
-			log.Fatalf("unknown -only value %q (want all, pipeline, executor, mutate, durable, load, admission, or qcache)", part)
+			log.Fatalf("unknown -only value %q (want all, pipeline, executor, mutate, durable, load, admission, qcache, or shard)", part)
 		}
 	}
 	if len(want) == 0 {
@@ -438,6 +464,34 @@ func main() {
 		fresh["qcache"] = qcacheSpeedups(rep.Rows)
 	}
 
+	if want["shard"] {
+		log.Printf("running sharding legs (quick=%v)...", *quick)
+		rep, err := benchshard.Measure(benchshard.Config{
+			Quick:      *quick,
+			TargetRows: *loadRows,
+			Shards:     *shards,
+		}, log.Printf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeJSON(*shardOut, shardReport{
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			GoVersion:   runtime.Version(),
+			NumCPU:      runtime.NumCPU(),
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			Report:      rep,
+		})
+		for _, r := range rep.Rows {
+			extra := ""
+			if r.SpeedupVs1Shard > 0 {
+				extra = fmt.Sprintf("  speedup %.2fx vs 1 shard  scatters %d", r.SpeedupVs1Shard, r.Scatters)
+			}
+			log.Printf("%-16s %8.0f req/s  p50 %7.1fms  p99 %8.1fms%s", r.Name, r.ThroughputRPS, r.P50MS, r.P99MS, extra)
+		}
+		log.Printf("wrote %s", *shardOut)
+		fresh["shard"] = shardSpeedups(rep.Rows)
+	}
+
 	// Regression guard: every baseline row's speedup must be within
 	// threshold of the fresh measurement.
 	failed := false
@@ -507,6 +561,12 @@ func loadBaseline(path string) (string, speedups, error) {
 			return "", nil, fmt.Errorf("baseline %s: %w", path, err)
 		}
 		return "qcache", qcacheSpeedups(rep.Rows), nil
+	case has("speedup_vs_1shard"):
+		var rep shardReport
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			return "", nil, fmt.Errorf("baseline %s: %w", path, err)
+		}
+		return "shard", shardSpeedups(rep.Rows), nil
 	case has("goodput_vs_saturation"):
 		var rep loadReport
 		if err := json.Unmarshal(raw, &rep); err != nil {

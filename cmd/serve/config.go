@@ -1,0 +1,189 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+	"time"
+
+	keysearch "repro"
+	"repro/httpapi"
+)
+
+// Config gathers every cmd/serve tunable in one validated struct, so
+// the serving topology is assembled from one value instead of two
+// dozen loose flag pointers. FromFlags builds it from the command
+// line (flag names are unchanged from earlier revisions); tests and
+// embedders can populate it directly and call Validate themselves.
+type Config struct {
+	// Addr is the HTTP listen address.
+	Addr string
+
+	// Dataset selection: DBPath serves an Engine.SaveTo dump; otherwise
+	// Music picks the lyrics chain schema over movies, generated with
+	// Seed.
+	Seed   int64
+	Music  bool
+	DBPath string
+
+	// Session handling for /v1/construct dialogues.
+	SessionTTL  time.Duration
+	MaxSessions int
+
+	// Engine tuning.
+	Parallelism      int
+	ScoreCache       bool
+	ExecCache        bool
+	AnswerCacheBytes int64
+
+	// Mutability and durability.
+	Mutable            bool
+	DataDir            string
+	CheckpointInterval time.Duration
+	CheckpointBatches  int
+
+	// Shards selects the serving topology: 1 (the default) serves the
+	// engine directly; N > 1 wraps it in an N-shard scatter-gather
+	// coordinator (see docs/sharding.md) with byte-identical responses.
+	Shards int
+
+	// Static admission gate.
+	MaxConcurrent int
+	MaxQueue      int
+	QueueTimeout  time.Duration
+	// RequestTimeout is the default per-request deadline (0 = none).
+	RequestTimeout time.Duration
+
+	// Adaptive admission governor (supersedes the static gate).
+	Adaptive    bool
+	AdaptMin    int
+	AdaptMax    int
+	AdaptWindow time.Duration
+}
+
+// FromFlags registers every serving flag on fs under its historical
+// name, parses args, and returns the validated configuration.
+func FromFlags(fs *flag.FlagSet, args []string) (*Config, error) {
+	c := &Config{}
+	fs.StringVar(&c.Addr, "addr", ":8080", "listen address")
+	fs.Int64Var(&c.Seed, "seed", 7, "demo dataset generator seed")
+	fs.BoolVar(&c.Music, "music", false, "serve the music (lyrics) dataset instead of movies")
+	fs.StringVar(&c.DBPath, "db", "", "serve a database dump written by Engine.SaveTo instead of a demo dataset")
+	fs.DurationVar(&c.SessionTTL, "ttl", 15*time.Minute, "construction session idle TTL")
+	fs.IntVar(&c.MaxSessions, "max-sessions", 1024, "cap on live construction sessions")
+	fs.IntVar(&c.Parallelism, "parallelism", 0, "pipeline worker count (0 = GOMAXPROCS, 1 = sequential)")
+	fs.BoolVar(&c.ScoreCache, "score-cache", true, "memoise score sub-terms across requests")
+	fs.BoolVar(&c.ExecCache, "exec-cache", true, "share keyword selections across the plans of one request")
+	fs.Int64Var(&c.AnswerCacheBytes, "answer-cache", 0, "engine-lifetime answer cache byte budget; hot selections and plan results survive across requests (0 = disabled; needs -exec-cache)")
+	fs.BoolVar(&c.Mutable, "mutable", false, "enable live mutations via POST /v1/mutate (snapshot-isolated)")
+	fs.StringVar(&c.DataDir, "data-dir", "", "durable state directory: recover it if present, initialise it otherwise")
+	fs.DurationVar(&c.CheckpointInterval, "checkpoint-interval", 30*time.Second, "background checkpoint interval (with -data-dir)")
+	fs.IntVar(&c.CheckpointBatches, "checkpoint-batches", 256, "checkpoint as soon as this many WAL batches accumulate (with -data-dir)")
+	fs.IntVar(&c.Shards, "shards", 1, "serve through an N-shard scatter-gather coordinator (1 = single-process)")
+	fs.IntVar(&c.MaxConcurrent, "max-concurrent", 0, "cap on concurrently executing /v1/ requests (0 = unlimited)")
+	fs.IntVar(&c.MaxQueue, "max-queue", 0, "cap on /v1/ requests waiting for a slot; excess shed with 429 (with -max-concurrent)")
+	fs.DurationVar(&c.QueueTimeout, "queue-timeout", time.Second, "longest a request may wait for a slot before a 503 shed (with -max-concurrent)")
+	fs.DurationVar(&c.RequestTimeout, "request-timeout", 0, "default per-request deadline on /v1/ endpoints, 504 on expiry (0 = none)")
+	fs.BoolVar(&c.Adaptive, "adaptive", false, "self-tune the concurrency limit (AIMD governor with cost-aware shedding; supersedes -max-concurrent)")
+	fs.IntVar(&c.AdaptMin, "adapt-min", 2, "adaptive concurrency floor (with -adaptive)")
+	fs.IntVar(&c.AdaptMax, "adapt-max", 0, "adaptive concurrency ceiling (with -adaptive; 0 = 8x GOMAXPROCS)")
+	fs.DurationVar(&c.AdaptWindow, "adapt-window", 500*time.Millisecond, "adaptive control-loop window (with -adaptive)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Validate rejects configurations that earlier revisions silently
+// misserved: contradictory dataset selectors, non-positive topology
+// sizes, and gate bounds that cannot mean anything.
+func (c *Config) Validate() error {
+	if c.DBPath != "" && c.Music {
+		return fmt.Errorf("-db and -music are mutually exclusive: a dump fixes the dataset")
+	}
+	if c.Shards < 1 {
+		return fmt.Errorf("-shards must be >= 1, got %d", c.Shards)
+	}
+	if c.AnswerCacheBytes < 0 {
+		return fmt.Errorf("-answer-cache must be >= 0, got %d", c.AnswerCacheBytes)
+	}
+	if c.AnswerCacheBytes > 0 && !c.ExecCache {
+		return fmt.Errorf("-answer-cache requires -exec-cache")
+	}
+	if c.MaxConcurrent < 0 || c.MaxQueue < 0 {
+		return fmt.Errorf("-max-concurrent and -max-queue must be >= 0")
+	}
+	if c.Adaptive {
+		if c.AdaptMin < 1 {
+			return fmt.Errorf("-adapt-min must be >= 1, got %d", c.AdaptMin)
+		}
+		if c.AdaptMax != 0 && c.AdaptMax < c.AdaptMin {
+			return fmt.Errorf("-adapt-max %d is below -adapt-min %d", c.AdaptMax, c.AdaptMin)
+		}
+	}
+	if c.CheckpointInterval <= 0 || c.CheckpointBatches <= 0 {
+		return fmt.Errorf("-checkpoint-interval and -checkpoint-batches must be positive")
+	}
+	return nil
+}
+
+// EngineOptions translates the configuration into engine build
+// options.
+func (c *Config) EngineOptions() []keysearch.Option {
+	opts := []keysearch.Option{
+		keysearch.WithCoOccurrence(),
+		keysearch.WithParallelism(c.Parallelism),
+		keysearch.WithScoreCache(c.ScoreCache),
+		keysearch.WithExecutionCache(c.ExecCache),
+		keysearch.WithAnswerCache(c.AnswerCacheBytes),
+	}
+	if c.Mutable {
+		opts = append(opts, keysearch.WithMutations())
+	}
+	if c.DataDir != "" {
+		opts = append(opts,
+			keysearch.WithDurability(c.DataDir),
+			keysearch.WithCheckpointPolicy(c.CheckpointInterval, c.CheckpointBatches),
+		)
+	}
+	return opts
+}
+
+// AdaptCeiling resolves the adaptive concurrency ceiling: 0 when the
+// governor is off, the configured -adapt-max otherwise, defaulting to
+// 8x GOMAXPROCS.
+func (c *Config) AdaptCeiling() int {
+	if !c.Adaptive {
+		return 0
+	}
+	if c.AdaptMax > 0 {
+		return c.AdaptMax
+	}
+	return 8 * runtime.GOMAXPROCS(0)
+}
+
+// ServerOptions translates the configuration into httpapi options.
+// WithAdmission and WithAdaptiveAdmission are no-ops at their zero
+// limits, so both are threaded unconditionally.
+func (c *Config) ServerOptions() []httpapi.Option {
+	return []httpapi.Option{
+		httpapi.WithSessionTTL(c.SessionTTL),
+		httpapi.WithMaxSessions(c.MaxSessions),
+		httpapi.WithAdmission(httpapi.AdmissionConfig{
+			MaxConcurrent: c.MaxConcurrent,
+			MaxQueue:      c.MaxQueue,
+			QueueTimeout:  c.QueueTimeout,
+		}),
+		httpapi.WithAdaptiveAdmission(httpapi.AdaptiveConfig{
+			MinConcurrent: c.AdaptMin,
+			MaxConcurrent: c.AdaptCeiling(),
+			MaxQueue:      c.MaxQueue,
+			QueueTimeout:  c.QueueTimeout,
+			Window:        c.AdaptWindow,
+		}),
+		httpapi.WithRequestTimeout(c.RequestTimeout),
+	}
+}

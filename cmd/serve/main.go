@@ -6,9 +6,23 @@
 //
 //	go run ./cmd/serve [-addr :8080] [-seed N] [-music] [-db dump] [-ttl 15m]
 //	                   [-mutable] [-data-dir DIR] [-answer-cache BYTES]
+//	                   [-shards N]
 //	                   [-max-concurrent N] [-max-queue N] [-queue-timeout 1s]
 //	                   [-request-timeout 5s]
 //	                   [-adaptive] [-adapt-min N] [-adapt-max N] [-adapt-window 500ms]
+//
+// Every flag lands in one validated Config (see config.go), so an
+// inconsistent combination — -db with -music, -answer-cache without
+// -exec-cache, -shards 0 — fails at startup instead of misserving.
+//
+// -shards N serves through an N-shard scatter-gather coordinator:
+// plan execution is partitioned by row ownership across N shards and
+// merged in rank order, with responses byte-identical to -shards 1 on
+// the same data (docs/sharding.md). Mutations and durability work
+// unchanged — batches commit once through the coordinator under one
+// epoch, and a state directory written at any shard count recovers at
+// any other. /healthz gains a "shards" block (per-shard row counts,
+// cache traffic, merge wave counters).
 //
 // -answer-cache gives the engine-lifetime materialized answer cache a
 // byte budget (0, the default, disables it): hot keyword-bag selections
@@ -28,7 +42,8 @@
 // p99 observations (-adapt-window), and under queue pressure the
 // estimated-heaviest waiters are shed first. -max-queue and
 // -queue-timeout size the adaptive queue too. All are off by default;
-// /healthz reports limits, controller state, and shed counters.
+// /healthz reports every configured limit in its nested "limits"
+// object, plus controller state and shed counters.
 //
 // Quickstart:
 //
@@ -47,8 +62,9 @@
 // and replays nothing.
 //
 // See package repro/httpapi for the endpoint and session protocol,
-// docs/mutations.md for the live-mutation snapshot model, and
-// docs/persistence.md for the durability design.
+// docs/mutations.md for the live-mutation snapshot model,
+// docs/persistence.md for the durability design, and docs/sharding.md
+// for the scatter-gather topology.
 package main
 
 import (
@@ -60,7 +76,6 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"runtime"
 	"syscall"
 	"time"
 
@@ -69,48 +84,12 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	seed := flag.Int64("seed", 7, "demo dataset generator seed")
-	music := flag.Bool("music", false, "serve the music (lyrics) dataset instead of movies")
-	dbPath := flag.String("db", "", "serve a database dump written by Engine.SaveTo instead of a demo dataset")
-	ttl := flag.Duration("ttl", 15*time.Minute, "construction session idle TTL")
-	maxSessions := flag.Int("max-sessions", 1024, "cap on live construction sessions")
-	parallelism := flag.Int("parallelism", 0, "pipeline worker count (0 = GOMAXPROCS, 1 = sequential)")
-	scoreCache := flag.Bool("score-cache", true, "memoise score sub-terms across requests")
-	execCache := flag.Bool("exec-cache", true, "share keyword selections across the plans of one request")
-	answerCache := flag.Int64("answer-cache", 0, "engine-lifetime answer cache byte budget; hot selections and plan results survive across requests (0 = disabled; needs -exec-cache)")
-	mutable := flag.Bool("mutable", false, "enable live mutations via POST /v1/mutate (snapshot-isolated)")
-	dataDir := flag.String("data-dir", "", "durable state directory: recover it if present, initialise it otherwise")
-	checkpointEvery := flag.Duration("checkpoint-interval", 30*time.Second, "background checkpoint interval (with -data-dir)")
-	checkpointBatches := flag.Int("checkpoint-batches", 256, "checkpoint as soon as this many WAL batches accumulate (with -data-dir)")
-	maxConcurrent := flag.Int("max-concurrent", 0, "cap on concurrently executing /v1/ requests (0 = unlimited)")
-	maxQueue := flag.Int("max-queue", 0, "cap on /v1/ requests waiting for a slot; excess shed with 429 (with -max-concurrent)")
-	queueTimeout := flag.Duration("queue-timeout", time.Second, "longest a request may wait for a slot before a 503 shed (with -max-concurrent)")
-	requestTimeout := flag.Duration("request-timeout", 0, "default per-request deadline on /v1/ endpoints, 504 on expiry (0 = none)")
-	adaptive := flag.Bool("adaptive", false, "self-tune the concurrency limit (AIMD governor with cost-aware shedding; supersedes -max-concurrent)")
-	adaptMin := flag.Int("adapt-min", 2, "adaptive concurrency floor (with -adaptive)")
-	adaptMax := flag.Int("adapt-max", 0, "adaptive concurrency ceiling (with -adaptive; 0 = 8x GOMAXPROCS)")
-	adaptWindow := flag.Duration("adapt-window", 500*time.Millisecond, "adaptive control-loop window (with -adaptive)")
-	flag.Parse()
-
-	opts := []keysearch.Option{
-		keysearch.WithCoOccurrence(),
-		keysearch.WithParallelism(*parallelism),
-		keysearch.WithScoreCache(*scoreCache),
-		keysearch.WithExecutionCache(*execCache),
-		keysearch.WithAnswerCache(*answerCache),
-	}
-	if *mutable {
-		opts = append(opts, keysearch.WithMutations())
-	}
-	if *dataDir != "" {
-		opts = append(opts,
-			keysearch.WithDurability(*dataDir),
-			keysearch.WithCheckpointPolicy(*checkpointEvery, *checkpointBatches),
-		)
+	cfg, err := FromFlags(flag.CommandLine, os.Args[1:])
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	eng, err := buildEngine(*dataDir, *dbPath, *music, *seed, opts)
+	eng, err := buildEngine(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -122,39 +101,29 @@ func main() {
 			stats.BudgetBytes, stats.Entries, stats.ResidentBytes)
 	}
 
-	adaptCeiling := 0 // 0 when -adaptive is off: governor disabled
-	if *adaptive {
-		adaptCeiling = *adaptMax
-		if adaptCeiling <= 0 {
-			adaptCeiling = 8 * runtime.GOMAXPROCS(0)
+	// Topology: the engine itself, or an N-shard scatter-gather
+	// coordinator over it. Both satisfy keysearch.Searcher, so the HTTP
+	// layer is indifferent.
+	var topo keysearch.Searcher = eng
+	if cfg.Shards > 1 {
+		se, err := keysearch.NewShardedEngine(cfg.Shards, eng)
+		if err != nil {
+			log.Fatal(err)
 		}
+		topo = se
+		log.Printf("topology: %d-shard scatter-gather coordinator", cfg.Shards)
 	}
-	srv := httpapi.New(eng,
-		httpapi.WithSessionTTL(*ttl),
-		httpapi.WithMaxSessions(*maxSessions),
-		httpapi.WithAdmission(httpapi.AdmissionConfig{
-			MaxConcurrent: *maxConcurrent,
-			MaxQueue:      *maxQueue,
-			QueueTimeout:  *queueTimeout,
-		}),
-		httpapi.WithAdaptiveAdmission(httpapi.AdaptiveConfig{
-			MinConcurrent: *adaptMin,
-			MaxConcurrent: adaptCeiling,
-			MaxQueue:      *maxQueue,
-			QueueTimeout:  *queueTimeout,
-			Window:        *adaptWindow,
-		}),
-		httpapi.WithRequestTimeout(*requestTimeout),
-	)
+
+	srv := httpapi.New(topo, cfg.ServerOptions()...)
 	switch {
-	case *adaptive:
+	case cfg.Adaptive:
 		log.Printf("admission: adaptive, limit %d..%d, window %v, max-queue %d, queue-timeout %v",
-			*adaptMin, adaptCeiling, *adaptWindow, *maxQueue, *queueTimeout)
-	case *maxConcurrent > 0:
+			cfg.AdaptMin, cfg.AdaptCeiling(), cfg.AdaptWindow, cfg.MaxQueue, cfg.QueueTimeout)
+	case cfg.MaxConcurrent > 0:
 		log.Printf("admission: max-concurrent %d, max-queue %d, queue-timeout %v",
-			*maxConcurrent, *maxQueue, *queueTimeout)
+			cfg.MaxConcurrent, cfg.MaxQueue, cfg.QueueTimeout)
 	}
-	httpSrv := &http.Server{Addr: *addr, Handler: logRequests(srv)}
+	httpSrv := &http.Server{Addr: cfg.Addr, Handler: logRequests(srv)}
 
 	// Graceful drain: stop accepting, finish in-flight requests, then
 	// flush durability (final checkpoint + WAL close) before exiting.
@@ -173,13 +142,13 @@ func main() {
 		if eng.Durable() {
 			log.Printf("shutting down: final checkpoint + closing WAL...")
 		}
-		if err := eng.Close(); err != nil {
+		if err := topo.Close(); err != nil {
 			log.Printf("engine close: %v", err)
 		}
 	}()
 
 	log.Printf("serving on %s (try: curl -s localhost%s/v1/search -d '{\"query\":\"hanks\",\"k\":3}')",
-		*addr, *addr)
+		cfg.Addr, cfg.Addr)
 	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
@@ -187,35 +156,36 @@ func main() {
 	log.Printf("bye")
 }
 
-// buildEngine implements open-or-build: recover dataDir when it holds a
-// snapshot, otherwise build from the dump or demo dataset (durably when
-// dataDir is set, so the next boot recovers).
-func buildEngine(dataDir, dbPath string, music bool, seed int64, opts []keysearch.Option) (*keysearch.Engine, error) {
-	if dataDir != "" {
-		eng, err := keysearch.Open(dataDir, opts...)
+// buildEngine implements open-or-build: recover the state directory
+// when it holds a snapshot, otherwise build from the dump or demo
+// dataset (durably when -data-dir is set, so the next boot recovers).
+func buildEngine(cfg *Config) (*keysearch.Engine, error) {
+	opts := cfg.EngineOptions()
+	if cfg.DataDir != "" {
+		eng, err := keysearch.Open(cfg.DataDir, opts...)
 		if err == nil {
 			log.Printf("recovered state directory %s (replaying WAL tail of %d batches)",
-				dataDir, eng.PendingWALBatches())
+				cfg.DataDir, eng.PendingWALBatches())
 			return eng, nil
 		}
 		if !errors.Is(err, fs.ErrNotExist) {
 			return nil, err
 		}
-		log.Printf("state directory %s is empty: building from dataset", dataDir)
+		log.Printf("state directory %s is empty: building from dataset", cfg.DataDir)
 	}
 	switch {
-	case dbPath != "":
-		f, err := os.Open(dbPath)
+	case cfg.DBPath != "":
+		f, err := os.Open(cfg.DBPath)
 		if err != nil {
 			return nil, err
 		}
 		defer f.Close()
 		return keysearch.Load(f, opts...)
-	case music:
+	case cfg.Music:
 		// The 5-table chain schema needs join paths of length 5.
-		return keysearch.DemoMusicWith(seed, opts...)
+		return keysearch.DemoMusicWith(cfg.Seed, opts...)
 	default:
-		return keysearch.DemoMoviesWith(seed, opts...)
+		return keysearch.DemoMoviesWith(cfg.Seed, opts...)
 	}
 }
 

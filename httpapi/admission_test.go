@@ -265,12 +265,12 @@ func TestRequestTimeoutMapsTo504(t *testing.T) {
 	if body.Code != "deadline_exceeded" {
 		t.Fatalf("code = %q, want deadline_exceeded", body.Code)
 	}
-	h := getHealth(t, ts.Client(), ts.URL).Admission
-	if h.DeadlineExceeded != 1 {
-		t.Fatalf("deadline_exceeded_total = %d, want 1", h.DeadlineExceeded)
+	h := getHealth(t, ts.Client(), ts.URL)
+	if h.Admission.DeadlineExceeded != 1 {
+		t.Fatalf("deadline_exceeded_total = %d, want 1", h.Admission.DeadlineExceeded)
 	}
-	if h.RequestTimeoutMS != 0 { // 1ns rounds down to 0ms — config still surfaced
-		t.Fatalf("request_timeout_ms = %d", h.RequestTimeoutMS)
+	if h.Limits.RequestTimeoutMS != 0 { // 1ns rounds down to 0ms — config still surfaced
+		t.Fatalf("limits.request_timeout_ms = %d", h.Limits.RequestTimeoutMS)
 	}
 }
 

@@ -1,7 +1,11 @@
-// Package httpapi exposes a built keysearch.Engine as a JSON-over-HTTP
-// service — the service boundary the thesis's systems imply but never
-// ship: probability-ranked interpretation search, DivQ diversification,
-// and interactive query construction behind stateless-client sessions.
+// Package httpapi exposes a keysearch.Searcher — a single-process
+// *keysearch.Engine or a *keysearch.ShardedEngine scatter-gather
+// coordinator — as a JSON-over-HTTP service: the service boundary the
+// thesis's systems imply but never ship: probability-ranked
+// interpretation search, DivQ diversification, and interactive query
+// construction behind stateless-client sessions. The handlers never
+// look behind the interface, so any topology satisfying Searcher
+// serves identically.
 //
 // Endpoints (all request/response bodies are the DTOs of package
 // keysearch, so a Go client can decode straight into library types):
@@ -49,7 +53,8 @@
 // "deadline_exceeded". GET /healthz bypasses the gate (it must answer
 // exactly when the server is saturated) and reports the gate's live
 // counters — in-flight, queued, shed totals, and their high-water marks
-// — plus the configured limits.
+// — while every *configured* limit (gate, governor bounds, answer-cache
+// budget, request timeout) lives in one nested "limits" object.
 //
 // Errors are returned as {"error": "..."} with a 4xx/5xx status;
 // overload and deadline errors additionally carry a machine-readable
@@ -107,37 +112,67 @@ type KeywordsResponse struct {
 // Durable reports whether the engine persists to a state directory;
 // when it does, WALBatches is the number of mutation batches a crash
 // right now would replay and LastCheckpointEpoch the epoch of the
-// on-disk snapshot file. Admission reports the overload-protection
-// posture: the configured limits and the live serving counters.
+// on-disk snapshot file. Every *configured* limit is gathered in the
+// nested Limits object; the remaining blocks carry live counters only.
 type HealthResponse struct {
-	Status         string          `json:"status"`
-	Parallelism    int             `json:"parallelism"`
-	ExecutionCache bool            `json:"execution_cache"`
-	Mutable        bool            `json:"mutable"`
-	Epoch          uint64          `json:"epoch"`
-	Durable        bool            `json:"durable"`
-	WALBatches     int             `json:"wal_batches"`
-	LastCheckpoint uint64          `json:"last_checkpoint_epoch"`
-	Admission      AdmissionHealth `json:"admission"`
+	Status         string `json:"status"`
+	Parallelism    int    `json:"parallelism"`
+	ExecutionCache bool   `json:"execution_cache"`
+	Mutable        bool   `json:"mutable"`
+	Epoch          uint64 `json:"epoch"`
+	Durable        bool   `json:"durable"`
+	WALBatches     int    `json:"wal_batches"`
+	LastCheckpoint uint64 `json:"last_checkpoint_epoch"`
+	// Limits is the one place configured serving limits appear: the
+	// admission gate's bounds, the adaptive governor's concurrency range
+	// and control window, the default request deadline, and the answer
+	// cache's byte budget.
+	Limits LimitsHealth `json:"limits"`
+	// Admission carries the live serving counters (in-flight, queued,
+	// shed, expired, and their high-water marks).
+	Admission AdmissionHealth `json:"admission"`
 	// Adaptive reports the self-sizing governor's controller state and
 	// per-cost-band shed counters; omitted entirely when the governor
 	// is disabled, so the static-gate health shape is unchanged.
 	Adaptive *AdaptiveHealth `json:"adaptive,omitempty"`
-	// AnswerCache reports the engine-lifetime answer cache's budget,
-	// occupancy, and counters (WithAnswerCache / -answer-cache); omitted
-	// entirely when the cache is disabled.
+	// AnswerCache reports the engine-lifetime answer cache's occupancy
+	// and counters (WithAnswerCache / -answer-cache); omitted entirely
+	// when the cache is disabled.
 	AnswerCache *AnswerCacheHealth `json:"answer_cache,omitempty"`
+	// Shards reports the scatter-gather topology (per-shard row counts,
+	// cache traffic, merge wave counters); omitted on a single-process
+	// engine.
+	Shards *ShardsHealth `json:"shards,omitempty"`
+}
+
+// LimitsHealth is the nested /healthz limits object: every configured
+// (static) bound of the serving path in one place, separate from the
+// live counters. The adaptive_* fields are zero when the governor is
+// off; answer_cache_budget_bytes is zero when the cache is off. When
+// the adaptive governor is enabled, max_concurrent/max_queue/
+// queue_timeout_ms describe *its* gate (the static gate is superseded).
+type LimitsHealth struct {
+	MaxConcurrent    int   `json:"max_concurrent"`
+	MaxQueue         int   `json:"max_queue"`
+	QueueTimeoutMS   int64 `json:"queue_timeout_ms"`
+	RequestTimeoutMS int64 `json:"request_timeout_ms"`
+
+	AdaptiveMinConcurrent int   `json:"adaptive_min_concurrent,omitempty"`
+	AdaptiveMaxConcurrent int   `json:"adaptive_max_concurrent,omitempty"`
+	AdaptiveWindowMS      int64 `json:"adaptive_window_ms,omitempty"`
+
+	AnswerCacheBudgetBytes int64 `json:"answer_cache_budget_bytes,omitempty"`
 }
 
 // AnswerCacheHealth is the /healthz view of the engine-lifetime answer
-// cache: the configured byte budget, current and high-water resident
-// bytes (high-water ≤ budget always holds), the resident entry count,
-// and the lifetime counters — hits, misses, evictions (budget pressure),
-// invalidations (entries dropped by mutation batches), and the two
-// rejection classes (stale publishes discarded by the snapshot-validity
-// check, and admissions declined by the 2Q/cost-aware policy).
+// cache: current and high-water resident bytes (high-water never
+// exceeds the budget reported in limits.answer_cache_budget_bytes), the
+// resident entry count, and the lifetime counters — hits, misses,
+// evictions (budget pressure), invalidations (entries dropped by
+// mutation batches), and the two rejection classes (stale publishes
+// discarded by the snapshot-validity check, and admissions declined by
+// the 2Q/cost-aware policy).
 type AnswerCacheHealth struct {
-	BudgetBytes    int64 `json:"budget_bytes"`
 	ResidentBytes  int64 `json:"resident_bytes"`
 	HighWaterBytes int64 `json:"high_water_bytes"`
 	Entries        int   `json:"entries"`
@@ -152,13 +187,11 @@ type AnswerCacheHealth struct {
 
 // answerCacheHealth assembles the /healthz answer-cache block, nil when
 // the cache is disabled.
-func answerCacheHealth(eng *keysearch.Engine) *AnswerCacheHealth {
-	stats, ok := eng.AnswerCacheStats()
-	if !ok {
+func answerCacheHealth(stats *keysearch.AnswerCacheStats) *AnswerCacheHealth {
+	if stats == nil {
 		return nil
 	}
 	return &AnswerCacheHealth{
-		BudgetBytes:      stats.BudgetBytes,
 		ResidentBytes:    stats.ResidentBytes,
 		HighWaterBytes:   stats.HighWaterBytes,
 		Entries:          stats.Entries,
@@ -171,15 +204,61 @@ func answerCacheHealth(eng *keysearch.Engine) *AnswerCacheHealth {
 	}
 }
 
-// AdmissionHealth is the /healthz view of the serving path: the
-// configured admission limits (zero MaxConcurrent = gate disabled) and
-// the live counters of requests in flight, waiting, shed, and expired.
+// AdmissionHealth is the /healthz view of the serving path's live
+// counters: requests in flight, waiting, shed, and expired, plus their
+// high-water marks. The gate's configured bounds live in the limits
+// object.
 type AdmissionHealth struct {
-	MaxConcurrent    int   `json:"max_concurrent"`
-	MaxQueue         int   `json:"max_queue"`
-	QueueTimeoutMS   int64 `json:"queue_timeout_ms"`
-	RequestTimeoutMS int64 `json:"request_timeout_ms"`
 	metrics.ServingSnapshot
+}
+
+// ShardsHealth is the /healthz view of a sharded topology: the shard
+// count, the coordinator's merge wave counters (plan scatters, count
+// scatters, results emitted by the rank-order merge), and one entry per
+// shard. Present only when the server fronts a ShardedEngine.
+type ShardsHealth struct {
+	Count         int           `json:"count"`
+	Scatters      int64         `json:"scatters"`
+	CountScatters int64         `json:"count_scatters"`
+	MergedResults int64         `json:"merged_results"`
+	Shards        []ShardHealth `json:"shards"`
+}
+
+// ShardHealth is one shard's slice of ShardsHealth: the live rows it
+// owns under the current snapshot, its partitioned plan executions and
+// contributed results, and its traffic against the request-wide shared
+// selection store.
+type ShardHealth struct {
+	Rows               int   `json:"rows"`
+	Execs              int64 `json:"execs"`
+	Results            int64 `json:"results"`
+	SelectionHits      int64 `json:"selection_hits"`
+	SelectionsComputed int64 `json:"selections_computed"`
+}
+
+// shardsHealth assembles the /healthz shards block, nil on a
+// single-process topology.
+func shardsHealth(st *keysearch.ShardStats) *ShardsHealth {
+	if st == nil {
+		return nil
+	}
+	h := &ShardsHealth{
+		Count:         st.Count,
+		Scatters:      st.Scatters,
+		CountScatters: st.CountScatters,
+		MergedResults: st.MergedResults,
+		Shards:        make([]ShardHealth, len(st.Shards)),
+	}
+	for i, sh := range st.Shards {
+		h.Shards[i] = ShardHealth{
+			Rows:               sh.Rows,
+			Execs:              sh.Execs,
+			Results:            sh.Results,
+			SelectionHits:      sh.SelectionHits,
+			SelectionsComputed: sh.SelectionsComputed,
+		}
+	}
+	return h
 }
 
 // MutateRequest carries one mutation batch for POST /v1/mutate.
@@ -252,11 +331,11 @@ func WithHandlerWrapper(wrap func(http.Handler) http.Handler) Option {
 	return func(s *Server) { s.wrap = wrap }
 }
 
-// Server is the HTTP front-end over one built Engine. It is safe for
-// concurrent use: the Engine is immutable, and each construction session
-// carries its own lock.
+// Server is the HTTP front-end over one Searcher topology. It is safe
+// for concurrent use: the topology's snapshot is immutable, and each
+// construction session carries its own lock.
 type Server struct {
-	eng         *keysearch.Engine
+	eng         keysearch.Searcher
 	ttl         time.Duration
 	maxSessions int
 	now         func() time.Time
@@ -295,8 +374,9 @@ type constructSession struct {
 	lastUsed time.Time
 }
 
-// New wraps a built Engine in an HTTP handler.
-func New(eng *keysearch.Engine, opts ...Option) *Server {
+// New wraps a Searcher topology — a built *keysearch.Engine or a
+// *keysearch.ShardedEngine — in an HTTP handler.
+func New(eng keysearch.Searcher, opts ...Option) *Server {
 	s := &Server{
 		eng:         eng,
 		ttl:         15 * time.Minute,
@@ -327,27 +407,7 @@ func New(eng *keysearch.Engine, opts ...Option) *Server {
 	s.mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("POST /v1/construct", s.handleConstruct)
 	s.mux.HandleFunc("GET /v1/keywords", s.handleKeywords)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, HealthResponse{
-			Status:         "ok",
-			Parallelism:    s.eng.Parallelism(),
-			ExecutionCache: s.eng.ExecutionCacheEnabled(),
-			Mutable:        s.eng.MutationsEnabled(),
-			Epoch:          s.eng.Epoch(),
-			Durable:        s.eng.Durable(),
-			WALBatches:     s.eng.PendingWALBatches(),
-			LastCheckpoint: s.eng.LastCheckpointEpoch(),
-			Admission: AdmissionHealth{
-				MaxConcurrent:    s.admission.MaxConcurrent,
-				MaxQueue:         s.admission.MaxQueue,
-				QueueTimeoutMS:   s.admission.QueueTimeout.Milliseconds(),
-				RequestTimeoutMS: s.reqTimeout.Milliseconds(),
-				ServingSnapshot:  s.stats.Snapshot(),
-			},
-			Adaptive:    s.adaptiveHealth(),
-			AnswerCache: answerCacheHealth(s.eng),
-		})
-	})
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.handler = s.mux
 	if s.wrap != nil {
 		s.handler = s.wrap(s.mux)
@@ -365,6 +425,52 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mux.ServeHTTP(w, r)
+}
+
+// handleHealth answers GET /healthz from one EngineStats snapshot —
+// the topology-independent health view every Searcher provides — plus
+// the server's own serving counters and configured limits.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:         "ok",
+		Parallelism:    st.Parallelism,
+		ExecutionCache: st.ExecutionCache,
+		Mutable:        st.Mutable,
+		Epoch:          st.Epoch,
+		Durable:        st.Durable,
+		WALBatches:     st.WALBatches,
+		LastCheckpoint: st.LastCheckpointEpoch,
+		Limits:         s.limitsHealth(st),
+		Admission:      AdmissionHealth{ServingSnapshot: s.stats.Snapshot()},
+		Adaptive:       s.adaptiveHealth(),
+		AnswerCache:    answerCacheHealth(st.AnswerCache),
+		Shards:         shardsHealth(st.Shards),
+	})
+}
+
+// limitsHealth assembles the nested limits object. With the adaptive
+// governor on, the gate fields describe the governor's queue (the
+// static gate is superseded on the serving path).
+func (s *Server) limitsHealth(st keysearch.EngineStats) LimitsHealth {
+	l := LimitsHealth{
+		MaxConcurrent:    s.admission.MaxConcurrent,
+		MaxQueue:         s.admission.MaxQueue,
+		QueueTimeoutMS:   s.admission.QueueTimeout.Milliseconds(),
+		RequestTimeoutMS: s.reqTimeout.Milliseconds(),
+	}
+	if s.adaptiveOn {
+		l.MaxConcurrent = s.adaptive.MaxConcurrent
+		l.MaxQueue = s.adaptive.MaxQueue
+		l.QueueTimeoutMS = s.adaptive.QueueTimeout.Milliseconds()
+		l.AdaptiveMinConcurrent = s.adaptive.MinConcurrent
+		l.AdaptiveMaxConcurrent = s.adaptive.MaxConcurrent
+		l.AdaptiveWindowMS = s.adaptive.Window.Milliseconds()
+	}
+	if st.AnswerCache != nil {
+		l.AnswerCacheBudgetBytes = st.AnswerCache.BudgetBytes
+	}
+	return l
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,0 +1,90 @@
+package httpapi
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	keysearch "repro"
+)
+
+// TestShardedServerByteIdentical serves the same dataset through an
+// unsharded engine and a 3-shard coordinator and asserts the HTTP
+// responses — the actual bytes on the wire — are identical, then checks
+// /healthz exposes the shards block only on the sharded server.
+func TestShardedServerByteIdentical(t *testing.T) {
+	plain := demoEngine(t)
+	shardedEng, err := keysearch.DemoMovies(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := keysearch.NewShardedEngine(3, shardedEng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tsPlain := httptest.NewServer(New(plain))
+	defer tsPlain.Close()
+	tsSharded := httptest.NewServer(New(se))
+	defer tsSharded.Close()
+
+	fetch := func(base, path, body string) (int, string) {
+		t.Helper()
+		var resp *http.Response
+		var err error
+		if body == "" {
+			resp, err = http.Get(base + path)
+		} else {
+			resp, err = http.Post(base+path, "application/json", strings.NewReader(body))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(raw)
+	}
+
+	queries := plain.SampleQueries(3)
+	for _, q := range queries {
+		for _, req := range []struct{ path, body string }{
+			{"/v1/search", `{"query":"` + q + `","k":4,"row_limit":2}`},
+			{"/v1/diversify", `{"query":"` + q + `","k":3,"lambda":0.5}`},
+			{"/v1/rows", `{"query":"` + q + `","k":5}`},
+		} {
+			wc, want := fetch(tsPlain.URL, req.path, req.body)
+			gc, got := fetch(tsSharded.URL, req.path, req.body)
+			if wc != gc || want != got {
+				t.Fatalf("%s(%q): sharded response diverges\n  plain   (%d): %.300s\n  sharded (%d): %.300s",
+					req.path, q, wc, want, gc, got)
+			}
+		}
+	}
+
+	// The sharded server's /healthz carries the shards block with sane
+	// contents; the plain server omits it.
+	plainHealth := getHealth(t, tsPlain.Client(), tsPlain.URL)
+	shardedHealth := getHealth(t, tsSharded.Client(), tsSharded.URL)
+	if plainHealth.Shards != nil {
+		t.Fatalf("unsharded /healthz has a shards block: %+v", plainHealth.Shards)
+	}
+	sh := shardedHealth.Shards
+	if sh == nil || sh.Count != 3 || len(sh.Shards) != 3 {
+		t.Fatalf("sharded /healthz shards block malformed: %+v", sh)
+	}
+	if sh.Scatters == 0 || sh.MergedResults == 0 {
+		t.Fatalf("sharded server never scattered over HTTP: %+v", sh)
+	}
+	rows := 0
+	for _, s := range sh.Shards {
+		rows += s.Rows
+	}
+	if rows != se.Engine().NumRows() {
+		t.Fatalf("/healthz per-shard rows sum %d != live rows %d", rows, se.Engine().NumRows())
+	}
+}

@@ -1,0 +1,240 @@
+// Package benchshard measures what the scatter-gather sharding
+// topology (internal/shard, keysearch.ShardedEngine) buys on the
+// execution-heavy serving mix against a million-row dataset. It stands
+// up the real HTTP server twice over identically built engines — once
+// single-process, once behind an N-shard coordinator — drives both
+// with the same op stream after identical warmups, and reports the
+// throughput ratio.
+//
+// The machine-transferable column is speedup_vs_1shard: sharded
+// throughput divided by single-process throughput, measured within one
+// run on one machine. Because the shards of one request run
+// concurrently, the ratio depends on free cores: on a multi-core host
+// with headroom it exceeds 1 (the enumeration splits across shards);
+// on a single-core or fully loaded host it hovers near 1, bounded by
+// the coordinator's small scatter/merge overhead — responses stay
+// byte-identical either way, which the differential tests pin. The
+// scatters and merged_results columns prove the sharded leg actually
+// exercised the coordinator rather than a cache or fast path.
+package benchshard
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	keysearch "repro"
+	"repro/httpapi"
+	"repro/internal/loadgen"
+)
+
+// Config sizes the sharding measurement.
+type Config struct {
+	// TargetRows is the generated dataset size (default 1,000,000;
+	// quick mode 25,000).
+	TargetRows int
+	// Seed fixes dataset and workload generation (default 42).
+	Seed int64
+	// StepDuration is the length of each measured leg; warmups run half
+	// of it (default 5s; quick 700ms).
+	StepDuration time.Duration
+	// Workers is the closed-loop concurrency of both legs (default 8).
+	Workers int
+	// Shards is the sharded leg's shard count (default 4).
+	Shards int
+	// Quick selects the CI-sized variant of all defaults.
+	Quick bool
+}
+
+func (c *Config) defaults() {
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.TargetRows <= 0 {
+		if c.Quick {
+			c.TargetRows = 25000
+		} else {
+			c.TargetRows = 1000000
+		}
+	}
+	if c.StepDuration <= 0 {
+		if c.Quick {
+			c.StepDuration = 700 * time.Millisecond
+		} else {
+			c.StepDuration = 5 * time.Second
+		}
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.Shards <= 1 {
+		c.Shards = 4
+	}
+}
+
+// Row is one measured leg of BENCH_shard.json.
+type Row struct {
+	Name          string  `json:"name"`
+	Shards        int     `json:"shards"`
+	Workers       int     `json:"workers"`
+	Requests      int64   `json:"requests"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50MS         float64 `json:"p50_ms"`
+	P95MS         float64 `json:"p95_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	Errors        int64   `json:"errors,omitempty"`
+	// SpeedupVs1Shard is the transferable guard column, set on the
+	// sharded leg only: its throughput divided by the single-process
+	// leg's. > 1 needs free cores (see package doc).
+	SpeedupVs1Shard float64 `json:"speedup_vs_1shard,omitempty"`
+	// Scatters / MergedResults prove the sharded leg exercised the
+	// coordinator: plan fan-outs and results emitted by the rank-order
+	// merge over the measured leg; sharded leg only.
+	Scatters      int64 `json:"scatters,omitempty"`
+	MergedResults int64 `json:"merged_results,omitempty"`
+}
+
+// Report is the top-level shape of BENCH_shard.json (wrapped with host
+// metadata by cmd/bench).
+type Report struct {
+	Dataset         string  `json:"dataset"`
+	DatasetRows     int     `json:"dataset_rows"`
+	WorkloadOps     int     `json:"workload_ops"`
+	Shards          int     `json:"shards"`
+	SpeedupVs1Shard float64 `json:"speedup_vs_1shard"`
+	Rows            []Row   `json:"rows"`
+}
+
+// Measure runs both legs. Progress lines go through logf (may be nil)
+// because the full-size run builds two million-row engines.
+func Measure(cfg Config, logf func(format string, args ...any)) (*Report, error) {
+	cfg.defaults()
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	dcfg := loadgen.DatasetConfig{Kind: loadgen.KindMovies, TargetRows: cfg.TargetRows, Seed: cfg.Seed}
+	logf("building %d-row movies dataset (seed %d)...", cfg.TargetRows, cfg.Seed)
+	db, err := loadgen.BuildDataset(dcfg)
+	if err != nil {
+		return nil, err
+	}
+	// Row retrieval is where plan execution lives (the joins the shards
+	// partition), so the stream leans on it; search and diversify keep
+	// the coordinator's non-scattered paths honest.
+	ops, err := loadgen.BuildWorkload(db, dcfg.Kind, loadgen.WorkloadConfig{
+		Ops:  512,
+		Seed: cfg.Seed,
+		Mix:  loadgen.Mix{Search: 20, Rows: 60, Diversify: 20},
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Dataset:     fmt.Sprintf("datagen movies target=%d seed=%d", cfg.TargetRows, cfg.Seed),
+		DatasetRows: db.NumRows(),
+		WorkloadOps: len(ops),
+		Shards:      cfg.Shards,
+	}
+
+	// Leg 1: single-process baseline.
+	logf("building single-process engine...")
+	single, err := runLeg(cfg, dcfg, ops, 1, logf)
+	if err != nil {
+		return nil, err
+	}
+	rep.Rows = append(rep.Rows, Row{
+		Name: "serve-1shard", Shards: 1, Workers: cfg.Workers, Requests: single.res.Requests,
+		ThroughputRPS: single.res.ThroughputRPS, P50MS: single.res.P50MS, P95MS: single.res.P95MS,
+		P99MS: single.res.P99MS, Errors: single.res.Errors,
+	})
+	logf("  1-shard: %s", single.res)
+
+	// Leg 2: the coordinator, identically built and warmed.
+	logf("building %d-shard engine...", cfg.Shards)
+	sharded, err := runLeg(cfg, dcfg, ops, cfg.Shards, logf)
+	if err != nil {
+		return nil, err
+	}
+	row := Row{
+		Name: fmt.Sprintf("serve-%dshard", cfg.Shards), Shards: cfg.Shards, Workers: cfg.Workers,
+		Requests: sharded.res.Requests, ThroughputRPS: sharded.res.ThroughputRPS,
+		P50MS: sharded.res.P50MS, P95MS: sharded.res.P95MS, P99MS: sharded.res.P99MS,
+		Errors: sharded.res.Errors, Scatters: sharded.scatters, MergedResults: sharded.merged,
+	}
+	if single.res.ThroughputRPS > 0 {
+		row.SpeedupVs1Shard = sharded.res.ThroughputRPS / single.res.ThroughputRPS
+	}
+	rep.Rows = append(rep.Rows, row)
+	rep.SpeedupVs1Shard = row.SpeedupVs1Shard
+	logf("  %d-shard: %s", cfg.Shards, sharded.res)
+	logf("speedup %.2fx vs 1 shard (%d scatters, %d merged results)",
+		rep.SpeedupVs1Shard, row.Scatters, row.MergedResults)
+
+	if sharded.scatters == 0 || sharded.merged == 0 {
+		return nil, fmt.Errorf("benchshard: sharded leg never scattered (scatters=%d merged=%d) — measurement is vacuous",
+			sharded.scatters, sharded.merged)
+	}
+	return rep, nil
+}
+
+type legResult struct {
+	res      *loadgen.Result
+	scatters int64
+	merged   int64
+}
+
+// runLeg builds a fresh engine (dataset generation is deterministic, so
+// both legs see byte-identical data), wraps it in an n-shard
+// coordinator when n > 1, warms it for half a step — so both legs
+// measure with equally hot score caches — then measures a closed-loop
+// run.
+func runLeg(cfg Config, dcfg loadgen.DatasetConfig, ops []loadgen.Op, n int,
+	logf func(string, ...any)) (*legResult, error) {
+	eng, err := loadgen.BuildEngine(dcfg)
+	if err != nil {
+		return nil, err
+	}
+	var topo keysearch.Searcher = eng
+	var se *keysearch.ShardedEngine
+	if n > 1 {
+		if se, err = keysearch.NewShardedEngine(n, eng); err != nil {
+			return nil, err
+		}
+		topo = se
+	}
+	ts := httptest.NewServer(httpapi.New(topo))
+	defer ts.Close()
+	ctx := context.Background()
+	base := loadgen.Options{BaseURL: ts.URL, Ops: ops, Workers: cfg.Workers}
+
+	warm := base
+	warm.Duration = cfg.StepDuration / 2
+	logf("  warmup %v, then measuring %v at %d workers...", warm.Duration, cfg.StepDuration, cfg.Workers)
+	if _, err := loadgen.Run(ctx, warm); err != nil {
+		return nil, err
+	}
+	var before keysearch.EngineStats
+	if se != nil {
+		before = se.Stats()
+	}
+
+	meas := base
+	meas.Duration = cfg.StepDuration
+	res, err := loadgen.Run(ctx, meas)
+	if err != nil {
+		return nil, err
+	}
+	if res.Errors > 0 {
+		return nil, fmt.Errorf("benchshard: leg produced %d errors", res.Errors)
+	}
+
+	out := &legResult{res: res}
+	if se != nil {
+		after := se.Stats()
+		out.scatters = after.Shards.Scatters - before.Shards.Scatters
+		out.merged = after.Shards.MergedResults - before.Shards.MergedResults
+	}
+	return out, nil
+}

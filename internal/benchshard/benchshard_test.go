@@ -1,0 +1,53 @@
+package benchshard
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMeasureQuick runs both legs at toy scale: the point is that the
+// grid executes, the report carries the guard columns, and the sharded
+// leg provably scattered — not that the speedup number means anything
+// at 4000 rows on a loaded test host.
+func TestMeasureQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shard grid takes a few seconds")
+	}
+	rep, err := Measure(Config{
+		Quick:        true,
+		TargetRows:   4000,
+		StepDuration: 300 * time.Millisecond,
+		Workers:      4,
+	}, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DatasetRows == 0 || rep.WorkloadOps == 0 {
+		t.Fatalf("report missing dataset shape: %+v", rep)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("want 1-shard + sharded rows, got %+v", rep.Rows)
+	}
+	single, sharded := rep.Rows[0], rep.Rows[1]
+	if single.Name != "serve-1shard" || sharded.Name != "serve-4shard" {
+		t.Fatalf("unexpected leg names: %q %q", single.Name, sharded.Name)
+	}
+	if single.Shards != 1 || sharded.Shards != 4 || rep.Shards != 4 {
+		t.Fatalf("shard counts wrong: %+v", rep.Rows)
+	}
+	if single.Requests == 0 || sharded.Requests == 0 {
+		t.Fatalf("a leg measured nothing: %+v", rep.Rows)
+	}
+	if single.SpeedupVs1Shard != 0 {
+		t.Fatalf("guard column leaked onto the baseline row: %+v", single)
+	}
+	if sharded.SpeedupVs1Shard <= 0 {
+		t.Fatalf("sharded leg missing the guard column: %+v", sharded)
+	}
+	if rep.SpeedupVs1Shard != sharded.SpeedupVs1Shard {
+		t.Fatalf("aggregate speedup %v != row %v", rep.SpeedupVs1Shard, sharded.SpeedupVs1Shard)
+	}
+	if sharded.Scatters == 0 || sharded.MergedResults == 0 {
+		t.Fatalf("sharded leg never exercised the coordinator: %+v", sharded)
+	}
+}

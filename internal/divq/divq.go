@@ -211,6 +211,15 @@ func FilterNonEmptyContext(ctx context.Context, db *relstore.Database, ranked []
 // selection cache; nil disables caching (the executor then evaluates
 // every probe's selections directly).
 func FilterNonEmptyCached(ctx context.Context, db *relstore.Database, ranked []prob.Scored, cache *relstore.SelectionCache) ([]prob.Scored, error) {
+	return FilterNonEmptyExec(ctx, &relstore.LocalExecutor{DB: db, Cache: cache}, ranked)
+}
+
+// FilterNonEmptyExec is the executor-generic form of the non-empty
+// filter: emptiness probes go through any relstore.PlanExecutor (local
+// or scatter-gather), so diversification works unchanged over a sharded
+// topology. Every executor counts exactly as Database.Count does, so the
+// surviving interpretation list is identical regardless of topology.
+func FilterNonEmptyExec(ctx context.Context, exec relstore.PlanExecutor, ranked []prob.Scored) ([]prob.Scored, error) {
 	var out []prob.Scored
 	for _, s := range ranked {
 		if err := ctx.Err(); err != nil {
@@ -220,7 +229,7 @@ func FilterNonEmptyCached(ctx context.Context, db *relstore.Database, ranked []p
 		if err != nil {
 			return nil, err
 		}
-		n, err := db.CountCached(plan, 1, cache)
+		n, err := exec.CountPlan(plan, 1)
 		if err != nil {
 			return nil, err
 		}

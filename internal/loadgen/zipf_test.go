@@ -128,10 +128,13 @@ func TestAnswerCacheUnderZipfLoad(t *testing.T) {
 		t.Fatal("mutate ops did not commit any batch")
 	}
 
-	// /healthz must surface the cache block with sane values.
+	// /healthz must surface the cache block with sane values: the budget
+	// in the nested limits object, the live counters in answer_cache.
 	var health struct {
+		Limits struct {
+			AnswerCacheBudgetBytes int64 `json:"answer_cache_budget_bytes"`
+		} `json:"limits"`
 		AnswerCache *struct {
-			BudgetBytes    int64 `json:"budget_bytes"`
 			HighWaterBytes int64 `json:"high_water_bytes"`
 			Hits           int64 `json:"hits"`
 		} `json:"answer_cache"`
@@ -151,10 +154,10 @@ func TestAnswerCacheUnderZipfLoad(t *testing.T) {
 	if health.AnswerCache == nil {
 		t.Fatalf("/healthz missing answer_cache block: %s", raw)
 	}
-	if health.AnswerCache.BudgetBytes != budget || health.AnswerCache.Hits == 0 {
-		t.Fatalf("/healthz answer_cache implausible: %+v", health.AnswerCache)
+	if health.Limits.AnswerCacheBudgetBytes != budget || health.AnswerCache.Hits == 0 {
+		t.Fatalf("/healthz answer cache implausible: limits=%+v cache=%+v", health.Limits, health.AnswerCache)
 	}
-	if health.AnswerCache.HighWaterBytes > health.AnswerCache.BudgetBytes {
+	if health.AnswerCache.HighWaterBytes > health.Limits.AnswerCacheBudgetBytes {
 		t.Fatalf("/healthz reports high-water over budget: %+v", health.AnswerCache)
 	}
 }

@@ -162,6 +162,41 @@ func (cp *CompiledPlan) CountRows(limit int, cache *SelectionCache) (int, error)
 	return n, nil
 }
 
+// ExecutePart materialises only the joining trees whose root-candidate
+// RowID satisfies part — one shard's slice of the plan's result stream.
+// The root node is chosen from the *unfiltered* candidate sets, exactly
+// as Execute chooses it, so every shard of a scatter-gather execution
+// agrees on the root and on the enumeration order; the returned root
+// index (-1 when the plan has no candidates at all) tells the
+// coordinator which JTT position to merge on. Because enumeration emits
+// results in ascending root-candidate order, grouped in contiguous
+// blocks per root row, a partitioned stream is an order-preserving
+// subsequence of the full stream, and disjoint partitions merge back to
+// the exact global sequence — including under limit, since any result
+// within the first limit of the merged stream sits within the first
+// limit of its own shard's stream.
+//
+// Partitioned runs deliberately bypass the engine-lifetime whole-plan
+// answer cache consulted by Execute: a partial result stream must never
+// be served from, or published under, the plan's global cache key.
+// Selections still flow through cache, including its shared layer —
+// they are partition-independent.
+func (cp *CompiledPlan) ExecutePart(limit int, cache *SelectionCache, part func(rowID int) bool) ([]JTT, int, error) {
+	results, _, root := cp.runCore(cache, limit, true, part)
+	return results, root, nil
+}
+
+// CountPart is ExecutePart's counting form: the number of results whose
+// root candidate satisfies part, bounded by limit (0 = unlimited). A
+// coordinator recovers the exact global count as
+// min(Σ_i CountPart_i(limit), limit): per-shard truncation never
+// under-reports the capped total because each shard's true count only
+// exceeds its reported count when the report already reached limit.
+func (cp *CompiledPlan) CountPart(limit int, cache *SelectionCache, part func(rowID int) bool) (int, error) {
+	_, n, _ := cp.runCore(cache, limit, false, part)
+	return n, nil
+}
+
 // cacheKey is the canonical identity of this plan's result stream in the
 // engine-lifetime answer cache. Nodes contribute their table plus their
 // predicates as sorted (column, canonical bag) pairs — predicate order
@@ -245,14 +280,15 @@ func (cp *CompiledPlan) footprint() []Attr {
 // snapshot (see SharedStore).
 func (cp *CompiledPlan) run(cache *SelectionCache, limit int, collect bool) ([]JTT, int) {
 	if cache == nil || cache.shared == nil {
-		return cp.runCore(cache, limit, collect)
+		results, n, _ := cp.runCore(cache, limit, collect, nil)
+		return results, n
 	}
 	key := cp.cacheKey(limit)
 	if !collect {
 		if n, ok := cache.shared.GetCount(key); ok {
 			return nil, n
 		}
-		_, n := cp.runCore(cache, limit, false)
+		_, n, _ := cp.runCore(cache, limit, false, nil)
 		cache.shared.PutCount(key, cp.footprint(), n)
 		return nil, n
 	}
@@ -266,7 +302,7 @@ func (cp *CompiledPlan) run(cache *SelectionCache, limit int, collect bool) ([]J
 		}
 		return results, len(rows)
 	}
-	results, count := cp.runCore(cache, limit, true)
+	results, count, _ := cp.runCore(cache, limit, true, nil)
 	rows := make([][]int, len(results))
 	for i := range results {
 		rows[i] = results[i].Rows
@@ -277,14 +313,19 @@ func (cp *CompiledPlan) run(cache *SelectionCache, limit int, collect bool) ([]J
 
 // runCore is the shared execution core: selection, semi-join pruning, and
 // rooted index-nested-loop enumeration. With collect it materialises
-// JTTs; otherwise it only counts.
-func (cp *CompiledPlan) runCore(cache *SelectionCache, limit int, collect bool) ([]JTT, int) {
+// JTTs; otherwise it only counts. A non-nil part restricts enumeration to
+// root candidates it accepts — applied strictly after root selection (so
+// partitioned runs agree with the full run on the root) and before
+// pruning (pruning a smaller candidate set is pure optimisation; it never
+// changes which trees exist). The returned root index is -1 only when a
+// node had no candidates before the root was chosen.
+func (cp *CompiledPlan) runCore(cache *SelectionCache, limit int, collect bool, part func(rowID int) bool) ([]JTT, int, int) {
 	n := len(cp.nodes)
 	cands := make([][]int, n)
 	for i := range cp.nodes {
 		c := cp.candidates(i, cache)
 		if len(c) == 0 {
-			return nil, 0
+			return nil, 0, -1
 		}
 		cands[i] = c
 	}
@@ -292,11 +333,26 @@ func (cp *CompiledPlan) runCore(cache *SelectionCache, limit int, collect bool) 
 	// Root: most selective node by pre-pruning candidate count (first
 	// wins ties) — the same choice as the reference executor, so the
 	// enumeration order, and therefore the JTT sequence, is identical.
+	// With a partition filter the choice still uses the unfiltered
+	// counts: every shard must elect the same root.
 	root := 0
 	for i := 1; i < n; i++ {
 		if len(cands[i]) < len(cands[root]) {
 			root = i
 		}
+	}
+
+	if part != nil {
+		own := make([]int, 0, len(cands[root]))
+		for _, id := range cands[root] {
+			if part(id) {
+				own = append(own, id)
+			}
+		}
+		if len(own) == 0 {
+			return nil, 0, root
+		}
+		cands[root] = own
 	}
 
 	// DFS order from the root, visiting adjacency in edge declaration
@@ -377,13 +433,13 @@ func (cp *CompiledPlan) runCore(cache *SelectionCache, limit int, collect bool) 
 		// Restrict the parent to rows with a partner among the child's
 		// candidates (child's equality index on the join column).
 		if !prune(st.parent, st.parentCol, bits[st.parent], st.node, idx[k], bits[st.node]) {
-			return nil, 0
+			return nil, 0, root
 		}
 	}
 	for k := 1; k < len(order); k++ {
 		st := order[k]
 		if !prune(st.node, st.col, bits[st.node], st.parent, revIdx[k], bits[st.parent]) {
-			return nil, 0
+			return nil, 0, root
 		}
 	}
 
@@ -426,5 +482,16 @@ func (cp *CompiledPlan) runCore(cache *SelectionCache, limit int, collect bool) 
 		return false
 	}
 	rec(0)
-	return results, count
+	return results, count, root
 }
+
+// CacheKey exposes the plan's canonical answer-cache identity for
+// coordinators that consult the shared store around a scatter-gather
+// execution (partitioned runs themselves never touch the whole-plan
+// cache; see ExecutePart).
+func (cp *CompiledPlan) CacheKey(limit int) string { return cp.cacheKey(limit) }
+
+// Footprint exposes the plan's attribute footprint for publishing merged
+// scatter-gather results into the shared store with correct
+// invalidation coverage.
+func (cp *CompiledPlan) Footprint() []Attr { return cp.footprint() }

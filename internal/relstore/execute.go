@@ -141,3 +141,37 @@ func (db *Database) CountCached(p *JoinPlan, limit int, cache *SelectionCache) (
 	}
 	return cp.CountRows(limit, cache)
 }
+
+// PlanExecutor abstracts how a join plan is evaluated against the current
+// snapshot. The single-process executor (LocalExecutor) compiles and runs
+// the plan in place; a sharded coordinator scatters the plan across
+// partitions and merges the streams. Every implementation must produce
+// the exact JTT sequence of Database.Execute — byte-for-byte, including
+// under limit — so callers (top-k, DivQ filtering, preview assembly) are
+// topology-blind.
+type PlanExecutor interface {
+	// ExecutePlan materialises the plan's joining tuple trees, bounded
+	// by limit (0 = unlimited).
+	ExecutePlan(p *JoinPlan, limit int) ([]JTT, error)
+	// CountPlan counts the plan's results without materialising them,
+	// bounded by limit (0 = unlimited).
+	CountPlan(p *JoinPlan, limit int) (int, error)
+}
+
+// LocalExecutor is the in-process PlanExecutor: plans run directly
+// against DB with an optional per-request selection cache (which may
+// carry the engine-lifetime shared answer store).
+type LocalExecutor struct {
+	DB    *Database
+	Cache *SelectionCache
+}
+
+// ExecutePlan implements PlanExecutor.
+func (l *LocalExecutor) ExecutePlan(p *JoinPlan, limit int) ([]JTT, error) {
+	return l.DB.Execute(p, ExecuteOptions{Limit: limit, Cache: l.Cache})
+}
+
+// CountPlan implements PlanExecutor.
+func (l *LocalExecutor) CountPlan(p *JoinPlan, limit int) (int, error) {
+	return l.DB.CountCached(p, limit, l.Cache)
+}

@@ -1,0 +1,331 @@
+// Package shard executes compiled join plans scatter-gather across N
+// logical partitions of one relstore snapshot and merges the partial
+// streams back into the exact single-process result sequence.
+//
+// Partitioning is by ownership of the enumeration root: every row is
+// hashed to one shard (Owner), and a shard enumerates only the joining
+// trees whose root-candidate RowID it owns. The snapshot itself is
+// shared — tables, posting lists, and equality indexes are immutable
+// between mutations, so "cloning per shard" is pointer sharing, and a
+// join is free to reach rows any shard owns below the root. That keeps
+// cross-shard joins impossible by construction: the only partitioned
+// decision is which root rows a shard starts from.
+//
+// Determinism argument (the byte-identity bar from the parallelism
+// tests): relstore enumeration picks the root node from unfiltered
+// candidate counts, so all shards elect the same root; it then emits
+// results in ascending root-candidate order, in contiguous blocks per
+// root row. A shard's stream is therefore an order-preserving
+// subsequence of the global stream, root ownership makes the
+// subsequences disjoint and exhaustive, and a k-way merge on the
+// current head's root RowID reassembles the global sequence exactly.
+// Truncation is safe under merge: a result at global position ≤ limit
+// sits at position ≤ limit within its own shard's stream, so per-shard
+// limits never starve the merged prefix.
+package shard
+
+import (
+	"sync"
+
+	"repro/internal/relstore"
+)
+
+// Owner maps a RowID to its owning shard among n via a splitmix64-style
+// avalanche of the id. Sequential RowIDs — which is how every generator
+// and loader allocates them — would make modulo alone a stripe pattern
+// correlated with table build order; the mixer decorrelates ownership
+// from allocation order so shard loads stay balanced under any workload.
+func Owner(rowID, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	z := uint64(rowID) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int(z % uint64(n))
+}
+
+// Exec is a request-scoped scatter-gather relstore.PlanExecutor over n
+// shards of one snapshot. Per-shard SelectionCaches share computed
+// selections request-wide (selections are partition-independent) and
+// with the engine-lifetime answer-cache view when one is supplied; the
+// whole-plan answer cache is consulted and published only here at the
+// coordinator, never by the partitioned runs themselves.
+type Exec struct {
+	db     *relstore.Database
+	n      int
+	view   relstore.SharedStore
+	stats  *Stats
+	caches []*relstore.SelectionCache
+}
+
+// NewExec builds an executor for one request against db split n ways.
+// view is the request's answer-cache view (nil when the answer cache is
+// off); useCache controls the per-request selection caches exactly as
+// the execution cache toggle does for the local executor; stats is the
+// engine-lifetime counter block (nil allocates a throwaway one).
+func NewExec(db *relstore.Database, n int, view relstore.SharedStore, useCache bool, stats *Stats) *Exec {
+	if n < 1 {
+		n = 1
+	}
+	if stats == nil {
+		stats = NewStats(n)
+	}
+	x := &Exec{db: db, n: n, view: view, stats: stats}
+	if useCache {
+		store := &selStore{m: make(map[selKey][]int), view: view}
+		x.caches = make([]*relstore.SelectionCache, n)
+		for i := 0; i < n; i++ {
+			x.caches[i] = relstore.NewSelectionCacheShared(&shardView{store: store, sc: &stats.shards[i]})
+		}
+	} else {
+		x.caches = make([]*relstore.SelectionCache, n)
+	}
+	return x
+}
+
+// ownerFn returns the partition predicate for shard i.
+func (x *Exec) ownerFn(i int) func(rowID int) bool {
+	n := x.n
+	return func(rowID int) bool { return Owner(rowID, n) == i }
+}
+
+// ExecutePlan implements relstore.PlanExecutor: compile once, consult
+// the shared whole-plan cache, scatter the enumeration across shards,
+// merge by root RowID, publish. The output is byte-identical to
+// LocalExecutor.ExecutePlan at any shard count.
+func (x *Exec) ExecutePlan(p *relstore.JoinPlan, limit int) ([]relstore.JTT, error) {
+	cp, err := x.db.Compile(p)
+	if err != nil {
+		return nil, err
+	}
+	var key string
+	if x.view != nil {
+		key = cp.CacheKey(limit)
+		if rows, ok := x.view.GetPlan(key); ok {
+			if len(rows) == 0 {
+				return nil, nil
+			}
+			results := make([]relstore.JTT, len(rows))
+			for i, r := range rows {
+				results[i] = relstore.JTT{Rows: r}
+			}
+			return results, nil
+		}
+	}
+
+	x.stats.scatters.Add(1)
+	outs := make([][]relstore.JTT, x.n)
+	roots := make([]int, x.n)
+	var wg sync.WaitGroup
+	for i := 0; i < x.n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], roots[i], _ = cp.ExecutePart(limit, x.caches[i], x.ownerFn(i))
+			x.stats.shards[i].execs.Add(1)
+			x.stats.shards[i].results.Add(int64(len(outs[i])))
+		}(i)
+	}
+	wg.Wait()
+
+	root := -1
+	for _, r := range roots {
+		if r >= 0 {
+			root = r
+			break
+		}
+	}
+	merged := mergeByRoot(outs, root, limit)
+	x.stats.merged.Add(int64(len(merged)))
+
+	if x.view != nil {
+		rows := make([][]int, len(merged))
+		for i := range merged {
+			rows[i] = merged[i].Rows
+		}
+		x.view.PutPlan(key, cp.Footprint(), rows)
+	}
+	return merged, nil
+}
+
+// CountPlan implements relstore.PlanExecutor. Each shard counts its
+// owned slice bounded by limit; min(Σ partials, limit) is exact — a
+// shard's true count only exceeds its report when the report already
+// reached limit, in which case the capped sum has too.
+func (x *Exec) CountPlan(p *relstore.JoinPlan, limit int) (int, error) {
+	cp, err := x.db.Compile(p)
+	if err != nil {
+		return 0, err
+	}
+	var key string
+	if x.view != nil {
+		key = cp.CacheKey(limit)
+		if n, ok := x.view.GetCount(key); ok {
+			return n, nil
+		}
+	}
+
+	x.stats.countScatters.Add(1)
+	partial := make([]int, x.n)
+	var wg sync.WaitGroup
+	for i := 0; i < x.n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			partial[i], _ = cp.CountPart(limit, x.caches[i], x.ownerFn(i))
+			x.stats.shards[i].execs.Add(1)
+		}(i)
+	}
+	wg.Wait()
+
+	total := 0
+	for _, c := range partial {
+		total += c
+	}
+	if limit > 0 && total > limit {
+		total = limit
+	}
+	if x.view != nil {
+		x.view.PutCount(key, cp.Footprint(), total)
+	}
+	return total, nil
+}
+
+// mergeByRoot k-way merges per-shard result streams on the root
+// RowID of each stream's head. Root ownership is disjoint across
+// shards, so heads never tie; blocks per root row are contiguous within
+// a stream, so a simple smallest-head merge reproduces the global
+// ascending-root enumeration order. root < 0 means no shard produced
+// results (the plan is globally empty).
+func mergeByRoot(outs [][]relstore.JTT, root, limit int) []relstore.JTT {
+	if root < 0 {
+		return nil
+	}
+	total := 0
+	nonEmpty := 0
+	last := -1
+	for i, out := range outs {
+		total += len(out)
+		if len(out) > 0 {
+			nonEmpty++
+			last = i
+		}
+	}
+	if limit > 0 && total > limit {
+		total = limit
+	}
+	if total == 0 {
+		return nil
+	}
+	if nonEmpty == 1 {
+		return outs[last][:total]
+	}
+	merged := make([]relstore.JTT, 0, total)
+	pos := make([]int, len(outs))
+	for len(merged) < total {
+		best := -1
+		bestRoot := 0
+		for i, out := range outs {
+			if pos[i] >= len(out) {
+				continue
+			}
+			r := out[pos[i]].Rows[root]
+			if best < 0 || r < bestRoot {
+				best = i
+				bestRoot = r
+			}
+		}
+		if best < 0 {
+			break
+		}
+		merged = append(merged, outs[best][pos[best]])
+		pos[best]++
+	}
+	return merged
+}
+
+// selKey identifies one selection in the request-wide store. Unlike the
+// per-request SelectionCache (which keys by *Table pointer), the store
+// keys by table name — the same identity the engine-lifetime layer
+// uses — because it brokers between per-shard caches and that layer.
+type selKey struct {
+	table string
+	col   int
+	bag   string
+}
+
+// selStore shares computed selections across the per-shard caches of
+// one request and brokers them to the engine-lifetime view (when
+// present). Selections are partition-independent, so shard A computing
+// σ_{hanks ∈ name}(actor) must spare shards B..N the posting-list work.
+// Whole-plan and count entries are refused: partial streams must never
+// reach the global answer cache except through the coordinator's merge.
+type selStore struct {
+	mu   sync.RWMutex
+	m    map[selKey][]int
+	view relstore.SharedStore
+}
+
+func (s *selStore) GetSelection(table string, col int, bag string) ([]int, bool) {
+	k := selKey{table: table, col: col, bag: bag}
+	s.mu.RLock()
+	rows, ok := s.m[k]
+	s.mu.RUnlock()
+	if ok {
+		return rows, true
+	}
+	if s.view != nil {
+		if rows, ok := s.view.GetSelection(table, col, bag); ok {
+			s.mu.Lock()
+			s.m[k] = rows
+			s.mu.Unlock()
+			return rows, true
+		}
+	}
+	return nil, false
+}
+
+func (s *selStore) PutSelection(table string, col int, bag string, rows []int) {
+	k := selKey{table: table, col: col, bag: bag}
+	s.mu.Lock()
+	s.m[k] = rows
+	s.mu.Unlock()
+	if s.view != nil {
+		s.view.PutSelection(table, col, bag, rows)
+	}
+}
+
+func (s *selStore) GetPlan(string) ([][]int, bool)           { return nil, false }
+func (s *selStore) PutPlan(string, []relstore.Attr, [][]int) {}
+func (s *selStore) GetCount(string) (int, bool)              { return 0, false }
+func (s *selStore) PutCount(string, []relstore.Attr, int)    {}
+
+// shardView is one shard's window onto the request's selStore,
+// attributing hits and computations to that shard's counters. It is the
+// SharedStore behind the shard's SelectionCache; the plan/count methods
+// are unreachable there (partitioned runs call runCore directly) and
+// no-op defensively.
+type shardView struct {
+	store *selStore
+	sc    *ShardCounters
+}
+
+func (v *shardView) GetSelection(table string, col int, bag string) ([]int, bool) {
+	rows, ok := v.store.GetSelection(table, col, bag)
+	if ok {
+		v.sc.selHits.Add(1)
+	}
+	return rows, ok
+}
+
+func (v *shardView) PutSelection(table string, col int, bag string, rows []int) {
+	v.sc.selComputed.Add(1)
+	v.store.PutSelection(table, col, bag, rows)
+}
+
+func (v *shardView) GetPlan(string) ([][]int, bool)           { return nil, false }
+func (v *shardView) PutPlan(string, []relstore.Attr, [][]int) {}
+func (v *shardView) GetCount(string) (int, bool)              { return 0, false }
+func (v *shardView) PutCount(string, []relstore.Attr, int)    {}

@@ -1,0 +1,241 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/relstore"
+)
+
+// The shard executor's one obligation is byte-identity: at any shard
+// count, with or without selection caching, ExecutePlan/CountPlan must
+// reproduce the local executor's exact JTT sequence and counts —
+// including under limit and over tombstoned (post-Apply) snapshots.
+
+var vocab = []string{"alpha", "beta", "gamma", "delta", "omega", "42", "7", "zz"}
+
+func randValue(rng *rand.Rand, n int) string {
+	k := rng.Intn(n + 1)
+	v := ""
+	for i := 0; i < k; i++ {
+		v += vocab[rng.Intn(len(vocab))] + " "
+	}
+	return v
+}
+
+func randBag(rng *rand.Rand, n int) []string {
+	k := rng.Intn(n + 1)
+	bag := make([]string, 0, k)
+	for i := 0; i < k; i++ {
+		bag = append(bag, vocab[rng.Intn(len(vocab))])
+	}
+	return bag
+}
+
+// randDB builds a randomized 3-table FK chain a ← b, a ← c with
+// occasional dangling references, then deletes a few rows so the
+// candidate streams contain RowID gaps.
+func randDB(t *testing.T, rng *rand.Rand) *relstore.Database {
+	t.Helper()
+	db := relstore.NewDatabase("diff")
+	mustCreate := func(s *relstore.TableSchema) *relstore.Table {
+		tab, err := db.CreateTable(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab
+	}
+	ta := mustCreate(&relstore.TableSchema{Name: "a", PrimaryKey: "id", Columns: []relstore.Column{
+		{Name: "id"}, {Name: "text", Indexed: true},
+	}})
+	tb := mustCreate(&relstore.TableSchema{Name: "b", Columns: []relstore.Column{
+		{Name: "a_id"}, {Name: "text", Indexed: true},
+	}, ForeignKeys: []relstore.ForeignKey{{Column: "a_id", RefTable: "a", RefColumn: "id"}}})
+	tc := mustCreate(&relstore.TableSchema{Name: "c", Columns: []relstore.Column{
+		{Name: "a_id"}, {Name: "text", Indexed: true},
+	}, ForeignKeys: []relstore.ForeignKey{{Column: "a_id", RefTable: "a", RefColumn: "id"}}})
+	if err := db.ValidateRefs(); err != nil {
+		t.Fatal(err)
+	}
+	na := 2 + rng.Intn(20)
+	for i := 0; i < na; i++ {
+		if _, err := ta.Insert(fmt.Sprintf("a%d", i), randValue(rng, 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < rng.Intn(40); i++ {
+		if _, err := tb.Insert(fmt.Sprintf("a%d", rng.Intn(na+2)), randValue(rng, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < rng.Intn(30); i++ {
+		if _, err := tc.Insert(fmt.Sprintf("a%d", rng.Intn(na+2)), randValue(rng, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rng.Intn(2) == 0 {
+		next, _, err := db.Apply([]relstore.Mutation{
+			{Op: relstore.OpDelete, Table: "a", Key: fmt.Sprintf("a%d", rng.Intn(na))},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		db = next
+	}
+	return db
+}
+
+func randPlan(rng *rand.Rand) *relstore.JoinPlan {
+	preds := func() []relstore.Predicate {
+		var out []relstore.Predicate
+		if rng.Intn(3) != 0 {
+			out = append(out, relstore.Predicate{Column: "text", Keywords: randBag(rng, 3)})
+		}
+		return out
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return &relstore.JoinPlan{Nodes: []relstore.JoinNode{{Table: "a", Predicates: preds()}}}
+	case 1:
+		return &relstore.JoinPlan{
+			Nodes: []relstore.JoinNode{
+				{Table: "a", Predicates: preds()},
+				{Table: "b", Predicates: preds()},
+			},
+			Edges: []relstore.JoinEdge{{From: 1, To: 0, FromColumn: "a_id", ToColumn: "id"}},
+		}
+	case 2:
+		return &relstore.JoinPlan{
+			Nodes: []relstore.JoinNode{
+				{Table: "c", Predicates: preds()},
+				{Table: "a", Predicates: preds()},
+			},
+			Edges: []relstore.JoinEdge{{From: 0, To: 1, FromColumn: "a_id", ToColumn: "id"}},
+		}
+	default:
+		return &relstore.JoinPlan{
+			Nodes: []relstore.JoinNode{
+				{Table: "b", Predicates: preds()},
+				{Table: "a", Predicates: preds()},
+				{Table: "c", Predicates: preds()},
+			},
+			Edges: []relstore.JoinEdge{
+				{From: 0, To: 1, FromColumn: "a_id", ToColumn: "id"},
+				{From: 2, To: 1, FromColumn: "a_id", ToColumn: "id"},
+			},
+		}
+	}
+}
+
+func sameJTTs(a, b []relstore.JTT) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !reflect.DeepEqual(a[i].Rows, b[i].Rows) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestExecDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 80; iter++ {
+		db := randDB(t, rng)
+		for p := 0; p < 6; p++ {
+			plan := randPlan(rng)
+			limit := []int{0, 0, 1, 3, 7}[rng.Intn(5)]
+			local := &relstore.LocalExecutor{DB: db, Cache: relstore.NewSelectionCache()}
+			want, err := local.ExecutePlan(plan, limit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantN, err := local.CountPlan(plan, limit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, n := range []int{1, 2, 3, 8} {
+				for _, useCache := range []bool{true, false} {
+					x := NewExec(db, n, nil, useCache, nil)
+					got, err := x.ExecutePlan(plan, limit)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !sameJTTs(want, got) {
+						t.Fatalf("iter %d plan %d limit %d shards %d cache %v: local=%v sharded=%v (plan %+v)",
+							iter, p, limit, n, useCache, want, got, plan)
+					}
+					gotN, err := x.CountPlan(plan, limit)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if gotN != wantN {
+						t.Fatalf("iter %d plan %d limit %d shards %d cache %v: local count=%d sharded=%d",
+							iter, p, limit, n, useCache, wantN, gotN)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestOwnerPartition(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 17} {
+		counts := make([]int, n)
+		for id := 0; id < 10000; id++ {
+			o := Owner(id, n)
+			if o < 0 || o >= n {
+				t.Fatalf("Owner(%d, %d) = %d out of range", id, n, o)
+			}
+			if o2 := Owner(id, n); o2 != o {
+				t.Fatalf("Owner(%d, %d) unstable: %d then %d", id, n, o, o2)
+			}
+			counts[o]++
+		}
+		// Balance: with 10k rows every shard should hold a meaningful
+		// share (a stripe-pattern or broken hash concentrates rows).
+		for i, c := range counts {
+			if n > 1 && c < 10000/(4*n) {
+				t.Fatalf("Owner(_, %d): shard %d holds only %d of 10000 rows (%v)", n, i, c, counts)
+			}
+		}
+	}
+	if Owner(123, 0) != 0 || Owner(123, 1) != 0 {
+		t.Fatal("Owner must collapse to shard 0 for n <= 1")
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	db := randDB(t, rng)
+	stats := NewStats(3)
+	x := NewExec(db, 3, nil, true, stats)
+	plan := &relstore.JoinPlan{Nodes: []relstore.JoinNode{{Table: "a"}}}
+	if _, err := x.ExecutePlan(plan, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.CountPlan(plan, 0); err != nil {
+		t.Fatal(err)
+	}
+	snap := stats.Snapshot()
+	if snap.Scatters != 1 || snap.CountScatters != 1 {
+		t.Fatalf("scatters=%d count_scatters=%d, want 1/1", snap.Scatters, snap.CountScatters)
+	}
+	if len(snap.Shards) != 3 {
+		t.Fatalf("got %d shard snapshots, want 3", len(snap.Shards))
+	}
+	var results, execs int64
+	for _, s := range snap.Shards {
+		results += s.Results
+		execs += s.Execs
+	}
+	if results != snap.MergedResults {
+		t.Fatalf("per-shard results %d != merged %d", results, snap.MergedResults)
+	}
+	if execs != 6 {
+		t.Fatalf("per-shard execs total %d, want 6 (3 shards x 2 scatters)", execs)
+	}
+}

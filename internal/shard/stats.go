@@ -1,0 +1,77 @@
+package shard
+
+import "sync/atomic"
+
+// Stats is the engine-lifetime counter block of a sharded coordinator:
+// one scatter/merge tally plus per-shard execution and selection-cache
+// counters, all lock-free and safe for concurrent request traffic.
+type Stats struct {
+	n             int
+	scatters      atomic.Int64
+	countScatters atomic.Int64
+	merged        atomic.Int64
+	shards        []ShardCounters
+}
+
+// ShardCounters tallies one shard's work.
+type ShardCounters struct {
+	execs       atomic.Int64
+	results     atomic.Int64
+	selHits     atomic.Int64
+	selComputed atomic.Int64
+}
+
+// NewStats allocates counters for an n-shard coordinator.
+func NewStats(n int) *Stats {
+	if n < 1 {
+		n = 1
+	}
+	return &Stats{n: n, shards: make([]ShardCounters, n)}
+}
+
+// N reports the shard count the stats were sized for.
+func (s *Stats) N() int { return s.n }
+
+// Snapshot is a point-in-time copy of Stats for /healthz.
+type Snapshot struct {
+	// Scatters counts plan executions fanned out across shards;
+	// CountScatters the counting-only fan-outs (emptiness probes).
+	Scatters      int64 `json:"scatters"`
+	CountScatters int64 `json:"count_scatters"`
+	// MergedResults is the total results the coordinator's rank-order
+	// merge has emitted.
+	MergedResults int64           `json:"merged_results"`
+	Shards        []ShardSnapshot `json:"shards"`
+}
+
+// ShardSnapshot is one shard's slice of a Snapshot.
+type ShardSnapshot struct {
+	// Execs counts partitioned plan runs (execute + count) on this
+	// shard; Results the joining trees it contributed before merge.
+	Execs   int64 `json:"execs"`
+	Results int64 `json:"results"`
+	// SelectionHits / SelectionsComputed are this shard's traffic
+	// against the request-wide shared selection store.
+	SelectionHits      int64 `json:"selection_hits"`
+	SelectionsComputed int64 `json:"selections_computed"`
+}
+
+// Snapshot copies the current counter values.
+func (s *Stats) Snapshot() Snapshot {
+	out := Snapshot{
+		Scatters:      s.scatters.Load(),
+		CountScatters: s.countScatters.Load(),
+		MergedResults: s.merged.Load(),
+		Shards:        make([]ShardSnapshot, len(s.shards)),
+	}
+	for i := range s.shards {
+		sc := &s.shards[i]
+		out.Shards[i] = ShardSnapshot{
+			Execs:              sc.execs.Load(),
+			Results:            sc.results.Load(),
+			SelectionHits:      sc.selHits.Load(),
+			SelectionsComputed: sc.selComputed.Load(),
+		}
+	}
+	return out
+}

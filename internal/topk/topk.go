@@ -129,6 +129,24 @@ type Options struct {
 	// skip execution entirely. Ignored when DisableExecutionCache is set
 	// (the per-request cache is the promotion path).
 	Shared relstore.SharedStore
+	// Exec, when non-nil, evaluates the interpretations' join plans
+	// instead of the default in-process executor — the seam a sharded
+	// coordinator plugs its scatter-gather executor into. Every
+	// PlanExecutor contract requires the exact Database.Execute result
+	// sequence, so top-k output stays byte-identical regardless of the
+	// topology behind this option. When set, DisableExecutionCache and
+	// Shared are ignored: caching policy belongs to the executor.
+	Exec relstore.PlanExecutor
+}
+
+// executor resolves the plan executor for one call: the injected one, or
+// a LocalExecutor wrapping db with the per-request cache policy the
+// options describe.
+func (o Options) executor(db *relstore.Database) relstore.PlanExecutor {
+	if o.Exec != nil {
+		return o.Exec
+	}
+	return &relstore.LocalExecutor{DB: db, Cache: o.executionCache()}
 }
 
 // executionCache returns the per-request selection cache, or nil when
@@ -200,7 +218,7 @@ func TopKContext(ctx context.Context, db *relstore.Database, ranked []prob.Score
 	if wave < 1 {
 		wave = 1
 	}
-	cache := opts.executionCache()
+	exec := opts.executor(db)
 	batches := make([]batch, wave)
 outer:
 	for start := 0; start < len(ranked); start += wave {
@@ -217,7 +235,7 @@ outer:
 		if end > len(ranked) {
 			end = len(ranked)
 		}
-		executeWave(ctx, db, ranked[start:end], scorer, opts.PerInterpretationLimit, cache, batches[:end-start])
+		executeWave(ctx, db, exec, ranked[start:end], scorer, opts.PerInterpretationLimit, batches[:end-start])
 		for i := start; i < end; i++ {
 			if merge.stop(ranked[i].Score) {
 				stats.Skipped = len(ranked) - i
@@ -253,12 +271,12 @@ type batch struct {
 
 // executeWave executes a slice of ranked interpretations, one goroutine
 // each when len > 1, filling batches[i] for ranked[i]. Workers only read
-// the immutable database and the concurrency-safe selection cache, and
-// write disjoint batch slots, so no further synchronisation is needed
-// beyond the WaitGroup.
-func executeWave(ctx context.Context, db *relstore.Database, ranked []prob.Scored, scorer Scorer, limit int, cache *relstore.SelectionCache, batches []batch) {
+// the immutable database and the concurrency-safe executor, and write
+// disjoint batch slots, so no further synchronisation is needed beyond
+// the WaitGroup.
+func executeWave(ctx context.Context, db *relstore.Database, exec relstore.PlanExecutor, ranked []prob.Scored, scorer Scorer, limit int, batches []batch) {
 	if len(ranked) == 1 {
-		batches[0] = executeOne(ctx, db, ranked[0], scorer, limit, cache)
+		batches[0] = executeOne(ctx, db, exec, ranked[0], scorer, limit)
 		return
 	}
 	var wg sync.WaitGroup
@@ -266,14 +284,16 @@ func executeWave(ctx context.Context, db *relstore.Database, ranked []prob.Score
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			batches[i] = executeOne(ctx, db, ranked[i], scorer, limit, cache)
+			batches[i] = executeOne(ctx, db, exec, ranked[i], scorer, limit)
 		}(i)
 	}
 	wg.Wait()
 }
 
 // executeOne materialises and scores the results of one interpretation.
-func executeOne(ctx context.Context, db *relstore.Database, sc prob.Scored, scorer Scorer, limit int, cache *relstore.SelectionCache) batch {
+// Scoring reads db directly: under sharding the snapshot is shared, so
+// the scorer's view is the same database the executor partitioned.
+func executeOne(ctx context.Context, db *relstore.Database, exec relstore.PlanExecutor, sc prob.Scored, scorer Scorer, limit int) batch {
 	if err := ctx.Err(); err != nil {
 		return batch{err: err}
 	}
@@ -281,7 +301,7 @@ func executeOne(ctx context.Context, db *relstore.Database, sc prob.Scored, scor
 	if err != nil {
 		return batch{err: err}
 	}
-	jtts, err := db.Execute(plan, relstore.ExecuteOptions{Limit: limit, Cache: cache})
+	jtts, err := exec.ExecutePlan(plan, limit)
 	if err != nil {
 		return batch{err: err}
 	}
@@ -333,14 +353,14 @@ func Naive(db *relstore.Database, ranked []prob.Scored, scorer Scorer, opts Opti
 	if scorer == nil {
 		scorer = UnitScorer{}
 	}
-	cache := opts.executionCache()
+	exec := opts.executor(db)
 	var all []Result
 	for _, sc := range ranked {
 		plan, err := sc.Q.JoinPlan()
 		if err != nil {
 			return nil, err
 		}
-		jtts, err := db.Execute(plan, relstore.ExecuteOptions{Limit: opts.PerInterpretationLimit, Cache: cache})
+		jtts, err := exec.ExecutePlan(plan, opts.PerInterpretationLimit)
 		if err != nil {
 			return nil, err
 		}

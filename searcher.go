@@ -1,0 +1,119 @@
+package keysearch
+
+import "context"
+
+// Searcher is the serving surface of a keyword-search topology: every
+// operation the HTTP layer and the load tools need, with no assumption
+// about what executes behind it. *Engine implements it in-process;
+// *ShardedEngine implements it by scatter-gathering plan execution
+// across partitions. Any future topology (replica fan-out, remote
+// shards) that satisfies this interface drops into httpapi, cmd/serve,
+// and cmd/loadtest without handler changes.
+//
+// Implementations must be safe for unlimited concurrent use and must
+// produce byte-identical responses for the same request over the same
+// data — the differential bar every topology in this repo is held to.
+type Searcher interface {
+	// Search ranks the query's structured interpretations (IQP).
+	Search(ctx context.Context, req SearchRequest) (*SearchResponse, error)
+	// Diversify ranks relevant-and-diverse interpretations (DivQ).
+	Diversify(ctx context.Context, req DiversifyRequest) (*SearchResponse, error)
+	// SearchRows retrieves the k globally best concrete result rows.
+	SearchRows(ctx context.Context, req RowsRequest) (*RowsResponse, error)
+	// Construct starts an interactive query-construction session.
+	Construct(ctx context.Context, req ConstructRequest) (*Construction, error)
+	// Keywords serves prefix autocomplete from the term dictionary.
+	Keywords(prefix string, limit int) []string
+	// Apply commits a mutation batch (ErrMutationsDisabled when the
+	// topology was built immutable).
+	Apply(ctx context.Context, muts []Mutation) (*ApplyResult, error)
+	// Checkpoint forces a durability checkpoint (ErrDurabilityDisabled
+	// on a memory-only topology).
+	Checkpoint(ctx context.Context) (*CheckpointStats, error)
+	// EstimateCost prices a keyword query for admission control.
+	EstimateCost(keywords string) int64
+	// SampleQueries returns representative queries for cost calibration.
+	SampleQueries(n int) []string
+	// Stats reports the health/observability snapshot for /healthz.
+	Stats() EngineStats
+	// Close releases background resources (durability runtime).
+	Close() error
+}
+
+// EngineStats is the topology-independent health snapshot behind
+// /healthz: static serving configuration plus the live counters of
+// whichever subsystems are enabled. Optional blocks are nil when the
+// corresponding subsystem is off.
+type EngineStats struct {
+	// Parallelism is the interpretation pipeline's worker count;
+	// ExecutionCache reports whether per-request selection caching is on.
+	Parallelism    int
+	ExecutionCache bool
+	// Mutable reports whether Apply accepts batches; Epoch is the
+	// current snapshot epoch.
+	Mutable bool
+	Epoch   uint64
+	// Durable reports whether a WAL/snapshot directory backs the engine;
+	// WALBatches and LastCheckpointEpoch describe its recovery state.
+	Durable             bool
+	WALBatches          int
+	LastCheckpointEpoch uint64
+	// AnswerCache carries the engine-lifetime answer cache counters, nil
+	// when disabled.
+	AnswerCache *AnswerCacheStats
+	// Shards carries the scatter-gather coordinator state, nil on a
+	// single-process topology.
+	Shards *ShardStats
+}
+
+// ShardStats is the coordinator block of EngineStats.
+type ShardStats struct {
+	// Count is the shard count.
+	Count int
+	// Scatters / CountScatters / MergedResults are coordinator-level
+	// merge-wave counters: plan fan-outs, counting fan-outs, and total
+	// results emitted by the rank-order merge.
+	Scatters      int64
+	CountScatters int64
+	MergedResults int64
+	// Shards holds one entry per shard.
+	Shards []ShardStat
+}
+
+// ShardStat is one shard's slice of ShardStats.
+type ShardStat struct {
+	// Rows is the number of live rows the shard owns under the current
+	// snapshot.
+	Rows int
+	// Execs counts partitioned plan runs; Results the joining trees the
+	// shard contributed before merge.
+	Execs   int64
+	Results int64
+	// SelectionHits / SelectionsComputed are the shard's traffic against
+	// the request-wide shared selection store.
+	SelectionHits      int64
+	SelectionsComputed int64
+}
+
+// Stats implements Searcher for the single-process engine.
+func (e *Engine) Stats() EngineStats {
+	st := EngineStats{
+		Parallelism:         e.Parallelism(),
+		ExecutionCache:      e.ExecutionCacheEnabled(),
+		Mutable:             e.MutationsEnabled(),
+		Epoch:               e.Epoch(),
+		Durable:             e.Durable(),
+		WALBatches:          e.PendingWALBatches(),
+		LastCheckpointEpoch: e.LastCheckpointEpoch(),
+	}
+	if acs, ok := e.AnswerCacheStats(); ok {
+		st.AnswerCache = &acs
+	}
+	return st
+}
+
+// Compile-time checks: both topologies satisfy the serving surface.
+var (
+	_ Searcher = (*Engine)(nil)
+	_ Searcher = (*ShardedEngine)(nil)
+)

@@ -1,0 +1,234 @@
+package keysearch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// shardCounts is the differential sweep of the acceptance bar: 1 shard
+// behind the coordinator path, non-power-of-two counts, and a count
+// comfortably above GOMAXPROCS.
+var shardCounts = []int{1, 2, 3, 8}
+
+// shardedChurnEngines builds one unsharded oracle plus coordinated
+// engines at every shard count, all over identically generated data.
+func shardedChurnEngines(t *testing.T, opts ...Option) (*Engine, map[int]*ShardedEngine) {
+	t.Helper()
+	oracle := churnEngine(t, opts...)
+	sharded := make(map[int]*ShardedEngine, len(shardCounts))
+	for _, n := range shardCounts {
+		se, err := NewShardedEngine(n, churnEngine(t, opts...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharded[n] = se
+	}
+	return oracle, sharded
+}
+
+// TestShardedDifferentialChurn runs the randomized churn workload of
+// TestAnswerCacheDifferentialChurn across shard counts {1, 2, 3, 8}:
+// every mutation batch is applied to the unsharded oracle and to every
+// sharded engine, and every response — search with previews, global
+// top-k rows, diversify — must be byte-identical to the oracle's at
+// every shard count, at every step.
+func TestShardedDifferentialChurn(t *testing.T) {
+	oracle, sharded := shardedChurnEngines(t)
+
+	queries := append(oracle.SampleQueries(4), "north south", "matrix runner")
+	compare := func(round int) {
+		t.Helper()
+		for _, q := range queries {
+			for name, run := range map[string]func(e Searcher) (any, error){
+				"search": func(e Searcher) (any, error) {
+					return e.Search(bg, SearchRequest{Query: q, K: 5, RowLimit: 3})
+				},
+				"rows": func(e Searcher) (any, error) {
+					return e.SearchRows(bg, RowsRequest{Query: q, K: 5})
+				},
+				"diversify": func(e Searcher) (any, error) {
+					return e.Diversify(bg, DiversifyRequest{Query: q, K: 4, Lambda: 0.5})
+				},
+			} {
+				want, wantErr := run(oracle)
+				wj := asJSON(t, want, wantErr)
+				for _, n := range shardCounts {
+					got, gotErr := run(sharded[n])
+					gj := asJSON(t, got, gotErr)
+					if gj != wj {
+						t.Fatalf("round %d: %s(%q) diverges at %d shards:\n  sharded:   %.300s\n  unsharded: %.300s",
+							round, name, q, n, gj, wj)
+					}
+				}
+			}
+		}
+	}
+
+	compare(0)
+
+	rng := rand.New(rand.NewSource(7))
+	serial := 0
+	for round := 1; round <= 6; round++ {
+		muts := randomMutations(rng, oracle, 1+rng.Intn(5), &serial)
+		if _, err := oracle.Apply(bg, muts); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for _, n := range shardCounts {
+			if _, err := sharded[n].Apply(bg, muts); err != nil {
+				t.Fatalf("round %d (%d shards): %v", round, n, err)
+			}
+		}
+		compare(round)
+	}
+
+	// Non-vacuity + stats consistency: every coordinator scattered real
+	// work, its shards' row counts account for every live row, and the
+	// healthz-visible result totals agree across shard counts.
+	var wantMerged int64 = -1
+	for _, n := range shardCounts {
+		se := sharded[n]
+		st := se.Stats()
+		if st.Shards == nil || st.Shards.Count != n || len(st.Shards.Shards) != n {
+			t.Fatalf("%d shards: malformed stats block %+v", n, st.Shards)
+		}
+		if st.Shards.Scatters == 0 || st.Shards.CountScatters == 0 {
+			t.Fatalf("%d shards: differential never scattered (scatters=%d count=%d)",
+				n, st.Shards.Scatters, st.Shards.CountScatters)
+		}
+		rows := 0
+		for _, sh := range st.Shards.Shards {
+			rows += sh.Rows
+		}
+		if rows != se.Engine().NumRows() {
+			t.Fatalf("%d shards: per-shard rows sum %d != engine live rows %d", n, rows, se.Engine().NumRows())
+		}
+		if n > 1 {
+			occupied := 0
+			for _, sh := range st.Shards.Shards {
+				if sh.Rows > 0 {
+					occupied++
+				}
+			}
+			if occupied < 2 {
+				t.Fatalf("%d shards: ownership degenerate, only %d shard(s) hold rows", n, occupied)
+			}
+		}
+		// Identical request streams must merge identical result totals at
+		// every shard count — the /healthz result-count half of the
+		// acceptance bar.
+		if wantMerged < 0 {
+			wantMerged = st.Shards.MergedResults
+		} else if st.Shards.MergedResults != wantMerged {
+			t.Fatalf("%d shards: merged_results %d != %d at other shard counts",
+				n, st.Shards.MergedResults, wantMerged)
+		}
+	}
+	if wantMerged == 0 {
+		t.Fatal("differential run merged zero results — the comparison was vacuous")
+	}
+}
+
+// TestShardedDifferentialAnswerCache reruns a shorter churn sweep with
+// the engine-lifetime answer cache on everywhere: coordinator-level
+// consult/publish of merged streams plus footprint invalidation must
+// keep sharded responses byte-identical to the unsharded cache-on
+// oracle, and the sharded caches must actually serve hits.
+func TestShardedDifferentialAnswerCache(t *testing.T) {
+	oracle, sharded := shardedChurnEngines(t, WithAnswerCache(answerCacheTestBudget))
+
+	queries := append(oracle.SampleQueries(3), "matrix runner")
+	compare := func(round int) {
+		t.Helper()
+		for _, q := range queries {
+			want, wantErr := oracle.SearchRows(bg, RowsRequest{Query: q, K: 5})
+			wj := asJSON(t, want, wantErr)
+			dwant, dwantErr := oracle.Diversify(bg, DiversifyRequest{Query: q, K: 4, Lambda: 0.5})
+			dwj := asJSON(t, dwant, dwantErr)
+			for _, n := range shardCounts {
+				got, gotErr := sharded[n].SearchRows(bg, RowsRequest{Query: q, K: 5})
+				if gj := asJSON(t, got, gotErr); gj != wj {
+					t.Fatalf("round %d: SearchRows(%q) diverges at %d shards with cache on:\n  sharded:   %.300s\n  unsharded: %.300s",
+						round, q, n, gj, wj)
+				}
+				dgot, dgotErr := sharded[n].Diversify(bg, DiversifyRequest{Query: q, K: 4, Lambda: 0.5})
+				if dgj := asJSON(t, dgot, dgotErr); dgj != dwj {
+					t.Fatalf("round %d: Diversify(%q) diverges at %d shards with cache on:\n  sharded:   %.300s\n  unsharded: %.300s",
+						round, q, n, dgj, dwj)
+				}
+			}
+		}
+	}
+
+	compare(0) // cold
+	compare(0) // warm: merged streams now serve from the shared cache
+
+	rng := rand.New(rand.NewSource(21))
+	serial := 0
+	for round := 1; round <= 3; round++ {
+		muts := randomMutations(rng, oracle, 1+rng.Intn(4), &serial)
+		if _, err := oracle.Apply(bg, muts); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for _, n := range shardCounts {
+			if _, err := sharded[n].Apply(bg, muts); err != nil {
+				t.Fatalf("round %d (%d shards): %v", round, n, err)
+			}
+		}
+		compare(round)
+	}
+
+	for _, n := range shardCounts {
+		stats, ok := sharded[n].Engine().AnswerCacheStats()
+		if !ok || stats.Hits == 0 {
+			t.Fatalf("%d shards: answer cache never hit — cache-on differential was vacuous: %+v", n, stats)
+		}
+		if stats.Invalidations == 0 {
+			t.Fatalf("%d shards: churn never invalidated a cached answer: %+v", n, stats)
+		}
+	}
+}
+
+// TestShardedRowAccounting pins the mutation-routing contract: per-shard
+// row counts stay exact across Apply batches (incremental observer
+// path) and across checkpoint compaction (pointer-invalidation path),
+// and epochs advance in lockstep with the wrapped engine.
+func TestShardedRowAccounting(t *testing.T) {
+	se, err := NewShardedEngine(3, churnEngine(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRows := func(when string) {
+		t.Helper()
+		st := se.Stats()
+		sum := 0
+		for _, sh := range st.Shards.Shards {
+			sum += sh.Rows
+		}
+		if sum != se.Engine().NumRows() {
+			t.Fatalf("%s: per-shard rows sum %d != live rows %d", when, sum, se.Engine().NumRows())
+		}
+		if st.Epoch != se.Engine().Epoch() {
+			t.Fatalf("%s: stats epoch %d != engine epoch %d", when, st.Epoch, se.Engine().Epoch())
+		}
+	}
+	checkRows("fresh")
+
+	rng := rand.New(rand.NewSource(3))
+	serial := 0
+	for i := 0; i < 5; i++ {
+		if _, err := se.Apply(bg, randomMutations(rng, se.Engine(), 2+rng.Intn(4), &serial)); err != nil {
+			t.Fatal(err)
+		}
+		checkRows("after batch")
+	}
+
+	if se.Engine().Epoch() == 0 {
+		t.Fatal("churn batches never advanced the epoch")
+	}
+	if _, err := NewShardedEngine(2, se.Engine()); err == nil {
+		t.Fatal("double coordination of one engine must be rejected")
+	}
+	if _, err := NewShardedEngine(0, churnEngine(t)); err == nil {
+		t.Fatal("shard count 0 must be rejected")
+	}
+}
