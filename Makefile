@@ -7,7 +7,8 @@ GO ?= go
 
 .PHONY: build test race vet fmt lint staticcheck fuzz fuzz-smoke \
 	bench bench-quick bench-exec bench-mut bench-dur bench-load \
-	bench-adm bench-qc bench-shard bench-guard loadtest golden check cover
+	bench-adm bench-qc bench-shard bench-guard loadtest golden check cover \
+	obs-smoke
 
 build:
 	$(GO) build ./...
@@ -135,6 +136,14 @@ cover:
 		awk -v p="$$pct" 'BEGIN { exit (p+0 < 85) ? 1 : 0 }' || \
 			{ echo "FAIL: $$pkg coverage $$pct% is below the 85% floor"; exit 1; }; \
 	done
+
+# obs-smoke exercises the observability stack end-to-end against a
+# real cmd/serve process (not httptest): tracing + query log +
+# slow-query dump on, drive requests, scrape /metrics and assert the
+# core families, SIGTERM-drain, then decode the query log through
+# cmd/qlogcheck. The CI obs-smoke job is exactly this target.
+obs-smoke:
+	sh scripts/obs_smoke.sh
 
 # check is the CI test job: vet + build + race-enabled tests.
 check: vet build race

@@ -8,6 +8,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/relstore"
 	"repro/internal/topk"
+	"repro/internal/trace"
 )
 
 // SearchRequest asks for the top-k most probable structured
@@ -150,18 +151,29 @@ func planRow(db *relstore.Database, plan *relstore.JoinPlan, rowIDs []int) map[s
 // localExec; a sharded coordinator substitutes its scatter-gather
 // executor. Every provider must satisfy the PlanExecutor contract
 // (exact Database.Execute semantics), which is what keeps responses
-// byte-identical across topologies.
-type execProvider func(s *snapshot, view relstore.SharedStore) relstore.PlanExecutor
+// byte-identical across topologies. ctx carries the request's trace
+// (when tracing is on) so a provider can attribute execution work; a
+// provider must never let it change results.
+type execProvider func(ctx context.Context, s *snapshot, view relstore.SharedStore) relstore.PlanExecutor
 
 // localExec is the single-process provider: plans run in place with the
 // per-request selection cache (unless disabled), threaded through to the
-// engine-lifetime answer cache via view.
-func (e *Engine) localExec(s *snapshot, view relstore.SharedStore) relstore.PlanExecutor {
+// engine-lifetime answer cache via view. Under tracing, the view is
+// wrapped to count answer-cache hits and the executor to time plan
+// execution; with tracing off both wraps vanish (identical values, no
+// indirection).
+func (e *Engine) localExec(ctx context.Context, s *snapshot, view relstore.SharedStore) relstore.PlanExecutor {
+	tr := trace.FromContext(ctx)
+	view = tracedView(view, tr)
 	var cache *relstore.SelectionCache
 	if !e.cfg.execCacheOff {
 		cache = relstore.NewSelectionCacheShared(view)
 	}
-	return &relstore.LocalExecutor{DB: s.db, Cache: cache}
+	var exec relstore.PlanExecutor = &relstore.LocalExecutor{DB: s.db, Cache: cache}
+	if tr != nil {
+		exec = &tracedExecutor{inner: exec, tr: tr}
+	}
+	return exec
 }
 
 // attachPreviews executes each result through the request's executor and
@@ -197,19 +209,24 @@ func (e *Engine) Search(ctx context.Context, req SearchRequest) (*SearchResponse
 
 // searchExec is Search over an injectable executor provider.
 func (e *Engine) searchExec(ctx context.Context, req SearchRequest, prov execProvider) (*SearchResponse, error) {
+	tr := trace.FromContext(ctx)
 	view := e.answerView(req.Query) // view before snapshot: see answerView
 	s := e.current()
 	ranked, _, err := e.interpret(ctx, s, req.Query)
 	if err != nil {
 		return nil, err
 	}
+	tr.Count("interpretations_ranked", int64(len(ranked)))
 	resp := &SearchResponse{Query: req.Query, SpaceSize: len(ranked)}
 	if req.K > 0 && len(ranked) > req.K {
 		ranked = ranked[:req.K]
 	}
 	resp.Results = e.wrap(s, ranked)
 	if req.RowLimit > 0 {
-		if err := attachPreviews(ctx, resp.Results, req.RowLimit, prov(s, view)); err != nil {
+		sp := tr.Start("previews")
+		err := attachPreviews(ctx, resp.Results, req.RowLimit, prov(ctx, s, view))
+		sp.End()
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -227,24 +244,33 @@ func (e *Engine) Diversify(ctx context.Context, req DiversifyRequest) (*SearchRe
 // non-empty filter and the previews each get their own executor, mirroring
 // the two per-phase selection caches the local path has always used.
 func (e *Engine) diversifyExec(ctx context.Context, req DiversifyRequest, prov execProvider) (*SearchResponse, error) {
+	tr := trace.FromContext(ctx)
 	view := e.answerView(req.Query) // view before snapshot: see answerView
 	s := e.current()
 	ranked, _, err := e.interpret(ctx, s, req.Query)
 	if err != nil {
 		return nil, err
 	}
+	tr.Count("interpretations_ranked", int64(len(ranked)))
 	resp := &SearchResponse{Query: req.Query, SpaceSize: len(ranked)}
 	if len(ranked) > 25 {
 		ranked = ranked[:25]
 	}
-	nonEmpty, err := divq.FilterNonEmptyExec(ctx, prov(s, view), ranked)
+	sp := tr.Start("filter_nonempty")
+	nonEmpty, err := divq.FilterNonEmptyExec(ctx, prov(ctx, s, view), ranked)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = tr.Start("diversify")
 	div := divq.Diversify(nonEmpty, divq.Config{Lambda: req.Lambda, K: req.K})
+	sp.End()
 	resp.Results = e.wrap(s, div)
 	if req.RowLimit > 0 {
-		if err := attachPreviews(ctx, resp.Results, req.RowLimit, prov(s, view)); err != nil {
+		sp = tr.Start("previews")
+		err := attachPreviews(ctx, resp.Results, req.RowLimit, prov(ctx, s, view))
+		sp.End()
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -286,19 +312,23 @@ func (e *Engine) SearchRows(ctx context.Context, req RowsRequest) (*RowsResponse
 
 // searchRowsExec is SearchRows over an injectable executor provider.
 func (e *Engine) searchRowsExec(ctx context.Context, req RowsRequest, prov execProvider) (*RowsResponse, error) {
+	tr := trace.FromContext(ctx)
 	view := e.answerView(req.Query) // view before snapshot: see answerView
 	s := e.current()
 	ranked, _, err := e.interpret(ctx, s, req.Query)
 	if err != nil {
 		return nil, err
 	}
+	tr.Count("interpretations_ranked", int64(len(ranked)))
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	sp := tr.Start("execute")
 	results, _, err := topk.TopKContext(ctx, s.db, ranked, &topk.TFScorer{IX: s.ix}, topk.Options{
 		K: req.K, PerInterpretationLimit: 4 * req.K, Parallelism: e.cfg.parallelism,
-		Exec: prov(s, view),
+		Exec: prov(ctx, s, view),
 	})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}

@@ -157,8 +157,8 @@ func main() {
 	fmt.Println(res)
 	for _, k := range res.SortedKinds() {
 		ks := res.PerKind[k]
-		fmt.Printf("  %-10s n=%-7d err=%-5d p50=%8.1fms p95=%8.1fms p99=%8.1fms max=%8.1fms\n",
-			k, ks.Requests, ks.Errors, ks.P50MS, ks.P95MS, ks.P99MS, ks.MaxMS)
+		fmt.Printf("  %-10s n=%-7d err=%-5d shed=%d/%d 504=%-4d p50=%8.1fms p90=%8.1fms p99=%8.1fms max=%8.1fms\n",
+			k, ks.Requests, ks.Errors, ks.Shed429, ks.Shed503, ks.Deadline504, ks.P50MS, ks.P90MS, ks.P99MS, ks.MaxMS)
 	}
 }
 

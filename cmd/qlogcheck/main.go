@@ -1,0 +1,68 @@
+// Command qlogcheck decodes a structured query-log directory through
+// the real qlog decoder and asserts it is well-formed: at least -min
+// entries, every entry carrying a trace ID, an op, an outcome, and a
+// positive duration, and search entries carrying their keywords. It is
+// the verification half of the obs-smoke check (scripts/obs_smoke.sh):
+// a log that only *looks* like JSONL fails here, not in the offline
+// analysis job months later.
+//
+// Usage:
+//
+//	go run ./cmd/qlogcheck -dir ./qlog [-min 1] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/qlog"
+)
+
+func main() {
+	dir := flag.String("dir", "", "query-log directory to decode")
+	min := flag.Int("min", 1, "fail unless at least this many entries decode")
+	verbose := flag.Bool("v", false, "print every decoded entry")
+	flag.Parse()
+	if *dir == "" {
+		log.Fatal("qlogcheck: -dir is required")
+	}
+
+	entries, err := qlog.ReadAll(*dir)
+	if err != nil {
+		log.Fatalf("qlogcheck: decode %s: %v", *dir, err)
+	}
+	if len(entries) < *min {
+		log.Fatalf("qlogcheck: %d entries decoded, want >= %d", len(entries), *min)
+	}
+
+	bad := 0
+	for i, e := range entries {
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "  [%d] op=%s status=%d outcome=%s query=%q trace=%s\n",
+				i, e.Op, e.Status, e.Outcome, e.Query, e.TraceID)
+		}
+		switch {
+		case e.TraceID == "":
+			log.Printf("qlogcheck: entry %d has no trace_id", i)
+			bad++
+		case e.Op == "":
+			log.Printf("qlogcheck: entry %d has no op", i)
+			bad++
+		case e.Outcome == "":
+			log.Printf("qlogcheck: entry %d has no outcome", i)
+			bad++
+		case e.DurationUS <= 0:
+			log.Printf("qlogcheck: entry %d has non-positive duration_us %d", i, e.DurationUS)
+			bad++
+		case (e.Op == "search" || e.Op == "rows" || e.Op == "diversify") && e.Query == "":
+			log.Printf("qlogcheck: %s entry %d lost its keywords", e.Op, i)
+			bad++
+		}
+	}
+	if bad > 0 {
+		log.Fatalf("qlogcheck: %d of %d entries malformed", bad, len(entries))
+	}
+	fmt.Printf("qlogcheck: %d entries OK in %s\n", len(entries), *dir)
+}

@@ -59,6 +59,17 @@ type Config struct {
 	AdaptMin    int
 	AdaptMax    int
 	AdaptWindow time.Duration
+
+	// Observability (docs/observability.md). Trace enables per-request
+	// tracing; QueryLogDir, when set, streams one JSONL entry per /v1/
+	// request there (implies tracing); SlowQuery, when positive, dumps
+	// the full trace of any slower request to the server log (implies
+	// tracing); PprofAddr, when set, serves net/http/pprof on its own
+	// listener, separate from the serving address.
+	Trace       bool
+	QueryLogDir string
+	SlowQuery   time.Duration
+	PprofAddr   string
 }
 
 // FromFlags registers every serving flag on fs under its historical
@@ -88,6 +99,10 @@ func FromFlags(fs *flag.FlagSet, args []string) (*Config, error) {
 	fs.IntVar(&c.AdaptMin, "adapt-min", 2, "adaptive concurrency floor (with -adaptive)")
 	fs.IntVar(&c.AdaptMax, "adapt-max", 0, "adaptive concurrency ceiling (with -adaptive; 0 = 8x GOMAXPROCS)")
 	fs.DurationVar(&c.AdaptWindow, "adapt-window", 500*time.Millisecond, "adaptive control-loop window (with -adaptive)")
+	fs.BoolVar(&c.Trace, "trace", false, "per-request tracing: X-Trace-Id on every /v1/ response, stage timings recorded through the whole stack")
+	fs.StringVar(&c.QueryLogDir, "query-log", "", "directory for the structured JSONL query log (one entry per /v1/ request; implies -trace)")
+	fs.DurationVar(&c.SlowQuery, "slow-query", 0, "dump the full trace of /v1/ requests at least this slow to the server log (0 = off; implies -trace)")
+	fs.StringVar(&c.PprofAddr, "pprof-addr", "", "serve net/http/pprof on this separate address (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -126,6 +141,13 @@ func (c *Config) Validate() error {
 	}
 	if c.CheckpointInterval <= 0 || c.CheckpointBatches <= 0 {
 		return fmt.Errorf("-checkpoint-interval and -checkpoint-batches must be positive")
+	}
+	if c.SlowQuery < 0 {
+		return fmt.Errorf("-slow-query must be >= 0, got %v", c.SlowQuery)
+	}
+	// The query log and slow-query dump are built on the trace.
+	if c.QueryLogDir != "" || c.SlowQuery > 0 {
+		c.Trace = true
 	}
 	return nil
 }
@@ -169,7 +191,7 @@ func (c *Config) AdaptCeiling() int {
 // WithAdmission and WithAdaptiveAdmission are no-ops at their zero
 // limits, so both are threaded unconditionally.
 func (c *Config) ServerOptions() []httpapi.Option {
-	return []httpapi.Option{
+	opts := []httpapi.Option{
 		httpapi.WithSessionTTL(c.SessionTTL),
 		httpapi.WithMaxSessions(c.MaxSessions),
 		httpapi.WithAdmission(httpapi.AdmissionConfig{
@@ -186,4 +208,13 @@ func (c *Config) ServerOptions() []httpapi.Option {
 		}),
 		httpapi.WithRequestTimeout(c.RequestTimeout),
 	}
+	if c.Trace {
+		opts = append(opts, httpapi.WithTracing())
+	}
+	if c.SlowQuery > 0 {
+		opts = append(opts, httpapi.WithSlowQueryLog(c.SlowQuery))
+	}
+	// The query logger is opened by main (it owns the error handling and
+	// the close-on-drain), not here.
+	return opts
 }

@@ -87,10 +87,52 @@ func TestValidateRejections(t *testing.T) {
 		{[]string{"-adaptive", "-adapt-min", "0"}, "-adapt-min"},
 		{[]string{"-adaptive", "-adapt-min", "8", "-adapt-max", "4"}, "-adapt-max"},
 		{[]string{"-checkpoint-batches", "0"}, "-checkpoint"},
+		{[]string{"-slow-query", "-1s"}, "-slow-query"},
 	}
 	for _, tc := range cases {
 		if _, err := parse(t, tc.args...); err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("args %v: err = %v, want mention of %q", tc.args, err, tc.want)
 		}
+	}
+}
+
+// TestObservabilityFlags pins the flag plumbing of the observability
+// stack: the query log and the slow-query dump imply tracing, and every
+// knob lands in the Config.
+func TestObservabilityFlags(t *testing.T) {
+	cfg, err := parse(t, "-trace", "-query-log", "/tmp/ql", "-slow-query", "250ms", "-pprof-addr", ":6060")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Trace || cfg.QueryLogDir != "/tmp/ql" || cfg.SlowQuery != 250*time.Millisecond ||
+		cfg.PprofAddr != ":6060" {
+		t.Fatalf("observability flags lost a value: %+v", cfg)
+	}
+
+	// -query-log alone implies tracing.
+	cfg, err = parse(t, "-query-log", "/tmp/ql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Trace {
+		t.Fatal("-query-log did not imply -trace")
+	}
+
+	// -slow-query alone implies tracing.
+	cfg, err = parse(t, "-slow-query", "1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Trace {
+		t.Fatal("-slow-query did not imply -trace")
+	}
+
+	// Default: everything off.
+	cfg, err = parse(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Trace || cfg.QueryLogDir != "" || cfg.SlowQuery != 0 || cfg.PprofAddr != "" {
+		t.Fatalf("observability not off by default: %+v", cfg)
 	}
 }

@@ -10,6 +10,7 @@
 //	                   [-max-concurrent N] [-max-queue N] [-queue-timeout 1s]
 //	                   [-request-timeout 5s]
 //	                   [-adaptive] [-adapt-min N] [-adapt-max N] [-adapt-window 500ms]
+//	                   [-trace] [-query-log DIR] [-slow-query 100ms] [-pprof-addr :6060]
 //
 // Every flag lands in one validated Config (see config.go), so an
 // inconsistent combination — -db with -music, -answer-cache without
@@ -45,6 +46,16 @@
 // /healthz reports every configured limit in its nested "limits"
 // object, plus controller state and shed counters.
 //
+// Observability (docs/observability.md): GET /metrics always serves the
+// Prometheus text exposition of the request histograms and serving
+// counters. -trace adds a per-request trace (X-Trace-Id on every /v1/
+// response, stage timings through parse → interpret → rank → execute →
+// merge); -query-log DIR streams one JSONL entry per request — keywords,
+// the served interpretation, timings, cost, outcome — to a bounded
+// async, size-rotated log; -slow-query dumps the full trace tree of
+// requests over the threshold; -pprof-addr serves net/http/pprof on a
+// separate listener. The latter two imply -trace.
+//
 // Quickstart:
 //
 //	go run ./cmd/serve -mutable -data-dir ./state &
@@ -71,16 +82,20 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"io/fs"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"syscall"
 	"time"
 
 	keysearch "repro"
 	"repro/httpapi"
+	"repro/internal/qlog"
 )
 
 func main() {
@@ -114,7 +129,15 @@ func main() {
 		log.Printf("topology: %d-shard scatter-gather coordinator", cfg.Shards)
 	}
 
-	srv := httpapi.New(topo, cfg.ServerOptions()...)
+	srvOpts := cfg.ServerOptions()
+	if cfg.QueryLogDir != "" {
+		qlogger, err := qlog.Open(cfg.QueryLogDir, qlog.Options{})
+		if err != nil {
+			log.Fatalf("query log: %v", err)
+		}
+		srvOpts = append(srvOpts, httpapi.WithQueryLog(qlogger))
+	}
+	srv := httpapi.New(topo, srvOpts...)
 	switch {
 	case cfg.Adaptive:
 		log.Printf("admission: adaptive, limit %d..%d, window %v, max-queue %d, queue-timeout %v",
@@ -122,6 +145,10 @@ func main() {
 	case cfg.MaxConcurrent > 0:
 		log.Printf("admission: max-concurrent %d, max-queue %d, queue-timeout %v",
 			cfg.MaxConcurrent, cfg.MaxQueue, cfg.QueueTimeout)
+	}
+	log.Print(startupLine(cfg, eng))
+	if cfg.PprofAddr != "" {
+		go servePprof(cfg.PprofAddr)
 	}
 	httpSrv := &http.Server{Addr: cfg.Addr, Handler: logRequests(srv)}
 
@@ -138,6 +165,11 @@ func main() {
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("http shutdown: %v", err)
+		}
+		// The query log closes after the HTTP drain, so entries for the
+		// last in-flight requests are flushed, not dropped.
+		if err := srv.Close(); err != nil {
+			log.Printf("query log close: %v", err)
 		}
 		if eng.Durable() {
 			log.Printf("shutting down: final checkpoint + closing WAL...")
@@ -186,6 +218,51 @@ func buildEngine(cfg *Config) (*keysearch.Engine, error) {
 		return keysearch.DemoMusicWith(cfg.Seed, opts...)
 	default:
 		return keysearch.DemoMoviesWith(cfg.Seed, opts...)
+	}
+}
+
+// startupLine renders the one structured key=value line that pins down
+// what this process is: topology, limits, data location, observability
+// posture, and the build that produced the binary. Operators grep for
+// "serve:" to reconstruct a deployment from its logs alone.
+func startupLine(cfg *Config, eng *keysearch.Engine) string {
+	goVersion, revision := "", ""
+	if info, ok := debug.ReadBuildInfo(); ok {
+		goVersion = info.GoVersion
+		for _, kv := range info.Settings {
+			if kv.Key == "vcs.revision" {
+				revision = kv.Value
+			}
+		}
+	}
+	admission := "off"
+	switch {
+	case cfg.Adaptive:
+		admission = fmt.Sprintf("adaptive(%d..%d)", cfg.AdaptMin, cfg.AdaptCeiling())
+	case cfg.MaxConcurrent > 0:
+		admission = fmt.Sprintf("static(%d)", cfg.MaxConcurrent)
+	}
+	return fmt.Sprintf("serve: addr=%s shards=%d rows=%d parallelism=%d mutable=%v durable=%v data_dir=%q "+
+		"answer_cache_bytes=%d admission=%s request_timeout=%v trace=%v query_log=%q slow_query=%v pprof=%q "+
+		"go=%q vcs_revision=%q",
+		cfg.Addr, cfg.Shards, eng.NumRows(), eng.Parallelism(), cfg.Mutable, eng.Durable(), cfg.DataDir,
+		cfg.AnswerCacheBytes, admission, cfg.RequestTimeout, cfg.Trace, cfg.QueryLogDir, cfg.SlowQuery,
+		cfg.PprofAddr, goVersion, revision)
+}
+
+// servePprof stands the net/http/pprof handlers up on their own
+// listener, so profiling traffic never competes with (or leaks onto)
+// the serving address.
+func servePprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	log.Printf("pprof listening on %s (try: go tool pprof http://localhost%s/debug/pprof/profile)", addr, addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Printf("pprof server: %v", err)
 	}
 }
 

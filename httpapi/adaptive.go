@@ -199,29 +199,38 @@ func (s *Server) estimateCost(r *http.Request) int64 {
 // in-flight accounting, the default deadline, and the completion
 // observation that drives the control loop.
 func (s *Server) serveAdaptive(w http.ResponseWriter, r *http.Request) {
+	ob, r := s.beginObserve(w, r)
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 	cost := s.estimateCost(r)
+	ob.setCost(cost)
+	waitStart := time.Now()
 	release, outcome := s.agate.Acquire(r.Context(), cost)
 	switch outcome {
 	case admission.Admitted:
 	case admission.RejectedQueueFull:
 		s.stats.ShedQueueFull()
-		s.writeAdaptiveShed(w, http.StatusTooManyRequests, "queue_full",
+		s.writeAdaptiveShed(rec, http.StatusTooManyRequests, "queue_full",
 			"server is at capacity and its wait queue is full")
+		ob.finish(rec.status)
 		return
 	case admission.Evicted:
 		s.stats.ShedQueueFull()
-		s.writeAdaptiveShed(w, http.StatusTooManyRequests, "queue_evicted",
+		s.writeAdaptiveShed(rec, http.StatusTooManyRequests, "queue_evicted",
 			"server is under queue pressure and this request's estimated cost lost its place to cheaper work")
+		ob.finish(rec.status)
 		return
 	case admission.TimedOut:
 		s.stats.ShedQueueTimeout()
-		s.writeAdaptiveShed(w, http.StatusServiceUnavailable, "queue_timeout",
+		s.writeAdaptiveShed(rec, http.StatusServiceUnavailable, "queue_timeout",
 			"server is overloaded; request timed out waiting for an execution slot")
+		ob.finish(rec.status)
 		return
 	default: // admission.Canceled
-		writeError(w, 499, r.Context().Err())
+		writeError(rec, 499, r.Context().Err())
+		ob.finish(rec.status)
 		return
 	}
+	ob.admissionWait(time.Since(waitStart))
 	defer release()
 	s.stats.StartRequest()
 	defer s.stats.EndRequest()
@@ -231,12 +240,12 @@ func (s *Server) serveAdaptive(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 		r = r.WithContext(ctx)
 	}
-	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 	s.handler.ServeHTTP(rec, r)
 	if rec.status == http.StatusGatewayTimeout {
 		s.stats.DeadlineExceeded()
 	}
 	s.agov.ObserveCompletion(s.now().Sub(start))
+	ob.finish(rec.status)
 }
 
 // writeAdaptiveShed writes one governor shed response: Retry-After

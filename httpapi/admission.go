@@ -162,18 +162,28 @@ func (r *statusRecorder) WriteHeader(status int) {
 
 // serveAdmitted runs one /v1/ request through the overload-protection
 // path: admission gate (when configured), in-flight accounting, and the
-// default per-request deadline.
+// default per-request deadline. The observation brackets the whole path
+// — shed responses are counted and logged too, with the gate writing
+// through the status recorder so the shed status is captured.
 func (s *Server) serveAdmitted(w http.ResponseWriter, r *http.Request) {
 	if s.agov != nil {
 		s.serveAdaptive(w, r)
 		return
 	}
+	ob, r := s.beginObserve(w, r)
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 	if s.gate != nil {
-		release, ok := s.gate.admit(w, r)
+		waitStart := time.Now()
+		release, ok := s.gate.admit(rec, r)
 		if !ok {
+			ob.finish(rec.status)
 			return
 		}
+		ob.admissionWait(time.Since(waitStart))
 		defer release()
+	}
+	if s.qlog != nil {
+		ob.setCost(s.estimateCost(r))
 	}
 	s.stats.StartRequest()
 	defer s.stats.EndRequest()
@@ -182,9 +192,9 @@ func (s *Server) serveAdmitted(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 		r = r.WithContext(ctx)
 	}
-	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 	s.handler.ServeHTTP(rec, r)
 	if rec.status == http.StatusGatewayTimeout {
 		s.stats.DeadlineExceeded()
 	}
+	ob.finish(rec.status)
 }

@@ -78,6 +78,7 @@ import (
 	keysearch "repro"
 	"repro/internal/admission"
 	"repro/internal/metrics"
+	"repro/internal/qlog"
 )
 
 // ErrorResponse is the JSON shape of every error reply. Code is set for
@@ -143,6 +144,10 @@ type HealthResponse struct {
 	// cache traffic, merge wave counters); omitted on a single-process
 	// engine.
 	Shards *ShardsHealth `json:"shards,omitempty"`
+	// Build identifies the serving binary (Go toolchain, module version,
+	// VCS revision when recorded), so operators can tell which build a
+	// live server runs without shelling into the host.
+	Build *BuildHealth `json:"build,omitempty"`
 }
 
 // LimitsHealth is the nested /healthz limits object: every configured
@@ -361,6 +366,15 @@ type Server struct {
 	agate      *admission.Gate
 	agov       *admission.Governor
 
+	// Observability (see observe.go): obs always aggregates per-endpoint
+	// latency histograms and status counters for GET /metrics; tracing,
+	// the query log, and the slow-query dump are opt-in.
+	obs           *obsMetrics
+	tracingOn     bool
+	qlog          *qlog.Logger
+	slowThreshold time.Duration
+	slowf         func(format string, v ...any)
+
 	mu       sync.Mutex
 	sessions map[string]*constructSession
 }
@@ -384,6 +398,8 @@ func New(eng keysearch.Searcher, opts ...Option) *Server {
 		now:         time.Now,
 		stats:       &metrics.ServingStats{},
 		sessions:    make(map[string]*constructSession),
+		obs:         newObsMetrics(),
+		slowf:       defaultSlowf,
 	}
 	for _, o := range opts {
 		o(s)
@@ -408,6 +424,7 @@ func New(eng keysearch.Searcher, opts ...Option) *Server {
 	s.mux.HandleFunc("POST /v1/construct", s.handleConstruct)
 	s.mux.HandleFunc("GET /v1/keywords", s.handleKeywords)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.handler = s.mux
 	if s.wrap != nil {
 		s.handler = s.wrap(s.mux)
@@ -446,6 +463,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Adaptive:       s.adaptiveHealth(),
 		AnswerCache:    answerCacheHealth(st.AnswerCache),
 		Shards:         shardsHealth(st.Shards),
+		Build:          buildHealth(),
 	})
 }
 
@@ -524,11 +542,13 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	obsFrom(r).noteQuery(req.Query)
 	resp, err := s.eng.Search(r.Context(), req)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
 	}
+	obsFrom(r).noteResults(resp.Results)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -538,11 +558,13 @@ func (s *Server) handleDiversify(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	obsFrom(r).noteQuery(req.Query)
 	resp, err := s.eng.Diversify(r.Context(), req)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
 	}
+	obsFrom(r).noteResults(resp.Results)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -552,10 +574,19 @@ func (s *Server) handleRows(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	obsFrom(r).noteQuery(req.Query)
 	resp, err := s.eng.SearchRows(r.Context(), req)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
+	}
+	if o := obsFrom(r); o != nil {
+		o.noteRowCount(len(resp.Rows))
+		if len(resp.Rows) > 0 {
+			// The top row's producing interpretation is the one the
+			// ranking effectively served.
+			o.noteInterp(resp.Rows[0].Query, 0)
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -658,13 +689,22 @@ func (s *Server) handleConstruct(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if o := obsFrom(r); o != nil {
+		// Defaults for error paths; step handlers overwrite from the
+		// response once the dialogue state is known.
+		o.action = req.Action
+		o.sessionID = req.SessionID
+		if req.Start != nil {
+			o.query = req.Start.Query
+		}
+	}
 	switch req.Action {
 	case "start":
 		s.constructStart(w, r, req)
 	case "accept", "reject":
 		s.constructAnswer(w, r, req)
 	case "candidates":
-		s.constructCandidates(w, req)
+		s.constructCandidates(w, r, req)
 	case "cancel":
 		s.constructCancel(w, req)
 	default:
@@ -699,7 +739,9 @@ func (s *Server) constructStart(w http.ResponseWriter, r *http.Request, req Cons
 
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
-	writeJSON(w, http.StatusOK, s.stepResponse(id, sess, false))
+	resp := s.stepResponse(id, sess, false)
+	obsFrom(r).noteConstruct(req.Action, resp)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) constructAnswer(w http.ResponseWriter, r *http.Request, req ConstructStepRequest) {
@@ -726,10 +768,12 @@ func (s *Server) constructAnswer(w http.ResponseWriter, r *http.Request, req Con
 		writeError(w, statusFor(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.stepResponse(req.SessionID, sess, false))
+	resp := s.stepResponse(req.SessionID, sess, false)
+	obsFrom(r).noteConstruct(req.Action, resp)
+	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) constructCandidates(w http.ResponseWriter, req ConstructStepRequest) {
+func (s *Server) constructCandidates(w http.ResponseWriter, r *http.Request, req ConstructStepRequest) {
 	sess, ok := s.lookupSession(req.SessionID)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown or expired session %q", req.SessionID))
@@ -737,7 +781,9 @@ func (s *Server) constructCandidates(w http.ResponseWriter, req ConstructStepReq
 	}
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
-	writeJSON(w, http.StatusOK, s.stepResponse(req.SessionID, sess, true))
+	resp := s.stepResponse(req.SessionID, sess, true)
+	obsFrom(r).noteConstruct(req.Action, resp)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) constructCancel(w http.ResponseWriter, req ConstructStepRequest) {

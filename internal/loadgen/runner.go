@@ -3,12 +3,15 @@ package loadgen
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,14 +62,20 @@ func (o *Options) defaults() {
 	}
 }
 
-// KindStats aggregates one request class of a finished run.
+// KindStats aggregates one request class of a finished run. The shed
+// and deadline counters classify by the op's final status — a construct
+// dialogue that shed mid-session counts once, under construct.
 type KindStats struct {
-	Requests int64   `json:"requests"`
-	Errors   int64   `json:"errors"`
-	P50MS    float64 `json:"p50_ms"`
-	P95MS    float64 `json:"p95_ms"`
-	P99MS    float64 `json:"p99_ms"`
-	MaxMS    float64 `json:"max_ms"`
+	Requests    int64   `json:"requests"`
+	Errors      int64   `json:"errors"`
+	Shed429     int64   `json:"shed_429"`
+	Shed503     int64   `json:"shed_503"`
+	Deadline504 int64   `json:"deadline_504"`
+	P50MS       float64 `json:"p50_ms"`
+	P90MS       float64 `json:"p90_ms"`
+	P95MS       float64 `json:"p95_ms"`
+	P99MS       float64 `json:"p99_ms"`
+	MaxMS       float64 `json:"max_ms"`
 }
 
 // Result is the outcome of one load run. Goodput counts only 2xx
@@ -107,6 +116,7 @@ type workerState struct {
 	hists  map[OpKind]*metrics.LatencyHistogram
 	counts map[OpKind]*int64 // requests per kind
 	errs   map[OpKind]*int64
+	sheds  map[OpKind]*[3]int64 // [429, 503, 504] by final status
 }
 
 func newWorkerState() *workerState {
@@ -114,13 +124,32 @@ func newWorkerState() *workerState {
 		hists:  map[OpKind]*metrics.LatencyHistogram{},
 		counts: map[OpKind]*int64{},
 		errs:   map[OpKind]*int64{},
+		sheds:  map[OpKind]*[3]int64{},
 	}
 	for _, k := range []OpKind{OpSearch, OpRows, OpDiversify, OpConstruct, OpMutate} {
 		ws.hists[k] = metrics.NewLatencyHistogram()
 		ws.counts[k] = new(int64)
 		ws.errs[k] = new(int64)
+		ws.sheds[k] = new([3]int64)
 	}
 	return ws
+}
+
+// recordOutcome tallies one completed op into the worker's counters.
+func (ws *workerState) recordOutcome(k OpKind, status int, err error, el time.Duration) {
+	atomic.AddInt64(ws.counts[k], 1)
+	if isError(status, err) {
+		atomic.AddInt64(ws.errs[k], 1)
+	}
+	switch status {
+	case http.StatusTooManyRequests:
+		atomic.AddInt64(&ws.sheds[k][0], 1)
+	case http.StatusServiceUnavailable:
+		atomic.AddInt64(&ws.sheds[k][1], 1)
+	case http.StatusGatewayTimeout:
+		atomic.AddInt64(&ws.sheds[k][2], 1)
+	}
+	ws.hists[k].Record(el)
 }
 
 // runner holds the shared state of one run.
@@ -130,6 +159,11 @@ type runner struct {
 	shed429 atomic.Int64
 	shed503 atomic.Int64
 	dl504   atomic.Int64
+	// tracePrefix + traceSeq mint one X-Trace-Id per request. A traced
+	// server (-trace) adopts the ID, so its query log and slow-query
+	// dumps correlate with this client's view of the same request.
+	tracePrefix string
+	traceSeq    atomic.Uint64
 }
 
 // mutateSeq is process-global so consecutive runs against the same
@@ -210,6 +244,7 @@ func (r *runner) post(ctx context.Context, path string, body []byte) (int, []byt
 		return 0, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Trace-Id", r.tracePrefix+strconv.FormatUint(r.traceSeq.Add(1), 10))
 	resp, err := r.opts.Client.Do(req)
 	if err != nil {
 		return 0, nil, err
@@ -263,7 +298,11 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 	if len(opts.Ops) == 0 {
 		return nil, errors.New("loadgen: no ops to run (BuildWorkload first)")
 	}
-	r := &runner{opts: opts}
+	var pfx [4]byte
+	if _, err := rand.Read(pfx[:]); err != nil {
+		return nil, err
+	}
+	r := &runner{opts: opts, tracePrefix: "lg-" + hex.EncodeToString(pfx[:]) + "-"}
 	if opts.RateRPS > 0 {
 		return r.runOpen(ctx)
 	}
@@ -294,11 +333,7 @@ func (r *runner) runClosed(ctx context.Context) (*Result, error) {
 				if ctx.Err() != nil && (err != nil || status == 0) {
 					return // shutdown race, not a server failure
 				}
-				atomic.AddInt64(ws.counts[op.Kind], 1)
-				if isError(status, err) {
-					atomic.AddInt64(ws.errs[op.Kind], 1)
-				}
-				ws.hists[op.Kind].Record(el)
+				ws.recordOutcome(op.Kind, status, err, el)
 			}
 		}(states[w])
 	}
@@ -356,11 +391,7 @@ func (r *runner) runOpen(ctx context.Context) (*Result, error) {
 			if ctx.Err() != nil && (err != nil || status == 0) {
 				return
 			}
-			atomic.AddInt64(ws.counts[op.Kind], 1)
-			if isError(status, err) {
-				atomic.AddInt64(ws.errs[op.Kind], 1)
-			}
-			ws.hists[op.Kind].Record(el)
+			ws.recordOutcome(op.Kind, status, err, el)
 		}(ws, sched)
 	}
 	wg.Wait()
@@ -383,21 +414,29 @@ func (r *runner) aggregate(mode string, states []*workerState, elapsed time.Dura
 	for _, k := range kinds {
 		h := metrics.NewLatencyHistogram()
 		var kreq, kerr int64
+		var ksheds [3]int64
 		for _, ws := range states {
 			h.Merge(ws.hists[k])
 			kreq += atomic.LoadInt64(ws.counts[k])
 			kerr += atomic.LoadInt64(ws.errs[k])
+			for i := range ksheds {
+				ksheds[i] += atomic.LoadInt64(&ws.sheds[k][i])
+			}
 		}
 		if kreq == 0 {
 			continue
 		}
 		perKind[k] = KindStats{
-			Requests: kreq,
-			Errors:   kerr,
-			P50MS:    ms(h.Quantile(0.50)),
-			P95MS:    ms(h.Quantile(0.95)),
-			P99MS:    ms(h.Quantile(0.99)),
-			MaxMS:    ms(h.Max()),
+			Requests:    kreq,
+			Errors:      kerr,
+			Shed429:     ksheds[0],
+			Shed503:     ksheds[1],
+			Deadline504: ksheds[2],
+			P50MS:       ms(h.Quantile(0.50)),
+			P90MS:       ms(h.Quantile(0.90)),
+			P95MS:       ms(h.Quantile(0.95)),
+			P99MS:       ms(h.Quantile(0.99)),
+			MaxMS:       ms(h.Max()),
 		}
 		total.Merge(h)
 		requests += kreq

@@ -128,6 +128,48 @@ func TestLatencyHistogramCoordinatedOmission(t *testing.T) {
 	}
 }
 
+// TestConcurrentRecordMerge pins the documented concurrency contract
+// under -race: a LatencyHistogram is single-owner, so workers Record
+// into private histograms concurrently and hand each finished
+// histogram to a merging goroutine over a channel. The pattern must be
+// race-free and lossless end to end.
+func TestConcurrentRecordMerge(t *testing.T) {
+	const workers, perWorker = 8, 5000
+	done := make(chan *LatencyHistogram, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			h := NewLatencyHistogram()
+			for i := 0; i < perWorker; i++ {
+				h.Record(time.Duration(rng.Int63n(int64(2 * time.Second))))
+			}
+			done <- h
+		}(int64(w + 1))
+	}
+	// Merge concurrently with recording: each histogram arrives only
+	// after its owner finished, so the channel is the synchronisation
+	// point the race detector checks.
+	merged := NewLatencyHistogram()
+	mergedAll := make(chan struct{})
+	go func() {
+		defer close(mergedAll)
+		for i := 0; i < workers; i++ {
+			merged.Merge(<-done)
+		}
+	}()
+	wg.Wait()
+	<-mergedAll
+	if merged.Count() != workers*perWorker {
+		t.Fatalf("count = %d, want %d", merged.Count(), workers*perWorker)
+	}
+	if merged.Quantile(0.5) <= 0 || merged.Max() <= merged.Min() {
+		t.Fatalf("merged summary degenerate: %v", merged)
+	}
+}
+
 func TestServingStatsHighWaterAndCounters(t *testing.T) {
 	var s ServingStats
 	var wg sync.WaitGroup

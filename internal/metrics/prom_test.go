@@ -1,0 +1,216 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPromTextBasicFamilies(t *testing.T) {
+	p := NewPromText()
+	p.Counter("requests_total", "Requests served.", 42, Label{"endpoint", "search"})
+	p.Counter("requests_total", "Requests served.", 7, Label{"endpoint", "rows"})
+	p.Gauge("in_flight", "Requests in flight.", 3)
+	h := NewLatencyHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	p.HistogramNS("request_duration_seconds", "Latency.", h, Label{"endpoint", "search"})
+
+	out, err := p.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckPromText(out); err != nil {
+		t.Fatalf("self-check failed: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{
+		"# HELP requests_total Requests served.\n# TYPE requests_total counter\n",
+		`requests_total{endpoint="search"} 42`,
+		`requests_total{endpoint="rows"} 7`,
+		"# TYPE in_flight gauge",
+		"in_flight 3",
+		"# TYPE request_duration_seconds histogram",
+		`request_duration_seconds_bucket{endpoint="search",le="+Inf"} 100`,
+		`request_duration_seconds_count{endpoint="search"} 100`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+	// _sum is the exact sum: 1..100 ms = 5.05 s.
+	if !strings.Contains(s, `request_duration_seconds_sum{endpoint="search"} 5.05`) {
+		t.Fatalf("exact sum missing:\n%s", s)
+	}
+}
+
+func TestPromHistogramCumulativeBuckets(t *testing.T) {
+	h := NewLatencyHistogram()
+	// 10 fast (2ms), 5 medium (70ms), 2 slow (3s): known bucket edges.
+	for i := 0; i < 10; i++ {
+		h.Record(2 * time.Millisecond)
+	}
+	for i := 0; i < 5; i++ {
+		h.Record(70 * time.Millisecond)
+	}
+	h.Record(3 * time.Second)
+	h.Record(3 * time.Second)
+
+	bounds := []int64{
+		int64(5 * time.Millisecond),
+		int64(100 * time.Millisecond),
+		int64(time.Second),
+	}
+	cum := h.CumulativeLE(bounds)
+	if cum[0] != 10 || cum[1] != 15 || cum[2] != 15 {
+		t.Fatalf("cumulative = %v, want [10 15 15]", cum)
+	}
+	// Values beyond the last bound appear only in +Inf (i.e. Count).
+	if h.Count() != 17 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	// Empty histogram and nil-safety of the exporter path.
+	if got := NewLatencyHistogram().CumulativeLE(bounds); got[0] != 0 || got[2] != 0 {
+		t.Fatalf("empty cumulative = %v", got)
+	}
+	p := NewPromText()
+	p.HistogramNS("x_seconds", "x", nil)
+	out, err := p.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckPromText(out); err != nil {
+		t.Fatalf("nil-histogram export invalid: %v\n%s", err, out)
+	}
+}
+
+func TestPromBuilderRejectsMisuse(t *testing.T) {
+	p := NewPromText()
+	p.Counter("ok_total", "x", 1)
+	p.Gauge("ok_total", "x", 1) // type flip
+	if _, err := p.Bytes(); err == nil {
+		t.Fatal("type redeclaration not rejected")
+	}
+	p2 := NewPromText()
+	p2.Counter("bad name", "x", 1)
+	if _, err := p2.Bytes(); err == nil {
+		t.Fatal("invalid metric name not rejected")
+	}
+	p3 := NewPromText()
+	p3.Counter("neg_total", "x", -1)
+	if _, err := p3.Bytes(); err == nil {
+		t.Fatal("negative counter not rejected")
+	}
+	p4 := NewPromText()
+	p4.Counter("l_total", "x", 1, Label{"bad name", "v"})
+	if _, err := p4.Bytes(); err == nil {
+		t.Fatal("invalid label name not rejected")
+	}
+}
+
+func TestPromLabelEscaping(t *testing.T) {
+	p := NewPromText()
+	p.Counter("esc_total", "x", 1, Label{"q", "a\"b\\c\nd"})
+	out, err := p.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckPromText(out); err != nil {
+		t.Fatalf("escaped output invalid: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), `esc_total{q="a\"b\\c\nd"} 1`) {
+		t.Fatalf("escaping wrong:\n%s", out)
+	}
+}
+
+func TestCheckPromTextRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"no trailing newline", "# HELP a x\n# TYPE a counter\na 1"},
+		{"sample before type", "a 1\n"},
+		{"unknown type", "# HELP a x\n# TYPE a widget\na 1\n"},
+		{"duplicate sample", "# HELP a x\n# TYPE a counter\na 1\na 2\n"},
+		{"reopened family", "# HELP a x\n# TYPE a counter\na 1\n# HELP b x\n# TYPE b counter\nb 1\n# HELP a x\n# TYPE a counter\n"},
+		{"interleaved sample", "# HELP a x\n# TYPE a counter\n# HELP b x\n# TYPE b counter\na 1\n"},
+		{"negative counter", "# HELP a x\n# TYPE a counter\na -1\n"},
+		{"bad value", "# HELP a x\n# TYPE a counter\na zebra\n"},
+		{"le not ascending", "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"0.5\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n"},
+		{"not cumulative", "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n"},
+		{"inf != count", "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n"},
+		{"no inf bucket", "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 3\nh_sum 1\nh_count 3\n"},
+		{"bare histogram sample", "# HELP h x\n# TYPE h histogram\nh 3\n"},
+		{"duplicate label", "# HELP a x\n# TYPE a counter\na{l=\"1\",l=\"2\"} 1\n"},
+		{"unterminated labels", "# HELP a x\n# TYPE a counter\na{l=\"1\" 1\n"},
+	}
+	for _, c := range cases {
+		if err := CheckPromText([]byte(c.in)); err == nil {
+			t.Errorf("%s: accepted invalid input", c.name)
+		}
+	}
+	if err := CheckPromText(nil); err != nil {
+		t.Fatalf("empty payload should be valid: %v", err)
+	}
+}
+
+// Satellite: Quantile inverse lookup must honour the documented ≤1.6%
+// (1/64) relative error bound over the log-linear range, against exact
+// order statistics of known distributions.
+func TestQuantileInverseLookupErrorBound(t *testing.T) {
+	const bound = 1.0 / float64(subCount) // 1.5625%
+	distributions := []struct {
+		name string
+		gen  func(rng *rand.Rand) int64
+		n    int
+	}{
+		{"uniform_1ms_1s", func(rng *rand.Rand) int64 {
+			return int64(time.Millisecond) + rng.Int63n(int64(time.Second-time.Millisecond))
+		}, 50000},
+		{"exponential_10ms", func(rng *rand.Rand) int64 {
+			return int64(rng.ExpFloat64() * float64(10*time.Millisecond))
+		}, 50000},
+		{"bimodal_cache", func(rng *rand.Rand) int64 {
+			if rng.Intn(10) < 8 {
+				return int64(200*time.Microsecond) + rng.Int63n(int64(100*time.Microsecond))
+			}
+			return int64(80*time.Millisecond) + rng.Int63n(int64(40*time.Millisecond))
+		}, 50000},
+	}
+	for _, d := range distributions {
+		t.Run(d.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			h := NewLatencyHistogram()
+			vals := make([]int64, d.n)
+			for i := range vals {
+				v := d.gen(rng)
+				vals[i] = v
+				h.Record(time.Duration(v))
+			}
+			// Exact order statistics via sort.
+			sorted := append([]int64(nil), vals...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			for _, q := range []float64{0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.999} {
+				rank := int(q*float64(d.n) + 0.5)
+				if rank < 1 {
+					rank = 1
+				}
+				exact := sorted[rank-1]
+				got := int64(h.Quantile(q))
+				diff := got - exact
+				if diff < 0 {
+					diff = -diff
+				}
+				// Allow the histogram's quantisation bound plus one exact
+				// neighbour step for rank-rounding on dense regions.
+				tol := int64(float64(exact)*bound) + 1
+				if diff > tol {
+					t.Errorf("q=%v: got %d, exact %d, |err| %d > tol %d", q, got, exact, diff, tol)
+				}
+			}
+		})
+	}
+}

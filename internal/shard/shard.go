@@ -25,9 +25,12 @@
 package shard
 
 import (
+	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/relstore"
+	"repro/internal/trace"
 )
 
 // Owner maps a RowID to its owning shard among n via a splitmix64-style
@@ -58,6 +61,17 @@ type Exec struct {
 	view   relstore.SharedStore
 	stats  *Stats
 	caches []*relstore.SelectionCache
+	// tr, when non-nil, receives per-shard busy time, merge time, and
+	// whole-plan cache hits as trace counters. Recording is aggregation
+	// only — a traced Exec produces byte-identical results.
+	tr *trace.Trace
+}
+
+// Traced attaches the request's trace to the executor (nil is a no-op)
+// and returns it, so providers can chain construction.
+func (x *Exec) Traced(tr *trace.Trace) *Exec {
+	x.tr = tr
+	return x
 }
 
 // NewExec builds an executor for one request against db split n ways.
@@ -85,6 +99,18 @@ func NewExec(db *relstore.Database, n int, view relstore.SharedStore, useCache b
 	return x
 }
 
+// recordShard attributes one partitioned run's busy time to the trace.
+// Per-shard names keep the counter set bounded by the topology (n
+// counters), not by how many plans a request executes, which is the
+// trace-size discipline for the execute-per-shard stage.
+func (x *Exec) recordShard(i int, d time.Duration) {
+	if x.tr == nil {
+		return
+	}
+	x.tr.CountDuration("shard_"+strconv.Itoa(i)+"_busy_ns", d)
+	x.tr.Count("shard_executions", 1)
+}
+
 // ownerFn returns the partition predicate for shard i.
 func (x *Exec) ownerFn(i int) func(rowID int) bool {
 	n := x.n
@@ -104,6 +130,7 @@ func (x *Exec) ExecutePlan(p *relstore.JoinPlan, limit int) ([]relstore.JTT, err
 	if x.view != nil {
 		key = cp.CacheKey(limit)
 		if rows, ok := x.view.GetPlan(key); ok {
+			x.tr.Count("shard_plan_cache_hits", 1)
 			if len(rows) == 0 {
 				return nil, nil
 			}
@@ -116,6 +143,7 @@ func (x *Exec) ExecutePlan(p *relstore.JoinPlan, limit int) ([]relstore.JTT, err
 	}
 
 	x.stats.scatters.Add(1)
+	x.tr.Count("shard_scatters", 1)
 	outs := make([][]relstore.JTT, x.n)
 	roots := make([]int, x.n)
 	var wg sync.WaitGroup
@@ -123,7 +151,9 @@ func (x *Exec) ExecutePlan(p *relstore.JoinPlan, limit int) ([]relstore.JTT, err
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			t0 := time.Now()
 			outs[i], roots[i], _ = cp.ExecutePart(limit, x.caches[i], x.ownerFn(i))
+			x.recordShard(i, time.Since(t0))
 			x.stats.shards[i].execs.Add(1)
 			x.stats.shards[i].results.Add(int64(len(outs[i])))
 		}(i)
@@ -137,7 +167,9 @@ func (x *Exec) ExecutePlan(p *relstore.JoinPlan, limit int) ([]relstore.JTT, err
 			break
 		}
 	}
+	tm := time.Now()
 	merged := mergeByRoot(outs, root, limit)
+	x.tr.CountDuration("shard_merge_ns", time.Since(tm))
 	x.stats.merged.Add(int64(len(merged)))
 
 	if x.view != nil {
@@ -163,18 +195,22 @@ func (x *Exec) CountPlan(p *relstore.JoinPlan, limit int) (int, error) {
 	if x.view != nil {
 		key = cp.CacheKey(limit)
 		if n, ok := x.view.GetCount(key); ok {
+			x.tr.Count("shard_count_cache_hits", 1)
 			return n, nil
 		}
 	}
 
 	x.stats.countScatters.Add(1)
+	x.tr.Count("shard_scatters", 1)
 	partial := make([]int, x.n)
 	var wg sync.WaitGroup
 	for i := 0; i < x.n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			t0 := time.Now()
 			partial[i], _ = cp.CountPart(limit, x.caches[i], x.ownerFn(i))
+			x.recordShard(i, time.Since(t0))
 			x.stats.shards[i].execs.Add(1)
 		}(i)
 	}

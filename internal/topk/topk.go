@@ -24,6 +24,7 @@ import (
 	"repro/internal/prob"
 	"repro/internal/query"
 	"repro/internal/relstore"
+	"repro/internal/trace"
 )
 
 // Result is one scored search result: a JTT of an interpretation.
@@ -207,6 +208,17 @@ func TopKContext(ctx context.Context, db *relstore.Database, ranked []prob.Score
 	if opts.K <= 0 {
 		return nil, stats, fmt.Errorf("topk: K must be positive")
 	}
+	// Recording is deferred so early-stop statistics land on the trace
+	// however the wave loop exits; tr is nil (every call a no-op) when
+	// the request is untraced.
+	tr := trace.FromContext(ctx)
+	if tr != nil {
+		defer func() {
+			tr.Count("topk_executed", int64(stats.Executed))
+			tr.Count("topk_skipped", int64(stats.Skipped))
+			tr.Count("topk_materialized", int64(stats.Materialized))
+		}()
+	}
 	if scorer == nil {
 		scorer = UnitScorer{}
 	}
@@ -235,6 +247,7 @@ outer:
 		if end > len(ranked) {
 			end = len(ranked)
 		}
+		tr.Count("topk_waves", 1)
 		executeWave(ctx, db, exec, ranked[start:end], scorer, opts.PerInterpretationLimit, batches[:end-start])
 		for i := start; i < end; i++ {
 			if merge.stop(ranked[i].Score) {

@@ -54,6 +54,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/relstore"
 	"repro/internal/schemagraph"
+	"repro/internal/trace"
 )
 
 // Column defines one attribute of a table. Text marks attributes indexed
@@ -612,18 +613,27 @@ func (e *Engine) candidatesFor(ctx context.Context, s *snapshot, keywords string
 // pinned snapshot, honouring context cancellation in every expensive
 // phase.
 func (e *Engine) interpret(ctx context.Context, s *snapshot, keywords string) ([]prob.Scored, *query.Candidates, error) {
+	tr := trace.FromContext(ctx)
+	sp := tr.Start("parse")
 	c, segments, err := e.candidatesFor(ctx, s, keywords)
+	sp.End()
 	if err != nil {
 		return nil, nil, err
 	}
+	sp = tr.Start("interpret")
 	space, err := query.GenerateCompleteContext(ctx, c, s.cat, query.GenerateConfig{
 		Parallelism: e.cfg.parallelism,
 	})
 	if err != nil {
+		sp.End()
 		return nil, nil, err
 	}
 	space = query.FilterSegments(space, segments)
+	sp.End()
+	tr.Count("interpretation_space", int64(len(space)))
+	sp = tr.Start("rank")
 	ranked, err := s.model.RankContext(ctx, space)
+	sp.End()
 	if err != nil {
 		return nil, nil, err
 	}

@@ -3,10 +3,12 @@ package keysearch
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"repro/internal/relstore"
 	"repro/internal/shard"
+	"repro/internal/trace"
 )
 
 // ShardedEngine serves one engine's data scatter-gather across n logical
@@ -87,9 +89,16 @@ func (se *ShardedEngine) NumShards() int { return se.n }
 
 // provider builds the request-scoped scatter-gather executor — the
 // execProvider the coordinator injects into the engine's request flow
-// in place of the local one.
-func (se *ShardedEngine) provider(s *snapshot, view relstore.SharedStore) relstore.PlanExecutor {
-	return shard.NewExec(s.db, se.n, view, !se.eng.cfg.execCacheOff, se.stats)
+// in place of the local one. Under tracing the answer-cache view is
+// wrapped for hit counting, the executor records per-shard busy time,
+// and the request is annotated with its fan-out; with tracing off all
+// three vanish.
+func (se *ShardedEngine) provider(ctx context.Context, s *snapshot, view relstore.SharedStore) relstore.PlanExecutor {
+	tr := trace.FromContext(ctx)
+	if tr != nil {
+		tr.Annotate("shard_fanout", strconv.Itoa(se.n))
+	}
+	return shard.NewExec(s.db, se.n, tracedView(view, tr), !se.eng.cfg.execCacheOff, se.stats).Traced(tr)
 }
 
 // Search implements Searcher with sharded plan execution.
